@@ -1,0 +1,83 @@
+// Ablation study of SkyEx-T's design choices (DESIGN.md §5):
+//   (a) MI-based feature de-duplication on/off,
+//   (b) the prioritized second group (▷) vs a single Pareto block,
+//   (c) the full LGM-X feature set vs the 14 basic similarities only.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/skyex_t.h"
+#include "eval/metrics.h"
+#include "eval/sampling.h"
+
+namespace {
+
+double AverageF1(const skyex::core::PreparedData& d,
+                 const skyex::ml::FeatureMatrix& features,
+                 const skyex::core::SkyExTOptions& options,
+                 const skyex::bench::BenchConfig& config) {
+  const auto splits = skyex::eval::DisjointTrainingSplits(
+      d.pairs.size(), 0.04, config.reps, config.seed + 800);
+  const skyex::core::SkyExT skyex(options);
+  const std::vector<size_t> all_rows =
+      skyex::core::AllRows(features.rows);
+  double total = 0.0;
+  for (const auto& split : splits) {
+    const auto model = skyex.Train(features, d.pairs.labels, split.train, &all_rows);
+    const auto eval_rows =
+        skyex::bench::CapRows(split.test, config.max_eval);
+    const auto predicted =
+        skyex::core::SkyExT::Label(features, eval_rows, model);
+    std::vector<uint8_t> truth;
+    truth.reserve(eval_rows.size());
+    for (size_t r : eval_rows) truth.push_back(d.pairs.labels[r]);
+    total += skyex::eval::Confusion(predicted, truth).F1();
+  }
+  return total / static_cast<double>(splits.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = skyex::bench::ParseFlags(argc, argv);
+  const auto d = skyex::bench::PrepareNorthDkBench(config);
+
+  // Basic-only variant: the first 14 columns of each textual attribute
+  // plus the numeric/spatial features.
+  std::vector<size_t> basic_columns;
+  for (size_t c = 0; c < d.features.cols; ++c) {
+    const std::string& n = d.features.names[c];
+    const bool basic_text =
+        (n.rfind("name_", 0) == 0 || n.rfind("addr_", 0) == 0) &&
+        n.find("sorted") == std::string::npos &&
+        n.find("lgm") == std::string::npos;
+    if (basic_text || n == "addr_number_sim" || n == "geo_sim") {
+      basic_columns.push_back(c);
+    }
+  }
+  const skyex::ml::FeatureMatrix basic =
+      d.features.SelectColumns(basic_columns);
+
+  std::printf("SkyEx-T ablations on North-DK (4%% training, avg F1)\n\n");
+  std::printf("%-44s %8s\n", "Configuration", "F1");
+  skyex::bench::PrintRule(56);
+
+  skyex::core::SkyExTOptions base;
+  std::printf("%-44s %8.3f\n", "full SkyEx-T (LGM-X, MI dedup, priority)",
+              AverageF1(d, d.features, base, config));
+
+  skyex::core::SkyExTOptions no_dedup = base;
+  no_dedup.use_mi_dedup = false;
+  std::printf("%-44s %8.3f\n", "- without MI de-duplication",
+              AverageF1(d, d.features, no_dedup, config));
+
+  skyex::core::SkyExTOptions no_priority = base;
+  no_priority.use_priority = false;
+  std::printf("%-44s %8.3f\n", "- single Pareto block (no priority group)",
+              AverageF1(d, d.features, no_priority, config));
+
+  std::printf("%-44s %8.3f\n", "- basic similarities only (no LGM-X)",
+              AverageF1(d, basic, base, config));
+  return 0;
+}

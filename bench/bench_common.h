@@ -1,0 +1,104 @@
+#ifndef SKYEX_BENCH_BENCH_COMMON_H_
+#define SKYEX_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the table/figure reproduction binaries: flag
+// parsing, dataset preparation and fixed-width table printing.
+//
+// Every binary accepts:
+//   --entities=N   North-DK scale (default 8000; the paper used 75,541)
+//   --reps=N       repetitions per configuration (default 10, as in the
+//                  paper; heavier configurations auto-reduce)
+//   --max-eval=N   cap on evaluation rows per split (default 30000)
+//   --seed=N       master seed
+//   --fast         tiny configuration for smoke runs
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace skyex::bench {
+
+struct BenchConfig {
+  size_t entities = 8000;
+  size_t reps = 10;
+  size_t max_eval = 30000;
+  uint64_t seed = 7;
+  bool fast = false;
+};
+
+inline BenchConfig ParseFlags(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--entities=", 11) == 0) {
+      config.entities = std::strtoull(arg + 11, nullptr, 10);
+    } else if (std::strncmp(arg, "--reps=", 7) == 0) {
+      config.reps = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--max-eval=", 11) == 0) {
+      config.max_eval = std::strtoull(arg + 11, nullptr, 10);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      config.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--fast") == 0) {
+      config.fast = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  if (config.fast) {
+    config.entities = std::min<size_t>(config.entities, 2000);
+    config.reps = std::min<size_t>(config.reps, 2);
+    config.max_eval = std::min<size_t>(config.max_eval, 8000);
+  }
+  return config;
+}
+
+inline core::PreparedData PrepareNorthDkBench(const BenchConfig& config) {
+  data::NorthDkOptions options;
+  options.num_entities = config.entities;
+  options.seed = config.seed;
+  std::printf("# generating synthetic North-DK (%zu records)...\n",
+              config.entities);
+  core::PreparedData d = core::PrepareNorthDk(options);
+  std::printf("# blocked pairs=%zu positives=%zu (%.2f%%)\n\n",
+              d.pairs.size(), d.pairs.NumPositives(),
+              100.0 * d.pairs.PositiveRate());
+  return d;
+}
+
+inline core::PreparedData PrepareRestaurantsBench(const BenchConfig& config,
+                                                  size_t max_pairs = 40000) {
+  data::RestaurantsOptions options;
+  options.seed = config.seed;
+  std::printf("# generating synthetic Restaurants (864 records)...\n");
+  if (config.fast) max_pairs = std::min<size_t>(max_pairs, 10000);
+  core::PreparedData d = core::PrepareRestaurants(options, {}, max_pairs,
+                                                  config.seed + 1);
+  std::printf(
+      "# pairs=%zu (subsampled from the 372,816 Cartesian pairs, all 112 "
+      "positives kept)\n\n",
+      d.pairs.size());
+  return d;
+}
+
+/// Caps an evaluation row set deterministically (keeps order).
+inline std::vector<size_t> CapRows(const std::vector<size_t>& rows,
+                                   size_t cap) {
+  if (cap == 0 || rows.size() <= cap) return rows;
+  return std::vector<size_t>(rows.begin(),
+                             rows.begin() + static_cast<ptrdiff_t>(cap));
+}
+
+inline void PrintRule(size_t width) {
+  for (size_t i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace skyex::bench
+
+#endif  // SKYEX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,72 @@
+// Micro-benchmarks of the spatial substrate: distances, quadtree
+// construction/queries, QuadFlex blocking and LGM-X feature extraction.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "data/northdk_generator.h"
+#include "features/lgm_x.h"
+#include "geo/distance.h"
+#include "geo/quadflex.h"
+#include "geo/quadtree.h"
+
+namespace {
+
+std::vector<skyex::geo::GeoPoint> ClusteredPoints(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> lat(57.05, 0.01);
+  std::normal_distribution<double> lon(9.92, 0.02);
+  std::vector<skyex::geo::GeoPoint> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back({lat(rng), lon(rng), true});
+  }
+  return points;
+}
+
+void BM_Haversine(benchmark::State& state) {
+  const skyex::geo::GeoPoint a{57.0, 9.9, true};
+  const skyex::geo::GeoPoint b{57.01, 9.95, true};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(skyex::geo::HaversineMeters(a, b));
+  }
+}
+BENCHMARK(BM_Haversine);
+
+void BM_QuadtreeBuild(benchmark::State& state) {
+  const auto points = ClusteredPoints(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    skyex::geo::Quadtree tree(points, {});
+    benchmark::DoNotOptimize(tree.num_leaves());
+  }
+}
+BENCHMARK(BM_QuadtreeBuild)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_QuadFlexBlock(benchmark::State& state) {
+  const auto points = ClusteredPoints(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(skyex::geo::QuadFlexBlock(points));
+  }
+}
+BENCHMARK(BM_QuadFlexBlock)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_LgmXRow(benchmark::State& state) {
+  skyex::data::NorthDkOptions options;
+  options.num_entities = 200;
+  const auto dataset = skyex::data::GenerateNorthDk(options);
+  const auto extractor =
+      skyex::features::LgmXExtractor::FromCorpus(dataset);
+  std::vector<double> row(extractor.feature_count());
+  size_t i = 0;
+  for (auto _ : state) {
+    extractor.ExtractRow(dataset[i % 200], dataset[(i + 13) % 200],
+                         row.data());
+    benchmark::DoNotOptimize(row.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_LgmXRow);
+
+}  // namespace

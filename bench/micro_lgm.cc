@@ -1,0 +1,59 @@
+// Micro-benchmarks of the LGM-Sim meta-similarity.
+
+#include <benchmark/benchmark.h>
+
+#include <string_view>
+
+#include "lgm/lgm_sim.h"
+#include "text/edit_distance.h"
+#include "text/jaro.h"
+
+namespace {
+
+const skyex::lgm::LgmSim& Sim() {
+  static const auto& sim = *new skyex::lgm::LgmSim(
+      skyex::lgm::FrequentTermDictionary::FromTerms(
+          {"cafe", "restaurant", "pizzeria", "bar", "hotel"}));
+  return sim;
+}
+
+double Jw(std::string_view a, std::string_view b) {
+  return skyex::text::JaroWinklerSimilarity(a, b);
+}
+
+void BM_LgmSimDamerau(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Sim().Score("restaurant ambiance vest", "ambiançe bistro vester",
+                    skyex::text::DamerauLevenshteinSimilarity));
+  }
+}
+BENCHMARK(BM_LgmSimDamerau);
+
+void BM_LgmSimJaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sim().Score("restaurant ambiance vest",
+                                         "ambiançe bistro vester", Jw));
+  }
+}
+BENCHMARK(BM_LgmSimJaroWinkler);
+
+void BM_LgmIndividualScores(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sim().IndividualScores(
+        "restaurant ambiance vest", "ambiançe bistro vester",
+        skyex::text::DamerauLevenshteinSimilarity));
+  }
+}
+BENCHMARK(BM_LgmIndividualScores);
+
+void BM_LgmCustomSorted(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sim().CustomSortedScore(
+        "vestergade amelie cafe", "cafe amelie vestergade",
+        skyex::text::DamerauLevenshteinSimilarity));
+  }
+}
+BENCHMARK(BM_LgmCustomSorted);
+
+}  // namespace

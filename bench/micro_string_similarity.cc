@@ -1,0 +1,83 @@
+// Micro-benchmarks of the string similarity substrate.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "text/edit_distance.h"
+#include "text/jaro.h"
+#include "text/normalize.h"
+#include "text/similarity_registry.h"
+#include "text/token_similarity.h"
+
+namespace {
+
+const char* kNameA = "restaurant ambiance vestergade";
+const char* kNameB = "ambiançe restaurante vester gade";
+
+void BM_Normalize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(skyex::text::Normalize(kNameB));
+  }
+}
+BENCHMARK(BM_Normalize);
+
+void BM_Levenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        skyex::text::LevenshteinSimilarity(kNameA, kNameB));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_DamerauLevenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        skyex::text::DamerauLevenshteinSimilarity(kNameA, kNameB));
+  }
+}
+BENCHMARK(BM_DamerauLevenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        skyex::text::JaroWinklerSimilarity(kNameA, kNameB));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_PermutedJaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        skyex::text::PermutedJaroWinklerSimilarity(kNameA, kNameB));
+  }
+}
+BENCHMARK(BM_PermutedJaroWinkler);
+
+void BM_MongeElkan(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        skyex::text::MongeElkanSimilarity(kNameA, kNameB));
+  }
+}
+BENCHMARK(BM_MongeElkan);
+
+void BM_SoftJaccard(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        skyex::text::SoftJaccardSimilarity(kNameA, kNameB));
+  }
+}
+BENCHMARK(BM_SoftJaccard);
+
+void BM_AllBasicMeasures(benchmark::State& state) {
+  const auto& measures = skyex::text::BasicSimilarities();
+  for (auto _ : state) {
+    double total = 0.0;
+    for (const auto& m : measures) total += m.fn(kNameA, kNameB);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_AllBasicMeasures);
+
+}  // namespace

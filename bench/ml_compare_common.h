@@ -1,0 +1,118 @@
+#ifndef SKYEX_BENCH_ML_COMPARE_COMMON_H_
+#define SKYEX_BENCH_ML_COMPARE_COMMON_H_
+
+// Shared driver for Tables 6 and 7: SkyEx-T versus the six from-scratch
+// ML classifiers on LGM-X features, averaged over disjoint training sets.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/skyex_t.h"
+#include "eval/metrics.h"
+#include "eval/sampling.h"
+#include "ml/decision_tree.h"
+#include "ml/extra_trees.h"
+#include "ml/gradient_boosting.h"
+#include "ml/linear_svm.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+
+namespace skyex::bench {
+
+inline std::vector<std::unique_ptr<ml::Classifier>> MakeClassifiers() {
+  std::vector<std::unique_ptr<ml::Classifier>> out;
+  out.push_back(std::make_unique<ml::LinearSvm>());
+  out.push_back(std::make_unique<ml::DecisionTree>());
+  out.push_back(std::make_unique<ml::RandomForest>());
+  out.push_back(std::make_unique<ml::ExtraTrees>());
+  out.push_back(std::make_unique<ml::GradientBoosting>());
+  out.push_back(std::make_unique<ml::Mlp>());
+  return out;
+}
+
+/// Runs the comparison and prints the two blocks of the paper's tables:
+/// F-measures, then percentage distance from the per-size maximum.
+inline void RunMlComparison(const core::PreparedData& d,
+                            const std::vector<double>& fractions,
+                            const BenchConfig& config, uint64_t seed) {
+  const size_t num_methods = 7;  // 6 classifiers + SkyEx-T
+  std::vector<std::string> method_names = {
+      "SVM",     "DecisionTree", "RandomForest", "ExtraTrees",
+      "XGBoost", "MLP",          "SkyEx-T"};
+  const std::vector<size_t> all_rows = core::AllRows(d.pairs.size());
+  // f1[method][size]
+  std::vector<std::vector<double>> f1(
+      num_methods, std::vector<double>(fractions.size(), 0.0));
+
+  for (size_t s = 0; s < fractions.size(); ++s) {
+    size_t reps = config.reps;
+    if (fractions[s] > 0.02) reps = std::min<size_t>(reps, 3);
+    if (fractions[s] > 0.5) reps = 1;
+    const auto splits = eval::DisjointTrainingSplits(
+        d.pairs.size(), fractions[s], reps, seed + s);
+    std::vector<double> sums(num_methods, 0.0);
+    for (const auto& split : splits) {
+      const auto eval_rows = CapRows(split.test, config.max_eval);
+      std::vector<uint8_t> truth;
+      truth.reserve(eval_rows.size());
+      for (size_t r : eval_rows) truth.push_back(d.pairs.labels[r]);
+
+      auto classifiers = MakeClassifiers();
+      for (size_t m = 0; m < classifiers.size(); ++m) {
+        classifiers[m]->Fit(d.features, d.pairs.labels, split.train);
+        const auto predicted =
+            classifiers[m]->Predict(d.features, eval_rows);
+        sums[m] += eval::Confusion(predicted, truth).F1();
+      }
+      const core::SkyExT skyex;
+      const auto model = skyex.Train(d.features, d.pairs.labels,
+                                     split.train, &all_rows);
+      const auto predicted =
+          core::SkyExT::Label(d.features, eval_rows, model);
+      sums[6] += eval::Confusion(predicted, truth).F1();
+    }
+    for (size_t m = 0; m < num_methods; ++m) {
+      f1[m][s] = sums[m] / static_cast<double>(splits.size());
+    }
+    std::printf("# finished training size %.2f%% (%zu reps)\n",
+                100.0 * fractions[s], splits.size());
+  }
+
+  std::printf("\nF-measure\n%-14s", "Training size");
+  for (double f : fractions) std::printf("%9.2f%%", 100.0 * f);
+  std::printf("\n");
+  PrintRule(14 + 10 * fractions.size());
+  for (size_t m = 0; m < num_methods; ++m) {
+    std::printf("%-14s", method_names[m].c_str());
+    for (size_t s = 0; s < fractions.size(); ++s) {
+      std::printf("%10.3f", f1[m][s]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nDifference from max F-measure in %%\n%-14s",
+              "Training size");
+  for (double f : fractions) std::printf("%9.2f%%", 100.0 * f);
+  std::printf("\n");
+  PrintRule(14 + 10 * fractions.size());
+  for (size_t m = 0; m < num_methods; ++m) {
+    std::printf("%-14s", method_names[m].c_str());
+    for (size_t s = 0; s < fractions.size(); ++s) {
+      double best = 0.0;
+      for (size_t mm = 0; mm < num_methods; ++mm) {
+        best = std::max(best, f1[mm][s]);
+      }
+      const double diff =
+          best > 0 ? 100.0 * (best - f1[m][s]) / best : 0.0;
+      std::printf("%9.2f%%", diff);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace skyex::bench
+
+#endif  // SKYEX_BENCH_ML_COMPARE_COMMON_H_

@@ -1,0 +1,26 @@
+// Reproduces Table 6: SkyEx-T versus the ML classifiers on North-DK.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ml_compare_common.h"
+
+int main(int argc, char** argv) {
+  const auto config = skyex::bench::ParseFlags(argc, argv);
+  const auto d = skyex::bench::PrepareNorthDkBench(config);
+
+  std::printf("Table 6: SkyEx-T versus ML techniques on North-DK\n");
+  std::printf("(paper F1 ranges: SVM 0.66-0.72, DecisionTree 0.59-0.67, "
+              "RandomForest 0.68-0.75,\n ExtraTrees 0.67-0.74, XGBoost "
+              "0.67-0.75, MLP 0.68-0.73, SkyEx-T 0.68-0.74;\n SkyEx-T "
+              "leads at 0.05%%, 0.1%%, 0.4%% and 4%%)\n\n");
+
+  std::vector<double> fractions = {0.0005, 0.001, 0.004, 0.008, 0.01,
+                                   0.04,   0.08,  0.12,  0.16,  0.20, 0.80};
+  if (config.fast) fractions = {0.001, 0.01, 0.04};
+  skyex::bench::RunMlComparison(d, fractions, config, config.seed + 600);
+  std::printf(
+      "\nShape check: no single winner across sizes; SkyEx-T competitive "
+      "everywhere and strongest on the smallest training sets.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Reproduces Table 7: SkyEx-T versus the ML classifiers on Restaurants.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ml_compare_common.h"
+
+int main(int argc, char** argv) {
+  const auto config = skyex::bench::ParseFlags(argc, argv);
+  const auto d = skyex::bench::PrepareRestaurantsBench(config);
+
+  std::printf("Table 7: SkyEx-T versus ML techniques on Restaurants\n");
+  std::printf("(paper: SVM/XGBoost/MLP collapse at 1%% training — F1 "
+              "0.20/0.00/0.08 — while\n SkyEx-T starts at 0.78; beyond 8%% "
+              "the tree ensembles edge ahead)\n\n");
+
+  std::vector<double> fractions = {0.01, 0.04, 0.08, 0.12,
+                                   0.16, 0.20, 0.80};
+  if (config.fast) fractions = {0.01, 0.08};
+  skyex::bench::RunMlComparison(d, fractions, config, config.seed + 700);
+  std::printf(
+      "\nShape check: SkyEx-T is robust at tiny training sizes where "
+      "several ML methods fail outright on the 0.03%%-positive skew.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Scenario: de-duplicating a restaurant directory merged from two
+// providers (the Fodor's/Zagat setting of the paper). The records have
+// no coordinates, so blocking is the full Cartesian product and the
+// spatial feature is inactive — SkyEx-T handles that transparently
+// (missing attributes yield 0-valued features).
+//
+// The example prints the duplicate pairs SkyEx-T discovers, with their
+// source records, and the precision/recall against the hidden truth.
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "core/skyex_t.h"
+#include "eval/metrics.h"
+#include "eval/sampling.h"
+
+int main() {
+  skyex::data::RestaurantsOptions options;
+  const skyex::core::PreparedData d = skyex::core::PrepareRestaurants(
+      options, {}, /*max_pairs=*/30000);
+  std::printf("Restaurant directory: %zu records from two providers, "
+              "%zu candidate pairs.\n",
+              d.dataset.size(), d.pairs.size());
+
+  // A realistic labeling budget: 8% of the pairs carry a reviewed label.
+  const auto split =
+      skyex::eval::RandomSplit(d.pairs.size(), 0.08, /*seed=*/3);
+  const skyex::core::SkyExT skyex;
+  const auto model = skyex.Train(d.features, d.pairs.labels, split.train);
+  std::printf("\nTrained preference:\n%s\n\n",
+              model.Describe(d.features.names).c_str());
+
+  const auto predicted =
+      skyex::core::SkyExT::Label(d.features, split.test, model);
+
+  std::printf("Discovered duplicates (first 12 shown):\n");
+  size_t shown = 0;
+  size_t found = 0;
+  for (size_t k = 0; k < split.test.size(); ++k) {
+    if (!predicted[k]) continue;
+    ++found;
+    if (shown >= 12) continue;
+    const auto [i, j] = d.pairs.pairs[split.test[k]];
+    const auto& a = d.dataset[i];
+    const auto& b = d.dataset[j];
+    std::printf("  [%s] %-32s | [%s] %-32s %s\n",
+                std::string(skyex::data::SourceName(a.source)).c_str(),
+                a.name.c_str(),
+                std::string(skyex::data::SourceName(b.source)).c_str(),
+                b.name.c_str(),
+                d.pairs.labels[split.test[k]] ? "(correct)" : "(spurious)");
+    ++shown;
+  }
+  std::printf("  ... %zu predicted duplicates in total\n\n", found);
+
+  std::vector<uint8_t> truth;
+  truth.reserve(split.test.size());
+  for (size_t r : split.test) truth.push_back(d.pairs.labels[r]);
+  const auto cm = skyex::eval::Confusion(predicted, truth);
+  std::printf("Against the hidden ground truth: %s\n",
+              cm.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,234 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "geo/distance.h"
+#include "text/edit_distance.h"
+#include "text/normalize.h"
+#include "text/tokenize.h"
+
+namespace skyex::core {
+
+namespace {
+
+// Normalized inverse distance: 1 at 0 m, 0 at/after `cap` meters, and 0
+// when either point is missing.
+double GeoScore(const data::SpatialEntity& a, const data::SpatialEntity& b,
+                double cap_m) {
+  const double d = geo::HaversineMeters(a.location, b.location);
+  if (d < 0.0) return 0.0;
+  return 1.0 - std::min(d, cap_m) / cap_m;
+}
+
+double NameScore(const data::SpatialEntity& a,
+                 const data::SpatialEntity& b) {
+  return text::LevenshteinSimilarity(text::Normalize(a.name),
+                                     text::Normalize(b.name));
+}
+
+double AddressScore(const data::SpatialEntity& a,
+                    const data::SpatialEntity& b) {
+  if (a.address_name.empty() || b.address_name.empty()) return 0.0;
+  return text::LevenshteinSimilarity(text::Normalize(a.address_name),
+                                     text::Normalize(b.address_name));
+}
+
+double CategoryScore(const data::SpatialEntity& a,
+                     const data::SpatialEntity& b) {
+  if (a.categories.empty() || b.categories.empty()) return 0.0;
+  std::unordered_set<std::string> set_a;
+  for (const std::string& c : a.categories) {
+    set_a.insert(text::Normalize(c));
+  }
+  size_t inter = 0;
+  std::unordered_set<std::string> set_b;
+  for (const std::string& c : b.categories) {
+    const std::string n = text::Normalize(c);
+    if (set_b.insert(n).second && set_a.count(n) > 0) ++inter;
+  }
+  const size_t uni = set_a.size() + set_b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+eval::ConfusionMatrix ConfusionFromScores(
+    const std::vector<double>& scores, const std::vector<uint8_t>& labels,
+    double threshold) {
+  eval::ConfusionMatrix m;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    if (predicted && labels[i]) ++m.tp;
+    else if (predicted && !labels[i]) ++m.fp;
+    else if (!predicted && labels[i]) ++m.fn;
+    else ++m.tn;
+  }
+  return m;
+}
+
+}  // namespace
+
+BaselineResult RunBerjawi(const data::Dataset& dataset,
+                          const data::LabeledPairs& pairs,
+                          bool include_address, bool flex) {
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (const auto& [i, j] : pairs.pairs) {
+    const data::SpatialEntity& a = dataset[i];
+    const data::SpatialEntity& b = dataset[j];
+    double total = NameScore(a, b) + GeoScore(a, b, /*cap_m=*/500.0);
+    double count = 2.0;
+    if (include_address) {
+      total += AddressScore(a, b);
+      count += 1.0;
+    }
+    scores.push_back(total / count);
+  }
+
+  BaselineResult result;
+  result.name = std::string("Berjawi ") + (include_address ? "V1" : "V2") +
+                (flex ? "-Flex" : "");
+  if (!flex) {
+    result.parameter = 0.75;
+    result.confusion = ConfusionFromScores(scores, pairs.labels, 0.75);
+    return result;
+  }
+  double best_f1 = -1.0;
+  for (int t = 5; t <= 95; t += 5) {
+    const double threshold = static_cast<double>(t) / 100.0;
+    const eval::ConfusionMatrix m =
+        ConfusionFromScores(scores, pairs.labels, threshold);
+    if (m.F1() > best_f1) {
+      best_f1 = m.F1();
+      result.confusion = m;
+      result.parameter = threshold;
+    }
+  }
+  return result;
+}
+
+BaselineResult RunMorana(const data::Dataset& dataset,
+                         const data::LabeledPairs& pairs) {
+  // Pair score under Morana's weighting; pairs that do not share a name
+  // token or a category are out of the candidate set entirely.
+  const size_t n = pairs.size();
+  std::vector<double> scores(n, -1.0);
+
+  // Token sets per entity for the blocking test.
+  std::unordered_map<size_t, std::unordered_set<std::string>> tokens_of;
+  const auto tokens = [&](size_t e) -> const std::unordered_set<std::string>& {
+    auto it = tokens_of.find(e);
+    if (it != tokens_of.end()) return it->second;
+    std::unordered_set<std::string> set;
+    for (std::string& t : text::Tokenize(text::Normalize(dataset[e].name))) {
+      set.insert(std::move(t));
+    }
+    for (const std::string& c : dataset[e].categories) {
+      set.insert(text::Normalize(c));
+    }
+    return tokens_of.emplace(e, std::move(set)).first->second;
+  };
+
+  std::unordered_map<size_t, std::vector<std::pair<double, size_t>>>
+      per_entity;  // entity → (score, pair index)
+  for (size_t p = 0; p < n; ++p) {
+    const auto& [i, j] = pairs.pairs[p];
+    const auto& ti = tokens(i);
+    const auto& tj = tokens(j);
+    bool shared = false;
+    for (const std::string& t : ti) {
+      if (tj.count(t) > 0) {
+        shared = true;
+        break;
+      }
+    }
+    if (!shared) continue;
+    const data::SpatialEntity& a = dataset[i];
+    const data::SpatialEntity& b = dataset[j];
+    const double score =
+        (2.0 / 3.0) * (NameScore(a, b) + CategoryScore(a, b) +
+                       GeoScore(a, b, /*cap_m=*/500.0)) +
+        (1.0 / 3.0) * AddressScore(a, b);
+    scores[p] = score / (3.0 * 2.0 / 3.0 + 1.0 / 3.0);
+    per_entity[i].emplace_back(scores[p], p);
+    per_entity[j].emplace_back(scores[p], p);
+  }
+  for (auto& [entity, list] : per_entity) {
+    std::sort(list.begin(), list.end(),
+              [](const auto& x, const auto& y) { return x.first > y.first; });
+  }
+
+  BaselineResult result;
+  result.name = "Morana";
+  double best_f1 = -1.0;
+  for (size_t k = 1; k <= 3; ++k) {
+    std::vector<uint8_t> predicted(n, 0);
+    for (const auto& [entity, list] : per_entity) {
+      for (size_t c = 0; c < std::min(k, list.size()); ++c) {
+        predicted[list[c].second] = 1;
+      }
+    }
+    const eval::ConfusionMatrix m = eval::Confusion(predicted, pairs.labels);
+    if (m.F1() > best_f1) {
+      best_f1 = m.F1();
+      result.confusion = m;
+      result.parameter = static_cast<double>(k);
+    }
+  }
+  return result;
+}
+
+BaselineResult RunKaram(const data::Dataset& dataset,
+                        const data::LabeledPairs& pairs) {
+  // Dempster-Shafer combination over {match M, non-match N, Θ}.
+  constexpr double kAlpha = 0.8;     // evidence confidence per attribute
+  constexpr double kBlockingM = 5.0;  // meters
+
+  const auto combine = [](double m1_m, double m1_n, double m1_t,
+                          double m2_m, double m2_n, double m2_t,
+                          double* out_m, double* out_n, double* out_t) {
+    const double conflict = m1_m * m2_n + m1_n * m2_m;
+    const double norm = 1.0 - conflict;
+    if (norm <= 1e-12) {
+      *out_m = *out_n = 0.0;
+      *out_t = 1.0;
+      return;
+    }
+    *out_m = (m1_m * m2_m + m1_m * m2_t + m1_t * m2_m) / norm;
+    *out_n = (m1_n * m2_n + m1_n * m2_t + m1_t * m2_n) / norm;
+    *out_t = (m1_t * m2_t) / norm;
+  };
+
+  std::vector<uint8_t> predicted(pairs.size(), 0);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const auto& [i, j] = pairs.pairs[p];
+    const data::SpatialEntity& a = dataset[i];
+    const data::SpatialEntity& b = dataset[j];
+    const double d = geo::HaversineMeters(a.location, b.location);
+    if (d < 0.0 || d > kBlockingM) continue;  // outside 5 m blocking
+
+    const double sims[3] = {NameScore(a, b), 1.0 - d / kBlockingM,
+                            CategoryScore(a, b)};
+    double bel_m = 0.0;
+    double bel_n = 0.0;
+    double bel_t = 1.0;
+    for (double s : sims) {
+      const double m_m = kAlpha * s;
+      const double m_n = kAlpha * (1.0 - s);
+      const double m_t = 1.0 - kAlpha;
+      combine(bel_m, bel_n, bel_t, m_m, m_n, m_t, &bel_m, &bel_n, &bel_t);
+    }
+    predicted[p] = bel_m > bel_n ? 1 : 0;
+  }
+
+  BaselineResult result;
+  result.name = "Karam";
+  result.parameter = kBlockingM;
+  result.confusion = eval::Confusion(predicted, pairs.labels);
+  return result;
+}
+
+}  // namespace skyex::core

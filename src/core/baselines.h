@@ -1,0 +1,46 @@
+#ifndef SKYEX_CORE_BASELINES_H_
+#define SKYEX_CORE_BASELINES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/pair_store.h"
+#include "data/spatial_entity.h"
+#include "eval/metrics.h"
+
+namespace skyex::core {
+
+/// Result of a non-skyline spatial-entity-linkage baseline (Table 5).
+struct BaselineResult {
+  std::string name;
+  eval::ConfusionMatrix confusion;
+  double parameter = 0.0;  // the threshold / k used
+};
+
+/// Berjawi et al. [6]: per-attribute Levenshtein similarities plus a
+/// normalized inverse Euclidean distance, averaged into one score and
+/// thresholded at 0.75. V1 uses name + address + coordinates, V2 name +
+/// coordinates. `flex` sweeps the threshold and reports the best F1 (the
+/// paper's "-Flex" rows).
+BaselineResult RunBerjawi(const data::Dataset& dataset,
+                          const data::LabeledPairs& pairs,
+                          bool include_address, bool flex);
+
+/// Morana et al. [42]: candidates must share a name token or a category;
+/// similarity is a weighted sum (name, category, geographic ≈ 2/3;
+/// address ≈ 1/3); the top-k candidates of each entity are merged.
+/// k is swept over 1..3 and the best F1 is reported, as in the paper.
+BaselineResult RunMorana(const data::Dataset& dataset,
+                         const data::LabeledPairs& pairs);
+
+/// Karam et al. [34]: entities within 5 m are candidates; name,
+/// geographic and category similarities become belief masses combined
+/// with Dempster's rule; a pair matches when the combined belief in
+/// "match" exceeds the belief in "non-match".
+BaselineResult RunKaram(const data::Dataset& dataset,
+                        const data::LabeledPairs& pairs);
+
+}  // namespace skyex::core
+
+#endif  // SKYEX_CORE_BASELINES_H_

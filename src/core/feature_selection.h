@@ -1,0 +1,47 @@
+#ifndef SKYEX_CORE_FEATURE_SELECTION_H_
+#define SKYEX_CORE_FEATURE_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset_view.h"
+
+namespace skyex::core {
+
+/// Options of the dimensionality-reduction step (Section 4.3.1).
+struct FeatureSelectionOptions {
+  /// Two features are "highly correlated" when their redundancy score
+  /// reaches this value; one of each such pair is dropped. The score is
+  /// max(normalized MI, |Pearson|): the paper uses mutual information,
+  /// and the Pearson term stabilizes the binned MI estimate for the
+  /// near-deterministic monotone pairs (Dice vs Jaccard n-grams etc.)
+  /// that dominate the LGM-X redundancy structure.
+  double mi_threshold = 0.85;
+  /// Histogram bins of the MI estimator (0 = cube-root rule).
+  size_t mi_bins = 0;
+  /// Rows used for the MI step are subsampled to this many (0 = no cap).
+  size_t max_mi_rows = 20000;
+};
+
+/// MI-based de-duplication: repeatedly finds the most correlated feature
+/// pair above the threshold and drops the member with the larger mean
+/// correlation to everything else. Returns the surviving column indices
+/// (ascending).
+std::vector<size_t> DeduplicateFeatures(
+    const ml::FeatureMatrix& matrix, const std::vector<size_t>& rows,
+    const FeatureSelectionOptions& options = {});
+
+/// A feature ranked by its Pearson correlation with the class.
+struct RankedFeature {
+  size_t column = 0;
+  double rho = 0.0;  // signed correlation; |rho| is the ranking key
+};
+
+/// Ranks `columns` by |Pearson(X_i, C)| in descending order.
+std::vector<RankedFeature> RankByClassCorrelation(
+    const ml::FeatureMatrix& matrix, const std::vector<uint8_t>& labels,
+    const std::vector<size_t>& rows, const std::vector<size_t>& columns);
+
+}  // namespace skyex::core
+
+#endif  // SKYEX_CORE_FEATURE_SELECTION_H_

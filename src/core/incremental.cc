@@ -1,0 +1,92 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "geo/distance.h"
+
+namespace skyex::core {
+
+IncrementalLinker::IncrementalLinker(data::Dataset dataset,
+                                     features::LgmXExtractor extractor,
+                                     SkyExTModel model,
+                                     const ml::FeatureMatrix& matrix,
+                                     const std::vector<size_t>& accepted_rows,
+                                     Options options)
+    : dataset_(std::move(dataset)),
+      extractor_(std::move(extractor)),
+      model_(std::move(model)),
+      options_(options) {
+  const auto compiled =
+      model_.preference ? skyline::Compile(*model_.preference)
+                        : std::nullopt;
+  if (!compiled.has_value()) return;
+  compiled_ = *compiled;
+
+  // Calibrate the acceptance threshold from the accepted (positively
+  // labeled) training pairs: a low quantile of their group-sum keys
+  // per priority level. This approximates the skyline cut with a scalar
+  // boundary that can be checked per arriving pair in O(features) —
+  // the streaming trade-off the paper's future-work section hints at.
+  if (accepted_rows.empty()) return;
+  const size_t key_size = compiled_.KeySize();
+  std::vector<std::vector<double>> per_group(key_size);
+  std::vector<double> key(key_size);
+  for (size_t r : accepted_rows) {
+    compiled_.Key(matrix.Row(r), key.data());
+    for (size_t g = 0; g < key_size; ++g) per_group[g].push_back(key[g]);
+  }
+  threshold_key_.resize(key_size);
+  for (size_t g = 0; g < key_size; ++g) {
+    std::sort(per_group[g].begin(), per_group[g].end());
+    const double q =
+        std::clamp(options_.calibration_percentile, 0.0, 0.99);
+    const size_t index = static_cast<size_t>(
+        q * static_cast<double>(per_group[g].size() - 1));
+    threshold_key_[g] = per_group[g][index];
+  }
+  calibrated_ = true;
+}
+
+bool IncrementalLinker::Accept(const double* row) const {
+  if (!calibrated_) return false;
+  std::vector<double> key(compiled_.KeySize());
+  compiled_.Key(row, key.data());
+  // The prioritized first group decides; later groups break ties.
+  for (size_t g = 0; g < key.size(); ++g) {
+    if (key[g] > threshold_key_[g]) return true;
+    if (key[g] < threshold_key_[g]) return false;
+  }
+  return true;
+}
+
+std::vector<size_t> IncrementalLinker::AddRecord(
+    const data::SpatialEntity& record) {
+  // Candidate set: spatial neighbors when coordinates exist, otherwise
+  // everything (bounded).
+  std::vector<size_t> candidates;
+  if (record.location.valid) {
+    for (size_t i = 0; i < dataset_.size(); ++i) {
+      const double d =
+          geo::EquirectangularMeters(record.location,
+                                     dataset_[i].location);
+      if (d >= 0.0 && d <= options_.radius_m) candidates.push_back(i);
+    }
+  } else if (options_.max_cartesian == 0 ||
+             dataset_.size() <= options_.max_cartesian) {
+    candidates.resize(dataset_.size());
+    for (size_t i = 0; i < dataset_.size(); ++i) candidates[i] = i;
+  }
+
+  std::vector<size_t> links;
+  std::vector<double> row(extractor_.feature_count());
+  for (size_t i : candidates) {
+    extractor_.ExtractRow(record, dataset_[i], row.data());
+    if (Accept(row.data())) links.push_back(i);
+  }
+  dataset_.entities.push_back(record);
+  return links;
+}
+
+}  // namespace skyex::core

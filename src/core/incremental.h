@@ -1,0 +1,67 @@
+#ifndef SKYEX_CORE_INCREMENTAL_H_
+#define SKYEX_CORE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/skyex_t.h"
+#include "data/spatial_entity.h"
+#include "features/lgm_x.h"
+
+namespace skyex::core {
+
+/// Incremental linkage — the scalability direction the paper names as
+/// future work. Instead of re-running the whole pipeline when a record
+/// arrives, the linker keeps the dataset and a trained model, finds the
+/// new record's spatial candidates, scores them with LGM-X, and accepts
+/// the ones whose feature vectors clear the model's decision region
+/// (learned once from the training data as the minimal accepted
+/// group-sum key).
+struct IncrementalLinkerOptions {
+  /// Candidate radius around the new record.
+  double radius_m = 200.0;
+  /// Quantile of the accepted training pairs' group-sum keys used as the
+  /// acceptance boundary: 0.1 links generously (recall-leaning), 0.5
+  /// links conservatively (precision-leaning, for noisy feeds).
+  double calibration_percentile = 0.1;
+  /// Without coordinates, compare against every record — refuse when
+  /// the dataset exceeds this (0 = no limit).
+  size_t max_cartesian = 200000;
+};
+
+class IncrementalLinker {
+ public:
+  using Options = IncrementalLinkerOptions;
+
+  /// `model` must come from SkyExT::Train on features produced by an
+  /// extractor equivalent to `extractor`; `matrix`/`rows` are the
+  /// training features used to calibrate the decision region.
+  IncrementalLinker(data::Dataset dataset,
+                    features::LgmXExtractor extractor, SkyExTModel model,
+                    const ml::FeatureMatrix& matrix,
+                    const std::vector<size_t>& accepted_rows,
+                    Options options = {});
+
+  /// Adds the record, returns indices of existing records it links to.
+  std::vector<size_t> AddRecord(const data::SpatialEntity& record);
+
+  const data::Dataset& dataset() const { return dataset_; }
+
+ private:
+  bool Accept(const double* row) const;
+
+  data::Dataset dataset_;
+  features::LgmXExtractor extractor_;
+  SkyExTModel model_;
+  Options options_;
+  skyline::CompiledPreference compiled_;
+  /// Minimal group-sum key over the accepted training rows: a new pair
+  /// is linked when its key is lexicographically ≥ this threshold.
+  std::vector<double> threshold_key_;
+  bool calibrated_ = false;
+};
+
+}  // namespace skyex::core
+
+#endif  // SKYEX_CORE_INCREMENTAL_H_

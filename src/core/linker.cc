@@ -1,0 +1,122 @@
+#include "core/linker.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace skyex::core {
+
+namespace {
+
+// Weighted quick-union with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) return;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+};
+
+}  // namespace
+
+std::vector<std::vector<size_t>> ConnectedComponents(
+    size_t num_records, const std::vector<geo::CandidatePair>& pairs,
+    const std::vector<uint8_t>& predicted) {
+  UnionFind uf(num_records);
+  for (size_t p = 0; p < pairs.size() && p < predicted.size(); ++p) {
+    if (predicted[p]) uf.Union(pairs[p].first, pairs[p].second);
+  }
+  std::unordered_map<size_t, std::vector<size_t>> by_root;
+  for (size_t r = 0; r < num_records; ++r) {
+    by_root[uf.Find(r)].push_back(r);
+  }
+  std::vector<std::vector<size_t>> clusters;
+  clusters.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    clusters.push_back(std::move(members));
+  }
+  // Deterministic order: by first member.
+  std::sort(clusters.begin(), clusters.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  return clusters;
+}
+
+data::SpatialEntity MergeRecords(const data::Dataset& dataset,
+                                 const std::vector<size_t>& records) {
+  data::SpatialEntity merged;
+  if (records.empty()) return merged;
+  merged = dataset[records[0]];
+
+  double lat_sum = 0.0;
+  double lon_sum = 0.0;
+  size_t coord_count = 0;
+  std::unordered_set<std::string> categories;
+  for (size_t r : records) {
+    const data::SpatialEntity& e = dataset[r];
+    // Longest name is usually the most descriptive one.
+    if (e.name.size() > merged.name.size()) merged.name = e.name;
+    if (e.address_name.size() > merged.address_name.size()) {
+      merged.address_name = e.address_name;
+    }
+    if (merged.address_number < 0) merged.address_number = e.address_number;
+    if (merged.city.empty()) merged.city = e.city;
+    if (merged.phone.empty()) merged.phone = e.phone;
+    if (merged.website.empty()) merged.website = e.website;
+    for (const std::string& c : e.categories) categories.insert(c);
+    if (e.location.valid) {
+      lat_sum += e.location.lat;
+      lon_sum += e.location.lon;
+      ++coord_count;
+    }
+  }
+  merged.categories.assign(categories.begin(), categories.end());
+  std::sort(merged.categories.begin(), merged.categories.end());
+  if (coord_count > 0) {
+    merged.location = geo::GeoPoint{
+        lat_sum / static_cast<double>(coord_count),
+        lon_sum / static_cast<double>(coord_count), true};
+  }
+  return merged;
+}
+
+std::vector<LinkedEntity> LinkEntities(
+    const data::Dataset& dataset, const ml::FeatureMatrix& features,
+    const std::vector<geo::CandidatePair>& pairs,
+    const SkyExTModel& model) {
+  std::vector<size_t> rows(pairs.size());
+  std::iota(rows.begin(), rows.end(), 0);
+  const std::vector<uint8_t> predicted =
+      SkyExT::Label(features, rows, model);
+  std::vector<LinkedEntity> linked;
+  for (std::vector<size_t>& cluster :
+       ConnectedComponents(dataset.size(), pairs, predicted)) {
+    LinkedEntity entity;
+    entity.merged = MergeRecords(dataset, cluster);
+    entity.record_indices = std::move(cluster);
+    linked.push_back(std::move(entity));
+  }
+  return linked;
+}
+
+}  // namespace skyex::core

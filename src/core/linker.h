@@ -1,0 +1,44 @@
+#ifndef SKYEX_CORE_LINKER_H_
+#define SKYEX_CORE_LINKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/skyex_t.h"
+#include "data/pair_store.h"
+#include "data/spatial_entity.h"
+#include "ml/dataset_view.h"
+
+namespace skyex::core {
+
+/// A linked cluster of records believed to describe one physical entity,
+/// plus the merged "golden record" built from them.
+struct LinkedEntity {
+  std::vector<size_t> record_indices;  // into the dataset
+  data::SpatialEntity merged;
+};
+
+/// Groups records into clusters via the connected components of the
+/// positively-labeled pairs (indices into `pairs`, parallel `predicted`).
+/// Singleton records form their own clusters.
+std::vector<std::vector<size_t>> ConnectedComponents(
+    size_t num_records, const std::vector<geo::CandidatePair>& pairs,
+    const std::vector<uint8_t>& predicted);
+
+/// Builds a merged golden record per cluster: longest name, most complete
+/// address, first non-empty phone/website, union of categories, centroid
+/// of the valid coordinates.
+data::SpatialEntity MergeRecords(const data::Dataset& dataset,
+                                 const std::vector<size_t>& records);
+
+/// End-to-end linking: labels all pairs with a trained SkyEx-T model and
+/// returns the linked entities (clusters of ≥1 record with their merged
+/// representation).
+std::vector<LinkedEntity> LinkEntities(
+    const data::Dataset& dataset, const ml::FeatureMatrix& features,
+    const std::vector<geo::CandidatePair>& pairs, const SkyExTModel& model);
+
+}  // namespace skyex::core
+
+#endif  // SKYEX_CORE_LINKER_H_

@@ -1,0 +1,79 @@
+#include "core/model_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "skyline/serialize.h"
+
+namespace skyex::core {
+
+std::string SaveModel(const SkyExTModel& model) {
+  if (model.preference == nullptr) return "";
+  std::string out = "preference: ";
+  out += skyline::SerializePreference(*model.preference);
+  out += "\ncutoff_ratio: ";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", model.cutoff_ratio);
+  out += buffer;
+  out += "\n";
+  return out;
+}
+
+std::optional<SkyExTModel> LoadModel(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  SkyExTModel model;
+  bool have_preference = false;
+  bool have_cutoff = false;
+  while (std::getline(in, line)) {
+    constexpr std::string_view kPrefKey = "preference: ";
+    constexpr std::string_view kCutoffKey = "cutoff_ratio: ";
+    if (line.rfind(kPrefKey, 0) == 0) {
+      model.preference =
+          skyline::ParsePreference(line.substr(kPrefKey.size()));
+      if (model.preference == nullptr) return std::nullopt;
+      have_preference = true;
+    } else if (line.rfind(kCutoffKey, 0) == 0) {
+      char* end = nullptr;
+      model.cutoff_ratio =
+          std::strtod(line.c_str() + kCutoffKey.size(), &end);
+      if (end == line.c_str() + kCutoffKey.size()) return std::nullopt;
+      have_cutoff = true;
+    }
+  }
+  if (!have_preference || !have_cutoff) return std::nullopt;
+  if (model.cutoff_ratio < 0.0 || model.cutoff_ratio > 1.0) {
+    return std::nullopt;
+  }
+
+  // Rebuild the explanatory groups from the preference structure.
+  const auto compiled = skyline::Compile(*model.preference);
+  if (compiled.has_value()) {
+    for (size_t g = 0; g < compiled->groups.size(); ++g) {
+      auto& group = g == 0 ? model.group1 : model.group2;
+      for (const auto& term : compiled->groups[g]) {
+        group.push_back(RankedFeature{term.feature,
+                                      term.sign > 0 ? 0.0 : -0.0});
+      }
+    }
+  }
+  return model;
+}
+
+bool SaveModelToFile(const SkyExTModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << SaveModel(model);
+  return static_cast<bool>(out);
+}
+
+std::optional<SkyExTModel> LoadModelFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadModel(buffer.str());
+}
+
+}  // namespace skyex::core

@@ -1,0 +1,32 @@
+#ifndef SKYEX_CORE_MODEL_IO_H_
+#define SKYEX_CORE_MODEL_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "core/skyex_t.h"
+
+namespace skyex::core {
+
+/// Serializes a trained SkyEx-T model (preference function + cut-off
+/// ratio) to a two-line text form:
+///
+///   preference: (high(3) & low(7)) > high(12)
+///   cutoff_ratio: 0.0269
+///
+/// The feature indices refer to the LGM-X schema order, so a model can
+/// be applied to any matrix extracted with the same schema.
+std::string SaveModel(const SkyExTModel& model);
+
+/// Parses SaveModel output. The explanatory group vectors are
+/// reconstructed from the preference structure (with ρ magnitudes
+/// unavailable, set to 0). Returns nullopt on malformed input.
+std::optional<SkyExTModel> LoadModel(const std::string& text);
+
+/// Convenience file variants. Return false / nullopt on I/O error.
+bool SaveModelToFile(const SkyExTModel& model, const std::string& path);
+std::optional<SkyExTModel> LoadModelFromFile(const std::string& path);
+
+}  // namespace skyex::core
+
+#endif  // SKYEX_CORE_MODEL_IO_H_

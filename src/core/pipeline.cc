@@ -1,0 +1,72 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "data/ground_truth.h"
+
+namespace skyex::core {
+
+PreparedData PrepareNorthDk(const data::NorthDkOptions& data_options,
+                            const geo::QuadFlexOptions& blocking,
+                            const features::LgmXOptions& feat) {
+  PreparedData out;
+  out.dataset = data::GenerateNorthDk(data_options);
+  out.pairs.pairs = geo::QuadFlexBlock(out.dataset.Points(), blocking);
+  out.pairs.labels = data::LabelPairs(out.dataset, out.pairs.pairs);
+  const features::LgmXExtractor extractor =
+      features::LgmXExtractor::FromCorpus(out.dataset, feat);
+  out.features = extractor.Extract(out.dataset, out.pairs.pairs);
+  return out;
+}
+
+PreparedData PrepareRestaurants(const data::RestaurantsOptions& data_options,
+                                const features::LgmXOptions& feat,
+                                size_t max_pairs, uint64_t subsample_seed) {
+  PreparedData out;
+  out.dataset = data::GenerateRestaurants(data_options);
+  out.pairs.pairs = geo::CartesianBlock(out.dataset.size());
+  out.pairs.labels = data::LabelPairs(out.dataset, out.pairs.pairs);
+
+  if (max_pairs > 0 && out.pairs.size() > max_pairs) {
+    // Deterministic subsample that keeps every positive pair (there are
+    // only ~112) and fills the rest with random negatives — the class
+    // skew stays extreme, which is the property the experiments need.
+    std::vector<size_t> positives;
+    std::vector<size_t> negatives;
+    for (size_t p = 0; p < out.pairs.size(); ++p) {
+      (out.pairs.labels[p] ? positives : negatives).push_back(p);
+    }
+    std::mt19937_64 rng(subsample_seed);
+    std::shuffle(negatives.begin(), negatives.end(), rng);
+    const size_t keep_neg =
+        max_pairs > positives.size() ? max_pairs - positives.size() : 0;
+    negatives.resize(std::min(keep_neg, negatives.size()));
+
+    std::vector<size_t> keep = positives;
+    keep.insert(keep.end(), negatives.begin(), negatives.end());
+    std::sort(keep.begin(), keep.end());
+    data::LabeledPairs kept;
+    kept.pairs.reserve(keep.size());
+    kept.labels.reserve(keep.size());
+    for (size_t p : keep) {
+      kept.pairs.push_back(out.pairs.pairs[p]);
+      kept.labels.push_back(out.pairs.labels[p]);
+    }
+    out.pairs = std::move(kept);
+  }
+
+  const features::LgmXExtractor extractor =
+      features::LgmXExtractor::FromCorpus(out.dataset, feat);
+  out.features = extractor.Extract(out.dataset, out.pairs.pairs);
+  return out;
+}
+
+std::vector<size_t> AllRows(size_t n) {
+  std::vector<size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+  return rows;
+}
+
+}  // namespace skyex::core

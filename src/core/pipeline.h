@@ -1,0 +1,47 @@
+#ifndef SKYEX_CORE_PIPELINE_H_
+#define SKYEX_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/northdk_generator.h"
+#include "data/pair_store.h"
+#include "data/restaurants_generator.h"
+#include "data/spatial_entity.h"
+#include "features/lgm_x.h"
+#include "geo/quadflex.h"
+#include "ml/dataset_view.h"
+
+namespace skyex::core {
+
+/// Everything the experiments consume: the dataset, the blocked +
+/// ground-truth-labeled candidate pairs, and their LGM-X features.
+struct PreparedData {
+  data::Dataset dataset;
+  data::LabeledPairs pairs;
+  ml::FeatureMatrix features;
+};
+
+/// Generates the synthetic North-DK dataset, runs QuadFlex blocking,
+/// labels the pairs with the phone/website rule and extracts LGM-X
+/// features.
+PreparedData PrepareNorthDk(const data::NorthDkOptions& data_options = {},
+                            const geo::QuadFlexOptions& blocking = {},
+                            const features::LgmXOptions& feat = {});
+
+/// Generates the synthetic Restaurants dataset (no coordinates): full
+/// Cartesian pairing, shared-phone ground truth, LGM-X features.
+/// `max_pairs` > 0 keeps a deterministic subsample of the Cartesian
+/// pairs (all positives retained in proportion) to bound experiment
+/// cost; 0 keeps all ~373k pairs.
+PreparedData PrepareRestaurants(
+    const data::RestaurantsOptions& data_options = {},
+    const features::LgmXOptions& feat = {}, size_t max_pairs = 0,
+    uint64_t subsample_seed = 17);
+
+/// All row indices [0, n).
+std::vector<size_t> AllRows(size_t n);
+
+}  // namespace skyex::core
+
+#endif  // SKYEX_CORE_PIPELINE_H_

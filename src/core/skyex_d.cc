@@ -1,0 +1,149 @@
+#include "core/skyex_d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "skyline/layers.h"
+#include "skyline/preference.h"
+
+namespace skyex::core {
+
+namespace {
+
+// Gaussian KDE sampled on a regular grid.
+std::vector<double> KernelDensity(const std::vector<double>& samples,
+                                  double lo, double hi, size_t grid_points,
+                                  double bandwidth) {
+  std::vector<double> density(grid_points, 0.0);
+  if (samples.empty() || hi <= lo || bandwidth <= 0.0) return density;
+  const double step = (hi - lo) / static_cast<double>(grid_points - 1);
+  const double inv_bw = 1.0 / bandwidth;
+  for (double s : samples) {
+    const int center = static_cast<int>((s - lo) / step);
+    const int radius = static_cast<int>(4.0 * bandwidth / step) + 1;
+    const int begin = std::max(0, center - radius);
+    const int end =
+        std::min(static_cast<int>(grid_points) - 1, center + radius);
+    for (int g = begin; g <= end; ++g) {
+      const double x = lo + g * step;
+      const double z = (x - s) * inv_bw;
+      density[static_cast<size_t>(g)] += std::exp(-0.5 * z * z);
+    }
+  }
+  return density;
+}
+
+// The utility value at the deepest density valley whose right side holds
+// a plausible match-mode mass; negative when no such valley exists.
+double DensityValley(const std::vector<double>& utility,
+                     const SkyExDOptions& options) {
+  std::vector<double> sorted = utility;
+  std::sort(sorted.begin(), sorted.end());
+  const double lo = sorted.front();
+  const double hi = sorted.back();
+  if (hi <= lo) return -1.0;
+  double mean = 0.0;
+  for (double u : utility) mean += u;
+  mean /= static_cast<double>(utility.size());
+  double variance = 0.0;
+  for (double u : utility) variance += (u - mean) * (u - mean);
+  const double sigma =
+      std::sqrt(variance / static_cast<double>(utility.size()));
+  const double bandwidth =
+      std::max(1e-4, 1.06 * sigma *
+                         std::pow(static_cast<double>(utility.size()), -0.2));
+
+  constexpr size_t kGrid = 256;
+  const std::vector<double> density =
+      KernelDensity(utility, lo, hi, kGrid, bandwidth);
+  const double step = (hi - lo) / static_cast<double>(kGrid - 1);
+
+  double best_value = -1.0;
+  double best_density = std::numeric_limits<double>::max();
+  for (size_t g = 1; g + 1 < kGrid; ++g) {
+    if (!(density[g] <= density[g - 1] && density[g] < density[g + 1])) {
+      continue;  // not a local minimum
+    }
+    const double u = lo + g * step;
+    const double mass_right =
+        static_cast<double>(sorted.end() -
+                            std::upper_bound(sorted.begin(), sorted.end(),
+                                             u)) /
+        static_cast<double>(sorted.size());
+    if (mass_right < options.min_match_mass ||
+        mass_right > options.max_match_mass) {
+      continue;
+    }
+    if (density[g] < best_density) {
+      best_density = density[g];
+      best_value = u;
+    }
+  }
+  return best_value;
+}
+
+}  // namespace
+
+SkyExDResult RunSkyExD(const ml::FeatureMatrix& matrix,
+                       const std::vector<size_t>& rows,
+                       const std::vector<size_t>& feature_columns,
+                       const SkyExDOptions& options) {
+  SkyExDResult result;
+  result.predicted.assign(rows.size(), 0);
+  if (rows.empty() || feature_columns.empty()) return result;
+
+  // Mean preference utility per pair.
+  std::vector<double> utility;
+  utility.reserve(rows.size());
+  for (size_t r : rows) {
+    const double* row = matrix.Row(r);
+    double total = 0.0;
+    for (size_t c : feature_columns) total += row[c];
+    utility.push_back(total / static_cast<double>(feature_columns.size()));
+  }
+
+  // Unsupervised cut: density split of the utility distribution.
+  const double split = DensityValley(utility, options);
+  size_t target_count;
+  if (split >= 0.0) {
+    result.valley_utility = split;
+    target_count = static_cast<size_t>(std::count_if(
+        utility.begin(), utility.end(),
+        [&](double u) { return u > split; }));
+  } else {
+    target_count = static_cast<size_t>(options.fallback_fraction *
+                                       static_cast<double>(rows.size()));
+    result.valley_utility = -1.0;
+  }
+  target_count = std::max<size_t>(1, target_count);
+
+  // Rank into skylines and keep whole skylines until the target count is
+  // reached — the same labeling loop as SkyEx-T but with the density-
+  // derived target.
+  std::vector<std::unique_ptr<skyline::Preference>> leaves;
+  leaves.reserve(feature_columns.size());
+  for (size_t c : feature_columns) leaves.push_back(skyline::High(c));
+  const std::unique_ptr<skyline::Preference> preference =
+      skyline::ParetoOf(std::move(leaves));
+
+  std::unordered_map<size_t, size_t> position_of;
+  position_of.reserve(rows.size());
+  for (size_t k = 0; k < rows.size(); ++k) position_of[rows[k]] = k;
+
+  skyline::SkylinePeeler peeler(matrix, rows, *preference);
+  size_t ranked = 0;
+  while (ranked < target_count) {
+    const std::vector<size_t> skyline = peeler.Next();
+    if (skyline.empty()) break;
+    ranked += skyline.size();
+    for (size_t r : skyline) result.predicted[position_of.at(r)] = 1;
+  }
+  result.cutoff_layer = peeler.layers_peeled();
+  return result;
+}
+
+}  // namespace skyex::core

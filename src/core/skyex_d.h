@@ -1,0 +1,43 @@
+#ifndef SKYEX_CORE_SKYEX_D_H_
+#define SKYEX_CORE_SKYEX_D_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset_view.h"
+
+namespace skyex::core {
+
+/// SkyEx-D — the unsupervised density-based skyline baseline of Isaj et
+/// al. [29]. Pairs are ranked into skylines under a heuristic Pareto
+/// preference; the cut-off comes from the data alone: the distribution
+/// of the pairs' mean preference utility is split into a dominant bulk
+/// and a small high-utility match mode (kernel density estimate,
+/// as in the original), and the
+/// labeling keeps as many skyline-ranked pairs as sit above the split.
+struct SkyExDOptions {
+  /// A valley only qualifies when the mass above it — the presumed match
+  /// mode — is plausible for linkage data (rare but present).
+  double min_match_mass = 0.01;
+  double max_match_mass = 0.25;
+  /// Labeled fraction used when no qualifying valley exists.
+  double fallback_fraction = 0.04;
+};
+
+struct SkyExDResult {
+  uint32_t cutoff_layer = 0;
+  /// The utility value separating the match mode from the bulk
+  /// (negative when the fallback fired).
+  double valley_utility = 0.0;
+  /// Predicted labels, parallel to the input rows.
+  std::vector<uint8_t> predicted;
+};
+
+SkyExDResult RunSkyExD(const ml::FeatureMatrix& matrix,
+                       const std::vector<size_t>& rows,
+                       const std::vector<size_t>& feature_columns,
+                       const SkyExDOptions& options = {});
+
+}  // namespace skyex::core
+
+#endif  // SKYEX_CORE_SKYEX_D_H_

@@ -1,0 +1,30 @@
+#include "core/skyex_f.h"
+
+#include <memory>
+#include <utility>
+
+#include "skyline/preference.h"
+
+namespace skyex::core {
+
+SkyExFResult RunSkyExF(const ml::FeatureMatrix& matrix,
+                       const std::vector<size_t>& rows,
+                       const std::vector<uint8_t>& labels,
+                       const std::vector<size_t>& feature_columns) {
+  std::vector<std::unique_ptr<skyline::Preference>> leaves;
+  leaves.reserve(feature_columns.size());
+  for (size_t c : feature_columns) leaves.push_back(skyline::High(c));
+  const std::unique_ptr<skyline::Preference> preference =
+      skyline::ParetoOf(std::move(leaves));
+
+  const CutoffSweep sweep =
+      SweepCutoffOverSkylines(matrix, rows, labels, *preference);
+  SkyExFResult result;
+  result.f1 = sweep.best_f1;
+  result.precision = sweep.Precision();
+  result.recall = sweep.Recall();
+  result.best_layer = sweep.best_layer;
+  return result;
+}
+
+}  // namespace skyex::core

@@ -1,0 +1,33 @@
+#ifndef SKYEX_CORE_SKYEX_F_H_
+#define SKYEX_CORE_SKYEX_F_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/skyex_t.h"
+#include "ml/dataset_view.h"
+
+namespace skyex::core {
+
+/// SkyEx-F — the fixed-threshold skyline baseline of Isaj et al. [31].
+///
+/// The preference function is chosen heuristically (a single Pareto
+/// block over the given feature columns, high() direction), and the
+/// number of skylines k that separates the classes is found by
+/// exhaustive search over the whole labeled pair set. The paper reports
+/// SkyEx-F at its best threshold, which is what Run returns.
+struct SkyExFResult {
+  double f1 = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  uint32_t best_layer = 0;
+};
+
+SkyExFResult RunSkyExF(const ml::FeatureMatrix& matrix,
+                       const std::vector<size_t>& rows,
+                       const std::vector<uint8_t>& labels,
+                       const std::vector<size_t>& feature_columns);
+
+}  // namespace skyex::core
+
+#endif  // SKYEX_CORE_SKYEX_F_H_

@@ -1,0 +1,58 @@
+#include "core/tabular.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skyex::core {
+
+SkyExTClassifier::SkyExTClassifier() : SkyExTClassifier(Options{}) {}
+
+SkyExTClassifier::SkyExTClassifier(Options options)
+    : options_(std::move(options)) {}
+
+void SkyExTClassifier::Fit(const ml::FeatureMatrix& matrix,
+                           const std::vector<uint8_t>& labels,
+                           const std::vector<size_t>& rows) {
+  fitted_ = false;
+  const SkyExT skyex(options_.skyex);
+  model_ = skyex.Train(matrix, labels, rows);
+  if (model_.preference == nullptr) return;
+  const auto compiled = skyline::Compile(*model_.preference);
+  if (!compiled.has_value() || rows.empty()) return;
+  compiled_ = *compiled;
+
+  // Place the boundary so that c_t of the training rows clear it: sort
+  // the rows' keys lexicographically descending and take the key at the
+  // cut-off position.
+  const size_t key_size = compiled_.KeySize();
+  std::vector<std::vector<double>> keys(rows.size(),
+                                        std::vector<double>(key_size));
+  for (size_t k = 0; k < rows.size(); ++k) {
+    compiled_.Key(matrix.Row(rows[k]), keys[k].data());
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const auto& a, const auto& b) { return a > b; });
+  size_t cut = static_cast<size_t>(
+      model_.cutoff_ratio * static_cast<double>(rows.size()));
+  cut = std::min(cut, rows.size() - 1);
+  boundary_key_ = keys[cut];
+  fitted_ = true;
+}
+
+double SkyExTClassifier::PredictScore(const double* row) const {
+  if (!fitted_) return 0.0;
+  std::vector<double> key(compiled_.KeySize());
+  compiled_.Key(row, key.data());
+  // The margin of the first group that differs from the boundary decides
+  // (priority semantics); the logistic squash puts 0.5 on the boundary.
+  double margin = 0.0;
+  for (size_t g = 0; g < key.size(); ++g) {
+    if (key[g] != boundary_key_[g]) {
+      margin = key[g] - boundary_key_[g];
+      break;
+    }
+  }
+  return 1.0 / (1.0 + std::exp(-options_.score_scale * margin));
+}
+
+}  // namespace skyex::core

@@ -1,0 +1,50 @@
+#ifndef SKYEX_CORE_TABULAR_H_
+#define SKYEX_CORE_TABULAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/skyex_t.h"
+#include "ml/classifier.h"
+
+namespace skyex::core {
+
+/// SkyEx-T wrapped as a generic per-row classifier — the paper's
+/// future-work direction of adapting the method to other classification
+/// problems. Fit runs Algorithm 1 on the given tabular data; because
+/// the ml::Classifier contract scores rows independently (Algorithm 2
+/// ranks a whole set jointly), prediction approximates the skyline cut
+/// with a calibrated lexicographic boundary over the preference's
+/// group-sum keys: the boundary is placed so that the training set's
+/// predicted-positive fraction matches the learned cut-off ratio c_t.
+class SkyExTClassifier final : public ml::Classifier {
+ public:
+  struct Options {
+    SkyExTOptions skyex;
+    /// Sharpness of the logistic squash of the boundary margin.
+    double score_scale = 12.0;
+  };
+
+  SkyExTClassifier();
+  explicit SkyExTClassifier(Options options);
+
+  void Fit(const ml::FeatureMatrix& matrix,
+           const std::vector<uint8_t>& labels,
+           const std::vector<size_t>& rows) override;
+  double PredictScore(const double* row) const override;
+  std::string name() const override { return "SkyEx-T(clf)"; }
+
+  const SkyExTModel& model() const { return model_; }
+
+ private:
+  Options options_;
+  SkyExTModel model_;
+  skyline::CompiledPreference compiled_;
+  std::vector<double> boundary_key_;
+  bool fitted_ = false;
+};
+
+}  // namespace skyex::core
+
+#endif  // SKYEX_CORE_TABULAR_H_

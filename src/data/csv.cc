@@ -1,0 +1,128 @@
+#include "data/csv.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace skyex::data {
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string EscapeCsvField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+std::string JoinCategories(const std::vector<std::string>& categories) {
+  std::string out;
+  for (size_t i = 0; i < categories.size(); ++i) {
+    if (i > 0) out.push_back(';');
+    // ';' is the category separator; embedded ones cannot round-trip.
+    for (char ch : categories[i]) out.push_back(ch == ';' ? ' ' : ch);
+  }
+  return out;
+}
+
+std::vector<std::string> SplitCategories(const std::string& joined) {
+  std::vector<std::string> out;
+  std::stringstream ss(joined);
+  std::string item;
+  while (std::getline(ss, item, ';')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool WriteDatasetCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "id,source,name,address_name,address_number,city,phone,website,"
+         "categories,lat,lon,physical_id\n";
+  for (const SpatialEntity& e : dataset.entities) {
+    out << e.id << ',' << static_cast<int>(e.source) << ','
+        << EscapeCsvField(e.name) << ',' << EscapeCsvField(e.address_name)
+        << ',' << e.address_number << ',' << EscapeCsvField(e.city) << ','
+        << EscapeCsvField(e.phone) << ',' << EscapeCsvField(e.website)
+        << ',' << EscapeCsvField(JoinCategories(e.categories)) << ',';
+    if (e.location.valid) {
+      out << e.location.lat << ',' << e.location.lon;
+    } else {
+      out << ',';
+    }
+    out << ',' << e.physical_id << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool ReadDatasetCsv(const std::string& path, Dataset* dataset) {
+  std::ifstream in(path);
+  if (!in) return false;
+  dataset->entities.clear();
+  std::string line;
+  if (!std::getline(in, line)) return false;  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = ParseCsvLine(line);
+    if (fields.size() != 12) return false;
+    SpatialEntity e;
+    e.id = std::strtoull(fields[0].c_str(), nullptr, 10);
+    e.source = static_cast<Source>(std::atoi(fields[1].c_str()));
+    e.name = fields[2];
+    e.address_name = fields[3];
+    e.address_number = std::atoi(fields[4].c_str());
+    e.city = fields[5];
+    e.phone = fields[6];
+    e.website = fields[7];
+    e.categories = SplitCategories(fields[8]);
+    if (!fields[9].empty() && !fields[10].empty()) {
+      e.location = geo::GeoPoint{std::atof(fields[9].c_str()),
+                                 std::atof(fields[10].c_str()), true};
+    } else {
+      e.location = geo::GeoPoint::Invalid();
+    }
+    e.physical_id = std::strtoull(fields[11].c_str(), nullptr, 10);
+    dataset->entities.push_back(std::move(e));
+  }
+  return true;
+}
+
+}  // namespace skyex::data

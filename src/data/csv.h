@@ -1,0 +1,32 @@
+#ifndef SKYEX_DATA_CSV_H_
+#define SKYEX_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "data/spatial_entity.h"
+
+namespace skyex::data {
+
+/// Splits one CSV line into fields. Supports double-quoted fields with
+/// embedded commas and escaped quotes ("" → ").
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Quotes a field when it contains commas, quotes or newlines.
+std::string EscapeCsvField(const std::string& field);
+
+/// Writes a dataset to a CSV file with a header row
+/// (id,source,name,address_name,address_number,city,phone,website,
+///  categories,lat,lon,physical_id; categories are ';'-separated).
+/// ';' is reserved as the category separator: an embedded ';' inside a
+/// category value is replaced by a space on write.
+/// Returns false on I/O error.
+bool WriteDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by WriteDatasetCsv. Returns false on I/O or
+/// parse error.
+bool ReadDatasetCsv(const std::string& path, Dataset* dataset);
+
+}  // namespace skyex::data
+
+#endif  // SKYEX_DATA_CSV_H_

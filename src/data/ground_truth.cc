@@ -1,0 +1,37 @@
+#include "data/ground_truth.h"
+
+#include <algorithm>
+
+namespace skyex::data {
+
+bool SamePhysicalEntityRule(const SpatialEntity& a, const SpatialEntity& b) {
+  if (!a.phone.empty() && a.phone == b.phone) return true;
+  if (!a.website.empty() && a.website == b.website) return true;
+  return false;
+}
+
+std::vector<uint8_t> LabelPairs(const Dataset& dataset,
+                                const std::vector<geo::CandidatePair>& pairs) {
+  std::vector<uint8_t> labels;
+  labels.reserve(pairs.size());
+  for (const auto& [i, j] : pairs) {
+    labels.push_back(
+        SamePhysicalEntityRule(dataset[i], dataset[j]) ? 1 : 0);
+  }
+  return labels;
+}
+
+SourceCrossTab PositivePairSources(
+    const Dataset& dataset, const std::vector<geo::CandidatePair>& pairs,
+    const std::vector<uint8_t>& labels) {
+  SourceCrossTab tab{};
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    if (!labels[p]) continue;
+    const auto s1 = static_cast<size_t>(dataset[pairs[p].first].source);
+    const auto s2 = static_cast<size_t>(dataset[pairs[p].second].source);
+    ++tab[std::min(s1, s2)][std::max(s1, s2)];
+  }
+  return tab;
+}
+
+}  // namespace skyex::data

@@ -1,0 +1,34 @@
+#ifndef SKYEX_DATA_GROUND_TRUTH_H_
+#define SKYEX_DATA_GROUND_TRUTH_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "data/spatial_entity.h"
+#include "geo/quadflex.h"
+
+namespace skyex::data {
+
+/// The ground-truth rule the paper uses (Section 5.1): a pair of records
+/// refers to the same physical entity when the phone number or the
+/// website is identical (and present on both sides). Because the rule
+/// consumes phone/website, those attributes must never be used as
+/// similarity features.
+bool SamePhysicalEntityRule(const SpatialEntity& a, const SpatialEntity& b);
+
+/// Labels each candidate pair with the ground-truth rule; 1 = positive.
+std::vector<uint8_t> LabelPairs(const Dataset& dataset,
+                                const std::vector<geo::CandidatePair>& pairs);
+
+/// Upper-triangular cross-tab of positive pairs by source combination
+/// (Table 2 of the paper). Indexed [min(source_a, source_b)]
+/// [max(source_a, source_b)].
+using SourceCrossTab = std::array<std::array<size_t, 6>, 6>;
+SourceCrossTab PositivePairSources(
+    const Dataset& dataset, const std::vector<geo::CandidatePair>& pairs,
+    const std::vector<uint8_t>& labels);
+
+}  // namespace skyex::data
+
+#endif  // SKYEX_DATA_GROUND_TRUTH_H_

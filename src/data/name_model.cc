@@ -1,0 +1,244 @@
+#include "data/name_model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+
+#include "text/normalize.h"
+#include "text/tokenize.h"
+
+namespace skyex::data {
+
+const std::vector<std::string>& DanishTypeWords() {
+  static const auto& kWords = *new std::vector<std::string>{
+      "restaurant", "cafe", "café", "pizzeria", "bar", "salon", "frisør",
+      "bageri", "kiosk", "hotel", "apotek", "butik", "galleri", "klinik",
+      "værksted", "tandlæge", "grill", "bistro",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& DanishCoreNames() {
+  static const auto& kNames = *new std::vector<std::string>{
+      "ambiance",  "amelie",   "møllehuset", "havblik",   "solsiden",
+      "skovly",    "fjordens", "anker",      "nordstjernen", "guldhornet",
+      "perlen",    "hjørnet",  "lygten",     "kompasset", "søstjernen",
+      "birken",    "egelund",  "lindely",    "rosenhave", "violhaven",
+      "bølgen",    "klitten",  "marehalm",   "vesterhav", "østerport",
+      "smedjen",   "kroen",    "laden",      "stalden",   "bryggen",
+      "toldboden", "pakhuset", "remisen",    "silo",      "værftet",
+      "fyrtårnet", "skipperstuen", "strandgaarden", "enghaven", "bakkely",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& DanishSurnames() {
+  static const auto& kNames = *new std::vector<std::string>{
+      "jensen",   "nielsen",     "hansen", "pedersen", "andersen",
+      "christensen", "larsen",   "sørensen", "rasmussen", "jørgensen",
+      "petersen", "madsen",      "kristensen", "olsen",  "thomsen",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& DanishStreets() {
+  static const auto& kStreets = *new std::vector<std::string>{
+      "vestergade",  "østergade",  "nørregade",   "søndergade",
+      "algade",      "bredgade",   "havnegade",   "kirkegade",
+      "skovvej",     "strandvejen", "møllevej",   "parkvej",
+      "jernbanegade", "danmarksgade", "boulevarden", "kastetvej",
+      "hobrovej",    "hadsundvej", "vesterbro",   "østerbro",
+      "ringvejen",   "industrivej", "enghavevej", "fjordgade",
+  };
+  return kStreets;
+}
+
+const std::vector<std::string>& ChainNames() {
+  static const auto& kChains = *new std::vector<std::string>{
+      "føtex",        "netto",      "brugsen",  "matas",
+      "sunset boulevard", "lagkagehuset", "espresso house", "baresso",
+  };
+  return kChains;
+}
+
+const std::vector<std::string>& UsCuisines() {
+  static const auto& kCuisines = *new std::vector<std::string>{
+      "italian",  "french",    "thai",    "mexican", "seafood",
+      "steakhouse", "sushi",   "bbq",     "deli",    "diner",
+      "cajun",    "greek",     "indian",  "chinese", "american",
+  };
+  return kCuisines;
+}
+
+const std::vector<std::string>& UsCities() {
+  static const auto& kCities = *new std::vector<std::string>{
+      "new york", "los angeles", "chicago", "san francisco", "atlanta",
+      "new orleans", "las vegas", "boston",
+  };
+  return kCities;
+}
+
+const std::vector<std::string>& UsCoreNames() {
+  static const auto& kNames = *new std::vector<std::string>{
+      "bella napoli", "golden dragon", "blue bayou", "la traviata",
+      "chez marie",  "el charro",     "sakura",     "the palm",
+      "union square", "river walk",   "magnolia",   "peacock alley",
+      "cypress",     "mesa verde",    "harbor view", "canal street",
+      "king's table", "silver spoon", "copper kettle", "olive grove",
+      "red lantern", "white oak",     "stone bridge", "sunset terrace",
+      "garden court", "royal orchid", "villa rosa",  "casa blanca",
+      "lone star",   "bay leaf",      "wild ginger", "spice market",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& UsStreets() {
+  static const auto& kStreets = *new std::vector<std::string>{
+      "main st",     "broadway",     "market st",  "sunset blvd",
+      "fifth ave",   "lexington ave", "canal st",  "bourbon st",
+      "mission st",  "peachtree rd", "lake shore dr", "melrose ave",
+      "madison ave", "columbus ave", "ocean dr",   "ventura blvd",
+  };
+  return kStreets;
+}
+
+const std::string& Pick(const std::vector<std::string>& pool,
+                        std::mt19937_64& rng) {
+  std::uniform_int_distribution<size_t> dist(0, pool.size() - 1);
+  return pool[dist(rng)];
+}
+
+std::string RandomDanishBusinessName(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const double style = unit(rng);
+  if (style < 0.45) {
+    // "Restaurant Ambiance"
+    return Pick(DanishTypeWords(), rng) + " " + Pick(DanishCoreNames(), rng);
+  }
+  if (style < 0.70) {
+    // "Jensens Frisør"
+    return Pick(DanishSurnames(), rng) + "s " + Pick(DanishTypeWords(), rng);
+  }
+  if (style < 0.90) {
+    // "Møllehuset"
+    return Pick(DanishCoreNames(), rng);
+  }
+  // "Cafe Skovly & Jensen"
+  return Pick(DanishTypeWords(), rng) + " " + Pick(DanishCoreNames(), rng) +
+         " & " + Pick(DanishSurnames(), rng);
+}
+
+std::string RandomUsRestaurantName(std::mt19937_64& rng) {
+  static const auto& kVenueWords = *new std::vector<std::string>{
+      "grill", "cafe", "kitchen", "house", "bistro", "tavern", "room",
+      "garden", "place", "oyster bar", "brasserie", "trattoria",
+  };
+  static const auto& kAdjectives = *new std::vector<std::string>{
+      "old",   "little", "grand", "royal", "golden", "original",
+      "uptown", "downtown", "famous", "new",
+  };
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const double style = unit(rng);
+  if (style < 0.3) return Pick(UsCoreNames(), rng);
+  if (style < 0.6) {
+    return Pick(UsCoreNames(), rng) + " " + Pick(kVenueWords, rng);
+  }
+  if (style < 0.8) {
+    return Pick(kAdjectives, rng) + " " + Pick(UsCoreNames(), rng);
+  }
+  return Pick(UsCoreNames(), rng) + " " + Pick(UsCuisines(), rng);
+}
+
+namespace {
+
+// One random character edit: substitution, insertion, deletion, or
+// adjacent transposition.
+void ApplyTypo(std::string* s, std::mt19937_64& rng) {
+  if (s->empty()) return;
+  std::uniform_int_distribution<int> op_dist(0, 3);
+  std::uniform_int_distribution<size_t> pos_dist(0, s->size() - 1);
+  std::uniform_int_distribution<int> letter_dist(0, 25);
+  const size_t pos = pos_dist(rng);
+  const char letter = static_cast<char>('a' + letter_dist(rng));
+  switch (op_dist(rng)) {
+    case 0:
+      (*s)[pos] = letter;
+      break;
+    case 1:
+      s->insert(s->begin() + static_cast<ptrdiff_t>(pos), letter);
+      break;
+    case 2:
+      if (s->size() > 1) s->erase(s->begin() + static_cast<ptrdiff_t>(pos));
+      break;
+    case 3:
+      if (pos + 1 < s->size()) std::swap((*s)[pos], (*s)[pos + 1]);
+      break;
+  }
+}
+
+bool IsFrequentTypeWord(const std::string& token) {
+  const std::string folded = text::FoldAccents(token);
+  for (const std::string& w : DanishTypeWords()) {
+    if (text::FoldAccents(w) == folded) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string Perturb(const std::string& input, const PerturbOptions& options,
+                    std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<std::string> tokens = text::Tokenize(input);
+  if (tokens.empty()) return input;
+
+  if (unit(rng) < options.drop_token_prob && tokens.size() > 1) {
+    std::uniform_int_distribution<size_t> dist(1, tokens.size() - 1);
+    tokens.erase(tokens.begin() + static_cast<ptrdiff_t>(dist(rng)));
+  }
+  if (unit(rng) < options.abbreviate_prob) {
+    std::uniform_int_distribution<size_t> dist(0, tokens.size() - 1);
+    std::string& t = tokens[dist(rng)];
+    if (t.size() > 2) t = t.substr(0, 1) + ".";
+  }
+  if (unit(rng) < options.reorder_prob && tokens.size() > 1) {
+    std::uniform_int_distribution<size_t> dist(0, tokens.size() - 2);
+    const size_t i = dist(rng);
+    std::swap(tokens[i], tokens[i + 1]);
+  }
+  if (unit(rng) < options.toggle_frequent_prob) {
+    // Remove a leading type word if present, otherwise add one.
+    if (tokens.size() > 1 && IsFrequentTypeWord(tokens.front())) {
+      tokens.erase(tokens.begin());
+    } else {
+      tokens.insert(tokens.begin(), Pick(DanishTypeWords(), rng));
+    }
+  }
+
+  std::string out = text::JoinTokens(tokens);
+  if (unit(rng) < options.typo_prob) ApplyTypo(&out, rng);
+  if (unit(rng) < options.second_typo_prob) ApplyTypo(&out, rng);
+  return out;
+}
+
+std::string DanishPhone(uint64_t serial) {
+  // 8 digits starting at 20000000 — unique per serial.
+  return "+45" + std::to_string(20000000 + serial % 80000000);
+}
+
+std::string UsPhone(uint64_t serial) {
+  const uint64_t n = serial % 10000000;
+  return "212-" + std::to_string(100 + (n / 10000) % 900) + "-" +
+         std::to_string(1000 + n % 9000);
+}
+
+std::string WebsiteFor(const std::string& name, bool danish) {
+  std::string slug;
+  for (char c : text::Normalize(name)) {
+    if (c != ' ') slug.push_back(c);
+  }
+  if (slug.empty()) slug = "entity";
+  return "www." + slug + (danish ? ".dk" : ".com");
+}
+
+}  // namespace skyex::data

@@ -1,0 +1,62 @@
+#ifndef SKYEX_DATA_NAME_MODEL_H_
+#define SKYEX_DATA_NAME_MODEL_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace skyex::data {
+
+/// The string-perturbation model used to create duplicate records of the
+/// same physical entity. It imitates the noise observed between real
+/// sources: typos, dropped or reordered tokens, abbreviations, and
+/// added/removed frequent type words ("cafe", "restaurant", ...).
+struct PerturbOptions {
+  double typo_prob = 0.25;          // one random edit somewhere
+  double second_typo_prob = 0.08;   // a second edit
+  double drop_token_prob = 0.12;    // drop one non-head token
+  double abbreviate_prob = 0.08;    // shorten a token to its initial
+  double reorder_prob = 0.10;       // swap two tokens
+  double toggle_frequent_prob = 0.2;  // add or remove a type word
+};
+
+/// Vocabularies for the synthetic datasets. Danish-flavoured lists (with
+/// accented characters, exercising the normalizer) for North-DK; US lists
+/// for Restaurants.
+const std::vector<std::string>& DanishTypeWords();
+const std::vector<std::string>& DanishCoreNames();
+const std::vector<std::string>& DanishSurnames();
+const std::vector<std::string>& DanishStreets();
+const std::vector<std::string>& ChainNames();
+const std::vector<std::string>& UsCuisines();
+const std::vector<std::string>& UsCities();
+const std::vector<std::string>& UsCoreNames();
+const std::vector<std::string>& UsStreets();
+
+/// Picks a uniformly random element.
+const std::string& Pick(const std::vector<std::string>& pool,
+                        std::mt19937_64& rng);
+
+/// Generates a Danish-style business name, e.g. "Restaurant Ambiance" or
+/// "Jensens Frisør".
+std::string RandomDanishBusinessName(std::mt19937_64& rng);
+
+/// Generates a US-style restaurant name, e.g. "Bella Napoli Grill".
+std::string RandomUsRestaurantName(std::mt19937_64& rng);
+
+/// Applies the perturbation model to a name/address string.
+std::string Perturb(const std::string& input, const PerturbOptions& options,
+                    std::mt19937_64& rng);
+
+/// "+45" followed by 8 digits, unique per `serial`.
+std::string DanishPhone(uint64_t serial);
+
+/// US-style phone, unique per `serial`.
+std::string UsPhone(uint64_t serial);
+
+/// A website slug derived from a name ("www.<slug>.dk" / ".com").
+std::string WebsiteFor(const std::string& name, bool danish);
+
+}  // namespace skyex::data
+
+#endif  // SKYEX_DATA_NAME_MODEL_H_

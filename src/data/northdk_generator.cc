@@ -1,0 +1,361 @@
+#include "data/northdk_generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "geo/distance.h"
+
+namespace skyex::data {
+
+namespace {
+
+// A population cluster of the location model: North Denmark cities plus a
+// countryside component.
+struct Cluster {
+  double lat;
+  double lon;
+  double sigma_deg;   // Gaussian scatter; <0 marks the uniform component
+  double weight;
+};
+
+const Cluster kClusters[] = {
+    {57.048, 9.919, 0.020, 0.34},   // Aalborg
+    {57.458, 9.983, 0.010, 0.10},   // Hjørring
+    {57.441, 10.534, 0.010, 0.09},  // Frederikshavn
+    {56.955, 8.694, 0.008, 0.07},   // Thisted
+    {56.800, 9.520, 0.008, 0.06},   // Aars
+    {57.261, 9.940, 0.008, 0.06},   // Brønderslev
+    {0.0, 0.0, -1.0, 0.28},         // countryside (uniform over the box)
+};
+
+constexpr double kBoxMinLat = 56.60;
+constexpr double kBoxMaxLat = 57.60;
+constexpr double kBoxMinLon = 8.40;
+constexpr double kBoxMaxLon = 10.60;
+
+// `sigma_scale` shrinks the city clusters so that the point density —
+// and with it the blocked-pairs-per-record ratio — stays comparable to
+// the paper's 75,541-record dataset at any generated size.
+geo::GeoPoint SampleLocation(double sigma_scale, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  double pick = unit(rng);
+  const Cluster* cluster = &kClusters[0];
+  for (const Cluster& c : kClusters) {
+    if (pick < c.weight) {
+      cluster = &c;
+      break;
+    }
+    pick -= c.weight;
+  }
+  if (cluster->sigma_deg < 0.0) {
+    std::uniform_real_distribution<double> lat_dist(kBoxMinLat, kBoxMaxLat);
+    std::uniform_real_distribution<double> lon_dist(kBoxMinLon, kBoxMaxLon);
+    return geo::GeoPoint{lat_dist(rng), lon_dist(rng), true};
+  }
+  std::normal_distribution<double> noise(0.0,
+                                         cluster->sigma_deg * sigma_scale);
+  return geo::GeoPoint{
+      std::clamp(cluster->lat + noise(rng), kBoxMinLat, kBoxMaxLat),
+      std::clamp(cluster->lon + noise(rng) * 1.8, kBoxMinLon, kBoxMaxLon),
+      true};
+}
+
+geo::GeoPoint JitterLocation(const geo::GeoPoint& p, double sigma_m,
+                             std::mt19937_64& rng) {
+  std::normal_distribution<double> noise_m(0.0, sigma_m);
+  const double north = std::clamp(noise_m(rng), -6.0 * sigma_m, 6.0 * sigma_m);
+  const double east = std::clamp(noise_m(rng), -6.0 * sigma_m, 6.0 * sigma_m);
+  return geo::GeoPoint{p.lat + geo::MetersToLatDegrees(north),
+                       p.lon + geo::MetersToLonDegrees(east, p.lat), true};
+}
+
+// The cross-source duplicate distribution of Table 2 (counts of positive
+// pairs per source combination in the real North-DK data).
+struct SourceCombo {
+  Source a;
+  Source b;
+  double weight;
+};
+
+const SourceCombo kDuplicateCombos[] = {
+    {Source::kKrak, Source::kGooglePlaces, 17405},
+    {Source::kKrak, Source::kKrak, 3789},
+    {Source::kGooglePlaces, Source::kGooglePlaces, 3546},
+    {Source::kGooglePlaces, Source::kYelp, 968},
+    {Source::kKrak, Source::kYelp, 902},
+    {Source::kYelp, Source::kYelp, 460},
+    {Source::kGooglePlaces, Source::kFoursquare, 13},
+    {Source::kYelp, Source::kFoursquare, 12},
+    {Source::kKrak, Source::kFoursquare, 7},
+};
+
+SourceCombo PickCombo(std::mt19937_64& rng) {
+  double total = 0.0;
+  for (const SourceCombo& c : kDuplicateCombos) total += c.weight;
+  std::uniform_real_distribution<double> dist(0.0, total);
+  double pick = dist(rng);
+  for (const SourceCombo& c : kDuplicateCombos) {
+    if (pick < c.weight) return c;
+    pick -= c.weight;
+  }
+  return kDuplicateCombos[0];
+}
+
+Source PickSingletonSource(std::mt19937_64& rng) {
+  // Overall mix of the paper: 51.5% GP, 46.2% Krak, 2.2% Yelp, 0.03% FSQ.
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const double pick = unit(rng);
+  if (pick < 0.515) return Source::kGooglePlaces;
+  if (pick < 0.977) return Source::kKrak;
+  if (pick < 0.9997) return Source::kYelp;
+  return Source::kFoursquare;
+}
+
+// Attributes of a physical entity, from which records are instantiated.
+struct Physical {
+  std::string name;
+  std::string street;
+  int number;
+  std::string phone;
+  std::string website;
+  std::string category;
+  geo::GeoPoint location;
+};
+
+// A building with a shared service phone (mall / office hotel).
+struct Mall {
+  geo::GeoPoint location;
+  std::string phone;
+  std::string street;
+  int number;
+  size_t members = 0;
+};
+
+// An occupied building: co-located entities share the full address.
+struct Building {
+  geo::GeoPoint location;
+  std::string street;
+  int number;
+};
+
+// Mutable generation state shared across physicals.
+struct GenState {
+  std::vector<Building> buildings;
+  std::vector<Mall> malls;
+  std::vector<Physical> twin_pool;  // candidates for franchise twins
+};
+
+Physical MakePhysical(uint64_t serial, const NorthDkOptions& options,
+                      double sigma_scale, GenState* state,
+                      std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int> number_dist(1, 180);
+  Physical p;
+  const double style = unit(rng);
+  if (style < options.chain_ratio) {
+    p.name = Pick(ChainNames(), rng);
+  } else if (style < options.chain_ratio + options.generic_name_ratio) {
+    // Generic names ("kiosken", "bageriet") recur across many distinct
+    // physical entities — hard negatives for name-similarity baselines.
+    p.name = Pick(DanishTypeWords(), rng) + "en";
+  } else {
+    p.name = RandomDanishBusinessName(rng);
+  }
+  p.street = Pick(DanishStreets(), rng);
+  p.number = number_dist(rng);
+  p.phone = DanishPhone(serial);
+  p.website = WebsiteFor(p.name + std::to_string(serial), true);
+  p.category = Pick(DanishTypeWords(), rng);
+
+  // Franchise twin: clone name/street/number of an earlier physical but
+  // keep own phone/website — a negative that looks exactly positive.
+  if (!state->twin_pool.empty() && unit(rng) < options.twin_negative_prob) {
+    std::uniform_int_distribution<size_t> pick_twin(
+        0, state->twin_pool.size() - 1);
+    const Physical& original = state->twin_pool[pick_twin(rng)];
+    p.name = original.name;
+    p.street = original.street;
+    p.number = original.number;
+    if (unit(rng) < 0.75) {
+      p.location = JitterLocation(original.location, 10.0, rng);
+      state->buildings.push_back(
+          Building{p.location, p.street, p.number});
+      return p;
+    }
+  }
+
+  // Mall member: shared building, and with it the building's service
+  // phone — the ground-truth rule then links unrelated businesses.
+  if (unit(rng) < options.mall_member_prob) {
+    // Malls hold a handful of shops; open a new one when the sampled
+    // mall is full (keeps the rule-noise linear in dataset size).
+    if (state->malls.empty() || state->malls.back().members >= 4 ||
+        unit(rng) < 0.2) {  // found a new mall
+      Mall mall;
+      mall.location = SampleLocation(sigma_scale, rng);
+      mall.phone = DanishPhone(90000000 + state->malls.size());
+      mall.street = Pick(DanishStreets(), rng);
+      std::uniform_int_distribution<int> number_dist2(1, 180);
+      mall.number = number_dist2(rng);
+      state->malls.push_back(mall);
+    }
+    Mall& mall = state->malls.back();
+    ++mall.members;
+    p.location = JitterLocation(mall.location, 5.0, rng);
+    p.street = mall.street;
+    p.number = mall.number;
+    if (unit(rng) < 0.6) p.phone = mall.phone;  // shared front desk
+    state->twin_pool.push_back(p);
+    return p;
+  }
+
+  if (!state->buildings.empty() && unit(rng) < options.colocated_ratio) {
+    // Same building as an existing physical entity — a co-located hard
+    // negative (different businesses on different floors) that shares
+    // the full address, exactly like a true duplicate would.
+    std::uniform_int_distribution<size_t> pick_building(
+        0, state->buildings.size() - 1);
+    const Building& building = state->buildings[pick_building(rng)];
+    p.location = JitterLocation(building.location, 2.0, rng);
+    p.street = building.street;
+    p.number = building.number;
+  } else {
+    p.location = SampleLocation(sigma_scale, rng);
+  }
+  state->buildings.push_back(Building{p.location, p.street, p.number});
+  state->twin_pool.push_back(p);
+  return p;
+}
+
+}  // namespace
+
+Dataset GenerateNorthDk(const NorthDkOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  // Match the paper dataset's spatial density at any scale (see
+  // SampleLocation).
+  const double sigma_scale =
+      1.35 * std::sqrt(static_cast<double>(options.num_entities) / 75541.0);
+
+  // Solve for group counts: positives = G2 + 3·G3, G3 = triple_ratio·G2,
+  // records = 2·G2 + 3·G3 + singles = num_entities.
+  const double r = static_cast<double>(options.num_entities);
+  const double g2_f = options.positives_per_record * r /
+                      (1.0 + 3.0 * options.triple_ratio);
+  const size_t num_pairs_groups = static_cast<size_t>(g2_f);
+  const size_t num_triple_groups =
+      static_cast<size_t>(g2_f * options.triple_ratio);
+  const size_t grouped_records =
+      2 * num_pairs_groups + 3 * num_triple_groups;
+  const size_t num_singles = options.num_entities > grouped_records
+                                 ? options.num_entities - grouped_records
+                                 : 0;
+
+  Dataset dataset;
+  dataset.entities.reserve(options.num_entities);
+  uint64_t next_id = 1;
+  uint64_t physical_serial = 1;
+  uint64_t extra_phone_serial = 50000000;  // distinct pool for non-shared
+  GenState state;
+
+  const auto emit_record = [&](const Physical& p, Source source,
+                               uint64_t physical_id, bool is_duplicate) {
+    SpatialEntity e;
+    e.id = next_id++;
+    e.source = source;
+    e.physical_id = physical_id;
+    e.categories = {is_duplicate && unit(rng) < options.category_change_prob
+                        ? Pick(DanishTypeWords(), rng)
+                        : p.category};
+    if (!is_duplicate) {
+      e.name = p.name;
+      e.address_name = p.street;
+      e.address_number = p.number;
+      e.phone = p.phone;
+      e.website = unit(rng) < 0.7 ? p.website : "";
+      e.location = p.location;
+    } else {
+      // Record quality drives ALL attribute noise of this record: a
+      // sloppy source is sloppy in every field, a careful one in none.
+      // This concordance is what real multi-source POI data exhibits —
+      // and what makes clean duplicates Pareto-dominate across feature
+      // groups instead of failing on one random dimension.
+      // Bimodal quality: three quarters of the records are near-clean
+      // copies, one quarter come from sloppy feeds and carry most of
+      // the noise (total noise mass unchanged).
+      const double quality = unit(rng);
+      const double messiness = quality < 0.25 ? 2.8 : 0.4;
+      PerturbOptions noise = options.perturb;
+      const auto scaled = [messiness](double prob) {
+        return std::min(0.95, prob * messiness);
+      };
+      noise.typo_prob = scaled(noise.typo_prob);
+      noise.second_typo_prob = scaled(noise.second_typo_prob);
+      noise.drop_token_prob = scaled(noise.drop_token_prob);
+      noise.abbreviate_prob = scaled(noise.abbreviate_prob);
+      noise.reorder_prob = scaled(noise.reorder_prob);
+      noise.toggle_frequent_prob = scaled(noise.toggle_frequent_prob);
+
+      e.name = quality < options.duplicate_rename_prob
+                   ? RandomDanishBusinessName(rng)  // rebranded record
+                   : Perturb(p.name, noise, rng);
+      e.address_name = unit(rng) < scaled(options.addr_perturb_prob)
+                           ? Perturb(p.street, noise, rng)
+                           : p.street;
+      e.address_number =
+          unit(rng) < scaled(0.08)
+              ? std::max(1, p.number + (unit(rng) < 0.5 ? 2 : -2))
+              : p.number;
+      const bool share_phone = unit(rng) < options.share_phone_prob;
+      const bool share_website = unit(rng) < options.share_website_prob;
+      e.phone = share_phone ? p.phone : DanishPhone(extra_phone_serial++);
+      e.website = (share_website || !share_phone) ? p.website : "";
+      const double sigma_m = quality > 1.0 - options.exact_geocode_prob
+                                 ? 2.0
+                                 : options.coordinate_noise_m;
+      e.location = JitterLocation(p.location, sigma_m, rng);
+    }
+    dataset.entities.push_back(std::move(e));
+  };
+
+  // Duplicate groups of two.
+  for (size_t g = 0; g < num_pairs_groups; ++g) {
+    const Physical p =
+        MakePhysical(physical_serial, options, sigma_scale, &state, rng);
+    const SourceCombo combo = PickCombo(rng);
+    emit_record(p, combo.a, physical_serial, /*is_duplicate=*/false);
+    emit_record(p, combo.b, physical_serial, /*is_duplicate=*/true);
+    ++physical_serial;
+  }
+
+  // Duplicate groups of three (Krak + GP + sampled third source).
+  for (size_t g = 0; g < num_triple_groups; ++g) {
+    const Physical p =
+        MakePhysical(physical_serial, options, sigma_scale, &state, rng);
+    emit_record(p, Source::kKrak, physical_serial, /*is_duplicate=*/false);
+    emit_record(p, Source::kGooglePlaces, physical_serial,
+                /*is_duplicate=*/true);
+    emit_record(p, PickSingletonSource(rng), physical_serial,
+                /*is_duplicate=*/true);
+    ++physical_serial;
+  }
+
+  // Singleton records.
+  for (size_t s = 0; s < num_singles; ++s) {
+    const Physical p =
+        MakePhysical(physical_serial, options, sigma_scale, &state, rng);
+    emit_record(p, PickSingletonSource(rng), physical_serial,
+                /*is_duplicate=*/false);
+    ++physical_serial;
+  }
+
+  // Shuffle so record order carries no information about duplicates.
+  std::shuffle(dataset.entities.begin(), dataset.entities.end(), rng);
+  return dataset;
+}
+
+}  // namespace skyex::data

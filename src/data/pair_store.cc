@@ -1,0 +1,17 @@
+#include "data/pair_store.h"
+
+namespace skyex::data {
+
+size_t LabeledPairs::NumPositives() const {
+  size_t count = 0;
+  for (uint8_t label : labels) count += label;
+  return count;
+}
+
+double LabeledPairs::PositiveRate() const {
+  if (pairs.empty()) return 0.0;
+  return static_cast<double>(NumPositives()) /
+         static_cast<double>(pairs.size());
+}
+
+}  // namespace skyex::data

@@ -1,0 +1,25 @@
+#ifndef SKYEX_DATA_PAIR_STORE_H_
+#define SKYEX_DATA_PAIR_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/quadflex.h"
+
+namespace skyex::data {
+
+/// Candidate pairs together with their ground-truth labels — the unit of
+/// work everything downstream (features, training, evaluation) operates
+/// on. Pairs are indices into the owning Dataset.
+struct LabeledPairs {
+  std::vector<geo::CandidatePair> pairs;
+  std::vector<uint8_t> labels;
+
+  size_t size() const { return pairs.size(); }
+  size_t NumPositives() const;
+  double PositiveRate() const;
+};
+
+}  // namespace skyex::data
+
+#endif  // SKYEX_DATA_PAIR_STORE_H_

@@ -1,0 +1,109 @@
+#include "data/restaurants_generator.h"
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <unordered_set>
+
+namespace skyex::data {
+
+namespace {
+
+struct Physical {
+  std::string name;
+  std::string street;
+  int number;
+  std::string city;
+  std::string phone;
+  std::string cuisine;
+};
+
+Physical MakePhysical(uint64_t serial,
+                      std::unordered_set<std::string>* used_names,
+                      std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> number_dist(1, 999);
+  Physical p;
+  // Restaurant names in the Fodor's/Zagat data are essentially unique;
+  // re-draw (and ultimately disambiguate) to avoid accidental hard
+  // negatives the real dataset does not have.
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    p.name = RandomUsRestaurantName(rng);
+    if (used_names->insert(p.name).second) break;
+    if (attempt == 19) {
+      p.name += " " + std::to_string(serial % 100);
+      used_names->insert(p.name);
+    }
+  }
+  p.street = Pick(UsStreets(), rng);
+  p.number = number_dist(rng);
+  p.city = Pick(UsCities(), rng);
+  p.phone = UsPhone(serial);
+  p.cuisine = Pick(UsCuisines(), rng);
+  return p;
+}
+
+}  // namespace
+
+Dataset GenerateRestaurants(const RestaurantsOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  const size_t matched = std::min(
+      {options.matched_pairs, options.fodors_records, options.zagat_records});
+  const size_t fodors_only = options.fodors_records - matched;
+  const size_t zagat_only = options.zagat_records - matched;
+
+  Dataset dataset;
+  dataset.entities.reserve(options.fodors_records + options.zagat_records);
+  uint64_t next_id = 1;
+  uint64_t physical_serial = 1;
+  std::unordered_set<std::string> used_names;
+
+  const auto emit_record = [&](const Physical& p, Source source,
+                               uint64_t physical_id, bool is_duplicate) {
+    SpatialEntity e;
+    e.id = next_id++;
+    e.source = source;
+    e.physical_id = physical_id;
+    e.city = p.city;
+    e.categories = {p.cuisine};
+    e.phone = p.phone;  // ground truth: matched pairs share the phone
+    e.location = geo::GeoPoint::Invalid();  // dataset has no coordinates
+    if (!is_duplicate) {
+      e.name = p.name;
+      e.address_name = p.street;
+      e.address_number = p.number;
+    } else {
+      e.name = Perturb(p.name, options.perturb, rng);
+      e.address_name =
+          unit(rng) < 0.3 ? Perturb(p.street, options.perturb, rng)
+                          : p.street;
+      e.address_number = unit(rng) < 0.95
+                             ? p.number
+                             : std::max(1, p.number + 1);
+    }
+    dataset.entities.push_back(std::move(e));
+  };
+
+  for (size_t m = 0; m < matched; ++m) {
+    const Physical p = MakePhysical(physical_serial, &used_names, rng);
+    emit_record(p, Source::kFodors, physical_serial, /*is_duplicate=*/false);
+    emit_record(p, Source::kZagat, physical_serial, /*is_duplicate=*/true);
+    ++physical_serial;
+  }
+  for (size_t f = 0; f < fodors_only; ++f) {
+    const Physical p = MakePhysical(physical_serial, &used_names, rng);
+    emit_record(p, Source::kFodors, physical_serial, /*is_duplicate=*/false);
+    ++physical_serial;
+  }
+  for (size_t z = 0; z < zagat_only; ++z) {
+    const Physical p = MakePhysical(physical_serial, &used_names, rng);
+    emit_record(p, Source::kZagat, physical_serial, /*is_duplicate=*/false);
+    ++physical_serial;
+  }
+
+  std::shuffle(dataset.entities.begin(), dataset.entities.end(), rng);
+  return dataset;
+}
+
+}  // namespace skyex::data

@@ -1,0 +1,47 @@
+#include "data/spatial_entity.h"
+
+#include <array>
+
+namespace skyex::data {
+
+std::string_view SourceName(Source source) {
+  switch (source) {
+    case Source::kKrak:
+      return "Krak";
+    case Source::kGooglePlaces:
+      return "GP";
+    case Source::kYelp:
+      return "Yelp";
+    case Source::kFoursquare:
+      return "FSQ";
+    case Source::kFodors:
+      return "Fodors";
+    case Source::kZagat:
+      return "Zagat";
+  }
+  return "unknown";
+}
+
+std::vector<geo::GeoPoint> Dataset::Points() const {
+  std::vector<geo::GeoPoint> points;
+  points.reserve(entities.size());
+  for (const SpatialEntity& e : entities) points.push_back(e.location);
+  return points;
+}
+
+std::vector<std::pair<Source, double>> Dataset::SourceMix() const {
+  std::array<size_t, 6> counts{};
+  for (const SpatialEntity& e : entities) {
+    ++counts[static_cast<size_t>(e.source)];
+  }
+  std::vector<std::pair<Source, double>> mix;
+  for (size_t s = 0; s < counts.size(); ++s) {
+    if (counts[s] == 0) continue;
+    mix.emplace_back(static_cast<Source>(s),
+                     static_cast<double>(counts[s]) /
+                         static_cast<double>(entities.size()));
+  }
+  return mix;
+}
+
+}  // namespace skyex::data

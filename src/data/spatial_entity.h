@@ -1,0 +1,68 @@
+#ifndef SKYEX_DATA_SPATIAL_ENTITY_H_
+#define SKYEX_DATA_SPATIAL_ENTITY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace skyex::data {
+
+/// Origin of a spatial entity record. The first four are the North-DK
+/// sources of the paper; the last two are the Restaurants sources.
+enum class Source : uint8_t {
+  kKrak = 0,
+  kGooglePlaces = 1,
+  kYelp = 2,
+  kFoursquare = 3,
+  kFodors = 4,
+  kZagat = 5,
+};
+
+std::string_view SourceName(Source source);
+
+/// A spatial entity record (Definition 3.1 of the paper): a location plus
+/// a set of descriptive attributes. Missing attributes are empty strings /
+/// negative numbers / invalid points.
+struct SpatialEntity {
+  uint64_t id = 0;
+  Source source = Source::kKrak;
+  std::string name;
+  /// Street name, without the house number ("Vestergade").
+  std::string address_name;
+  /// House number; -1 when missing.
+  int address_number = -1;
+  /// City (Restaurants dataset); empty when missing.
+  std::string city;
+  std::string phone;
+  std::string website;
+  std::vector<std::string> categories;
+  geo::GeoPoint location = geo::GeoPoint::Invalid();
+
+  /// Ground-truth physical entity id, known for generated data (0 when
+  /// unknown). Never consumed by any algorithm — only by generator tests
+  /// and diagnostics.
+  uint64_t physical_id = 0;
+};
+
+/// A dataset of spatial entity records.
+struct Dataset {
+  std::vector<SpatialEntity> entities;
+
+  size_t size() const { return entities.size(); }
+  const SpatialEntity& operator[](size_t i) const { return entities[i]; }
+
+  /// The coordinate of each record (invalid points preserved), in record
+  /// order — the input the spatial blocker expects.
+  std::vector<geo::GeoPoint> Points() const;
+
+  /// Fraction of records per source.
+  std::vector<std::pair<Source, double>> SourceMix() const;
+};
+
+}  // namespace skyex::data
+
+#endif  // SKYEX_DATA_SPATIAL_ENTITY_H_

@@ -1,0 +1,54 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace skyex::eval {
+
+double ConfusionMatrix::Precision() const {
+  const size_t denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / denom;
+}
+
+double ConfusionMatrix::Recall() const {
+  const size_t denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / denom;
+}
+
+double ConfusionMatrix::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const size_t total = tp + fp + tn + fn;
+  return total == 0 ? 0.0 : static_cast<double>(tp + tn) / total;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream out;
+  out << "tp=" << tp << " fp=" << fp << " tn=" << tn << " fn=" << fn
+      << " P=" << Precision() << " R=" << Recall() << " F1=" << F1();
+  return out.str();
+}
+
+ConfusionMatrix Confusion(const std::vector<uint8_t>& predicted,
+                          const std::vector<uint8_t>& truth) {
+  ConfusionMatrix m;
+  const size_t n = std::min(predicted.size(), truth.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (predicted[i] && truth[i]) ++m.tp;
+    else if (predicted[i] && !truth[i]) ++m.fp;
+    else if (!predicted[i] && truth[i]) ++m.fn;
+    else ++m.tn;
+  }
+  return m;
+}
+
+double F1Score(size_t tp, size_t fp, size_t fn) {
+  const double denom = static_cast<double>(2 * tp + fp + fn);
+  return denom == 0.0 ? 0.0 : 2.0 * static_cast<double>(tp) / denom;
+}
+
+}  // namespace skyex::eval

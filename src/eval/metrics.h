@@ -1,0 +1,34 @@
+#ifndef SKYEX_EVAL_METRICS_H_
+#define SKYEX_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skyex::eval {
+
+/// Binary-classification confusion counts and derived measures.
+struct ConfusionMatrix {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t tn = 0;
+  size_t fn = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double Accuracy() const;
+  std::string ToString() const;
+};
+
+/// Confusion of predicted vs true labels (parallel vectors, 1 = positive).
+ConfusionMatrix Confusion(const std::vector<uint8_t>& predicted,
+                          const std::vector<uint8_t>& truth);
+
+/// F-measure from counts, the paper's F1 = 2PR/(P+R).
+double F1Score(size_t tp, size_t fp, size_t fn);
+
+}  // namespace skyex::eval
+
+#endif  // SKYEX_EVAL_METRICS_H_

@@ -1,0 +1,27 @@
+#ifndef SKYEX_EVAL_STOPWATCH_H_
+#define SKYEX_EVAL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace skyex::eval {
+
+/// Wall-clock stopwatch for the runtime experiments (Fig. 3).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace skyex::eval
+
+#endif  // SKYEX_EVAL_STOPWATCH_H_

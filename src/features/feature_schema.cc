@@ -1,0 +1,31 @@
+#include "features/feature_schema.h"
+
+#include "text/similarity_registry.h"
+
+namespace skyex::features {
+
+std::vector<std::string> LgmXFeatureNames() {
+  std::vector<std::string> names;
+  for (const char* attr : {"name", "addr"}) {
+    const std::string prefix(attr);
+    for (const text::NamedSimilarity& m : text::BasicSimilarities()) {
+      names.push_back(prefix + "_" + std::string(m.name));
+    }
+    for (const text::NamedSimilarity& m : text::SortableSimilarities()) {
+      names.push_back(prefix + "_sorted_" + std::string(m.name));
+    }
+    for (const text::NamedSimilarity& m : text::SortableSimilarities()) {
+      names.push_back(prefix + "_lgm_" + std::string(m.name));
+    }
+    names.push_back(prefix + "_lgm_base_score");
+    names.push_back(prefix + "_lgm_mismatch_score");
+    names.push_back(prefix + "_lgm_frequent_score");
+  }
+  names.push_back("addr_number_sim");
+  names.push_back("geo_sim");
+  return names;
+}
+
+size_t LgmXFeatureCount() { return LgmXFeatureNames().size(); }
+
+}  // namespace skyex::features

@@ -1,0 +1,21 @@
+#ifndef SKYEX_FEATURES_FEATURE_SCHEMA_H_
+#define SKYEX_FEATURES_FEATURE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace skyex::features {
+
+/// Builds the ordered list of LGM-X feature names (Table 1 of the paper):
+/// per textual attribute (name, addr) — 14 basic similarities, 13 custom-
+/// sorted similarities, 13 LGM-Sim-based similarities and 3 individual
+/// list scores — plus the address-number feature and the spatial feature.
+/// 2·(14+13+13+3) + 1 + 1 = 88 features.
+std::vector<std::string> LgmXFeatureNames();
+
+/// Number of LGM-X features (88).
+size_t LgmXFeatureCount();
+
+}  // namespace skyex::features
+
+#endif  // SKYEX_FEATURES_FEATURE_SCHEMA_H_

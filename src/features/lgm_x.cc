@@ -1,0 +1,181 @@
+#include "features/lgm_x.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "features/feature_schema.h"
+#include "geo/distance.h"
+#include "text/edit_distance.h"
+#include "text/normalize.h"
+#include "text/similarity_registry.h"
+#include "text/tokenize.h"
+
+namespace skyex::features {
+
+LgmXExtractor::LgmXExtractor(lgm::LgmSim name_sim, lgm::LgmSim addr_sim,
+                             LgmXOptions options)
+    : name_sim_(std::move(name_sim)),
+      addr_sim_(std::move(addr_sim)),
+      options_(options),
+      names_(LgmXFeatureNames()) {}
+
+LgmXExtractor LgmXExtractor::FromCorpus(const data::Dataset& dataset,
+                                        LgmXOptions options,
+                                        lgm::LgmSimConfig config) {
+  std::vector<std::string> name_corpus;
+  std::vector<std::string> addr_corpus;
+  name_corpus.reserve(dataset.size());
+  addr_corpus.reserve(dataset.size());
+  for (const data::SpatialEntity& e : dataset.entities) {
+    if (!e.name.empty()) name_corpus.push_back(text::Normalize(e.name));
+    if (!e.address_name.empty()) {
+      addr_corpus.push_back(text::Normalize(e.address_name));
+    }
+  }
+  lgm::FrequentTermDictionary::Options dict_options;
+  dict_options.min_count = std::max<size_t>(3, dataset.size() / 500);
+  return LgmXExtractor(
+      lgm::LgmSim(lgm::FrequentTermDictionary::Build(name_corpus,
+                                                     dict_options),
+                  config),
+      lgm::LgmSim(lgm::FrequentTermDictionary::Build(addr_corpus,
+                                                     dict_options),
+                  config),
+      options);
+}
+
+void LgmXExtractor::TextFeatures(const lgm::LgmSim& sim,
+                                 const std::string& a_norm,
+                                 const std::string& a_sorted,
+                                 const std::string& b_norm,
+                                 const std::string& b_sorted,
+                                 double* out) const {
+  size_t k = 0;
+  // Group (i): basic similarities on the normalized strings. Raw scores
+  // are kept so group (ii) can reuse them.
+  const auto& basic = text::BasicSimilarities();
+  std::vector<double> raw(basic.size());
+  for (size_t m = 0; m < basic.size(); ++m) {
+    raw[m] = basic[m].fn(a_norm, b_norm);
+    out[k++] = raw[m];
+  }
+  // Group (ii): the custom-sorting decision of LGM-Sim on top of each
+  // sortable measure — sort only when the raw score is unconvincing.
+  const double sort_threshold = sim.config().sort_threshold;
+  const auto& sortable = text::SortableSimilarities();
+  for (const text::NamedSimilarity& m : sortable) {
+    // Index of m in the basic list (same registry order, minus the
+    // pre-sorted measure).
+    double raw_score = m.fn(a_norm, b_norm);
+    out[k++] = raw_score >= sort_threshold
+                   ? raw_score
+                   : std::max(raw_score, m.fn(a_sorted, b_sorted));
+  }
+  // Group (iii): LGM-Sim meta-similarity on top of each sortable measure.
+  for (const text::NamedSimilarity& m : sortable) {
+    out[k++] = sim.ScoreNormalized(a_norm, b_norm, m.fn);
+  }
+  // Group (iv): the three individual list scores, computed with
+  // Damerau-Levenshtein as in the paper.
+  const lgm::ListScores scores = sim.IndividualScoresNormalized(
+      a_norm, b_norm, text::DamerauLevenshteinSimilarity);
+  out[k++] = scores.base;
+  out[k++] = scores.mismatch;
+  out[k++] = scores.frequent;
+}
+
+void LgmXExtractor::RowFromCache(const data::SpatialEntity& a,
+                                 const EntityText& ta,
+                                 const data::SpatialEntity& b,
+                                 const EntityText& tb, double* out) const {
+  const size_t text_block = feature_count() / 2 - 1;  // 43 per attribute
+  // Missing attribute on either side → all its features are 0.
+  std::fill(out, out + feature_count(), 0.0);
+  if (!ta.name_norm.empty() && !tb.name_norm.empty()) {
+    TextFeatures(name_sim_, ta.name_norm, ta.name_sorted, tb.name_norm,
+                 tb.name_sorted, out);
+  }
+  if (!ta.addr_norm.empty() && !tb.addr_norm.empty()) {
+    TextFeatures(addr_sim_, ta.addr_norm, ta.addr_sorted, tb.addr_norm,
+                 tb.addr_sorted, out + text_block);
+  }
+  // Address-number feature: normalized distance of the house numbers.
+  double* tail = out + 2 * text_block;
+  if (a.address_number >= 0 && b.address_number >= 0) {
+    const double delta = std::abs(a.address_number - b.address_number);
+    tail[0] = 1.0 - std::min(delta, static_cast<double>(
+                                        options_.max_number_delta)) /
+                        static_cast<double>(options_.max_number_delta);
+  }
+  // Spatial feature: normalized Euclidean (great-circle) distance.
+  const double dist = geo::HaversineMeters(a.location, b.location);
+  if (dist >= 0.0) {
+    tail[1] = 1.0 - std::min(dist, options_.max_distance_m) /
+                        options_.max_distance_m;
+  }
+}
+
+void LgmXExtractor::ExtractRow(const data::SpatialEntity& a,
+                               const data::SpatialEntity& b,
+                               double* out) const {
+  const auto text_of = [](const data::SpatialEntity& e) {
+    EntityText t;
+    t.name_norm = text::Normalize(e.name);
+    t.name_sorted = text::SortTokens(t.name_norm);
+    t.addr_norm = text::Normalize(e.address_name);
+    t.addr_sorted = text::SortTokens(t.addr_norm);
+    return t;
+  };
+  RowFromCache(a, text_of(a), b, text_of(b), out);
+}
+
+ml::FeatureMatrix LgmXExtractor::Extract(
+    const data::Dataset& dataset,
+    const std::vector<geo::CandidatePair>& pairs) const {
+  ml::FeatureMatrix matrix = ml::FeatureMatrix::Zeros(pairs.size(), names_);
+
+  // Cache normalized strings per entity once.
+  std::vector<EntityText> cache(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    cache[i].name_norm = text::Normalize(dataset[i].name);
+    cache[i].name_sorted = text::SortTokens(cache[i].name_norm);
+    cache[i].addr_norm = text::Normalize(dataset[i].address_name);
+    cache[i].addr_sorted = text::SortTokens(cache[i].addr_norm);
+  }
+
+  size_t num_threads = options_.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, std::max<size_t>(1, pairs.size()));
+
+  std::atomic<size_t> next_chunk{0};
+  constexpr size_t kChunk = 256;
+  const auto worker = [&]() {
+    for (;;) {
+      const size_t begin = next_chunk.fetch_add(kChunk);
+      if (begin >= pairs.size()) return;
+      const size_t end = std::min(begin + kChunk, pairs.size());
+      for (size_t r = begin; r < end; ++r) {
+        const auto [i, j] = pairs[r];
+        RowFromCache(dataset[i], cache[i], dataset[j], cache[j],
+                     matrix.Row(r));
+      }
+    }
+  };
+  if (num_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+  return matrix;
+}
+
+}  // namespace skyex::features

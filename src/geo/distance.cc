@@ -1,0 +1,45 @@
+#include "geo/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace skyex::geo {
+
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+
+}  // namespace
+
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b) {
+  if (!a.valid || !b.valid) return -1.0;
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double EquirectangularMeters(const GeoPoint& a, const GeoPoint& b) {
+  if (!a.valid || !b.valid) return -1.0;
+  const double mean_lat = 0.5 * (a.lat + b.lat) * kDegToRad;
+  const double x = (b.lon - a.lon) * kDegToRad * std::cos(mean_lat);
+  const double y = (b.lat - a.lat) * kDegToRad;
+  return kEarthRadiusMeters * std::sqrt(x * x + y * y);
+}
+
+double MetersToLatDegrees(double meters) {
+  return meters / (kEarthRadiusMeters * kDegToRad);
+}
+
+double MetersToLonDegrees(double meters, double at_lat) {
+  const double scale = std::cos(at_lat * kDegToRad);
+  if (scale <= 1e-9) return 360.0;
+  return meters / (kEarthRadiusMeters * kDegToRad * scale);
+}
+
+}  // namespace skyex::geo

@@ -1,0 +1,25 @@
+#ifndef SKYEX_GEO_DISTANCE_H_
+#define SKYEX_GEO_DISTANCE_H_
+
+#include "geo/point.h"
+
+namespace skyex::geo {
+
+inline constexpr double kEarthRadiusMeters = 6371000.0;
+
+/// Great-circle distance in meters (haversine formula). Either point
+/// invalid → returns a negative sentinel (-1).
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b);
+
+/// Fast equirectangular approximation of the distance in meters; accurate
+/// to well under 1% for the sub-kilometer distances blocking works with.
+double EquirectangularMeters(const GeoPoint& a, const GeoPoint& b);
+
+/// Converts a distance in meters at the given latitude to approximate
+/// degree deltas (used by the quadtree to translate radii to cell sizes).
+double MetersToLatDegrees(double meters);
+double MetersToLonDegrees(double meters, double at_lat);
+
+}  // namespace skyex::geo
+
+#endif  // SKYEX_GEO_DISTANCE_H_

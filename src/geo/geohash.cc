@@ -1,0 +1,136 @@
+#include "geo/geohash.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/distance.h"
+
+namespace skyex::geo {
+
+namespace {
+
+constexpr std::string_view kBase32 = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+int Base32Value(char c) {
+  const size_t pos = kBase32.find(c);
+  return pos == std::string_view::npos ? -1 : static_cast<int>(pos);
+}
+
+}  // namespace
+
+std::string GeohashEncode(const GeoPoint& point, size_t precision) {
+  if (!point.valid || precision == 0) return "";
+  precision = std::min<size_t>(precision, 12);
+  double lat_lo = -90.0;
+  double lat_hi = 90.0;
+  double lon_lo = -180.0;
+  double lon_hi = 180.0;
+  std::string hash;
+  int bit = 0;
+  int value = 0;
+  bool even_bit = true;  // even bits encode longitude
+  while (hash.size() < precision) {
+    if (even_bit) {
+      const double mid = 0.5 * (lon_lo + lon_hi);
+      if (point.lon >= mid) {
+        value = (value << 1) | 1;
+        lon_lo = mid;
+      } else {
+        value <<= 1;
+        lon_hi = mid;
+      }
+    } else {
+      const double mid = 0.5 * (lat_lo + lat_hi);
+      if (point.lat >= mid) {
+        value = (value << 1) | 1;
+        lat_lo = mid;
+      } else {
+        value <<= 1;
+        lat_hi = mid;
+      }
+    }
+    even_bit = !even_bit;
+    if (++bit == 5) {
+      hash.push_back(kBase32[static_cast<size_t>(value)]);
+      bit = 0;
+      value = 0;
+    }
+  }
+  return hash;
+}
+
+BoundingBox GeohashBounds(std::string_view hash) {
+  BoundingBox box{-90.0, -180.0, 90.0, 180.0};
+  bool even_bit = true;
+  for (char c : hash) {
+    const int value = Base32Value(c);
+    if (value < 0) return BoundingBox{0, 0, 0, 0};
+    for (int b = 4; b >= 0; --b) {
+      const int bit = (value >> b) & 1;
+      if (even_bit) {
+        const double mid = 0.5 * (box.min_lon + box.max_lon);
+        if (bit) box.min_lon = mid;
+        else box.max_lon = mid;
+      } else {
+        const double mid = 0.5 * (box.min_lat + box.max_lat);
+        if (bit) box.min_lat = mid;
+        else box.max_lat = mid;
+      }
+      even_bit = !even_bit;
+    }
+  }
+  return box;
+}
+
+GeoPoint GeohashDecode(std::string_view hash) {
+  if (hash.empty()) return GeoPoint::Invalid();
+  const BoundingBox box = GeohashBounds(hash);
+  if (box.min_lat == box.max_lat && box.min_lon == box.max_lon) {
+    return GeoPoint::Invalid();
+  }
+  return GeoPoint{box.CenterLat(), box.CenterLon(), true};
+}
+
+std::vector<std::string> GeohashNeighbors(std::string_view hash) {
+  const BoundingBox box = GeohashBounds(hash);
+  const double dlat = box.max_lat - box.min_lat;
+  const double dlon = box.max_lon - box.min_lon;
+  const double lat = box.CenterLat();
+  const double lon = box.CenterLon();
+  std::vector<std::string> neighbors;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const double nlat = lat + dy * dlat;
+      double nlon = lon + dx * dlon;
+      if (nlat < -90.0 || nlat > 90.0) continue;
+      if (nlon < -180.0) nlon += 360.0;
+      if (nlon > 180.0) nlon -= 360.0;
+      std::string n =
+          GeohashEncode(GeoPoint{nlat, nlon, true}, hash.size());
+      if (n != hash &&
+          std::find(neighbors.begin(), neighbors.end(), n) ==
+              neighbors.end()) {
+        neighbors.push_back(std::move(n));
+      }
+    }
+  }
+  return neighbors;
+}
+
+std::pair<double, double> GeohashCellSizeMeters(size_t precision,
+                                                double at_lat) {
+  precision = std::min<size_t>(std::max<size_t>(precision, 1), 12);
+  const int bits = static_cast<int>(precision) * 5;
+  const int lon_bits = (bits + 1) / 2;
+  const int lat_bits = bits / 2;
+  const double lon_deg = 360.0 / std::pow(2.0, lon_bits);
+  const double lat_deg = 180.0 / std::pow(2.0, lat_bits);
+  const double meters_per_lat_deg = kEarthRadiusMeters * std::numbers::pi / 180.0;
+  const double width =
+      lon_deg * meters_per_lat_deg * std::cos(at_lat * std::numbers::pi / 180.0);
+  const double height = lat_deg * meters_per_lat_deg;
+  return {width, height};
+}
+
+}  // namespace skyex::geo

@@ -1,0 +1,33 @@
+#ifndef SKYEX_GEO_GEOHASH_H_
+#define SKYEX_GEO_GEOHASH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace skyex::geo {
+
+/// Standard base-32 geohash of a point; precision = number of characters
+/// (12 max). Invalid points yield "".
+std::string GeohashEncode(const GeoPoint& point, size_t precision);
+
+/// Center of a geohash cell; invalid input yields an invalid point.
+GeoPoint GeohashDecode(std::string_view hash);
+
+/// The bounding box of a geohash cell.
+BoundingBox GeohashBounds(std::string_view hash);
+
+/// The 8 neighboring cells (same precision), in no particular order.
+/// Cells at the poles/antimeridian may be fewer.
+std::vector<std::string> GeohashNeighbors(std::string_view hash);
+
+/// Approximate cell dimensions in meters for a given precision at a
+/// given latitude (width, height).
+std::pair<double, double> GeohashCellSizeMeters(size_t precision,
+                                                double at_lat);
+
+}  // namespace skyex::geo
+
+#endif  // SKYEX_GEO_GEOHASH_H_

@@ -1,0 +1,74 @@
+#ifndef SKYEX_GEO_QUADTREE_H_
+#define SKYEX_GEO_QUADTREE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace skyex::geo {
+
+/// A point-region quadtree over geographic points. Leaves split when they
+/// exceed `capacity` points, down to `max_depth`. Points are stored as
+/// indices into the vector supplied at construction, so the tree never
+/// copies coordinates.
+class Quadtree {
+ public:
+  struct Options {
+    size_t capacity = 64;
+    size_t max_depth = 16;
+  };
+
+  Quadtree(const std::vector<GeoPoint>& points, const Options& options);
+
+  Quadtree(const Quadtree&) = delete;
+  Quadtree& operator=(const Quadtree&) = delete;
+
+  /// Returns indices of all points within the box.
+  std::vector<size_t> Query(const BoundingBox& box) const;
+
+  /// Invokes `fn(leaf_indices, leaf_box, depth)` for every leaf node.
+  template <typename Fn>
+  void ForEachLeaf(Fn&& fn) const {
+    VisitLeaves(root_.get(), fn);
+  }
+
+  size_t num_points() const { return num_points_; }
+  size_t num_leaves() const;
+
+ private:
+  struct Node {
+    BoundingBox box;
+    size_t depth = 0;
+    std::vector<size_t> indices;                 // populated in leaves only
+    std::unique_ptr<Node> children[4];           // null in leaves
+    bool IsLeaf() const { return children[0] == nullptr; }
+  };
+
+  void Split(Node* node);
+  void Insert(Node* node, size_t index);
+  void QueryNode(const Node* node, const BoundingBox& box,
+                 std::vector<size_t>* out) const;
+
+  template <typename Fn>
+  void VisitLeaves(const Node* node, Fn&& fn) const {
+    if (node == nullptr) return;
+    if (node->IsLeaf()) {
+      fn(node->indices, node->box, node->depth);
+      return;
+    }
+    for (const auto& child : node->children) {
+      VisitLeaves(child.get(), fn);
+    }
+  }
+
+  const std::vector<GeoPoint>& points_;
+  Options options_;
+  std::unique_ptr<Node> root_;
+  size_t num_points_ = 0;
+};
+
+}  // namespace skyex::geo
+
+#endif  // SKYEX_GEO_QUADTREE_H_

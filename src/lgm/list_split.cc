@@ -1,0 +1,60 @@
+#include "lgm/list_split.h"
+
+#include <algorithm>
+
+#include "text/tokenize.h"
+
+namespace skyex::lgm {
+
+TermLists SplitTermLists(const std::string& a, const std::string& b,
+                         const FrequentTermDictionary& dict,
+                         text::SimilarityFn token_sim,
+                         double match_threshold) {
+  TermLists lists;
+  std::vector<std::string> rest_a;
+  std::vector<std::string> rest_b;
+  for (std::string& t : text::Tokenize(a)) {
+    (dict.Contains(t) ? lists.frequent_a : rest_a).push_back(std::move(t));
+  }
+  for (std::string& t : text::Tokenize(b)) {
+    (dict.Contains(t) ? lists.frequent_b : rest_b).push_back(std::move(t));
+  }
+
+  // Greedy best-first matching of the significant tokens.
+  struct Candidate {
+    double sim;
+    size_t i;
+    size_t j;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t i = 0; i < rest_a.size(); ++i) {
+    for (size_t j = 0; j < rest_b.size(); ++j) {
+      const double sim = token_sim(rest_a[i], rest_b[j]);
+      if (sim >= match_threshold) candidates.push_back({sim, i, j});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              if (x.sim != y.sim) return x.sim > y.sim;
+              if (x.i != y.i) return x.i < y.i;
+              return x.j < y.j;
+            });
+  std::vector<bool> used_a(rest_a.size(), false);
+  std::vector<bool> used_b(rest_b.size(), false);
+  for (const Candidate& c : candidates) {
+    if (used_a[c.i] || used_b[c.j]) continue;
+    used_a[c.i] = true;
+    used_b[c.j] = true;
+    lists.base_a.push_back(rest_a[c.i]);
+    lists.base_b.push_back(rest_b[c.j]);
+  }
+  for (size_t i = 0; i < rest_a.size(); ++i) {
+    if (!used_a[i]) lists.mismatch_a.push_back(std::move(rest_a[i]));
+  }
+  for (size_t j = 0; j < rest_b.size(); ++j) {
+    if (!used_b[j]) lists.mismatch_b.push_back(std::move(rest_b[j]));
+  }
+  return lists;
+}
+
+}  // namespace skyex::lgm

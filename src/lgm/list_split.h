@@ -1,0 +1,38 @@
+#ifndef SKYEX_LGM_LIST_SPLIT_H_
+#define SKYEX_LGM_LIST_SPLIT_H_
+
+#include <string>
+#include <vector>
+
+#include "lgm/frequent_terms.h"
+#include "text/similarity_registry.h"
+
+namespace skyex::lgm {
+
+/// The three pairs of term lists LGM-Sim splits two strings into:
+/// base lists hold terms that (loosely) match across the strings,
+/// mismatch lists hold the remaining significant terms, and frequent
+/// lists hold corpus-frequent, low-significance terms.
+struct TermLists {
+  std::vector<std::string> base_a;
+  std::vector<std::string> base_b;
+  std::vector<std::string> mismatch_a;
+  std::vector<std::string> mismatch_b;
+  std::vector<std::string> frequent_a;
+  std::vector<std::string> frequent_b;
+};
+
+/// Splits the token lists of two normalized strings.
+///
+/// Frequent terms (per `dict`) go to the frequent lists first. Among the
+/// rest, tokens are greedily matched best-similarity-first using
+/// `token_sim`; pairs at or above `match_threshold` populate the base
+/// lists, unmatched tokens the mismatch lists.
+TermLists SplitTermLists(const std::string& a, const std::string& b,
+                         const FrequentTermDictionary& dict,
+                         text::SimilarityFn token_sim,
+                         double match_threshold);
+
+}  // namespace skyex::lgm
+
+#endif  // SKYEX_LGM_LIST_SPLIT_H_

@@ -1,0 +1,82 @@
+#include "lgm/weight_search.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace skyex::lgm {
+
+namespace {
+
+// F1 of "score >= threshold → match", maximized over thresholds; returns
+// {best_f1, best_threshold}.
+std::pair<double, double> BestThresholdF1(
+    const std::vector<std::pair<double, bool>>& scored) {
+  std::vector<std::pair<double, bool>> sorted = scored;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+  size_t total_pos = 0;
+  for (const auto& [score, label] : sorted) total_pos += label ? 1 : 0;
+  if (total_pos == 0) return {0.0, 0.5};
+
+  double best_f1 = 0.0;
+  double best_threshold = 1.0;
+  size_t tp = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i].second) ++tp;
+    // Candidate threshold just below sorted[i].first labels the first
+    // i+1 pairs positive.
+    if (i + 1 < sorted.size() && sorted[i + 1].first == sorted[i].first) {
+      continue;  // ties must move together
+    }
+    const double precision = static_cast<double>(tp) / (i + 1);
+    const double recall = static_cast<double>(tp) / total_pos;
+    if (precision + recall == 0.0) continue;
+    const double f1 = 2.0 * precision * recall / (precision + recall);
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_threshold = sorted[i].first;
+    }
+  }
+  return {best_f1, best_threshold};
+}
+
+}  // namespace
+
+WeightSearchResult SearchWeights(const std::vector<LabeledStringPair>& pairs,
+                                 const FrequentTermDictionary& dictionary,
+                                 text::SimilarityFn base_fn) {
+  const double base_grid[] = {0.5, 0.6, 0.7, 0.8};
+  const double mismatch_grid[] = {0.1, 0.2, 0.3};
+  const double match_grid[] = {0.45, 0.55, 0.65};
+
+  WeightSearchResult best;
+  best.f1 = -1.0;
+  for (double wb : base_grid) {
+    for (double wm : mismatch_grid) {
+      const double wf = 1.0 - wb - wm;
+      if (wf < 0.0) continue;
+      for (double mt : match_grid) {
+        LgmSimConfig config;
+        config.base_weight = wb;
+        config.mismatch_weight = wm;
+        config.frequent_weight = wf;
+        config.match_threshold = mt;
+        const LgmSim sim(dictionary, config);
+        std::vector<std::pair<double, bool>> scored;
+        scored.reserve(pairs.size());
+        for (const LabeledStringPair& p : pairs) {
+          scored.emplace_back(sim.Score(p.a, p.b, base_fn), p.match);
+        }
+        const auto [f1, threshold] = BestThresholdF1(scored);
+        if (f1 > best.f1) {
+          best.f1 = f1;
+          best.config = config;
+          best.decision_threshold = threshold;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace skyex::lgm

@@ -1,0 +1,38 @@
+#ifndef SKYEX_LGM_WEIGHT_SEARCH_H_
+#define SKYEX_LGM_WEIGHT_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "lgm/lgm_sim.h"
+
+namespace skyex::lgm {
+
+/// A labeled string pair for weight learning.
+struct LabeledStringPair {
+  std::string a;
+  std::string b;
+  bool match = false;
+};
+
+/// Result of the grid search: the best configuration, the decision
+/// threshold on the LGM-Sim score, and the achieved F1 on the training
+/// pairs.
+struct WeightSearchResult {
+  LgmSimConfig config;
+  double decision_threshold = 0.5;
+  double f1 = 0.0;
+};
+
+/// Grid-searches the LGM-Sim list weights and match threshold that, with
+/// the best score threshold, maximize F1 on the labeled pairs. This is
+/// how the original LGM-Sim parameters were learned (on Geonames); the
+/// paper reuses them "as is", so this is provided for completeness and
+/// for re-tuning on new corpora.
+WeightSearchResult SearchWeights(const std::vector<LabeledStringPair>& pairs,
+                                 const FrequentTermDictionary& dictionary,
+                                 text::SimilarityFn base_fn);
+
+}  // namespace skyex::lgm
+
+#endif  // SKYEX_LGM_WEIGHT_SEARCH_H_

@@ -1,0 +1,52 @@
+#ifndef SKYEX_ML_CLASSIFIER_H_
+#define SKYEX_ML_CLASSIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dataset_view.h"
+
+namespace skyex::ml {
+
+/// Binary classifier interface shared by the from-scratch ML methods the
+/// paper compares SkyEx-T against (Section 5.4).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Fits on the selected rows of `matrix` with labels `labels` (both
+  /// indexed by the full matrix row ids in `rows`).
+  virtual void Fit(const FeatureMatrix& matrix,
+                   const std::vector<uint8_t>& labels,
+                   const std::vector<size_t>& rows) = 0;
+
+  /// Positive-class score in [0, 1]; 0.5 is the decision threshold.
+  virtual double PredictScore(const double* row) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Predicts the selected rows (1 = positive).
+  std::vector<uint8_t> Predict(const FeatureMatrix& matrix,
+                               const std::vector<size_t>& rows) const {
+    std::vector<uint8_t> out;
+    out.reserve(rows.size());
+    for (size_t r : rows) {
+      out.push_back(PredictScore(matrix.Row(r)) >= 0.5 ? 1 : 0);
+    }
+    return out;
+  }
+};
+
+/// Feature standardization (z-scoring) shared by SVM and MLP.
+struct Standardizer {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+
+  void Fit(const FeatureMatrix& matrix, const std::vector<size_t>& rows);
+  void Apply(const double* row, double* out) const;
+};
+
+}  // namespace skyex::ml
+
+#endif  // SKYEX_ML_CLASSIFIER_H_

@@ -1,0 +1,115 @@
+#include "ml/curves.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace skyex::ml {
+
+namespace {
+
+// Indices sorted by score descending; returns total positives.
+size_t SortedOrder(const std::vector<double>& scores,
+                   const std::vector<uint8_t>& labels,
+                   std::vector<size_t>* order) {
+  order->resize(std::min(scores.size(), labels.size()));
+  std::iota(order->begin(), order->end(), 0);
+  std::sort(order->begin(), order->end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  size_t positives = 0;
+  for (size_t i : *order) positives += labels[i];
+  return positives;
+}
+
+}  // namespace
+
+std::vector<PrPoint> PrecisionRecallCurve(
+    const std::vector<double>& scores, const std::vector<uint8_t>& labels) {
+  std::vector<size_t> order;
+  const size_t positives = SortedOrder(scores, labels, &order);
+  std::vector<PrPoint> curve;
+  if (positives == 0) return curve;
+  size_t tp = 0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    tp += labels[order[k]];
+    // Emit one point per distinct threshold (ties move together).
+    if (k + 1 < order.size() &&
+        scores[order[k + 1]] == scores[order[k]]) {
+      continue;
+    }
+    PrPoint point;
+    point.threshold = scores[order[k]];
+    point.precision = static_cast<double>(tp) / static_cast<double>(k + 1);
+    point.recall = static_cast<double>(tp) / static_cast<double>(positives);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<uint8_t>& labels) {
+  const std::vector<PrPoint> curve = PrecisionRecallCurve(scores, labels);
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  for (const PrPoint& p : curve) {
+    ap += (p.recall - prev_recall) * p.precision;
+    prev_recall = p.recall;
+  }
+  return ap;
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<uint8_t>& labels) {
+  // Rank-sum formulation with midranks for ties.
+  const size_t n = std::min(scores.size(), labels.size());
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  size_t positives = 0;
+  for (size_t i = 0; i < n; ++i) positives += labels[i];
+  const size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  double rank_sum = 0.0;
+  size_t k = 0;
+  while (k < n) {
+    size_t tie_end = k;
+    while (tie_end + 1 < n &&
+           scores[order[tie_end + 1]] == scores[order[k]]) {
+      ++tie_end;
+    }
+    const double midrank =
+        0.5 * (static_cast<double>(k + 1) + static_cast<double>(tie_end + 1));
+    for (size_t t = k; t <= tie_end; ++t) {
+      if (labels[order[t]]) rank_sum += midrank;
+    }
+    k = tie_end + 1;
+  }
+  const double p = static_cast<double>(positives);
+  return (rank_sum - p * (p + 1.0) / 2.0) /
+         (p * static_cast<double>(negatives));
+}
+
+double BestF1(const std::vector<double>& scores,
+              const std::vector<uint8_t>& labels) {
+  std::vector<size_t> order;
+  const size_t positives = SortedOrder(scores, labels, &order);
+  if (positives == 0) return 0.0;
+  double best = 0.0;
+  size_t tp = 0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    tp += labels[order[k]];
+    if (k + 1 < order.size() &&
+        scores[order[k + 1]] == scores[order[k]]) {
+      continue;
+    }
+    const double f1 = 2.0 * static_cast<double>(tp) /
+                      static_cast<double>(k + 1 + positives);
+    best = std::max(best, f1);
+  }
+  return best;
+}
+
+}  // namespace skyex::ml

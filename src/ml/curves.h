@@ -1,0 +1,36 @@
+#ifndef SKYEX_ML_CURVES_H_
+#define SKYEX_ML_CURVES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace skyex::ml {
+
+/// One point of a precision-recall curve (at a score threshold).
+struct PrPoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// Precision-recall curve from scores (higher = more positive) and
+/// binary labels; one point per distinct threshold, recall increasing.
+std::vector<PrPoint> PrecisionRecallCurve(const std::vector<double>& scores,
+                                          const std::vector<uint8_t>& labels);
+
+/// Area under the PR curve (average precision, step interpolation).
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<uint8_t>& labels);
+
+/// Area under the ROC curve (probability a positive outranks a
+/// negative; ties count half). 0.5 for random scores.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<uint8_t>& labels);
+
+/// Best F1 over all thresholds of the score.
+double BestF1(const std::vector<double>& scores,
+              const std::vector<uint8_t>& labels);
+
+}  // namespace skyex::ml
+
+#endif  // SKYEX_ML_CURVES_H_

@@ -1,0 +1,205 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace skyex::ml {
+
+namespace {
+
+double GiniImpurity(double pos, double total) {
+  if (total <= 0.0) return 0.0;
+  const double p = pos / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+ClassificationTree::ClassificationTree(TreeOptions options)
+    : options_(options) {}
+
+void ClassificationTree::Fit(const FeatureMatrix& matrix,
+                             const std::vector<uint8_t>& labels,
+                             const std::vector<size_t>& rows,
+                             std::mt19937_64* rng) {
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<size_t> work = rows;
+  if (work.empty()) {
+    nodes_.push_back(Node{});  // degenerate leaf scoring 0
+    return;
+  }
+  Build(matrix, labels, work, 0, work.size(), 0, rng);
+}
+
+ClassificationTree::SplitResult ClassificationTree::FindSplit(
+    const FeatureMatrix& matrix, const std::vector<uint8_t>& labels,
+    const std::vector<size_t>& rows, size_t begin, size_t end,
+    std::mt19937_64* rng) const {
+  SplitResult best;
+  const size_t n = end - begin;
+
+  double total_pos = 0.0;
+  for (size_t k = begin; k < end; ++k) total_pos += labels[rows[k]];
+  const double parent_impurity =
+      GiniImpurity(total_pos, static_cast<double>(n));
+  if (parent_impurity <= 0.0) return best;  // pure node
+
+  // Candidate features: all, or a random subset.
+  std::vector<size_t> features(matrix.cols);
+  std::iota(features.begin(), features.end(), 0);
+  size_t num_candidates = features.size();
+  if (options_.max_features > 0 && options_.max_features < features.size()) {
+    num_candidates = options_.max_features;
+    for (size_t k = 0; k < num_candidates; ++k) {
+      std::uniform_int_distribution<size_t> dist(k, features.size() - 1);
+      std::swap(features[k], features[dist(*rng)]);
+    }
+  }
+
+  std::vector<double> bin_pos(options_.bins);
+  std::vector<double> bin_count(options_.bins);
+  for (size_t f = 0; f < num_candidates; ++f) {
+    const size_t feature = features[f];
+    // Node-local feature range.
+    double lo = std::numeric_limits<double>::max();
+    double hi = std::numeric_limits<double>::lowest();
+    for (size_t k = begin; k < end; ++k) {
+      const double v = matrix.At(rows[k], feature);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi <= lo) continue;  // constant on this node
+
+    if (options_.random_thresholds) {
+      // Extra-trees: a single uniform threshold in (lo, hi).
+      std::uniform_real_distribution<double> dist(lo, hi);
+      const double threshold = dist(*rng);
+      double left_pos = 0.0;
+      double left_count = 0.0;
+      for (size_t k = begin; k < end; ++k) {
+        if (matrix.At(rows[k], feature) <= threshold) {
+          left_count += 1.0;
+          left_pos += labels[rows[k]];
+        }
+      }
+      const double right_count = static_cast<double>(n) - left_count;
+      if (left_count < options_.min_samples_leaf ||
+          right_count < options_.min_samples_leaf) {
+        continue;
+      }
+      const double right_pos = total_pos - left_pos;
+      const double gain =
+          parent_impurity -
+          (left_count * GiniImpurity(left_pos, left_count) +
+           right_count * GiniImpurity(right_pos, right_count)) /
+              static_cast<double>(n);
+      if (gain > best.gain) {
+        best = SplitResult{true, feature, threshold, gain};
+      }
+      continue;
+    }
+
+    // Binned exact search: histogram of positives/counts per bin, then a
+    // prefix scan over bin boundaries.
+    std::fill(bin_pos.begin(), bin_pos.end(), 0.0);
+    std::fill(bin_count.begin(), bin_count.end(), 0.0);
+    const double width = (hi - lo) / static_cast<double>(options_.bins);
+    for (size_t k = begin; k < end; ++k) {
+      const double v = matrix.At(rows[k], feature);
+      size_t b = static_cast<size_t>((v - lo) / width);
+      b = std::min(b, options_.bins - 1);
+      bin_count[b] += 1.0;
+      bin_pos[b] += labels[rows[k]];
+    }
+    double left_pos = 0.0;
+    double left_count = 0.0;
+    for (size_t b = 0; b + 1 < options_.bins; ++b) {
+      left_pos += bin_pos[b];
+      left_count += bin_count[b];
+      if (left_count < options_.min_samples_leaf) continue;
+      const double right_count = static_cast<double>(n) - left_count;
+      if (right_count < options_.min_samples_leaf) break;
+      const double right_pos = total_pos - left_pos;
+      const double gain =
+          parent_impurity -
+          (left_count * GiniImpurity(left_pos, left_count) +
+           right_count * GiniImpurity(right_pos, right_count)) /
+              static_cast<double>(n);
+      if (gain > best.gain) {
+        best = SplitResult{true, feature,
+                           lo + width * static_cast<double>(b + 1), gain};
+      }
+    }
+  }
+  return best;
+}
+
+int32_t ClassificationTree::Build(const FeatureMatrix& matrix,
+                                  const std::vector<uint8_t>& labels,
+                                  std::vector<size_t>& rows, size_t begin,
+                                  size_t end, size_t depth,
+                                  std::mt19937_64* rng) {
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  depth_ = std::max(depth_, depth);
+
+  const size_t n = end - begin;
+  double pos = 0.0;
+  for (size_t k = begin; k < end; ++k) pos += labels[rows[k]];
+  nodes_[node_id].score = n > 0 ? pos / static_cast<double>(n) : 0.0;
+
+  if (depth >= options_.max_depth || n < options_.min_samples_split ||
+      pos == 0.0 || pos == static_cast<double>(n)) {
+    return node_id;
+  }
+  const SplitResult split =
+      FindSplit(matrix, labels, rows, begin, end, rng);
+  if (!split.found) return node_id;
+
+  // Partition rows in place.
+  const auto mid_it = std::partition(
+      rows.begin() + static_cast<ptrdiff_t>(begin),
+      rows.begin() + static_cast<ptrdiff_t>(end), [&](size_t r) {
+        return matrix.At(r, split.feature) <= split.threshold;
+      });
+  const size_t mid =
+      static_cast<size_t>(mid_it - rows.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate split
+
+  nodes_[node_id].feature = static_cast<int32_t>(split.feature);
+  nodes_[node_id].threshold = split.threshold;
+  const int32_t left =
+      Build(matrix, labels, rows, begin, mid, depth + 1, rng);
+  const int32_t right = Build(matrix, labels, rows, mid, end, depth + 1, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double ClassificationTree::PredictScore(const double* row) const {
+  if (nodes_.empty()) return 0.0;
+  int32_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = row[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].score;
+}
+
+DecisionTree::DecisionTree(TreeOptions options) : tree_(options) {}
+
+void DecisionTree::Fit(const FeatureMatrix& matrix,
+                       const std::vector<uint8_t>& labels,
+                       const std::vector<size_t>& rows) {
+  tree_.Fit(matrix, labels, rows, nullptr);
+}
+
+double DecisionTree::PredictScore(const double* row) const {
+  return tree_.PredictScore(row);
+}
+
+}  // namespace skyex::ml

@@ -1,0 +1,96 @@
+#ifndef SKYEX_ML_DECISION_TREE_H_
+#define SKYEX_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace skyex::ml {
+
+/// Shared configuration of the CART-style trees (decision tree, random
+/// forest, extra trees).
+struct TreeOptions {
+  size_t max_depth = 24;
+  size_t min_samples_split = 2;
+  size_t min_samples_leaf = 1;
+  /// Features examined per split; 0 = all, otherwise a random subset of
+  /// this size (random forest uses √d).
+  size_t max_features = 0;
+  /// Candidate thresholds per feature: equal-width bins over the
+  /// feature's observed range (LGM-X features live in [0, 1]).
+  size_t bins = 64;
+  /// Extremely-randomized mode: one uniformly random threshold per
+  /// candidate feature instead of the best binned threshold.
+  bool random_thresholds = false;
+};
+
+/// A single CART classification tree with Gini impurity and binned
+/// threshold search. Serves as the building block of the ensemble
+/// methods.
+class ClassificationTree {
+ public:
+  explicit ClassificationTree(TreeOptions options = {});
+
+  /// Fits the tree on the given rows. `rng` drives feature subsampling
+  /// and random thresholds; required when either is enabled.
+  void Fit(const FeatureMatrix& matrix, const std::vector<uint8_t>& labels,
+           const std::vector<size_t>& rows, std::mt19937_64* rng = nullptr);
+
+  /// Positive-class fraction of the reached leaf.
+  double PredictScore(const double* row) const;
+
+  size_t depth() const { return depth_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int32_t feature = -1;      // -1 → leaf
+    double threshold = 0.0;    // go left when value <= threshold
+    double score = 0.0;        // leaf positive fraction
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+
+  struct SplitResult {
+    bool found = false;
+    size_t feature = 0;
+    double threshold = 0.0;
+    double gain = 0.0;
+  };
+
+  int32_t Build(const FeatureMatrix& matrix,
+                const std::vector<uint8_t>& labels,
+                std::vector<size_t>& rows, size_t begin, size_t end,
+                size_t depth, std::mt19937_64* rng);
+  SplitResult FindSplit(const FeatureMatrix& matrix,
+                        const std::vector<uint8_t>& labels,
+                        const std::vector<size_t>& rows, size_t begin,
+                        size_t end, std::mt19937_64* rng) const;
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+  size_t depth_ = 0;
+};
+
+/// The plain decision-tree classifier of the comparison (CART, all
+/// features per split, deterministic thresholds).
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(TreeOptions options = {});
+
+  void Fit(const FeatureMatrix& matrix, const std::vector<uint8_t>& labels,
+           const std::vector<size_t>& rows) override;
+  double PredictScore(const double* row) const override;
+  std::string name() const override { return "DecisionTree"; }
+
+  size_t depth() const { return tree_.depth(); }
+
+ private:
+  ClassificationTree tree_;
+};
+
+}  // namespace skyex::ml
+
+#endif  // SKYEX_ML_DECISION_TREE_H_

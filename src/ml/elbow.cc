@@ -1,0 +1,59 @@
+#include "ml/elbow.h"
+
+#include <cmath>
+
+namespace skyex::ml {
+
+size_t FindElbow(const std::vector<double>& values, size_t begin,
+                 size_t end) {
+  if (end > values.size()) end = values.size();
+  if (begin >= end) return begin;
+  const size_t n = end - begin;
+  if (n < 3) return begin;
+
+  // Height of every point above the chord from (begin, v[begin]) to
+  // (end-1, v[end-1]). Multi-step curves have several humps above the
+  // chord; the elbow is the peak of the FIRST hump — the first corner
+  // where the curve "falls considerably" (Fig. 2 of the paper) — so we
+  // take the first local maximum of the difference, not the global one.
+  const double x1 = static_cast<double>(begin);
+  const double y1 = values[begin];
+  const double x2 = static_cast<double>(end - 1);
+  const double y2 = values[end - 1];
+  const double slope = (y2 - y1) / (x2 - x1);
+
+  std::vector<double> above(n);
+  for (size_t i = begin; i < end; ++i) {
+    const double chord = y1 + slope * (static_cast<double>(i) - x1);
+    above[i - begin] = values[i] - chord;
+  }
+  for (size_t k = 1; k + 1 < n; ++k) {
+    if (above[k] <= 0.0) continue;
+    if (above[k] >= above[k - 1] && above[k] >= above[k + 1]) {
+      return begin + k;
+    }
+  }
+  // No hump above the chord: the curve is convex (fast drop, then a flat
+  // tail) and lies below the chord; the elbow is then the point farthest
+  // below it. A flat curve returns the first point.
+  size_t farthest = 0;
+  for (size_t k = 1; k < n; ++k) {
+    if (std::abs(above[k]) > std::abs(above[farthest])) farthest = k;
+  }
+  return begin + farthest;
+}
+
+TwoElbows FindTwoElbows(const std::vector<double>& descending_values) {
+  TwoElbows elbows;
+  const size_t n = descending_values.size();
+  if (n == 0) return elbows;
+  elbows.first = FindElbow(descending_values, 0, n);
+  // The second elbow lives on the remainder of the curve.
+  const size_t rest = elbows.first + 1;
+  elbows.second = rest < n ? FindElbow(descending_values, rest, n)
+                           : elbows.first;
+  if (elbows.second < elbows.first) elbows.second = elbows.first;
+  return elbows;
+}
+
+}  // namespace skyex::ml

@@ -1,0 +1,29 @@
+#ifndef SKYEX_ML_ELBOW_H_
+#define SKYEX_ML_ELBOW_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace skyex::ml {
+
+/// Finds the elbow of a descending curve `values` (e.g. sorted |ρ|
+/// correlations): the index with maximum perpendicular distance to the
+/// chord from the first to the last point (the "kneedle" construction).
+/// Searches only within [begin, end); returns begin when the segment has
+/// fewer than 3 points.
+size_t FindElbow(const std::vector<double>& values, size_t begin,
+                 size_t end);
+
+/// The two elbows ε₁ < ε₂ of SkyEx-T's preference training (Fig. 2 of
+/// the paper): the first elbow over the whole curve, the second over the
+/// remainder of the curve after the first.
+struct TwoElbows {
+  size_t first = 0;   // index of the last feature in the ε₁ group
+  size_t second = 0;  // index of the last feature in the ε₂ group
+};
+
+TwoElbows FindTwoElbows(const std::vector<double>& descending_values);
+
+}  // namespace skyex::ml
+
+#endif  // SKYEX_ML_ELBOW_H_

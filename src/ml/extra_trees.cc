@@ -1,0 +1,51 @@
+#include "ml/extra_trees.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace skyex::ml {
+
+ExtraTrees::ExtraTrees(Options options) : options_(options) {}
+
+void ExtraTrees::Fit(const FeatureMatrix& matrix,
+                     const std::vector<uint8_t>& labels,
+                     const std::vector<size_t>& rows) {
+  trees_.clear();
+  if (rows.empty()) return;
+  std::mt19937_64 rng(options_.seed);
+
+  TreeOptions tree_options = options_.tree;
+  tree_options.random_thresholds = true;
+  if (tree_options.max_features == 0) {
+    tree_options.max_features = static_cast<size_t>(
+        std::lround(std::sqrt(static_cast<double>(matrix.cols))));
+  }
+
+  std::vector<size_t> sample = rows;
+  trees_.reserve(options_.num_trees);
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    std::vector<size_t>* tree_rows = &sample;
+    std::vector<size_t> capped;
+    if (options_.max_rows_per_tree > 0 &&
+        rows.size() > options_.max_rows_per_tree) {
+      capped = rows;
+      std::shuffle(capped.begin(), capped.end(), rng);
+      capped.resize(options_.max_rows_per_tree);
+      tree_rows = &capped;
+    }
+    trees_.emplace_back(tree_options);
+    trees_.back().Fit(matrix, labels, *tree_rows, &rng);
+  }
+}
+
+double ExtraTrees::PredictScore(const double* row) const {
+  if (trees_.empty()) return 0.0;
+  double total = 0.0;
+  for (const ClassificationTree& tree : trees_) {
+    total += tree.PredictScore(row);
+  }
+  return total / static_cast<double>(trees_.size());
+}
+
+}  // namespace skyex::ml

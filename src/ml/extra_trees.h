@@ -1,0 +1,41 @@
+#ifndef SKYEX_ML_EXTRA_TREES_H_
+#define SKYEX_ML_EXTRA_TREES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace skyex::ml {
+
+struct ExtraTreesOptions {
+  size_t num_trees = 60;
+  uint64_t seed = 4;
+  /// Cap on rows per tree (0 = all) to bound cost at large training
+  /// sizes; rows are subsampled without replacement when capped.
+  size_t max_rows_per_tree = 30000;
+  TreeOptions tree;
+};
+
+/// Extremely randomized trees (Geurts et al.): like a random forest but
+/// each candidate feature gets one uniformly random threshold and the
+/// trees are grown on the full training set (no bootstrapping).
+class ExtraTrees final : public Classifier {
+ public:
+  using Options = ExtraTreesOptions;
+
+  explicit ExtraTrees(Options options = {});
+
+  void Fit(const FeatureMatrix& matrix, const std::vector<uint8_t>& labels,
+           const std::vector<size_t>& rows) override;
+  double PredictScore(const double* row) const override;
+  std::string name() const override { return "ExtraTrees"; }
+
+ private:
+  Options options_;
+  std::vector<ClassificationTree> trees_;
+};
+
+}  // namespace skyex::ml
+
+#endif  // SKYEX_ML_EXTRA_TREES_H_

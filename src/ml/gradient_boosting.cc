@@ -1,0 +1,169 @@
+#include "ml/gradient_boosting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+
+namespace skyex::ml {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+GradientBoosting::GradientBoosting(Options options) : options_(options) {}
+
+double GradientBoosting::Tree::Value(const double* row) const {
+  if (nodes.empty()) return 0.0;
+  int32_t node = 0;
+  while (nodes[node].feature >= 0) {
+    node = row[nodes[node].feature] <= nodes[node].threshold
+               ? nodes[node].left
+               : nodes[node].right;
+  }
+  return nodes[node].weight;
+}
+
+int32_t GradientBoosting::BuildNode(const FeatureMatrix& matrix,
+                                    const std::vector<double>& grad,
+                                    const std::vector<double>& hess,
+                                    std::vector<size_t>& rows, size_t begin,
+                                    size_t end, size_t depth,
+                                    Tree* tree) const {
+  const int32_t node_id = static_cast<int32_t>(tree->nodes.size());
+  tree->nodes.push_back(Node{});
+
+  double sum_g = 0.0;
+  double sum_h = 0.0;
+  for (size_t k = begin; k < end; ++k) {
+    sum_g += grad[rows[k]];
+    sum_h += hess[rows[k]];
+  }
+  tree->nodes[node_id].weight = -sum_g / (sum_h + options_.lambda);
+
+  if (depth >= options_.max_depth || end - begin < 2) return node_id;
+
+  const double parent_obj = sum_g * sum_g / (sum_h + options_.lambda);
+  double best_gain = 1e-6;
+  size_t best_feature = 0;
+  double best_threshold = 0.0;
+  bool found = false;
+
+  std::vector<double> bin_g(options_.bins);
+  std::vector<double> bin_h(options_.bins);
+  for (size_t feature = 0; feature < matrix.cols; ++feature) {
+    double lo = std::numeric_limits<double>::max();
+    double hi = std::numeric_limits<double>::lowest();
+    for (size_t k = begin; k < end; ++k) {
+      const double v = matrix.At(rows[k], feature);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi <= lo) continue;
+    std::fill(bin_g.begin(), bin_g.end(), 0.0);
+    std::fill(bin_h.begin(), bin_h.end(), 0.0);
+    const double width = (hi - lo) / static_cast<double>(options_.bins);
+    for (size_t k = begin; k < end; ++k) {
+      const double v = matrix.At(rows[k], feature);
+      size_t b = static_cast<size_t>((v - lo) / width);
+      b = std::min(b, options_.bins - 1);
+      bin_g[b] += grad[rows[k]];
+      bin_h[b] += hess[rows[k]];
+    }
+    double left_g = 0.0;
+    double left_h = 0.0;
+    for (size_t b = 0; b + 1 < options_.bins; ++b) {
+      left_g += bin_g[b];
+      left_h += bin_h[b];
+      const double right_g = sum_g - left_g;
+      const double right_h = sum_h - left_h;
+      if (left_h < options_.min_child_weight ||
+          right_h < options_.min_child_weight) {
+        continue;
+      }
+      const double gain =
+          0.5 * (left_g * left_g / (left_h + options_.lambda) +
+                 right_g * right_g / (right_h + options_.lambda) -
+                 parent_obj);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = feature;
+        best_threshold = lo + width * static_cast<double>(b + 1);
+        found = true;
+      }
+    }
+  }
+  if (!found) return node_id;
+
+  const auto mid_it = std::partition(
+      rows.begin() + static_cast<ptrdiff_t>(begin),
+      rows.begin() + static_cast<ptrdiff_t>(end), [&](size_t r) {
+        return matrix.At(r, best_feature) <= best_threshold;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - rows.begin());
+  if (mid == begin || mid == end) return node_id;
+
+  tree->nodes[node_id].feature = static_cast<int32_t>(best_feature);
+  tree->nodes[node_id].threshold = best_threshold;
+  const int32_t left =
+      BuildNode(matrix, grad, hess, rows, begin, mid, depth + 1, tree);
+  const int32_t right =
+      BuildNode(matrix, grad, hess, rows, mid, end, depth + 1, tree);
+  tree->nodes[node_id].left = left;
+  tree->nodes[node_id].right = right;
+  return node_id;
+}
+
+void GradientBoosting::Fit(const FeatureMatrix& matrix,
+                           const std::vector<uint8_t>& labels,
+                           const std::vector<size_t>& rows) {
+  trees_.clear();
+  base_score_ = 0.0;
+  if (rows.empty()) return;
+
+  double pos = 0.0;
+  for (size_t r : rows) pos += labels[r];
+  const double p = std::clamp(pos / static_cast<double>(rows.size()),
+                              1e-6, 1.0 - 1e-6);
+  base_score_ = std::log(p / (1.0 - p));
+
+  // Margin per full-matrix row id (only the training rows are used).
+  std::vector<double> margin(matrix.rows, base_score_);
+  std::vector<double> grad(matrix.rows, 0.0);
+  std::vector<double> hess(matrix.rows, 0.0);
+
+  std::mt19937_64 rng(options_.seed);
+  std::vector<size_t> work;
+  for (size_t round = 0; round < options_.num_rounds; ++round) {
+    for (size_t r : rows) {
+      const double prob = Sigmoid(margin[r]);
+      grad[r] = prob - static_cast<double>(labels[r]);
+      hess[r] = std::max(1e-12, prob * (1.0 - prob));
+    }
+    work = rows;
+    if (options_.subsample < 1.0) {
+      std::shuffle(work.begin(), work.end(), rng);
+      work.resize(std::max<size_t>(
+          1, static_cast<size_t>(options_.subsample *
+                                 static_cast<double>(work.size()))));
+    }
+    Tree tree;
+    BuildNode(matrix, grad, hess, work, 0, work.size(), 0, &tree);
+    for (size_t r : rows) {
+      margin[r] += options_.learning_rate * tree.Value(matrix.Row(r));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoosting::PredictScore(const double* row) const {
+  double margin = base_score_;
+  for (const Tree& tree : trees_) {
+    margin += options_.learning_rate * tree.Value(row);
+  }
+  return Sigmoid(margin);
+}
+
+}  // namespace skyex::ml

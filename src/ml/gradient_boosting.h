@@ -1,0 +1,63 @@
+#ifndef SKYEX_ML_GRADIENT_BOOSTING_H_
+#define SKYEX_ML_GRADIENT_BOOSTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace skyex::ml {
+
+struct GradientBoostingOptions {
+  size_t num_rounds = 100;
+  size_t max_depth = 5;
+  double learning_rate = 0.1;
+  double lambda = 1.0;        // L2 on leaf weights
+  double min_child_weight = 1.0;
+  size_t bins = 64;
+  /// Rows subsampled per round (1.0 = all).
+  double subsample = 1.0;
+  uint64_t seed = 5;
+};
+
+/// Gradient-boosted trees in the XGBoost style: second-order boosting of
+/// the logistic loss, regularized leaf weights (-G/(H+λ)), shrinkage,
+/// binned threshold search.
+class GradientBoosting final : public Classifier {
+ public:
+  using Options = GradientBoostingOptions;
+
+  explicit GradientBoosting(Options options = {});
+
+  void Fit(const FeatureMatrix& matrix, const std::vector<uint8_t>& labels,
+           const std::vector<size_t>& rows) override;
+  double PredictScore(const double* row) const override;
+  std::string name() const override { return "XGBoost"; }
+
+ private:
+  struct Node {
+    int32_t feature = -1;
+    double threshold = 0.0;
+    double weight = 0.0;  // leaf value
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    double Value(const double* row) const;
+  };
+
+  int32_t BuildNode(const FeatureMatrix& matrix,
+                    const std::vector<double>& grad,
+                    const std::vector<double>& hess,
+                    std::vector<size_t>& rows, size_t begin, size_t end,
+                    size_t depth, Tree* tree) const;
+
+  Options options_;
+  double base_score_ = 0.0;  // log-odds prior
+  std::vector<Tree> trees_;
+};
+
+}  // namespace skyex::ml
+
+#endif  // SKYEX_ML_GRADIENT_BOOSTING_H_

@@ -1,0 +1,85 @@
+#include "ml/importance.h"
+
+#include <algorithm>
+#include <random>
+
+namespace skyex::ml {
+
+namespace {
+
+double F1OfPredictions(const Classifier& classifier,
+                       const FeatureMatrix& matrix,
+                       const std::vector<uint8_t>& labels,
+                       const std::vector<size_t>& rows) {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+  for (size_t r : rows) {
+    const bool predicted = classifier.PredictScore(matrix.Row(r)) >= 0.5;
+    if (predicted && labels[r]) ++tp;
+    else if (predicted && !labels[r]) ++fp;
+    else if (!predicted && labels[r]) ++fn;
+  }
+  const double denom = static_cast<double>(2 * tp + fp + fn);
+  return denom == 0.0 ? 0.0 : 2.0 * static_cast<double>(tp) / denom;
+}
+
+}  // namespace
+
+std::vector<FeatureImportance> PermutationImportance(
+    const Classifier& classifier, const FeatureMatrix& matrix,
+    const std::vector<uint8_t>& labels, const std::vector<size_t>& rows,
+    const ImportanceOptions& options) {
+  std::vector<size_t> eval_rows = rows;
+  if (options.max_rows > 0 && eval_rows.size() > options.max_rows) {
+    eval_rows.resize(options.max_rows);
+  }
+  const double baseline =
+      F1OfPredictions(classifier, matrix, labels, eval_rows);
+
+  std::mt19937_64 rng(options.seed);
+  // Work on a private copy of the evaluated rows so columns can be
+  // shuffled in place and restored.
+  FeatureMatrix scratch = matrix.SelectRows(eval_rows);
+  std::vector<size_t> scratch_rows(scratch.rows);
+  for (size_t i = 0; i < scratch.rows; ++i) scratch_rows[i] = i;
+  std::vector<uint8_t> scratch_labels;
+  scratch_labels.reserve(eval_rows.size());
+  for (size_t r : eval_rows) scratch_labels.push_back(labels[r]);
+
+  std::vector<FeatureImportance> importances;
+  importances.reserve(matrix.cols);
+  std::vector<double> column(scratch.rows);
+  for (size_t c = 0; c < matrix.cols; ++c) {
+    for (size_t r = 0; r < scratch.rows; ++r) column[r] = scratch.At(r, c);
+    double drop_total = 0.0;
+    for (size_t rep = 0; rep < options.repetitions; ++rep) {
+      std::vector<double> shuffled = column;
+      std::shuffle(shuffled.begin(), shuffled.end(), rng);
+      for (size_t r = 0; r < scratch.rows; ++r) {
+        scratch.Row(r)[c] = shuffled[r];
+      }
+      drop_total += baseline - F1OfPredictions(classifier, scratch,
+                                               scratch_labels,
+                                               scratch_rows);
+    }
+    for (size_t r = 0; r < scratch.rows; ++r) scratch.Row(r)[c] = column[r];
+
+    FeatureImportance fi;
+    fi.column = c;
+    fi.name = c < matrix.names.size() ? matrix.names[c] : "";
+    fi.importance =
+        drop_total / static_cast<double>(options.repetitions);
+    importances.push_back(std::move(fi));
+  }
+  std::sort(importances.begin(), importances.end(),
+            [](const FeatureImportance& a, const FeatureImportance& b) {
+              if (a.importance != b.importance) {
+                return a.importance > b.importance;
+              }
+              return a.column < b.column;
+            });
+  return importances;
+}
+
+}  // namespace skyex::ml

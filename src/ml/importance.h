@@ -1,0 +1,39 @@
+#ifndef SKYEX_ML_IMPORTANCE_H_
+#define SKYEX_ML_IMPORTANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace skyex::ml {
+
+/// Permutation feature importance (Strobl et al., which the paper cites
+/// when discussing how much work tree-ensemble explainability takes):
+/// the drop in a quality metric when one feature column is shuffled.
+/// This is the "complex, labor-intensive" counterpart to SkyEx-T's
+/// readable preference function.
+struct FeatureImportance {
+  size_t column = 0;
+  std::string name;
+  double importance = 0.0;  // baseline F1 − permuted F1
+};
+
+struct ImportanceOptions {
+  size_t repetitions = 3;
+  uint64_t seed = 29;
+  /// Evaluation rows are capped to bound cost (0 = all).
+  size_t max_rows = 20000;
+};
+
+/// Computes permutation importances of every feature for a fitted
+/// classifier, sorted descending.
+std::vector<FeatureImportance> PermutationImportance(
+    const Classifier& classifier, const FeatureMatrix& matrix,
+    const std::vector<uint8_t>& labels, const std::vector<size_t>& rows,
+    const ImportanceOptions& options = {});
+
+}  // namespace skyex::ml
+
+#endif  // SKYEX_ML_IMPORTANCE_H_

@@ -1,0 +1,97 @@
+#include "ml/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace skyex::ml {
+
+void Standardizer::Fit(const FeatureMatrix& matrix,
+                       const std::vector<size_t>& rows) {
+  mean.assign(matrix.cols, 0.0);
+  stddev.assign(matrix.cols, 1.0);
+  if (rows.empty()) return;
+  for (size_t r : rows) {
+    const double* row = matrix.Row(r);
+    for (size_t c = 0; c < matrix.cols; ++c) mean[c] += row[c];
+  }
+  for (double& m : mean) m /= static_cast<double>(rows.size());
+  std::vector<double> var(matrix.cols, 0.0);
+  for (size_t r : rows) {
+    const double* row = matrix.Row(r);
+    for (size_t c = 0; c < matrix.cols; ++c) {
+      const double d = row[c] - mean[c];
+      var[c] += d * d;
+    }
+  }
+  for (size_t c = 0; c < matrix.cols; ++c) {
+    const double s = std::sqrt(var[c] / static_cast<double>(rows.size()));
+    stddev[c] = s > 1e-12 ? s : 1.0;
+  }
+}
+
+void Standardizer::Apply(const double* row, double* out) const {
+  for (size_t c = 0; c < mean.size(); ++c) {
+    out[c] = (row[c] - mean[c]) / stddev[c];
+  }
+}
+
+LinearSvm::LinearSvm(Options options) : options_(options) {}
+
+void LinearSvm::Fit(const FeatureMatrix& matrix,
+                    const std::vector<uint8_t>& labels,
+                    const std::vector<size_t>& rows) {
+  standardizer_.Fit(matrix, rows);
+  weights_.assign(matrix.cols, 0.0);
+  bias_ = 0.0;
+  if (rows.empty()) return;
+
+  size_t num_pos = 0;
+  for (size_t r : rows) num_pos += labels[r];
+  const size_t num_neg = rows.size() - num_pos;
+  if (num_pos == 0 || num_neg == 0) return;  // degenerate training set
+  const double pos_weight =
+      options_.positive_weight > 0.0
+          ? options_.positive_weight
+          : static_cast<double>(num_neg) / static_cast<double>(num_pos);
+
+  std::mt19937_64 rng(options_.seed);
+  std::vector<size_t> order = rows;
+  std::vector<double> x(matrix.cols);
+  size_t t = 0;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (size_t r : order) {
+      ++t;
+      const double eta = 1.0 / (options_.lambda * static_cast<double>(t));
+      standardizer_.Apply(matrix.Row(r), x.data());
+      const double y = labels[r] ? 1.0 : -1.0;
+      const double weight = labels[r] ? pos_weight : 1.0;
+      double margin = bias_;
+      for (size_t c = 0; c < x.size(); ++c) margin += weights_[c] * x[c];
+      // L2 shrink.
+      const double shrink = 1.0 - eta * options_.lambda;
+      for (double& w : weights_) w *= shrink;
+      if (y * margin < 1.0) {
+        const double step = eta * weight * y;
+        for (size_t c = 0; c < x.size(); ++c) weights_[c] += step * x[c];
+        bias_ += step;
+      }
+    }
+  }
+}
+
+double LinearSvm::Margin(const double* row) const {
+  std::vector<double> x(weights_.size());
+  standardizer_.Apply(row, x.data());
+  double margin = bias_;
+  for (size_t c = 0; c < x.size(); ++c) margin += weights_[c] * x[c];
+  return margin;
+}
+
+double LinearSvm::PredictScore(const double* row) const {
+  // Logistic squash of the margin: 0.5 exactly at the decision boundary.
+  return 1.0 / (1.0 + std::exp(-Margin(row)));
+}
+
+}  // namespace skyex::ml

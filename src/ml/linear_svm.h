@@ -1,0 +1,46 @@
+#ifndef SKYEX_ML_LINEAR_SVM_H_
+#define SKYEX_ML_LINEAR_SVM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace skyex::ml {
+
+struct LinearSvmOptions {
+  double lambda = 1e-4;      // L2 regularization strength
+  size_t epochs = 40;
+  uint64_t seed = 1;
+  /// ≤ 0 → "balanced": weight positives by #neg / #pos.
+  double positive_weight = -1.0;
+};
+
+/// Linear support vector machine trained with the Pegasos stochastic
+/// sub-gradient algorithm on the hinge loss with L2 regularization.
+/// Features are standardized internally; the positive class can be
+/// re-weighted to cope with the extreme imbalance of linkage data.
+class LinearSvm final : public Classifier {
+ public:
+  using Options = LinearSvmOptions;
+
+  explicit LinearSvm(Options options = {});
+
+  void Fit(const FeatureMatrix& matrix, const std::vector<uint8_t>& labels,
+           const std::vector<size_t>& rows) override;
+  double PredictScore(const double* row) const override;
+  std::string name() const override { return "SVM"; }
+
+  /// Raw decision margin w·x + b (positive → class 1).
+  double Margin(const double* row) const;
+
+ private:
+  Options options_;
+  Standardizer standardizer_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace skyex::ml
+
+#endif  // SKYEX_ML_LINEAR_SVM_H_

@@ -1,0 +1,171 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace skyex::ml {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+Mlp::Mlp(Options options) : options_(std::move(options)) {}
+
+double Mlp::Forward(const double* input,
+                    std::vector<std::vector<double>>* activations) const {
+  std::vector<double> current(standardizer_.mean.size());
+  standardizer_.Apply(input, current.data());
+  if (activations != nullptr) activations->push_back(current);
+
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> next(layer.out, 0.0);
+    for (size_t o = 0; o < layer.out; ++o) {
+      double z = layer.bias[o];
+      const double* w = layer.weights.data() + o * layer.in;
+      for (size_t i = 0; i < layer.in; ++i) z += w[i] * current[i];
+      const bool is_output = (l + 1 == layers_.size());
+      next[o] = is_output ? Sigmoid(z) : std::max(0.0, z);
+    }
+    current = std::move(next);
+    if (activations != nullptr) activations->push_back(current);
+  }
+  return current[0];
+}
+
+void Mlp::Fit(const FeatureMatrix& matrix, const std::vector<uint8_t>& labels,
+              const std::vector<size_t>& rows) {
+  standardizer_.Fit(matrix, rows);
+  layers_.clear();
+  if (rows.empty()) return;
+
+  size_t num_pos = 0;
+  for (size_t r : rows) num_pos += labels[r];
+  const size_t num_neg = rows.size() - num_pos;
+  const double pos_weight =
+      options_.positive_weight > 0.0
+          ? options_.positive_weight
+          : (num_pos > 0 && num_neg > 0
+                 ? static_cast<double>(num_neg) / static_cast<double>(num_pos)
+                 : 1.0);
+
+  // Architecture: input → hidden... → 1.
+  std::mt19937_64 rng(options_.seed);
+  std::vector<size_t> sizes;
+  sizes.push_back(matrix.cols);
+  for (size_t h : options_.hidden) sizes.push_back(h);
+  sizes.push_back(1);
+  for (size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    layer.in = sizes[l];
+    layer.out = sizes[l + 1];
+    // He initialization for the ReLU layers.
+    std::normal_distribution<double> init(
+        0.0, std::sqrt(2.0 / static_cast<double>(layer.in)));
+    layer.weights.resize(layer.out * layer.in);
+    for (double& w : layer.weights) w = init(rng);
+    layer.bias.assign(layer.out, 0.0);
+    layer.m_w.assign(layer.weights.size(), 0.0);
+    layer.v_w.assign(layer.weights.size(), 0.0);
+    layer.m_b.assign(layer.out, 0.0);
+    layer.v_b.assign(layer.out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  size_t adam_t = 0;
+
+  std::vector<size_t> order = rows;
+  // Gradient accumulators per layer (same shapes as the parameters).
+  std::vector<std::vector<double>> grad_w(layers_.size());
+  std::vector<std::vector<double>> grad_b(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    grad_w[l].assign(layers_[l].weights.size(), 0.0);
+    grad_b[l].assign(layers_[l].out, 0.0);
+  }
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (size_t start = 0; start < order.size();
+         start += options_.batch_size) {
+      const size_t stop = std::min(start + options_.batch_size,
+                                   order.size());
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        std::fill(grad_w[l].begin(), grad_w[l].end(), 0.0);
+        std::fill(grad_b[l].begin(), grad_b[l].end(), 0.0);
+      }
+
+      for (size_t k = start; k < stop; ++k) {
+        const size_t r = order[k];
+        std::vector<std::vector<double>> acts;
+        const double prob = Forward(matrix.Row(r), &acts);
+        const double y = static_cast<double>(labels[r]);
+        const double weight = labels[r] ? pos_weight : 1.0;
+        // dL/dz of the sigmoid + BCE output: (p - y), scaled by the
+        // class weight.
+        std::vector<double> delta{weight * (prob - y)};
+        for (size_t l = layers_.size(); l-- > 0;) {
+          const Layer& layer = layers_[l];
+          const std::vector<double>& input = acts[l];
+          std::vector<double> prev_delta(layer.in, 0.0);
+          for (size_t o = 0; o < layer.out; ++o) {
+            const double d = delta[o];
+            if (d == 0.0) continue;
+            double* gw = grad_w[l].data() + o * layer.in;
+            const double* w = layer.weights.data() + o * layer.in;
+            for (size_t i = 0; i < layer.in; ++i) {
+              gw[i] += d * input[i];
+              prev_delta[i] += d * w[i];
+            }
+            grad_b[l][o] += d;
+          }
+          if (l > 0) {
+            // ReLU derivative on the hidden activation.
+            const std::vector<double>& hidden_out = acts[l];
+            for (size_t i = 0; i < prev_delta.size(); ++i) {
+              if (hidden_out[i] <= 0.0) prev_delta[i] = 0.0;
+            }
+          }
+          delta = std::move(prev_delta);
+        }
+      }
+
+      // Adam update.
+      ++adam_t;
+      const double batch_n = static_cast<double>(stop - start);
+      const double corr1 = 1.0 - std::pow(kBeta1, adam_t);
+      const double corr2 = 1.0 - std::pow(kBeta2, adam_t);
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        for (size_t i = 0; i < layer.weights.size(); ++i) {
+          const double g =
+              grad_w[l][i] / batch_n + options_.l2 * layer.weights[i];
+          layer.m_w[i] = kBeta1 * layer.m_w[i] + (1.0 - kBeta1) * g;
+          layer.v_w[i] = kBeta2 * layer.v_w[i] + (1.0 - kBeta2) * g * g;
+          layer.weights[i] -= options_.learning_rate *
+                              (layer.m_w[i] / corr1) /
+                              (std::sqrt(layer.v_w[i] / corr2) + kEps);
+        }
+        for (size_t o = 0; o < layer.out; ++o) {
+          const double g = grad_b[l][o] / batch_n;
+          layer.m_b[o] = kBeta1 * layer.m_b[o] + (1.0 - kBeta1) * g;
+          layer.v_b[o] = kBeta2 * layer.v_b[o] + (1.0 - kBeta2) * g * g;
+          layer.bias[o] -= options_.learning_rate * (layer.m_b[o] / corr1) /
+                           (std::sqrt(layer.v_b[o] / corr2) + kEps);
+        }
+      }
+    }
+  }
+}
+
+double Mlp::PredictScore(const double* row) const {
+  if (layers_.empty()) return 0.0;
+  return Forward(row, nullptr);
+}
+
+}  // namespace skyex::ml

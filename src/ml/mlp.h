@@ -1,0 +1,57 @@
+#ifndef SKYEX_ML_MLP_H_
+#define SKYEX_ML_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace skyex::ml {
+
+struct MlpOptions {
+  std::vector<size_t> hidden = {32, 16};
+  size_t epochs = 60;
+  size_t batch_size = 64;
+  double learning_rate = 1e-3;
+  double l2 = 1e-5;
+  uint64_t seed = 6;
+  /// ≤ 0 → "balanced": weight positives by #neg / #pos.
+  double positive_weight = -1.0;
+};
+
+/// Multi-layer perceptron: ReLU hidden layers, sigmoid output, weighted
+/// binary cross-entropy, Adam optimizer, standardized inputs.
+class Mlp final : public Classifier {
+ public:
+  using Options = MlpOptions;
+
+  explicit Mlp(Options options = {});
+
+  void Fit(const FeatureMatrix& matrix, const std::vector<uint8_t>& labels,
+           const std::vector<size_t>& rows) override;
+  double PredictScore(const double* row) const override;
+  std::string name() const override { return "MLP"; }
+
+ private:
+  struct Layer {
+    size_t in = 0;
+    size_t out = 0;
+    std::vector<double> weights;  // out × in, row-major
+    std::vector<double> bias;     // out
+    // Adam state
+    std::vector<double> m_w, v_w, m_b, v_b;
+  };
+
+  // Forward pass; `activations` receives the output of every layer
+  // (pre-activation output layer last, already sigmoided).
+  double Forward(const double* input,
+                 std::vector<std::vector<double>>* activations) const;
+
+  Options options_;
+  Standardizer standardizer_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace skyex::ml
+
+#endif  // SKYEX_ML_MLP_H_

@@ -1,0 +1,45 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+#include <random>
+
+namespace skyex::ml {
+
+RandomForest::RandomForest(Options options) : options_(options) {}
+
+void RandomForest::Fit(const FeatureMatrix& matrix,
+                       const std::vector<uint8_t>& labels,
+                       const std::vector<size_t>& rows) {
+  trees_.clear();
+  if (rows.empty()) return;
+  std::mt19937_64 rng(options_.seed);
+
+  TreeOptions tree_options = options_.tree;
+  if (tree_options.max_features == 0) {
+    tree_options.max_features = static_cast<size_t>(
+        std::lround(std::sqrt(static_cast<double>(matrix.cols))));
+  }
+
+  size_t bag = rows.size();
+  if (options_.max_bag_size > 0) bag = std::min(bag, options_.max_bag_size);
+
+  std::uniform_int_distribution<size_t> pick(0, rows.size() - 1);
+  std::vector<size_t> sample(bag);
+  trees_.reserve(options_.num_trees);
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    for (size_t k = 0; k < bag; ++k) sample[k] = rows[pick(rng)];
+    trees_.emplace_back(tree_options);
+    trees_.back().Fit(matrix, labels, sample, &rng);
+  }
+}
+
+double RandomForest::PredictScore(const double* row) const {
+  if (trees_.empty()) return 0.0;
+  double total = 0.0;
+  for (const ClassificationTree& tree : trees_) {
+    total += tree.PredictScore(row);
+  }
+  return total / static_cast<double>(trees_.size());
+}
+
+}  // namespace skyex::ml

@@ -1,0 +1,39 @@
+#ifndef SKYEX_ML_RANDOM_FOREST_H_
+#define SKYEX_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace skyex::ml {
+
+struct RandomForestOptions {
+  size_t num_trees = 60;
+  /// Bootstrap sample size cap (0 = the training size).
+  size_t max_bag_size = 20000;
+  uint64_t seed = 3;
+  TreeOptions tree;
+};
+
+/// Random forest: bootstrap-bagged CART trees with √d feature
+/// subsampling per split; scores are averaged leaf fractions.
+class RandomForest final : public Classifier {
+ public:
+  using Options = RandomForestOptions;
+
+  explicit RandomForest(Options options = {});
+
+  void Fit(const FeatureMatrix& matrix, const std::vector<uint8_t>& labels,
+           const std::vector<size_t>& rows) override;
+  double PredictScore(const double* row) const override;
+  std::string name() const override { return "RandomForest"; }
+
+ private:
+  Options options_;
+  std::vector<ClassificationTree> trees_;
+};
+
+}  // namespace skyex::ml
+
+#endif  // SKYEX_ML_RANDOM_FOREST_H_

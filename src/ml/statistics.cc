@@ -1,0 +1,166 @@
+#include "ml/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skyex::ml {
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  const size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_x = 0.0;
+  double var_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  return cov / std::sqrt(var_x * var_y);
+}
+
+double FeatureClassCorrelation(const FeatureMatrix& matrix, size_t column,
+                               const std::vector<uint8_t>& labels,
+                               const std::vector<size_t>& rows) {
+  std::vector<double> x;
+  std::vector<double> y;
+  x.reserve(rows.size());
+  y.reserve(rows.size());
+  for (size_t r : rows) {
+    x.push_back(matrix.At(r, column));
+    y.push_back(static_cast<double>(labels[r]));
+  }
+  return PearsonCorrelation(x, y);
+}
+
+namespace {
+
+// Equal-width discretization into `bins` buckets; constant vectors map
+// to bucket 0.
+std::vector<size_t> Discretize(const std::vector<double>& x, size_t bins) {
+  std::vector<size_t> out(x.size(), 0);
+  if (x.empty()) return out;
+  const auto [min_it, max_it] = std::minmax_element(x.begin(), x.end());
+  const double lo = *min_it;
+  const double hi = *max_it;
+  if (hi <= lo) return out;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (size_t i = 0; i < x.size(); ++i) {
+    size_t b = static_cast<size_t>((x[i] - lo) / width);
+    out[i] = std::min(b, bins - 1);
+  }
+  return out;
+}
+
+size_t DefaultBins(size_t n) {
+  // The infotheo default: cube root of the sample size.
+  return std::max<size_t>(2, static_cast<size_t>(std::cbrt(
+                                 static_cast<double>(n))));
+}
+
+struct JointCounts {
+  std::vector<double> px;
+  std::vector<double> py;
+  std::vector<double> pxy;  // bins_x * bins_y
+  size_t bins = 0;
+};
+
+JointCounts CountJoint(const std::vector<size_t>& bx,
+                       const std::vector<size_t>& by, size_t bins) {
+  JointCounts c;
+  c.bins = bins;
+  c.px.assign(bins, 0.0);
+  c.py.assign(bins, 0.0);
+  c.pxy.assign(bins * bins, 0.0);
+  const double inv_n = 1.0 / static_cast<double>(bx.size());
+  for (size_t i = 0; i < bx.size(); ++i) {
+    c.px[bx[i]] += inv_n;
+    c.py[by[i]] += inv_n;
+    c.pxy[bx[i] * bins + by[i]] += inv_n;
+  }
+  return c;
+}
+
+double Entropy(const std::vector<double>& p) {
+  double h = 0.0;
+  for (double v : p) {
+    if (v > 0.0) h -= v * std::log(v);
+  }
+  return h;
+}
+
+double MiFromCounts(const JointCounts& c) {
+  double mi = 0.0;
+  for (size_t i = 0; i < c.bins; ++i) {
+    for (size_t j = 0; j < c.bins; ++j) {
+      const double joint = c.pxy[i * c.bins + j];
+      if (joint <= 0.0) continue;
+      const double denom = c.px[i] * c.py[j];
+      if (denom > 0.0) mi += joint * std::log(joint / denom);
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+}  // namespace
+
+double MutualInformation(const std::vector<double>& x,
+                         const std::vector<double>& y, size_t bins) {
+  const size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  if (bins == 0) bins = DefaultBins(n);
+  const std::vector<size_t> bx = Discretize(x, bins);
+  const std::vector<size_t> by = Discretize(y, bins);
+  return MiFromCounts(CountJoint(bx, by, bins));
+}
+
+double NormalizedMutualInformation(const std::vector<double>& x,
+                                   const std::vector<double>& y,
+                                   size_t bins) {
+  const size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  if (bins == 0) bins = DefaultBins(n);
+  const std::vector<size_t> bx = Discretize(x, bins);
+  const std::vector<size_t> by = Discretize(y, bins);
+  const JointCounts c = CountJoint(bx, by, bins);
+  const double hx = Entropy(c.px);
+  const double hy = Entropy(c.py);
+  if (hx <= 0.0 || hy <= 0.0) return 0.0;
+  return std::min(1.0, MiFromCounts(c) / std::sqrt(hx * hy));
+}
+
+std::vector<std::vector<double>> PairwiseNormalizedMi(
+    const FeatureMatrix& matrix, const std::vector<size_t>& rows,
+    size_t bins) {
+  const size_t cols = matrix.cols;
+  std::vector<std::vector<double>> mi(cols, std::vector<double>(cols, 0.0));
+  std::vector<std::vector<double>> columns(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    columns[c].reserve(rows.size());
+    for (size_t r : rows) columns[c].push_back(matrix.At(r, c));
+  }
+  for (size_t a = 0; a < cols; ++a) {
+    mi[a][a] = 1.0;
+    for (size_t b = a + 1; b < cols; ++b) {
+      const double v = NormalizedMutualInformation(columns[a], columns[b],
+                                                   bins);
+      mi[a][b] = v;
+      mi[b][a] = v;
+    }
+  }
+  return mi;
+}
+
+}  // namespace skyex::ml

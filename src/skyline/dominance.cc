@@ -1,0 +1,23 @@
+#include "skyline/dominance.h"
+
+namespace skyex::skyline {
+
+bool Dominates(const Preference& preference, const double* a,
+               const double* b) {
+  return preference.Compare(a, b) == Comparison::kBetter;
+}
+
+Comparison Flip(Comparison c) {
+  switch (c) {
+    case Comparison::kBetter:
+      return Comparison::kWorse;
+    case Comparison::kWorse:
+      return Comparison::kBetter;
+    case Comparison::kEqual:
+    case Comparison::kIncomparable:
+      return c;
+  }
+  return c;
+}
+
+}  // namespace skyex::skyline

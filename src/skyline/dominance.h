@@ -1,0 +1,17 @@
+#ifndef SKYEX_SKYLINE_DOMINANCE_H_
+#define SKYEX_SKYLINE_DOMINANCE_H_
+
+#include "skyline/preference.h"
+
+namespace skyex::skyline {
+
+/// True when row `a` is preferred over row `b` (a dominates b).
+bool Dominates(const Preference& preference, const double* a,
+               const double* b);
+
+/// The comparison seen from the other side (Better ↔ Worse).
+Comparison Flip(Comparison c);
+
+}  // namespace skyex::skyline
+
+#endif  // SKYEX_SKYLINE_DOMINANCE_H_

@@ -1,0 +1,114 @@
+#include "skyline/layers.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace skyex::skyline {
+
+SkylinePeeler::SkylinePeeler(const ml::FeatureMatrix& matrix,
+                             std::vector<size_t> rows,
+                             const Preference& preference)
+    : matrix_(matrix),
+      preference_(preference),
+      compiled_(Compile(preference)),
+      order_(std::move(rows)) {
+  if (!compiled_.has_value()) return;
+  // Pre-sort by the dominance-compatible lexicographic key: a dominating
+  // row always sorts strictly before the rows it dominates.
+  const size_t key_size = compiled_->KeySize();
+  std::vector<double> keys(order_.size() * key_size);
+  for (size_t k = 0; k < order_.size(); ++k) {
+    compiled_->Key(matrix_.Row(order_[k]), keys.data() + k * key_size);
+  }
+  std::vector<size_t> positions(order_.size());
+  std::iota(positions.begin(), positions.end(), 0);
+  std::sort(positions.begin(), positions.end(),
+            [&](size_t x, size_t y) {
+              const double* kx = keys.data() + x * key_size;
+              const double* ky = keys.data() + y * key_size;
+              for (size_t g = 0; g < key_size; ++g) {
+                if (kx[g] != ky[g]) return kx[g] > ky[g];
+              }
+              return order_[x] < order_[y];  // stable tie-break
+            });
+  std::vector<size_t> sorted;
+  sorted.reserve(order_.size());
+  for (size_t p : positions) sorted.push_back(order_[p]);
+  order_ = std::move(sorted);
+  presorted_ = true;
+}
+
+// With presorting, a dominator always precedes the rows it dominates, so
+// the eviction branch in Next() never fires; without it (general trees)
+// the full BNL handles out-of-order arrivals.
+
+Comparison SkylinePeeler::CompareRows(size_t a, size_t b) const {
+  const double* ra = matrix_.Row(a);
+  const double* rb = matrix_.Row(b);
+  if (compiled_.has_value()) return compiled_->Compare(ra, rb);
+  return preference_.Compare(ra, rb);
+}
+
+std::vector<size_t> SkylinePeeler::Next() {
+  if (order_.empty()) return {};
+
+  // Block-nested-loop pass: `window` accumulates the current skyline,
+  // `survivors` the dominated rows that stay for later layers.
+  std::vector<size_t> window;
+  std::vector<size_t> survivors;
+  survivors.reserve(order_.size());
+  for (size_t row : order_) {
+    bool dominated = false;
+    for (size_t w = 0; w < window.size();) {
+      const Comparison c = CompareRows(window[w], row);
+      if (c == Comparison::kBetter) {
+        dominated = true;
+        break;
+      }
+      if (c == Comparison::kWorse) {
+        // Only possible without presorting: the new row evicts a window
+        // member, which stays around for the next layer.
+        survivors.push_back(window[w]);
+        window[w] = window.back();
+        window.pop_back();
+        continue;
+      }
+      ++w;
+    }
+    if (dominated) {
+      survivors.push_back(row);
+    } else {
+      window.push_back(row);
+    }
+  }
+
+  order_ = std::move(survivors);  // presorted order is preserved
+  ++layers_peeled_;
+  return window;
+}
+
+SkylineLayers ComputeSkylineLayers(const ml::FeatureMatrix& matrix,
+                                   const std::vector<size_t>& rows,
+                                   const Preference& preference) {
+  SkylineLayers result;
+  result.layer.assign(rows.size(), 0);
+
+  std::unordered_map<size_t, size_t> position_of;
+  position_of.reserve(rows.size());
+  for (size_t k = 0; k < rows.size(); ++k) position_of[rows[k]] = k;
+
+  SkylinePeeler peeler(matrix, rows, preference);
+  for (;;) {
+    const std::vector<size_t> skyline = peeler.Next();
+    if (skyline.empty()) break;
+    result.max_layer = peeler.layers_peeled();
+    result.layer_counts.push_back(skyline.size());
+    for (size_t row : skyline) {
+      result.layer[position_of.at(row)] = result.max_layer;
+    }
+  }
+  return result;
+}
+
+}  // namespace skyex::skyline

@@ -1,0 +1,123 @@
+#include "skyline/serialize.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace skyex::skyline {
+
+std::string SerializePreference(const Preference& preference) {
+  // SkyEx preferences are always in the canonical priority-of-Pareto
+  // form, which is what the grammar expresses.
+  const std::optional<CompiledPreference> compiled = Compile(preference);
+  if (!compiled.has_value()) return "";
+  std::string out;
+  for (size_t g = 0; g < compiled->groups.size(); ++g) {
+    if (g > 0) out += " > ";
+    const auto& group = compiled->groups[g];
+    if (group.size() > 1) out += "(";
+    for (size_t t = 0; t < group.size(); ++t) {
+      if (t > 0) out += " & ";
+      out += group[t].sign > 0 ? "high(" : "low(";
+      out += std::to_string(group[t].feature);
+      out += ")";
+    }
+    if (group.size() > 1) out += ")";
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::unique_ptr<Preference> Parse() {
+    std::vector<std::unique_ptr<Preference>> groups;
+    for (;;) {
+      auto group = ParseGroup();
+      if (group == nullptr) return nullptr;
+      groups.push_back(std::move(group));
+      SkipSpace();
+      if (!Consume('>')) break;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) return nullptr;  // trailing garbage
+    return PriorityOf(std::move(groups));
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<Preference> ParseGroup() {
+    SkipSpace();
+    const bool parenthesized = Consume('(');
+    std::vector<std::unique_ptr<Preference>> terms;
+    for (;;) {
+      auto term = ParseTerm();
+      if (term == nullptr) return nullptr;
+      terms.push_back(std::move(term));
+      if (!Consume('&')) break;
+    }
+    if (parenthesized && !Consume(')')) return nullptr;
+    return ParetoOf(std::move(terms));
+  }
+
+  std::unique_ptr<Preference> ParseTerm() {
+    Direction direction;
+    if (ConsumeWord("high")) {
+      direction = Direction::kHigh;
+    } else if (ConsumeWord("low")) {
+      direction = Direction::kLow;
+    } else {
+      return nullptr;
+    }
+    if (!Consume('(')) return nullptr;
+    SkipSpace();
+    size_t digits = 0;
+    size_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + static_cast<size_t>(text_[pos_] - '0');
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0 || !Consume(')')) return nullptr;
+    return FeatureDirection(value, direction);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Preference> ParsePreference(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace skyex::skyline

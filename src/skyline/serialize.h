@@ -1,0 +1,30 @@
+#ifndef SKYEX_SKYLINE_SERIALIZE_H_
+#define SKYEX_SKYLINE_SERIALIZE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "skyline/preference.h"
+
+namespace skyex::skyline {
+
+/// Serializes a preference tree to a compact, index-based expression:
+///
+///   pref     := pareto (" > " pareto)*          (priority chain)
+///   pareto   := term (" & " term)* | "(" pareto ")"
+///   term     := ("high" | "low") "(" <feature index> ")"
+///
+/// e.g. "(high(3) & low(7)) > high(12)". Together with the cut-off ratio
+/// this is the entire SkyEx-T model, so trained models can be persisted
+/// and re-loaded.
+std::string SerializePreference(const Preference& preference);
+
+/// Parses an expression produced by SerializePreference (whitespace
+/// tolerant). Returns nullptr on malformed input.
+std::unique_ptr<Preference> ParsePreference(std::string_view text);
+
+}  // namespace skyex::skyline
+
+#endif  // SKYEX_SKYLINE_SERIALIZE_H_

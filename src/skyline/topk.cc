@@ -1,0 +1,50 @@
+#include "skyline/topk.h"
+
+#include <algorithm>
+
+#include "skyline/layers.h"
+
+namespace skyex::skyline {
+
+std::vector<size_t> TopPreferred(const ml::FeatureMatrix& matrix,
+                                 const std::vector<size_t>& rows,
+                                 const Preference& preference, size_t n) {
+  std::vector<size_t> top;
+  if (n == 0 || rows.empty()) return top;
+  n = std::min(n, rows.size());
+
+  SkylinePeeler peeler(matrix, rows, preference);
+  const std::optional<CompiledPreference> compiled = Compile(preference);
+  while (top.size() < n) {
+    std::vector<size_t> skyline = peeler.Next();
+    if (skyline.empty()) break;
+    if (top.size() + skyline.size() > n && compiled.has_value()) {
+      // Truncate the crossing skyline by the lexicographic key.
+      const size_t key_size = compiled->KeySize();
+      std::vector<std::vector<double>> keys(skyline.size());
+      for (size_t k = 0; k < skyline.size(); ++k) {
+        keys[k].resize(key_size);
+        compiled->Key(matrix.Row(skyline[k]), keys[k].data());
+      }
+      std::vector<size_t> positions(skyline.size());
+      for (size_t k = 0; k < positions.size(); ++k) positions[k] = k;
+      std::sort(positions.begin(), positions.end(),
+                [&](size_t x, size_t y) {
+                  if (keys[x] != keys[y]) return keys[x] > keys[y];
+                  return skyline[x] < skyline[y];
+                });
+      for (size_t p : positions) {
+        if (top.size() >= n) break;
+        top.push_back(skyline[p]);
+      }
+      break;
+    }
+    for (size_t r : skyline) {
+      if (top.size() >= n) break;
+      top.push_back(r);
+    }
+  }
+  return top;
+}
+
+}  // namespace skyex::skyline

@@ -1,0 +1,23 @@
+#ifndef SKYEX_SKYLINE_TOPK_H_
+#define SKYEX_SKYLINE_TOPK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset_view.h"
+#include "skyline/preference.h"
+
+namespace skyex::skyline {
+
+/// The `n` most-preferred rows under the preference: whole skylines are
+/// taken in order; the skyline that crosses the budget is truncated by
+/// the (dominance-compatible) group-sum key, so the result is a stable,
+/// deterministic "top matches" list — the review-queue primitive of a
+/// linkage deployment.
+std::vector<size_t> TopPreferred(const ml::FeatureMatrix& matrix,
+                                 const std::vector<size_t>& rows,
+                                 const Preference& preference, size_t n);
+
+}  // namespace skyex::skyline
+
+#endif  // SKYEX_SKYLINE_TOPK_H_

@@ -1,0 +1,93 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace skyex::text {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  // Two-row dynamic program.
+  std::vector<size_t> prev(b.size() + 1);
+  std::vector<size_t> cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t sub_cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + sub_cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  // Three-row dynamic program (optimal string alignment).
+  const size_t cols = b.size() + 1;
+  std::vector<size_t> two_back(cols);
+  std::vector<size_t> prev(cols);
+  std::vector<size_t> cur(cols);
+  for (size_t j = 0; j < cols; ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t sub_cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + sub_cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        cur[j] = std::min(cur[j], two_back[j - 2] + 1);
+      }
+    }
+    std::swap(two_back, prev);
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+size_t LongestCommonSubsequence(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0;
+  std::vector<size_t> prev(b.size() + 1, 0);
+  std::vector<size_t> cur(b.size() + 1, 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+namespace {
+
+double NormalizedSimilarity(size_t distance, size_t len_a, size_t len_b) {
+  const size_t longest = std::max(len_a, len_b);
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(distance) / static_cast<double>(longest);
+}
+
+}  // namespace
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  return NormalizedSimilarity(LevenshteinDistance(a, b), a.size(), b.size());
+}
+
+double DamerauLevenshteinSimilarity(std::string_view a, std::string_view b) {
+  return NormalizedSimilarity(DamerauLevenshteinDistance(a, b), a.size(),
+                              b.size());
+}
+
+double LcsSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  return 2.0 * static_cast<double>(LongestCommonSubsequence(a, b)) /
+         static_cast<double>(a.size() + b.size());
+}
+
+}  // namespace skyex::text

@@ -1,0 +1,88 @@
+#include "text/jaro.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "text/tokenize.h"
+
+namespace skyex::text {
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t len_a = a.size();
+  const size_t len_b = b.size();
+  const size_t match_window =
+      std::max<size_t>(1, std::max(len_a, len_b) / 2) - 1;
+
+  std::vector<bool> matched_a(len_a, false);
+  std::vector<bool> matched_b(len_b, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < len_a; ++i) {
+    const size_t lo = (i > match_window) ? i - match_window : 0;
+    const size_t hi = std::min(len_b, i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!matched_b[j] && a[i] == b[j]) {
+        matched_a[i] = true;
+        matched_b[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions: matched characters out of order.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < len_a; ++i) {
+    if (!matched_a[i]) continue;
+    while (!matched_b[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / len_a + m / len_b + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale, double boost_threshold) {
+  const double jaro = JaroSimilarity(a, b);
+  if (jaro < boost_threshold) return jaro;
+  size_t prefix = 0;
+  const size_t max_prefix = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  return jaro + prefix * prefix_scale * (1.0 - jaro);
+}
+
+double ReversedJaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  std::string ra(a.rbegin(), a.rend());
+  std::string rb(b.rbegin(), b.rend());
+  return JaroWinklerSimilarity(ra, rb);
+}
+
+double SortedJaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  return JaroWinklerSimilarity(SortTokens(a), SortTokens(b));
+}
+
+double PermutedJaroWinklerSimilarity(std::string_view a, std::string_view b,
+                                     size_t max_tokens) {
+  std::vector<std::string> tokens = Tokenize(a);
+  if (tokens.size() <= 1) return JaroWinklerSimilarity(a, b);
+  if (tokens.size() > max_tokens) return SortedJaroWinklerSimilarity(a, b);
+  std::sort(tokens.begin(), tokens.end());
+  double best = 0.0;
+  do {
+    best = std::max(best, JaroWinklerSimilarity(JoinTokens(tokens), b));
+  } while (std::next_permutation(tokens.begin(), tokens.end()));
+  return best;
+}
+
+double TunedJaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  // Larger prefix reward, applied unconditionally (boost threshold 0).
+  return JaroWinklerSimilarity(a, b, /*prefix_scale=*/0.17,
+                               /*boost_threshold=*/0.0);
+}
+
+}  // namespace skyex::text

@@ -1,0 +1,101 @@
+#include "text/ngram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace skyex::text {
+
+namespace {
+
+std::map<std::string, int> CountGrams(const std::vector<std::string>& grams) {
+  std::map<std::string, int> counts;
+  for (const std::string& g : grams) ++counts[g];
+  return counts;
+}
+
+}  // namespace
+
+std::vector<std::string> CharNgrams(std::string_view input, size_t n) {
+  std::vector<std::string> grams;
+  if (input.empty() || n == 0) return grams;
+  if (input.size() < n) {
+    grams.emplace_back(input);
+    return grams;
+  }
+  grams.reserve(input.size() - n + 1);
+  for (size_t i = 0; i + n <= input.size(); ++i) {
+    grams.emplace_back(input.substr(i, n));
+  }
+  return grams;
+}
+
+std::vector<std::string> SkipGrams(std::string_view input, size_t max_skip) {
+  std::vector<std::string> grams;
+  for (size_t i = 0; i < input.size(); ++i) {
+    for (size_t skip = 0; skip <= max_skip; ++skip) {
+      size_t j = i + 1 + skip;
+      if (j >= input.size()) break;
+      std::string g;
+      g.push_back(input[i]);
+      g.push_back(input[j]);
+      grams.push_back(std::move(g));
+    }
+  }
+  if (grams.empty() && !input.empty()) grams.emplace_back(input);
+  return grams;
+}
+
+double MultisetJaccard(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const auto ca = CountGrams(a);
+  const auto cb = CountGrams(b);
+  size_t inter = 0;
+  for (const auto& [gram, count] : ca) {
+    auto it = cb.find(gram);
+    if (it != cb.end()) inter += std::min(count, it->second);
+  }
+  const size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double MultisetDice(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const auto ca = CountGrams(a);
+  const auto cb = CountGrams(b);
+  size_t inter = 0;
+  for (const auto& [gram, count] : ca) {
+    auto it = cb.find(gram);
+    if (it != cb.end()) inter += std::min(count, it->second);
+  }
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(a.size() + b.size());
+}
+
+double MultisetCosine(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const auto ca = CountGrams(a);
+  const auto cb = CountGrams(b);
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (const auto& [gram, count] : ca) {
+    norm_a += static_cast<double>(count) * count;
+    auto it = cb.find(gram);
+    if (it != cb.end()) dot += static_cast<double>(count) * it->second;
+  }
+  for (const auto& [gram, count] : cb) {
+    norm_b += static_cast<double>(count) * count;
+  }
+  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
+  // Rounding can push identical vectors epsilon above 1.
+  return std::min(1.0, dot / (std::sqrt(norm_a) * std::sqrt(norm_b)));
+}
+
+}  // namespace skyex::text

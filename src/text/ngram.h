@@ -1,0 +1,33 @@
+#ifndef SKYEX_TEXT_NGRAM_H_
+#define SKYEX_TEXT_NGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skyex::text {
+
+/// Extracts the character n-grams of `input` (contiguous, unpadded).
+/// Strings shorter than `n` yield the whole string as a single gram.
+std::vector<std::string> CharNgrams(std::string_view input, size_t n);
+
+/// Extracts skip-grams: 2-character grams where the two characters are
+/// separated by exactly 0..max_skip other characters (skip 0 == bigrams).
+std::vector<std::string> SkipGrams(std::string_view input, size_t max_skip);
+
+/// Multiset Jaccard similarity of two gram collections:
+/// |A ∩ B| / |A ∪ B| counting multiplicities.
+double MultisetJaccard(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b);
+
+/// Multiset Dice coefficient: 2|A ∩ B| / (|A| + |B|).
+double MultisetDice(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b);
+
+/// Cosine similarity of the gram count vectors.
+double MultisetCosine(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+}  // namespace skyex::text
+
+#endif  // SKYEX_TEXT_NGRAM_H_

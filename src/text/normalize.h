@@ -1,0 +1,31 @@
+#ifndef SKYEX_TEXT_NORMALIZE_H_
+#define SKYEX_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace skyex::text {
+
+/// Folds a UTF-8 string to lower-case ASCII.
+///
+/// Handles the Latin-1 / Latin Extended-A accented letters that occur in
+/// European place and business names (é→e, ü→u, ñ→n, ...) plus the Danish
+/// and Norwegian specials (æ→ae, ø→oe, å→aa), which matters for the
+/// North-DK style data the paper evaluates on. Unknown multi-byte
+/// sequences are dropped; ASCII passes through lower-cased.
+std::string FoldAccents(std::string_view input);
+
+/// Replaces every character that is not a letter, digit or space with a
+/// space. Intended to run on FoldAccents output (pure ASCII).
+std::string StripPunctuation(std::string_view input);
+
+/// Collapses runs of whitespace into single spaces and trims both ends.
+std::string CollapseWhitespace(std::string_view input);
+
+/// Full pre-processing used by LGM-Sim and the feature extractor:
+/// accent folding, lower-casing, punctuation removal, whitespace collapse.
+std::string Normalize(std::string_view input);
+
+}  // namespace skyex::text
+
+#endif  // SKYEX_TEXT_NORMALIZE_H_

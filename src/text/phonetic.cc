@@ -1,0 +1,161 @@
+#include "text/phonetic.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+#include "text/ngram.h"
+#include "text/tokenize.h"
+
+namespace skyex::text {
+
+namespace {
+
+bool IsAsciiLetter(char c) { return c >= 'a' && c <= 'z'; }
+
+// Soundex digit classes; 0 = vowels and h/w (ignored).
+char SoundexDigit(char c) {
+  switch (c) {
+    case 'b': case 'f': case 'p': case 'v':
+      return '1';
+    case 'c': case 'g': case 'j': case 'k': case 'q': case 's': case 'x':
+    case 'z':
+      return '2';
+    case 'd': case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm': case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+std::string CleanWord(std::string_view word) {
+  std::string out;
+  for (char c : word) {
+    const char lower =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (IsAsciiLetter(lower)) out.push_back(lower);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view word) {
+  const std::string clean = CleanWord(word);
+  if (clean.empty()) return "";
+  std::string code;
+  code.push_back(clean[0]);
+  char last_digit = SoundexDigit(clean[0]);
+  for (size_t i = 1; i < clean.size() && code.size() < 4; ++i) {
+    const char c = clean[i];
+    const char digit = SoundexDigit(c);
+    if (digit != '0' && digit != last_digit) code.push_back(digit);
+    // h and w are transparent: the previous digit survives across them.
+    if (c != 'h' && c != 'w') last_digit = digit;
+  }
+  while (code.size() < 4) code.push_back('0');
+  return code;
+}
+
+std::string Nysiis(std::string_view word) {
+  std::string w = CleanWord(word);
+  if (w.empty()) return "";
+
+  const auto replace_prefix = [&](std::string_view from,
+                                  std::string_view to) {
+    if (w.rfind(from, 0) == 0) w = std::string(to) + w.substr(from.size());
+  };
+  const auto replace_suffix = [&](std::string_view from,
+                                  std::string_view to) {
+    if (w.size() >= from.size() &&
+        w.compare(w.size() - from.size(), from.size(), from) == 0) {
+      w = w.substr(0, w.size() - from.size()) + std::string(to);
+    }
+  };
+  replace_prefix("mac", "mcc");
+  replace_prefix("kn", "nn");
+  replace_prefix("k", "c");
+  replace_prefix("ph", "ff");
+  replace_prefix("pf", "ff");
+  replace_prefix("sch", "sss");
+  replace_suffix("ee", "y");
+  replace_suffix("ie", "y");
+  for (const char* s : {"dt", "rt", "rd", "nt", "nd"}) replace_suffix(s, "d");
+
+  std::string code;
+  code.push_back(w[0]);
+  const auto is_vowel = [](char c) {
+    return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+  };
+  for (size_t i = 1; i < w.size(); ++i) {
+    char c = w[i];
+    // Transcode the current position.
+    if (w.compare(i, 2, "ev") == 0) {
+      c = 'a';  // "ev" → "af"; emit 'a', next loop sees 'v' → 'f'
+      w[i + 1] = 'f';
+    } else if (is_vowel(c)) {
+      c = 'a';
+    } else if (c == 'q') {
+      c = 'g';
+    } else if (c == 'z') {
+      c = 's';
+    } else if (c == 'm') {
+      c = 'n';
+    } else if (w.compare(i, 2, "kn") == 0) {
+      continue;  // the 'n' handles it
+    } else if (c == 'k') {
+      c = 'c';
+    } else if (w.compare(i, 3, "sch") == 0) {
+      c = 's';
+      w[i + 1] = 's';
+      w[i + 2] = 's';
+    } else if (w.compare(i, 2, "ph") == 0) {
+      c = 'f';
+      w[i + 1] = 'f';
+    } else if (c == 'h' && (i + 1 >= w.size() || !is_vowel(w[i + 1]) ||
+                            !is_vowel(w[i - 1]))) {
+      c = w[i - 1];
+    } else if (c == 'w' && is_vowel(w[i - 1])) {
+      c = w[i - 1];
+    }
+    if (code.empty() || code.back() != c) code.push_back(c);
+  }
+  // Trailing s / ay / a adjustments.
+  if (!code.empty() && code.back() == 's') code.pop_back();
+  if (code.size() >= 2 && code.compare(code.size() - 2, 2, "ay") == 0) {
+    code = code.substr(0, code.size() - 2) + "y";
+  }
+  if (!code.empty() && code.back() == 'a') code.pop_back();
+  if (code.empty()) code.push_back(w[0]);
+  if (code.size() > 6) code.resize(6);
+  return code;
+}
+
+double SoundexSimilarity(std::string_view a, std::string_view b) {
+  const std::string ca = Soundex(a);
+  const std::string cb = Soundex(b);
+  if (ca.empty() && cb.empty()) return 1.0;
+  if (ca.empty() || cb.empty()) return 0.0;
+  if (ca == cb) return 1.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    if (ca[i] == cb[i]) ++agree;
+  }
+  return static_cast<double>(agree) / 4.0;
+}
+
+double NysiisTokenSimilarity(std::string_view a, std::string_view b) {
+  std::vector<std::string> codes_a;
+  for (const std::string& t : Tokenize(a)) codes_a.push_back(Nysiis(t));
+  std::vector<std::string> codes_b;
+  for (const std::string& t : Tokenize(b)) codes_b.push_back(Nysiis(t));
+  return MultisetJaccard(codes_a, codes_b);
+}
+
+}  // namespace skyex::text

@@ -1,0 +1,33 @@
+#ifndef SKYEX_TEXT_PHONETIC_H_
+#define SKYEX_TEXT_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace skyex::text {
+
+// Phonetic encodings from the personal-name matching literature
+// (Christen 2006, which the paper's related work builds on). They encode
+// a word by its pronunciation class so that spelling variants collide.
+// Inputs are expected to be normalized (lower-case ASCII).
+
+/// American Soundex: first letter + three digits ("robert" → "r163").
+/// Empty/non-alphabetic input yields "".
+std::string Soundex(std::string_view word);
+
+/// NYSIIS (New York State Identification and Intelligence System), the
+/// more accurate successor of Soundex. Returns the (truncated, ≤ 6
+/// chars) code; "" for non-alphabetic input.
+std::string Nysiis(std::string_view word);
+
+/// 1 when the Soundex codes of the two words match, else the fraction of
+/// agreeing code positions — a crude but useful phonetic similarity.
+double SoundexSimilarity(std::string_view a, std::string_view b);
+
+/// Token-level phonetic similarity: the Jaccard overlap of the multisets
+/// of NYSIIS codes of the two strings' tokens.
+double NysiisTokenSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace skyex::text
+
+#endif  // SKYEX_TEXT_PHONETIC_H_

@@ -1,0 +1,71 @@
+#include "text/similarity_registry.h"
+
+#include "text/edit_distance.h"
+#include "text/jaro.h"
+#include "text/token_similarity.h"
+
+namespace skyex::text {
+
+namespace {
+
+double JaroWinklerDefault(std::string_view a, std::string_view b) {
+  return JaroWinklerSimilarity(a, b);
+}
+
+double PermutedJaroWinklerDefault(std::string_view a, std::string_view b) {
+  return PermutedJaroWinklerSimilarity(a, b);
+}
+
+double CosineBigrams(std::string_view a, std::string_view b) {
+  return CosineNgramSimilarity(a, b, 2);
+}
+
+double JaccardBigrams(std::string_view a, std::string_view b) {
+  return JaccardNgramSimilarity(a, b, 2);
+}
+
+double SoftJaccardDefault(std::string_view a, std::string_view b) {
+  return SoftJaccardSimilarity(a, b);
+}
+
+}  // namespace
+
+const std::vector<NamedSimilarity>& BasicSimilarities() {
+  static const auto& kMeasures = *new std::vector<NamedSimilarity>{
+      {"levenshtein", LevenshteinSimilarity},
+      {"damerau_levenshtein", DamerauLevenshteinSimilarity},
+      {"jaro", JaroSimilarity},
+      {"jaro_winkler", JaroWinklerDefault},
+      {"jaro_winkler_reversed", ReversedJaroWinklerSimilarity},
+      {"jaro_winkler_sorted", SortedJaroWinklerSimilarity},
+      {"jaro_winkler_permuted", PermutedJaroWinklerDefault},
+      {"cosine_bigrams", CosineBigrams},
+      {"jaccard_bigrams", JaccardBigrams},
+      {"dice_bigrams", DiceBigramSimilarity},
+      {"skipgram", SkipgramSimilarity},
+      {"monge_elkan", MongeElkanSimilarity},
+      {"soft_jaccard", SoftJaccardDefault},
+      {"davies", DaviesDeSallesSimilarity},
+  };
+  return kMeasures;
+}
+
+const std::vector<NamedSimilarity>& SortableSimilarities() {
+  static const auto& kMeasures = *new std::vector<NamedSimilarity>([] {
+    std::vector<NamedSimilarity> out;
+    for (const NamedSimilarity& m : BasicSimilarities()) {
+      if (m.name != "jaro_winkler_sorted") out.push_back(m);
+    }
+    return out;
+  }());
+  return kMeasures;
+}
+
+SimilarityFn FindSimilarity(std::string_view name) {
+  for (const NamedSimilarity& m : BasicSimilarities()) {
+    if (m.name == name) return m.fn;
+  }
+  return nullptr;
+}
+
+}  // namespace skyex::text

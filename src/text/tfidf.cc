@@ -1,0 +1,90 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "text/jaro.h"
+#include "text/tokenize.h"
+
+namespace skyex::text {
+
+TfIdfWeights TfIdfWeights::Build(const std::vector<std::string>& corpus) {
+  TfIdfWeights weights;
+  weights.corpus_size_ = corpus.size();
+  for (const std::string& doc : corpus) {
+    std::unordered_set<std::string> seen;
+    for (std::string& t : Tokenize(doc)) {
+      if (seen.insert(t).second) ++weights.document_frequency_[t];
+    }
+  }
+  return weights;
+}
+
+double TfIdfWeights::Idf(std::string_view term) const {
+  const auto it = document_frequency_.find(std::string(term));
+  const size_t df = it == document_frequency_.end() ? 0 : it->second;
+  return std::log(1.0 + static_cast<double>(corpus_size_ + 1) /
+                            static_cast<double>(1 + df));
+}
+
+namespace {
+
+// Token → TF·IDF weight, L2-normalized.
+std::unordered_map<std::string, double> WeightedVector(
+    const TfIdfWeights& weights, std::string_view s) {
+  std::unordered_map<std::string, double> vec;
+  for (std::string& t : Tokenize(s)) vec[t] += 1.0;
+  double norm = 0.0;
+  for (auto& [term, tf] : vec) {
+    tf *= weights.Idf(term);
+    norm += tf * tf;
+  }
+  if (norm > 0.0) {
+    norm = std::sqrt(norm);
+    for (auto& [term, tf] : vec) tf /= norm;
+  }
+  return vec;
+}
+
+}  // namespace
+
+double TfIdfCosine(const TfIdfWeights& weights, std::string_view a,
+                   std::string_view b) {
+  const auto va = WeightedVector(weights, a);
+  const auto vb = WeightedVector(weights, b);
+  if (va.empty() && vb.empty()) return 1.0;
+  double dot = 0.0;
+  for (const auto& [term, wa] : va) {
+    const auto it = vb.find(term);
+    if (it != vb.end()) dot += wa * it->second;
+  }
+  return std::min(1.0, dot);
+}
+
+double SoftTfIdf(const TfIdfWeights& weights, std::string_view a,
+                 std::string_view b, double threshold) {
+  const auto va = WeightedVector(weights, a);
+  const auto vb = WeightedVector(weights, b);
+  if (va.empty() && vb.empty()) return 1.0;
+  if (va.empty() || vb.empty()) return 0.0;
+
+  // CLOSE(θ): for each term of a, the most similar term of b at or
+  // above the threshold contributes w_a · w_b · sim.
+  double total = 0.0;
+  for (const auto& [ta, wa] : va) {
+    double best_sim = 0.0;
+    double best_weight = 0.0;
+    for (const auto& [tb, wb] : vb) {
+      const double sim = JaroWinklerSimilarity(ta, tb);
+      if (sim >= threshold && sim > best_sim) {
+        best_sim = sim;
+        best_weight = wb;
+      }
+    }
+    total += wa * best_weight * best_sim;
+  }
+  return std::min(1.0, total);
+}
+
+}  // namespace skyex::text

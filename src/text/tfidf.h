@@ -1,0 +1,46 @@
+#ifndef SKYEX_TEXT_TFIDF_H_
+#define SKYEX_TEXT_TFIDF_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace skyex::text {
+
+/// Corpus term statistics for IDF-weighted token similarities — the
+/// SoftTFIDF family of Moreau et al. that the paper's related work
+/// discusses for named-entity matching. Terms that occur in many records
+/// ("cafe", "restaurant") get low weight; distinctive terms dominate.
+class TfIdfWeights {
+ public:
+  TfIdfWeights() = default;
+
+  /// Builds document frequencies from a corpus of (normalized) strings;
+  /// each string is one document.
+  static TfIdfWeights Build(const std::vector<std::string>& corpus);
+
+  /// ln(1 + N / (1 + df(term))) — smooth IDF; unseen terms get the
+  /// maximum weight.
+  double Idf(std::string_view term) const;
+
+  size_t corpus_size() const { return corpus_size_; }
+
+ private:
+  std::unordered_map<std::string, size_t> document_frequency_;
+  size_t corpus_size_ = 0;
+};
+
+/// TF-IDF cosine similarity of the two strings' token vectors.
+double TfIdfCosine(const TfIdfWeights& weights, std::string_view a,
+                   std::string_view b);
+
+/// SoftTFIDF (Cohen/Moreau): like TF-IDF cosine, but tokens count as
+/// matching when their Jaro-Winkler similarity reaches `threshold`, with
+/// the match discounted by that similarity.
+double SoftTfIdf(const TfIdfWeights& weights, std::string_view a,
+                 std::string_view b, double threshold = 0.9);
+
+}  // namespace skyex::text
+
+#endif  // SKYEX_TEXT_TFIDF_H_

@@ -1,0 +1,155 @@
+#include "text/token_similarity.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "text/jaro.h"
+#include "text/ngram.h"
+#include "text/tokenize.h"
+
+namespace skyex::text {
+
+double CosineNgramSimilarity(std::string_view a, std::string_view b,
+                             size_t n) {
+  return MultisetCosine(CharNgrams(a, n), CharNgrams(b, n));
+}
+
+double JaccardNgramSimilarity(std::string_view a, std::string_view b,
+                              size_t n) {
+  return MultisetJaccard(CharNgrams(a, n), CharNgrams(b, n));
+}
+
+double DiceBigramSimilarity(std::string_view a, std::string_view b) {
+  return MultisetDice(CharNgrams(a, 2), CharNgrams(b, 2));
+}
+
+double SkipgramSimilarity(std::string_view a, std::string_view b) {
+  return MultisetJaccard(SkipGrams(a, 2), SkipGrams(b, 2));
+}
+
+namespace {
+
+double MongeElkanDirected(const std::vector<std::string>& from,
+                          const std::vector<std::string>& to) {
+  if (from.empty()) return to.empty() ? 1.0 : 0.0;
+  if (to.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::string& t1 : from) {
+    double best = 0.0;
+    for (const std::string& t2 : to) {
+      best = std::max(best, JaroWinklerSimilarity(t1, t2));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(from.size());
+}
+
+}  // namespace
+
+double MongeElkanSimilarity(std::string_view a, std::string_view b) {
+  const std::vector<std::string> ta = Tokenize(a);
+  const std::vector<std::string> tb = Tokenize(b);
+  return 0.5 * (MongeElkanDirected(ta, tb) + MongeElkanDirected(tb, ta));
+}
+
+double SoftJaccardSimilarity(std::string_view a, std::string_view b,
+                             double threshold) {
+  const std::vector<std::string> ta = Tokenize(a);
+  const std::vector<std::string> tb = Tokenize(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+
+  // Greedy best-first matching of token pairs above the threshold.
+  struct Candidate {
+    double sim;
+    size_t i;
+    size_t j;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t i = 0; i < ta.size(); ++i) {
+    for (size_t j = 0; j < tb.size(); ++j) {
+      const double sim = JaroWinklerSimilarity(ta[i], tb[j]);
+      if (sim >= threshold) candidates.push_back({sim, i, j});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              return x.sim > y.sim;
+            });
+  std::vector<bool> used_a(ta.size(), false);
+  std::vector<bool> used_b(tb.size(), false);
+  double matched_weight = 0.0;
+  size_t matched = 0;
+  for (const Candidate& c : candidates) {
+    if (used_a[c.i] || used_b[c.j]) continue;
+    used_a[c.i] = true;
+    used_b[c.j] = true;
+    matched_weight += c.sim;
+    ++matched;
+  }
+  const double denom =
+      static_cast<double>(ta.size() + tb.size() - matched);
+  return denom == 0.0 ? 1.0 : matched_weight / denom;
+}
+
+namespace {
+
+// Token similarity with abbreviation handling: a single-letter token
+// matches the initial of a longer token perfectly.
+double DaviesTokenSim(const std::string& t1, const std::string& t2) {
+  if (t1.size() == 1 && !t2.empty() && t1[0] == t2[0]) return 1.0;
+  if (t2.size() == 1 && !t1.empty() && t2[0] == t1[0]) return 1.0;
+  return JaroWinklerSimilarity(t1, t2);
+}
+
+}  // namespace
+
+double DaviesDeSallesSimilarity(std::string_view a, std::string_view b) {
+  const std::vector<std::string> ta = Tokenize(a);
+  const std::vector<std::string> tb = Tokenize(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+
+  struct Candidate {
+    double sim;
+    size_t i;
+    size_t j;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(ta.size() * tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    for (size_t j = 0; j < tb.size(); ++j) {
+      candidates.push_back({DaviesTokenSim(ta[i], tb[j]), i, j});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              return x.sim > y.sim;
+            });
+
+  // Greedy alignment; unmatched tokens contribute similarity 0 with their
+  // own length as weight.
+  std::vector<bool> used_a(ta.size(), false);
+  std::vector<bool> used_b(tb.size(), false);
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  for (const Candidate& c : candidates) {
+    if (used_a[c.i] || used_b[c.j]) continue;
+    used_a[c.i] = true;
+    used_b[c.j] = true;
+    const double w =
+        static_cast<double>(ta[c.i].size() + tb[c.j].size()) / 2.0;
+    weighted_sum += c.sim * w;
+    weight_total += w;
+  }
+  for (size_t i = 0; i < ta.size(); ++i) {
+    if (!used_a[i]) weight_total += static_cast<double>(ta[i].size());
+  }
+  for (size_t j = 0; j < tb.size(); ++j) {
+    if (!used_b[j]) weight_total += static_cast<double>(tb[j].size());
+  }
+  return weight_total == 0.0 ? 1.0 : weighted_sum / weight_total;
+}
+
+}  // namespace skyex::text

@@ -1,0 +1,41 @@
+#include "text/tokenize.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace skyex::text {
+
+std::vector<std::string> Tokenize(std::string_view input) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < input.size()) {
+    while (i < input.size() &&
+           std::isspace(static_cast<unsigned char>(input[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < input.size() &&
+           !std::isspace(static_cast<unsigned char>(input[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.emplace_back(input.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::string SortTokens(std::string_view input) {
+  std::vector<std::string> tokens = Tokenize(input);
+  std::sort(tokens.begin(), tokens.end());
+  return JoinTokens(tokens);
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace skyex::text

@@ -1,0 +1,134 @@
+// Unit-level tests of the non-skyline baselines on hand-constructed
+// datasets, where the expected decision is computable by hand.
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "data/pair_store.h"
+
+namespace skyex::core {
+namespace {
+
+data::SpatialEntity Entity(const std::string& name, const std::string& street,
+                           double lat, double lon,
+                           const std::string& category = "") {
+  data::SpatialEntity e;
+  e.name = name;
+  e.address_name = street;
+  e.location = geo::GeoPoint{lat, lon, true};
+  if (!category.empty()) e.categories = {category};
+  return e;
+}
+
+// ------------------------------------------------------------------ Berjawi
+
+TEST(Berjawi, FixedThresholdSeparatesObviousCases) {
+  data::Dataset d;
+  // Pair 0-1: identical name/street, 0 m apart → score 1 → positive.
+  // Pair 2-3: unrelated names, ~400 m apart → low score → negative.
+  d.entities = {Entity("cafe amelie", "vestergade", 57.0, 9.9),
+                Entity("cafe amelie", "vestergade", 57.0, 9.9),
+                Entity("grill hjoernet", "algade", 57.01, 9.91),
+                Entity("salon vita", "parkvej", 57.0064, 9.91)};
+  data::LabeledPairs pairs;
+  pairs.pairs = {{0, 1}, {2, 3}};
+  pairs.labels = {1, 0};
+
+  const BaselineResult v1 = RunBerjawi(d, pairs, true, false);
+  EXPECT_EQ(v1.confusion.tp, 1u);
+  EXPECT_EQ(v1.confusion.tn, 1u);
+  EXPECT_EQ(v1.confusion.fp, 0u);
+  EXPECT_EQ(v1.confusion.fn, 0u);
+  EXPECT_DOUBLE_EQ(v1.parameter, 0.75);
+}
+
+TEST(Berjawi, V2IgnoresAddress) {
+  data::Dataset d;
+  // Same name + location but totally different street: V2 (no address)
+  // scores 1.0, V1 is dragged below threshold only if the address term
+  // hurts enough — here (1 + 0 + 1)/3 = 0.67 < 0.75.
+  d.entities = {Entity("cafe amelie", "vestergade", 57.0, 9.9),
+                Entity("cafe amelie", "qqqqqqq", 57.0, 9.9)};
+  data::LabeledPairs pairs;
+  pairs.pairs = {{0, 1}};
+  pairs.labels = {1};
+  const BaselineResult v1 = RunBerjawi(d, pairs, true, false);
+  const BaselineResult v2 = RunBerjawi(d, pairs, false, false);
+  EXPECT_EQ(v1.confusion.tp, 0u);  // below 0.75
+  EXPECT_EQ(v2.confusion.tp, 1u);  // (1 + 1)/2 = 1.0
+}
+
+TEST(Berjawi, FlexPicksABetterThreshold) {
+  data::Dataset d;
+  // Moderate-similarity true pair that the fixed 0.75 threshold misses.
+  d.entities = {Entity("cafe amelie", "vestergade", 57.0, 9.9),
+                Entity("kafe amelia", "vestergade", 57.0005, 9.9),
+                Entity("grill roma", "algade", 57.1, 10.0),
+                Entity("butik nord", "bredgade", 57.102, 10.0)};
+  data::LabeledPairs pairs;
+  pairs.pairs = {{0, 1}, {2, 3}};
+  pairs.labels = {1, 0};
+  const BaselineResult fixed = RunBerjawi(d, pairs, true, false);
+  const BaselineResult flex = RunBerjawi(d, pairs, true, true);
+  EXPECT_GE(flex.confusion.F1() + 1e-12, fixed.confusion.F1());
+  EXPECT_EQ(flex.confusion.tp, 1u);
+  EXPECT_LT(flex.parameter, 0.75);
+}
+
+// ------------------------------------------------------------------- Morana
+
+TEST(Morana, RequiresSharedTokenAndRanksByScore) {
+  data::Dataset d;
+  d.entities = {
+      Entity("cafe amelie", "vestergade", 57.0, 9.9, "cafe"),
+      Entity("cafe amelie", "vestergade", 57.0, 9.9, "cafe"),   // dup of 0
+      Entity("pizzeria roma", "algade", 57.2, 10.1, "pizzeria"),
+      Entity("noodle qqq", "bredgade", 57.3, 10.2, "noodles"),  // no shared
+  };
+  data::LabeledPairs pairs;
+  pairs.pairs = {{0, 1}, {0, 2}, {2, 3}};
+  pairs.labels = {1, 0, 0};
+  const BaselineResult r = RunMorana(d, pairs);
+  // The duplicate is each other's top candidate → predicted positive;
+  // pair {2,3} shares no token → never predicted.
+  EXPECT_EQ(r.confusion.tp, 1u);
+  EXPECT_EQ(r.confusion.fn, 0u);
+  EXPECT_GE(r.parameter, 1.0);
+}
+
+// -------------------------------------------------------------------- Karam
+
+TEST(Karam, FiveMeterBlockingGatesEverything) {
+  data::Dataset d;
+  // Identical twins 300 m apart: outside the 5 m block → negative no
+  // matter how similar.
+  d.entities = {Entity("cafe amelie", "vestergade", 57.0, 9.9, "cafe"),
+                Entity("cafe amelie", "vestergade", 57.0027, 9.9, "cafe")};
+  data::LabeledPairs pairs;
+  pairs.pairs = {{0, 1}};
+  pairs.labels = {1};
+  const BaselineResult r = RunKaram(d, pairs);
+  EXPECT_EQ(r.confusion.tp, 0u);
+  EXPECT_EQ(r.confusion.fn, 1u);
+}
+
+TEST(Karam, BeliefCombinationDecides) {
+  data::Dataset d;
+  // Within 5 m: near-identical records → belief(match) wins; totally
+  // different records at the same spot (co-located) → name and category
+  // evidence against the match outweighs proximity.
+  d.entities = {
+      Entity("cafe amelie", "vestergade", 57.00000, 9.90000, "cafe"),
+      Entity("cafe amelie", "vestergade", 57.00001, 9.90001, "cafe"),
+      Entity("zzz qqq xxx", "vestergade", 57.00001, 9.90000, "frisor"),
+  };
+  data::LabeledPairs pairs;
+  pairs.pairs = {{0, 1}, {0, 2}};
+  pairs.labels = {1, 0};
+  const BaselineResult r = RunKaram(d, pairs);
+  EXPECT_EQ(r.confusion.tp, 1u);
+  EXPECT_EQ(r.confusion.tn, 1u);
+}
+
+}  // namespace
+}  // namespace skyex::core

@@ -1,0 +1,105 @@
+// Integration test of the `skyex` command-line tool: drives the real
+// binary end-to-end (generate → train → apply → link → eval) through
+// std::system and checks the produced artifacts.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "data/csv.h"
+
+#ifndef SKYEX_CLI_PATH
+#define SKYEX_CLI_PATH "build/tools/skyex"
+#endif
+
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+int RunCli(const std::string& args) {
+  const std::string command =
+      std::string(SKYEX_CLI_PATH) + " " + args + " > /dev/null 2>&1";
+  return std::system(command.c_str());
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs the cases as parallel processes: keep files unique per
+    // test.
+    const std::string prefix =
+        std::string("cli_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        "_";
+    entities_ = TempPath(prefix + "entities.csv");
+    model_ = TempPath(prefix + "model.txt");
+    matches_ = TempPath(prefix + "matches.csv");
+    linked_ = TempPath(prefix + "linked.csv");
+  }
+  void TearDown() override {
+    for (const std::string* p : {&entities_, &model_, &matches_, &linked_}) {
+      std::remove(p->c_str());
+    }
+  }
+  std::string entities_, model_, matches_, linked_;
+};
+
+TEST_F(CliTest, NoArgumentsPrintsUsage) {
+  EXPECT_NE(RunCli(""), 0);
+  EXPECT_NE(RunCli("bogus-command"), 0);
+}
+
+TEST_F(CliTest, FullWorkflow) {
+  ASSERT_EQ(RunCli("generate --dataset=northdk --entities=600 --seed=3 --out=" +
+                entities_),
+            0);
+  skyex::data::Dataset dataset;
+  ASSERT_TRUE(skyex::data::ReadDatasetCsv(entities_, &dataset));
+  EXPECT_EQ(dataset.size(), 600u);
+
+  ASSERT_EQ(RunCli("train --in=" + entities_ +
+                " --train-fraction=0.08 --seed=5 --model-out=" + model_),
+            0);
+  std::ifstream model_file(model_);
+  std::string line;
+  ASSERT_TRUE(std::getline(model_file, line));
+  EXPECT_EQ(line.rfind("preference: ", 0), 0u);
+
+  ASSERT_EQ(
+      RunCli("apply --in=" + entities_ + " --model=" + model_ +
+          " --out=" + matches_),
+      0);
+  std::ifstream matches_file(matches_);
+  size_t match_lines = 0;
+  while (std::getline(matches_file, line)) ++match_lines;
+  EXPECT_GT(match_lines, 10u);  // header + a reasonable match count
+
+  ASSERT_EQ(RunCli("link --in=" + entities_ + " --model=" + model_ +
+                " --out=" + linked_),
+            0);
+  skyex::data::Dataset merged;
+  ASSERT_TRUE(skyex::data::ReadDatasetCsv(linked_, &merged));
+  EXPECT_LT(merged.size(), dataset.size());
+  EXPECT_GT(merged.size(), dataset.size() / 2);
+
+  EXPECT_EQ(RunCli("eval --in=" + entities_ + " --model=" + model_), 0);
+}
+
+TEST_F(CliTest, RestaurantsGeneration) {
+  ASSERT_EQ(RunCli("generate --dataset=restaurants --out=" + entities_), 0);
+  skyex::data::Dataset dataset;
+  ASSERT_TRUE(skyex::data::ReadDatasetCsv(entities_, &dataset));
+  EXPECT_EQ(dataset.size(), 864u);
+}
+
+TEST_F(CliTest, MissingInputsFailCleanly) {
+  EXPECT_NE(RunCli("train --in=/nonexistent.csv"), 0);
+  EXPECT_NE(RunCli("apply --in=/nonexistent.csv --model=/nonexistent.txt"), 0);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "ml/curves.h"
+#include "ml/dataset_view.h"
+#include "ml/importance.h"
+#include "ml/random_forest.h"
+
+namespace skyex::ml {
+namespace {
+
+// ---------------------------------------------------------------- Curves
+
+TEST(PrCurve, PerfectRanking) {
+  const std::vector<double> scores = {0.9, 0.8, 0.3, 0.2};
+  const std::vector<uint8_t> labels = {1, 1, 0, 0};
+  const auto curve = PrecisionRecallCurve(scores, labels);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision(scores, labels), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 1.0);
+  EXPECT_DOUBLE_EQ(BestF1(scores, labels), 1.0);
+}
+
+TEST(PrCurve, WorstRanking) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<uint8_t> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.0);
+  // Best F1 of an inverted ranking: predict everything positive.
+  EXPECT_NEAR(BestF1(scores, labels), 2.0 * 2.0 / (4 + 2), 1e-12);
+}
+
+TEST(PrCurve, HandComputedMixedExample) {
+  // Ranking: +, -, +, - → AP = 1·0.5 + (2/3)·0.5 = 0.8333.
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.6};
+  const std::vector<uint8_t> labels = {1, 0, 1, 0};
+  EXPECT_NEAR(AveragePrecision(scores, labels), 1.0 / 2.0 + 2.0 / 6.0,
+              1e-12);
+  // AUC: positive pairs outranking negatives: (s1>s2,s1>s4,s3>s4) = 3 of
+  // 4 → 0.75.
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.75);
+}
+
+TEST(PrCurve, TiesCountHalfInAuc) {
+  const std::vector<double> scores = {0.5, 0.5};
+  const std::vector<uint8_t> labels = {1, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.5);
+}
+
+TEST(PrCurve, DegenerateInputs) {
+  EXPECT_TRUE(PrecisionRecallCurve({0.1, 0.2}, {0, 0}).empty());
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2}, {0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(BestF1({0.1, 0.2}, {0, 0}), 0.0);
+}
+
+TEST(PrCurve, RandomScoresAucNearHalf) {
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<double> scores(4000);
+  std::vector<uint8_t> labels(4000);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = unit(rng);
+    labels[i] = unit(rng) < 0.3 ? 1 : 0;
+  }
+  EXPECT_NEAR(RocAuc(scores, labels), 0.5, 0.03);
+}
+
+// ------------------------------------------------------------ Importance
+
+TEST(Importance, SignalFeatureRanksFirst) {
+  FeatureMatrix m = FeatureMatrix::Zeros(2000, {"signal", "noise1",
+                                                "noise2"});
+  std::vector<uint8_t> labels(m.rows);
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<size_t> rows(m.rows);
+  for (size_t r = 0; r < m.rows; ++r) {
+    rows[r] = r;
+    const bool positive = unit(rng) < 0.3;
+    labels[r] = positive ? 1 : 0;
+    m.Row(r)[0] = positive ? 0.7 + 0.3 * unit(rng) : 0.3 * unit(rng);
+    m.Row(r)[1] = unit(rng);
+    m.Row(r)[2] = unit(rng);
+  }
+  RandomForest forest;
+  forest.Fit(m, labels, rows);
+  const auto importances = PermutationImportance(forest, m, labels, rows);
+  ASSERT_EQ(importances.size(), 3u);
+  EXPECT_EQ(importances[0].name, "signal");
+  EXPECT_GT(importances[0].importance, 0.2);
+  // Pure noise features contribute nothing once the signal is shuffled
+  // back into place.
+  EXPECT_LT(importances[1].importance, 0.1);
+}
+
+TEST(Importance, RestoresMatrixAfterShuffles) {
+  FeatureMatrix m = FeatureMatrix::Zeros(50, {"a", "b"});
+  std::vector<uint8_t> labels(m.rows, 0);
+  std::vector<size_t> rows(m.rows);
+  for (size_t r = 0; r < m.rows; ++r) {
+    rows[r] = r;
+    m.Row(r)[0] = static_cast<double>(r);
+    m.Row(r)[1] = 1.0;
+    labels[r] = r % 2;
+  }
+  const FeatureMatrix copy = m;
+  RandomForest forest;
+  forest.Fit(m, labels, rows);
+  (void)PermutationImportance(forest, m, labels, rows);
+  // The input matrix itself is untouched (importance works on a scratch
+  // copy).
+  EXPECT_EQ(copy.values, m.values);
+}
+
+}  // namespace
+}  // namespace skyex::ml

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <set>
+#include <string>
+
+#include "data/csv.h"
+#include "data/ground_truth.h"
+#include "data/name_model.h"
+#include "data/northdk_generator.h"
+#include "data/pair_store.h"
+#include "data/restaurants_generator.h"
+#include "geo/quadflex.h"
+
+namespace skyex::data {
+namespace {
+
+// ------------------------------------------------------------ Ground truth
+
+TEST(GroundTruth, PhoneOrWebsiteRule) {
+  SpatialEntity a;
+  SpatialEntity b;
+  EXPECT_FALSE(SamePhysicalEntityRule(a, b));  // both empty
+  a.phone = "+4511111111";
+  b.phone = "+4511111111";
+  EXPECT_TRUE(SamePhysicalEntityRule(a, b));
+  b.phone = "+4522222222";
+  EXPECT_FALSE(SamePhysicalEntityRule(a, b));
+  a.website = "www.x.dk";
+  b.website = "www.x.dk";
+  EXPECT_TRUE(SamePhysicalEntityRule(a, b));
+}
+
+// -------------------------------------------------------------- Name model
+
+TEST(NameModel, PerturbIsBoundedNoise) {
+  std::mt19937_64 rng(1);
+  PerturbOptions options;  // defaults
+  int unchanged = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string name = RandomDanishBusinessName(rng);
+    const std::string noisy = Perturb(name, options, rng);
+    EXPECT_FALSE(noisy.empty());
+    if (noisy == name) ++unchanged;
+  }
+  // Perturbation fires often but not always.
+  EXPECT_GT(unchanged, 10);
+  EXPECT_LT(unchanged, 190);
+}
+
+TEST(NameModel, PhonesAreUniquePerSerial) {
+  std::set<std::string> phones;
+  for (uint64_t s = 0; s < 1000; ++s) {
+    EXPECT_TRUE(phones.insert(DanishPhone(s)).second);
+  }
+}
+
+TEST(NameModel, WebsiteSlugIsNormalized) {
+  EXPECT_EQ(WebsiteFor("Café Amelie", true), "www.cafeamelie.dk");
+  EXPECT_EQ(WebsiteFor("The Palm", false), "www.thepalm.com");
+}
+
+// --------------------------------------------------------- North-DK dataset
+
+class NorthDkTest : public ::testing::Test {
+ protected:
+  static Dataset MakeSmall() {
+    NorthDkOptions options;
+    options.num_entities = 2000;
+    options.seed = 5;
+    return GenerateNorthDk(options);
+  }
+};
+
+TEST_F(NorthDkTest, RecordCountMatches) {
+  const Dataset d = MakeSmall();
+  EXPECT_EQ(d.size(), 2000u);
+}
+
+TEST_F(NorthDkTest, SourceMixShape) {
+  const Dataset d = MakeSmall();
+  double gp = 0.0;
+  double krak = 0.0;
+  for (const auto& [source, fraction] : d.SourceMix()) {
+    if (source == Source::kGooglePlaces) gp = fraction;
+    if (source == Source::kKrak) krak = fraction;
+  }
+  // The paper's mix: 51.5% GP, 46.2% Krak (wide tolerance: group sources
+  // follow Table 2, singles follow the global mix).
+  EXPECT_GT(gp, 0.35);
+  EXPECT_GT(krak, 0.3);
+  EXPECT_GT(gp + krak, 0.9);
+}
+
+TEST_F(NorthDkTest, GroundTruthRateAfterBlocking) {
+  const Dataset d = MakeSmall();
+  const auto pairs = geo::QuadFlexBlock(d.Points());
+  const auto labels = LabelPairs(d, pairs);
+  LabeledPairs lp{pairs, labels};
+  // Positive rate among blocked pairs ~3.5% in the paper; allow a wide
+  // band — the shape claim is "rare but present".
+  EXPECT_GT(lp.PositiveRate(), 0.005);
+  EXPECT_LT(lp.PositiveRate(), 0.25);
+  EXPECT_GT(lp.NumPositives(), 100u);
+}
+
+TEST_F(NorthDkTest, RuleAgreesWithPhysicalIdMostly) {
+  const Dataset d = MakeSmall();
+  const auto pairs = geo::QuadFlexBlock(d.Points());
+  const auto labels = LabelPairs(d, pairs);
+  size_t rule_pos = 0;
+  size_t same_physical = 0;
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    if (!labels[p]) continue;
+    ++rule_pos;
+    if (d[pairs[p].first].physical_id == d[pairs[p].second].physical_id) {
+      ++same_physical;
+    }
+  }
+  ASSERT_GT(rule_pos, 0u);
+  // The rule is a proxy: mall service phones intentionally link some
+  // unrelated businesses (irreducible ground-truth noise, see
+  // NorthDkOptions), but the bulk of the positives must be genuine.
+  const double agreement =
+      static_cast<double>(same_physical) / static_cast<double>(rule_pos);
+  EXPECT_GT(agreement, 0.75);
+  EXPECT_LT(same_physical, rule_pos);  // the noise must exist
+}
+
+TEST_F(NorthDkTest, CrossTabIsKrakGpHeavy) {
+  const Dataset d = MakeSmall();
+  const auto pairs = geo::QuadFlexBlock(d.Points());
+  const auto labels = LabelPairs(d, pairs);
+  const SourceCrossTab tab = PositivePairSources(d, pairs, labels);
+  const size_t krak = static_cast<size_t>(Source::kKrak);
+  const size_t gp = static_cast<size_t>(Source::kGooglePlaces);
+  const size_t yelp = static_cast<size_t>(Source::kYelp);
+  // Krak-GP is the dominant duplicate combination (64% in Table 2).
+  EXPECT_GT(tab[krak][gp], tab[krak][krak]);
+  EXPECT_GT(tab[krak][gp], tab[gp][gp]);
+  EXPECT_GT(tab[krak][gp], tab[krak][yelp] + tab[gp][yelp]);
+}
+
+TEST_F(NorthDkTest, CoordinatesInsideNorthDenmark) {
+  const Dataset d = MakeSmall();
+  for (const SpatialEntity& e : d.entities) {
+    ASSERT_TRUE(e.location.valid);
+    EXPECT_GE(e.location.lat, 56.5);
+    EXPECT_LE(e.location.lat, 57.7);
+    EXPECT_GE(e.location.lon, 8.3);
+    EXPECT_LE(e.location.lon, 10.7);
+  }
+}
+
+TEST_F(NorthDkTest, DeterministicBySeed) {
+  NorthDkOptions options;
+  options.num_entities = 300;
+  options.seed = 9;
+  const Dataset a = GenerateNorthDk(options);
+  const Dataset b = GenerateNorthDk(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].phone, b[i].phone);
+  }
+}
+
+// ------------------------------------------------------ Restaurants dataset
+
+TEST(Restaurants, MatchesPaperCounts) {
+  const Dataset d = GenerateRestaurants();
+  EXPECT_EQ(d.size(), 864u);
+  size_t fodors = 0;
+  size_t zagat = 0;
+  for (const SpatialEntity& e : d.entities) {
+    if (e.source == Source::kFodors) ++fodors;
+    if (e.source == Source::kZagat) ++zagat;
+    EXPECT_FALSE(e.location.valid);  // no coordinates in this dataset
+  }
+  EXPECT_EQ(fodors, 533u);
+  EXPECT_EQ(zagat, 331u);
+
+  const auto pairs = geo::CartesianBlock(d.size());
+  EXPECT_EQ(pairs.size(), 372816u);
+  const auto labels = LabelPairs(d, pairs);
+  size_t positives = 0;
+  for (uint8_t l : labels) positives += l;
+  EXPECT_EQ(positives, 112u);
+}
+
+TEST(Restaurants, PositivesAreCrossSource) {
+  const Dataset d = GenerateRestaurants();
+  const auto pairs = geo::CartesianBlock(d.size());
+  const auto labels = LabelPairs(d, pairs);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    if (!labels[p]) continue;
+    EXPECT_NE(d[pairs[p].first].source, d[pairs[p].second].source);
+  }
+}
+
+// --------------------------------------------------------------------- CSV
+
+TEST(Csv, ParseQuotedFields) {
+  const auto fields = ParseCsvLine("a,\"b,c\",\"say \"\"hi\"\"\",d");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "say \"hi\"");
+}
+
+TEST(Csv, RoundTripDataset) {
+  NorthDkOptions options;
+  options.num_entities = 50;
+  const Dataset original = GenerateNorthDk(options);
+  const std::string path = ::testing::TempDir() + "/skyex_csv_test.csv";
+  ASSERT_TRUE(WriteDatasetCsv(original, path));
+  Dataset loaded;
+  ASSERT_TRUE(ReadDatasetCsv(path, &loaded));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].name, original[i].name);
+    EXPECT_EQ(loaded[i].phone, original[i].phone);
+    EXPECT_EQ(loaded[i].address_number, original[i].address_number);
+    EXPECT_EQ(loaded[i].categories, original[i].categories);
+    EXPECT_NEAR(loaded[i].location.lat, original[i].location.lat, 1e-4);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace skyex::data

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "features/feature_schema.h"
+#include "features/lgm_x.h"
+#include "lgm/frequent_terms.h"
+
+namespace skyex::features {
+namespace {
+
+data::SpatialEntity MakeEntity(const std::string& name,
+                               const std::string& street, int number,
+                               double lat, double lon) {
+  data::SpatialEntity e;
+  e.name = name;
+  e.address_name = street;
+  e.address_number = number;
+  e.location = geo::GeoPoint{lat, lon, true};
+  return e;
+}
+
+LgmXExtractor MakeExtractor() {
+  lgm::FrequentTermDictionary dict = lgm::FrequentTermDictionary::FromTerms(
+      {"cafe", "restaurant", "pizzeria"});
+  return LgmXExtractor(lgm::LgmSim(dict), lgm::LgmSim(dict));
+}
+
+// ------------------------------------------------------------------ Schema
+
+TEST(Schema, CountMatchesTable1) {
+  // 2 × (14 + 13 + 13 + 3) + 1 + 1 = 88.
+  EXPECT_EQ(LgmXFeatureCount(), 88u);
+  EXPECT_EQ(LgmXFeatureNames().size(), 88u);
+}
+
+TEST(Schema, NamesAreUniqueAndPrefixed) {
+  const std::vector<std::string> names = LgmXFeatureNames();
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  size_t name_features = 0;
+  size_t addr_features = 0;
+  for (const std::string& n : names) {
+    if (n.rfind("name_", 0) == 0) ++name_features;
+    if (n.rfind("addr_", 0) == 0) ++addr_features;
+  }
+  EXPECT_EQ(name_features, 43u);
+  EXPECT_EQ(addr_features, 44u);  // 43 + addr_number_sim
+  EXPECT_EQ(names.back(), "geo_sim");
+}
+
+// --------------------------------------------------------------- Extraction
+
+TEST(LgmX, IdenticalEntitiesScoreHigh) {
+  const LgmXExtractor extractor = MakeExtractor();
+  const data::SpatialEntity e =
+      MakeEntity("Cafe Amelie", "Vestergade", 23, 57.0, 9.9);
+  std::vector<double> row(extractor.feature_count());
+  extractor.ExtractRow(e, e, row.data());
+  for (size_t c = 0; c < row.size(); ++c) {
+    EXPECT_GE(row[c], 0.0) << extractor.feature_names()[c];
+    EXPECT_LE(row[c], 1.0) << extractor.feature_names()[c];
+  }
+  // All basic name similarities are exactly 1 for identical names.
+  for (size_t c = 0; c < 14; ++c) {
+    EXPECT_DOUBLE_EQ(row[c], 1.0) << extractor.feature_names()[c];
+  }
+  // Number and geo features maxed.
+  EXPECT_DOUBLE_EQ(row[86], 1.0);
+  EXPECT_DOUBLE_EQ(row[87], 1.0);
+}
+
+TEST(LgmX, MissingAttributesYieldZeros) {
+  const LgmXExtractor extractor = MakeExtractor();
+  data::SpatialEntity a = MakeEntity("Cafe Amelie", "", -1, 57.0, 9.9);
+  data::SpatialEntity b = MakeEntity("Cafe Amelie", "Vestergade", 23,
+                                     57.0, 9.9);
+  a.location = geo::GeoPoint::Invalid();
+  std::vector<double> row(extractor.feature_count());
+  extractor.ExtractRow(a, b, row.data());
+  const auto& names = extractor.feature_names();
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (names[c].rfind("addr_", 0) == 0 || names[c] == "geo_sim") {
+      EXPECT_DOUBLE_EQ(row[c], 0.0) << names[c];
+    }
+  }
+  // Name features unaffected.
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+}
+
+TEST(LgmX, SimilarBeatsDissimilar) {
+  const LgmXExtractor extractor = MakeExtractor();
+  const data::SpatialEntity a =
+      MakeEntity("Cafe Amelie", "Vestergade", 23, 57.0, 9.9);
+  const data::SpatialEntity near_dup =
+      MakeEntity("Café Amelie", "Vestergade", 23, 57.0001, 9.9001);
+  const data::SpatialEntity other =
+      MakeEntity("Pizzeria Roma", "Algade", 99, 57.2, 10.1);
+
+  std::vector<double> row_dup(extractor.feature_count());
+  std::vector<double> row_other(extractor.feature_count());
+  extractor.ExtractRow(a, near_dup, row_dup.data());
+  extractor.ExtractRow(a, other, row_other.data());
+
+  size_t dup_wins = 0;
+  for (size_t c = 0; c < row_dup.size(); ++c) {
+    if (row_dup[c] > row_other[c]) ++dup_wins;
+  }
+  EXPECT_GT(dup_wins, row_dup.size() / 2);
+}
+
+TEST(LgmX, NumberFeatureNormalization) {
+  LgmXOptions options;
+  options.max_number_delta = 50;
+  lgm::FrequentTermDictionary dict;
+  const LgmXExtractor extractor{lgm::LgmSim(dict), lgm::LgmSim(dict),
+                                options};
+  const data::SpatialEntity a = MakeEntity("x", "street", 10, 57.0, 9.9);
+  const data::SpatialEntity b = MakeEntity("x", "street", 35, 57.0, 9.9);
+  std::vector<double> row(extractor.feature_count());
+  extractor.ExtractRow(a, b, row.data());
+  EXPECT_NEAR(row[86], 1.0 - 25.0 / 50.0, 1e-12);
+
+  const data::SpatialEntity far = MakeEntity("x", "street", 500, 57.0, 9.9);
+  extractor.ExtractRow(a, far, row.data());
+  EXPECT_DOUBLE_EQ(row[86], 0.0);
+}
+
+TEST(LgmX, GeoFeatureNormalization) {
+  LgmXOptions options;
+  options.max_distance_m = 1000.0;
+  lgm::FrequentTermDictionary dict;
+  const LgmXExtractor extractor{lgm::LgmSim(dict), lgm::LgmSim(dict),
+                                options};
+  const data::SpatialEntity a = MakeEntity("x", "s", 1, 57.0, 9.9);
+  // ~500 m north.
+  const data::SpatialEntity b =
+      MakeEntity("x", "s", 1, 57.0 + 500.0 / 111190.0, 9.9);
+  std::vector<double> row(extractor.feature_count());
+  extractor.ExtractRow(a, b, row.data());
+  EXPECT_NEAR(row[87], 0.5, 0.01);
+}
+
+TEST(LgmX, BulkExtractionMatchesRowExtraction) {
+  data::Dataset dataset;
+  dataset.entities.push_back(
+      MakeEntity("Cafe Amelie", "Vestergade", 23, 57.0, 9.9));
+  dataset.entities.push_back(
+      MakeEntity("Cafe Amelia", "Vestergade", 23, 57.0001, 9.9));
+  dataset.entities.push_back(
+      MakeEntity("Pizzeria Roma", "Algade", 9, 57.01, 9.95));
+
+  LgmXOptions options;
+  options.num_threads = 3;
+  const LgmXExtractor extractor = LgmXExtractor::FromCorpus(dataset, options);
+  const std::vector<geo::CandidatePair> pairs = {{0, 1}, {0, 2}, {1, 2}};
+  const ml::FeatureMatrix bulk = extractor.Extract(dataset, pairs);
+  ASSERT_EQ(bulk.rows, 3u);
+  ASSERT_EQ(bulk.cols, 88u);
+
+  std::vector<double> row(extractor.feature_count());
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    extractor.ExtractRow(dataset[pairs[p].first], dataset[pairs[p].second],
+                         row.data());
+    for (size_t c = 0; c < bulk.cols; ++c) {
+      EXPECT_DOUBLE_EQ(bulk.At(p, c), row[c])
+          << "pair " << p << " col " << bulk.names[c];
+    }
+  }
+}
+
+TEST(LgmX, FromCorpusTreatsTypeWordsAsFrequent) {
+  data::Dataset dataset;
+  for (int i = 0; i < 30; ++i) {
+    dataset.entities.push_back(MakeEntity(
+        "cafe unique" + std::to_string(i), "street", 1, 57.0, 9.9));
+  }
+  const LgmXExtractor extractor = LgmXExtractor::FromCorpus(dataset);
+  // "cafe X" vs "X": the LGM-Sim base-score feature ignores the frequent
+  // type word, so it stays high.
+  data::SpatialEntity a = MakeEntity("cafe unique1", "street", 1, 57.0, 9.9);
+  data::SpatialEntity b = MakeEntity("unique1", "street", 1, 57.0, 9.9);
+  std::vector<double> row(extractor.feature_count());
+  extractor.ExtractRow(a, b, row.data());
+  const int base_col =
+      [&] {
+        const auto& names = extractor.feature_names();
+        for (size_t c = 0; c < names.size(); ++c) {
+          if (names[c] == "name_lgm_base_score") return static_cast<int>(c);
+        }
+        return -1;
+      }();
+  ASSERT_GE(base_col, 0);
+  EXPECT_DOUBLE_EQ(row[static_cast<size_t>(base_col)], 1.0);
+}
+
+}  // namespace
+}  // namespace skyex::features

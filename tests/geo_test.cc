@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "geo/distance.h"
+#include "geo/point.h"
+#include "geo/quadflex.h"
+#include "geo/quadtree.h"
+
+namespace skyex::geo {
+namespace {
+
+// ----------------------------------------------------------------- Distance
+
+TEST(Distance, ZeroForIdenticalPoints) {
+  const GeoPoint p{57.0, 9.9, true};
+  EXPECT_DOUBLE_EQ(HaversineMeters(p, p), 0.0);
+}
+
+TEST(Distance, OneMillidegreeOfLatitude) {
+  // 0.001° latitude ≈ 111.19 m everywhere.
+  const GeoPoint a{57.0, 9.9, true};
+  const GeoPoint b{57.001, 9.9, true};
+  EXPECT_NEAR(HaversineMeters(a, b), 111.19, 0.5);
+  EXPECT_NEAR(EquirectangularMeters(a, b), 111.19, 0.5);
+}
+
+TEST(Distance, AalborgToCopenhagen) {
+  const GeoPoint aalborg{57.0488, 9.9217, true};
+  const GeoPoint copenhagen{55.6761, 12.5683, true};
+  // Great-circle distance is ≈ 220-230 km.
+  const double d = HaversineMeters(aalborg, copenhagen);
+  EXPECT_GT(d, 215000.0);
+  EXPECT_LT(d, 235000.0);
+}
+
+TEST(Distance, InvalidPointsReturnSentinel) {
+  const GeoPoint p{57.0, 9.9, true};
+  EXPECT_LT(HaversineMeters(p, GeoPoint::Invalid()), 0.0);
+  EXPECT_LT(EquirectangularMeters(GeoPoint::Invalid(), p), 0.0);
+}
+
+TEST(Distance, EquirectangularTracksHaversineLocally) {
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> lat(56.6, 57.6);
+  std::uniform_real_distribution<double> lon(8.4, 10.6);
+  std::uniform_real_distribution<double> delta(-0.01, 0.01);
+  for (int i = 0; i < 200; ++i) {
+    const GeoPoint a{lat(rng), lon(rng), true};
+    const GeoPoint b{a.lat + delta(rng), a.lon + delta(rng), true};
+    const double h = HaversineMeters(a, b);
+    const double e = EquirectangularMeters(a, b);
+    EXPECT_NEAR(e, h, std::max(1.0, 0.01 * h));
+  }
+}
+
+TEST(Distance, MetersToDegreesRoundTrip) {
+  const double lat_deg = MetersToLatDegrees(1000.0);
+  const GeoPoint a{57.0, 9.9, true};
+  const GeoPoint b{57.0 + lat_deg, 9.9, true};
+  EXPECT_NEAR(HaversineMeters(a, b), 1000.0, 2.0);
+
+  const double lon_deg = MetersToLonDegrees(1000.0, 57.0);
+  const GeoPoint c{57.0, 9.9 + lon_deg, true};
+  EXPECT_NEAR(HaversineMeters(a, c), 1000.0, 2.0);
+}
+
+// ----------------------------------------------------------------- Quadtree
+
+std::vector<GeoPoint> RandomPoints(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> lat(56.6, 57.6);
+  std::uniform_real_distribution<double> lon(8.4, 10.6);
+  std::vector<GeoPoint> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(GeoPoint{lat(rng), lon(rng), true});
+  }
+  return points;
+}
+
+TEST(Quadtree, QueryMatchesBruteForce) {
+  const std::vector<GeoPoint> points = RandomPoints(2000, 7);
+  Quadtree::Options options;
+  options.capacity = 32;
+  const Quadtree tree(points, options);
+  EXPECT_EQ(tree.num_points(), points.size());
+
+  const BoundingBox box{56.9, 9.0, 57.2, 9.8};
+  std::vector<size_t> result = tree.Query(box);
+  std::sort(result.begin(), result.end());
+
+  std::vector<size_t> expected;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (box.Contains(points[i])) expected.push_back(i);
+  }
+  EXPECT_EQ(result, expected);
+}
+
+TEST(Quadtree, LeavesPartitionThePoints) {
+  const std::vector<GeoPoint> points = RandomPoints(1000, 9);
+  Quadtree::Options options;
+  options.capacity = 16;
+  const Quadtree tree(points, options);
+  size_t total = 0;
+  tree.ForEachLeaf([&](const std::vector<size_t>& indices,
+                       const BoundingBox&, size_t) {
+    total += indices.size();
+  });
+  EXPECT_EQ(total, points.size());
+  EXPECT_GT(tree.num_leaves(), 1u);
+}
+
+TEST(Quadtree, SkipsInvalidPoints) {
+  std::vector<GeoPoint> points = RandomPoints(10, 3);
+  points.push_back(GeoPoint::Invalid());
+  const Quadtree tree(points, Quadtree::Options{});
+  EXPECT_EQ(tree.num_points(), 10u);
+}
+
+// ----------------------------------------------------------------- QuadFlex
+
+TEST(QuadFlex, FindsClosePairs) {
+  // Two clusters of 3 points within meters of each other, far apart.
+  std::vector<GeoPoint> points = {
+      {57.0000, 9.9000, true}, {57.0001, 9.9001, true},
+      {57.0000, 9.9001, true}, {57.3000, 10.2000, true},
+      {57.3001, 10.2001, true}, {57.3000, 10.2001, true},
+  };
+  const std::vector<CandidatePair> pairs = QuadFlexBlock(points);
+  // All 3 within-cluster pairs per cluster, none across.
+  EXPECT_EQ(pairs.size(), 6u);
+  for (const auto& [i, j] : pairs) {
+    EXPECT_LT(i, j);
+    EXPECT_EQ(i < 3, j < 3) << "cross-cluster pair " << i << "," << j;
+  }
+}
+
+TEST(QuadFlex, PairsAreUniqueAndOrdered) {
+  const std::vector<GeoPoint> points = RandomPoints(500, 21);
+  const std::vector<CandidatePair> pairs = QuadFlexBlock(points);
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    EXPECT_LT(pairs[k].first, pairs[k].second);
+    if (k > 0) {
+      EXPECT_LT(pairs[k - 1], pairs[k]);
+    }
+  }
+}
+
+TEST(QuadFlex, RespectsMaxRadius) {
+  QuadFlexOptions options;
+  options.max_radius_m = 100.0;
+  const std::vector<GeoPoint> points = RandomPoints(800, 33);
+  for (const auto& [i, j] : QuadFlexBlock(points, options)) {
+    EXPECT_LE(EquirectangularMeters(points[i], points[j]),
+              options.max_radius_m * 1.001);
+  }
+}
+
+TEST(QuadFlex, NeighborComparisonFindsBoundaryPairs) {
+  // Points straddling a quadtree split line still pair when neighbor
+  // comparison is on.
+  QuadFlexOptions options;
+  options.leaf_capacity = 2;
+  options.compare_neighbor_leaves = true;
+  std::vector<GeoPoint> points = {
+      {57.0000, 9.9000, true},  {57.0001, 9.9001, true},
+      {57.00005, 9.90005, true}, {57.1, 10.0, true},
+      {57.2, 10.1, true},        {56.9, 9.7, true},
+      {56.8, 9.6, true},
+  };
+  const std::vector<CandidatePair> with = QuadFlexBlock(points, options);
+  options.compare_neighbor_leaves = false;
+  const std::vector<CandidatePair> without = QuadFlexBlock(points, options);
+  EXPECT_GE(with.size(), without.size());
+  // The three near-identical points must all pair with each other.
+  size_t close_pairs = 0;
+  for (const auto& [i, j] : with) {
+    if (i < 3 && j < 3) ++close_pairs;
+  }
+  EXPECT_EQ(close_pairs, 3u);
+}
+
+TEST(QuadFlex, InvalidPointsNeverPair) {
+  std::vector<GeoPoint> points = {
+      {57.0, 9.9, true}, GeoPoint::Invalid(), {57.0, 9.9, true}};
+  for (const auto& [i, j] : QuadFlexBlock(points)) {
+    EXPECT_NE(i, 1u);
+    EXPECT_NE(j, 1u);
+  }
+}
+
+TEST(QuadFlex, CartesianBlockCounts) {
+  EXPECT_EQ(CartesianBlock(0).size(), 0u);
+  EXPECT_EQ(CartesianBlock(1).size(), 0u);
+  EXPECT_EQ(CartesianBlock(4).size(), 6u);
+  // The Restaurants dataset size of the paper: 864 → 372,816 pairs.
+  EXPECT_EQ(CartesianBlock(864).size(), 372816u);
+}
+
+}  // namespace
+}  // namespace skyex::geo

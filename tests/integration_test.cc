@@ -1,0 +1,147 @@
+// End-to-end tests over the full pipeline: synthetic data → QuadFlex
+// blocking → ground truth → LGM-X features → SkyEx-T and the baselines.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/baselines.h"
+#include "core/pipeline.h"
+#include "core/skyex_t.h"
+#include "eval/metrics.h"
+#include "eval/sampling.h"
+#include "ml/random_forest.h"
+
+namespace skyex::core {
+namespace {
+
+class NorthDkPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::NorthDkOptions options;
+    options.num_entities = 1500;
+    options.seed = 31;
+    prepared_ = new PreparedData(PrepareNorthDk(options));
+  }
+  static void TearDownTestSuite() {
+    delete prepared_;
+    prepared_ = nullptr;
+  }
+
+  static PreparedData* prepared_;
+};
+
+PreparedData* NorthDkPipelineTest::prepared_ = nullptr;
+
+TEST_F(NorthDkPipelineTest, BlocksAndLabels) {
+  EXPECT_EQ(prepared_->dataset.size(), 1500u);
+  EXPECT_GT(prepared_->pairs.size(), 1000u);
+  EXPECT_GT(prepared_->pairs.NumPositives(), 50u);
+  EXPECT_EQ(prepared_->features.rows, prepared_->pairs.size());
+  EXPECT_EQ(prepared_->features.cols, 88u);
+}
+
+TEST_F(NorthDkPipelineTest, SkyExTEndToEnd) {
+  const auto splits = eval::DisjointTrainingSplits(
+      prepared_->pairs.size(), 0.1, 1, 5);
+  const SkyExT skyex;
+  const SkyExTModel model = skyex.Train(
+      prepared_->features, prepared_->pairs.labels, splits[0].train);
+  const std::vector<uint8_t> predicted =
+      SkyExT::Label(prepared_->features, splits[0].test, model);
+  std::vector<uint8_t> truth;
+  for (size_t r : splits[0].test) {
+    truth.push_back(prepared_->pairs.labels[r]);
+  }
+  const eval::ConfusionMatrix m = eval::Confusion(predicted, truth);
+  // On clean synthetic data SkyEx-T separates well; the bar is
+  // deliberately below the expected value to stay robust across seeds.
+  EXPECT_GT(m.F1(), 0.5) << m.ToString();
+}
+
+TEST_F(NorthDkPipelineTest, BaselinesProduceSaneResults) {
+  const BaselineResult v1 =
+      RunBerjawi(prepared_->dataset, prepared_->pairs, true, false);
+  const BaselineResult v1_flex =
+      RunBerjawi(prepared_->dataset, prepared_->pairs, true, true);
+  const BaselineResult morana =
+      RunMorana(prepared_->dataset, prepared_->pairs);
+  const BaselineResult karam =
+      RunKaram(prepared_->dataset, prepared_->pairs);
+
+  // Flex (best threshold) is at least as good as the fixed threshold.
+  EXPECT_GE(v1_flex.confusion.F1() + 1e-12, v1.confusion.F1());
+  // Every baseline runs and produces a non-degenerate confusion matrix.
+  for (const BaselineResult* r : {&v1, &v1_flex, &morana, &karam}) {
+    const auto& c = r->confusion;
+    EXPECT_EQ(c.tp + c.fp + c.tn + c.fn, prepared_->pairs.size()) << r->name;
+  }
+  // Karam's 5 m blocking trades precision for whatever it can reach;
+  // Berjawi-Flex should beat the fixed-threshold variant and Morana
+  // should find at least some matches.
+  EXPECT_GT(morana.confusion.Recall(), 0.05);
+}
+
+TEST_F(NorthDkPipelineTest, SkyExTBeatsNonSkylineBaselines) {
+  const auto splits = eval::DisjointTrainingSplits(
+      prepared_->pairs.size(), 0.2, 1, 6);
+  const SkyExT skyex;
+  const SkyExTModel model = skyex.Train(
+      prepared_->features, prepared_->pairs.labels, splits[0].train);
+  const std::vector<uint8_t> predicted =
+      SkyExT::Label(prepared_->features, splits[0].test, model);
+  std::vector<uint8_t> truth;
+  for (size_t r : splits[0].test) {
+    truth.push_back(prepared_->pairs.labels[r]);
+  }
+  const double skyex_f1 = eval::Confusion(predicted, truth).F1();
+
+  const BaselineResult karam =
+      RunKaram(prepared_->dataset, prepared_->pairs);
+  const BaselineResult morana =
+      RunMorana(prepared_->dataset, prepared_->pairs);
+  // Table 5's headline: SkyEx-T outperforms Karam by a wide margin and
+  // stays at least on par with Morana (at this small test scale the
+  // Morana comparison is tight, so a small tolerance absorbs seed
+  // noise; the full-scale bench reproduces the strict ordering).
+  EXPECT_GT(skyex_f1, morana.confusion.F1() - 0.06);
+  EXPECT_GT(skyex_f1, karam.confusion.F1());
+}
+
+TEST(RestaurantsPipelineTest, ExtremeSkewEndToEnd) {
+  data::RestaurantsOptions options;
+  const PreparedData prepared =
+      PrepareRestaurants(options, {}, /*max_pairs=*/20000);
+  EXPECT_EQ(prepared.dataset.size(), 864u);
+  EXPECT_EQ(prepared.pairs.NumPositives(), 112u);
+  EXPECT_LE(prepared.pairs.size(), 20000u);
+
+  const auto splits =
+      eval::DisjointTrainingSplits(prepared.pairs.size(), 0.2, 1, 7);
+  const SkyExT skyex;
+  const SkyExTModel model = skyex.Train(
+      prepared.features, prepared.pairs.labels, splits[0].train);
+  const std::vector<uint8_t> predicted =
+      SkyExT::Label(prepared.features, splits[0].test, model);
+  std::vector<uint8_t> truth;
+  for (size_t r : splits[0].test) truth.push_back(prepared.pairs.labels[r]);
+  const eval::ConfusionMatrix m = eval::Confusion(predicted, truth);
+  EXPECT_GT(m.F1(), 0.5) << m.ToString();
+}
+
+TEST_F(NorthDkPipelineTest, MlClassifierOnLgmXFeatures) {
+  const auto splits = eval::DisjointTrainingSplits(
+      prepared_->pairs.size(), 0.2, 1, 8);
+  ml::RandomForest forest;
+  forest.Fit(prepared_->features, prepared_->pairs.labels, splits[0].train);
+  const std::vector<uint8_t> predicted =
+      forest.Predict(prepared_->features, splits[0].test);
+  std::vector<uint8_t> truth;
+  for (size_t r : splits[0].test) {
+    truth.push_back(prepared_->pairs.labels[r]);
+  }
+  EXPECT_GT(eval::Confusion(predicted, truth).F1(), 0.5);
+}
+
+}  // namespace
+}  // namespace skyex::core

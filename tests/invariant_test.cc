@@ -1,0 +1,161 @@
+// Cross-cutting invariants: idempotence of normalization, generator
+// knob guarantees, determinism of the seeded ensembles, and the
+// tie-tolerance semantics of the cut-off sweep.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "core/skyex_t.h"
+#include "data/ground_truth.h"
+#include "data/northdk_generator.h"
+#include "data/restaurants_generator.h"
+#include "geo/quadflex.h"
+#include "ml/random_forest.h"
+#include "skyline/preference.h"
+#include "text/ngram.h"
+#include "text/normalize.h"
+#include "text/tokenize.h"
+
+namespace skyex {
+namespace {
+
+// ------------------------------------------------------------- text laws
+
+TEST(TextInvariant, NormalizeIsIdempotent) {
+  const char* samples[] = {
+      "Café  \"Ambiance\", Nørregade!", "  ALL CAPS  ", "øæå ÅÆØ",
+      "already normal", ""};
+  for (const char* s : samples) {
+    const std::string once = text::Normalize(s);
+    EXPECT_EQ(text::Normalize(once), once) << s;
+  }
+}
+
+TEST(TextInvariant, SortTokensIsIdempotent) {
+  const std::string once = text::SortTokens("perla la bella zz aa");
+  EXPECT_EQ(text::SortTokens(once), once);
+}
+
+TEST(TextInvariant, NgramCountFormula) {
+  for (size_t len : {2u, 5u, 9u, 30u}) {
+    const std::string s(len, 'x');
+    EXPECT_EQ(text::CharNgrams(s, 2).size(), len - 1);
+    EXPECT_EQ(text::CharNgrams(s, 3).size(), len >= 3 ? len - 2 : 1);
+  }
+}
+
+// ------------------------------------------------------- generator knobs
+
+TEST(GeneratorInvariant, ZeroNoiseKnobsGivePureRule) {
+  data::NorthDkOptions options;
+  options.num_entities = 1500;
+  options.seed = 13;
+  options.mall_member_prob = 0.0;  // the only source of cross-physical
+                                   // rule positives
+  const data::Dataset d = data::GenerateNorthDk(options);
+  const auto pairs = geo::QuadFlexBlock(d.Points());
+  const auto labels = data::LabelPairs(d, pairs);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    if (!labels[p]) continue;
+    EXPECT_EQ(d[pairs[p].first].physical_id,
+              d[pairs[p].second].physical_id);
+  }
+}
+
+TEST(GeneratorInvariant, RestaurantNamesAreUnique) {
+  const data::Dataset d = data::GenerateRestaurants();
+  std::set<std::string> names;
+  size_t duplicates_by_match = 0;
+  for (const auto& e : d.entities) {
+    if (!names.insert(e.name).second) ++duplicates_by_match;
+  }
+  // Name collisions only come from matched pairs whose duplicate record
+  // kept the exact name (gentle noise) — never from distinct physicals,
+  // so the count is bounded by the 112 matches.
+  EXPECT_LE(duplicates_by_match, 112u);
+}
+
+TEST(GeneratorInvariant, ScalesToTinyAndOddSizes) {
+  for (size_t n : {1u, 2u, 7u, 33u}) {
+    data::NorthDkOptions options;
+    options.num_entities = n;
+    options.seed = n;
+    EXPECT_EQ(data::GenerateNorthDk(options).size(), n);
+  }
+}
+
+// --------------------------------------------------------- ML determinism
+
+TEST(MlInvariant, SeededForestIsDeterministic) {
+  ml::FeatureMatrix m = ml::FeatureMatrix::Zeros(500, {"a", "b"});
+  std::vector<uint8_t> labels(m.rows);
+  std::vector<size_t> rows(m.rows);
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (size_t r = 0; r < m.rows; ++r) {
+    rows[r] = r;
+    m.Row(r)[0] = unit(rng);
+    m.Row(r)[1] = unit(rng);
+    labels[r] = m.Row(r)[0] > 0.6 ? 1 : 0;
+  }
+  ml::RandomForest a;
+  ml::RandomForest b;
+  a.Fit(m, labels, rows);
+  b.Fit(m, labels, rows);
+  for (size_t r = 0; r < 50; ++r) {
+    EXPECT_DOUBLE_EQ(a.PredictScore(m.Row(r)), b.PredictScore(m.Row(r)));
+  }
+}
+
+// --------------------------------------------------- cut-off sweep ties
+
+TEST(SweepInvariant, TieToleranceKeepsEarlierLayer) {
+  // Two positives at scores {0.9, 0.5} among negatives: layer 1 gives
+  // F1 = 2/3, and going deeper to catch the second positive yields a
+  // nearly identical F1 — strict sweep takes the deeper cut, a tolerant
+  // sweep stays early.
+  ml::FeatureMatrix m = ml::FeatureMatrix::Zeros(5, {"f"});
+  const double values[] = {0.9, 0.8, 0.7, 0.5, 0.3};
+  const uint8_t labels_arr[] = {1, 0, 0, 1, 0};
+  std::vector<uint8_t> labels(labels_arr, labels_arr + 5);
+  std::vector<size_t> rows = {0, 1, 2, 3, 4};
+  for (size_t r = 0; r < 5; ++r) m.Row(r)[0] = values[r];
+  const auto pref = skyline::High(0);
+
+  const auto strict =
+      core::SweepCutoffOverSkylines(m, rows, labels, *pref, 1.0);
+  // F1(k=1) = 2/3 ≈ 0.667; F1(k=4) = 2·2/(4+2) = 0.667 — exact tie:
+  // strict keeps the first maximum too, so loosen the deep one.
+  EXPECT_EQ(strict.best_layer, 1u);
+
+  // With labels making the deep cut slightly better...
+  labels[1] = 1;  // positives at 0.9, 0.8, 0.5
+  const auto strict2 =
+      core::SweepCutoffOverSkylines(m, rows, labels, *pref, 1.0);
+  const auto tolerant =
+      core::SweepCutoffOverSkylines(m, rows, labels, *pref, 0.9);
+  // Strict chases the global max (k=4: F1 = 6/7); the tolerant sweep
+  // stops at the earlier near-tie (k=2: F1 = 4/5 ≥ 0.9·6/7).
+  EXPECT_EQ(strict2.best_layer, 4u);
+  EXPECT_EQ(tolerant.best_layer, 2u);
+}
+
+// -------------------------------------- preference feature bookkeeping
+
+TEST(PreferenceInvariant, CollectFeaturesListsEveryLeaf) {
+  std::vector<std::unique_ptr<skyline::Preference>> g1;
+  g1.push_back(skyline::High(4));
+  g1.push_back(skyline::Low(9));
+  std::vector<std::unique_ptr<skyline::Preference>> parts;
+  parts.push_back(skyline::ParetoOf(std::move(g1)));
+  parts.push_back(skyline::High(2));
+  const auto p = skyline::PriorityOf(std::move(parts));
+  std::vector<size_t> features;
+  p->CollectFeatures(&features);
+  EXPECT_EQ(features, (std::vector<size_t>{4, 9, 2}));
+}
+
+}  // namespace
+}  // namespace skyex

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/linker.h"
+#include "core/pipeline.h"
+#include "core/skyex_t.h"
+#include "eval/sampling.h"
+
+namespace skyex::core {
+namespace {
+
+TEST(ConnectedComponentsTest, SingletonsAndChains) {
+  // 6 records; positive pairs 0-1, 1-2 (a chain) and 4-5.
+  const std::vector<geo::CandidatePair> pairs = {
+      {0, 1}, {1, 2}, {2, 3}, {4, 5}};
+  const std::vector<uint8_t> predicted = {1, 1, 0, 1};
+  const auto clusters = ConnectedComponents(6, pairs, predicted);
+  ASSERT_EQ(clusters.size(), 3u);
+  // Sorted by first member: {0,1,2}, {3}, {4,5}.
+  EXPECT_EQ(clusters[0].size(), 3u);
+  EXPECT_EQ(clusters[1], (std::vector<size_t>{3}));
+  EXPECT_EQ(clusters[2].size(), 2u);
+}
+
+TEST(ConnectedComponentsTest, NoPositives) {
+  const std::vector<geo::CandidatePair> pairs = {{0, 1}};
+  const auto clusters = ConnectedComponents(3, pairs, {0});
+  EXPECT_EQ(clusters.size(), 3u);
+}
+
+TEST(MergeRecordsTest, BuildsGoldenRecord) {
+  data::Dataset dataset;
+  data::SpatialEntity a;
+  a.name = "Cafe Amelie";
+  a.address_name = "Vestergade";
+  a.address_number = 23;
+  a.phone = "+4511111111";
+  a.categories = {"cafe"};
+  a.location = geo::GeoPoint{57.0, 9.9, true};
+  data::SpatialEntity b;
+  b.name = "Cafe Amelie Aalborg";  // longer → wins
+  b.address_name = "Vesterg.";
+  b.address_number = -1;
+  b.website = "www.cafeamelie.dk";
+  b.categories = {"coffee", "cafe"};
+  b.location = geo::GeoPoint{57.002, 9.9, true};
+  dataset.entities = {a, b};
+
+  const data::SpatialEntity merged = MergeRecords(dataset, {0, 1});
+  EXPECT_EQ(merged.name, "Cafe Amelie Aalborg");
+  EXPECT_EQ(merged.address_name, "Vestergade");
+  EXPECT_EQ(merged.address_number, 23);
+  EXPECT_EQ(merged.phone, "+4511111111");
+  EXPECT_EQ(merged.website, "www.cafeamelie.dk");
+  EXPECT_EQ(merged.categories, (std::vector<std::string>{"cafe", "coffee"}));
+  EXPECT_NEAR(merged.location.lat, 57.001, 1e-9);
+}
+
+TEST(MergeRecordsTest, NoCoordinates) {
+  data::Dataset dataset;
+  data::SpatialEntity a;
+  a.name = "x";
+  a.location = geo::GeoPoint::Invalid();
+  dataset.entities = {a};
+  const data::SpatialEntity merged = MergeRecords(dataset, {0});
+  EXPECT_FALSE(merged.location.valid);
+}
+
+TEST(LinkEntitiesTest, EndToEndClusterCount) {
+  data::NorthDkOptions options;
+  options.num_entities = 800;
+  options.seed = 17;
+  const PreparedData d = PrepareNorthDk(options);
+
+  const auto split = eval::RandomSplit(d.pairs.size(), 0.1, 9);
+  const SkyExT skyex;
+  const auto model = skyex.Train(d.features, d.pairs.labels, split.train);
+  const auto linked =
+      LinkEntities(d.dataset, d.features, d.pairs.pairs, model);
+
+  // Every record appears in exactly one cluster.
+  size_t total = 0;
+  for (const LinkedEntity& e : linked) {
+    EXPECT_FALSE(e.merged.name.empty());
+    total += e.record_indices.size();
+  }
+  EXPECT_EQ(total, d.dataset.size());
+  // Linking reduced the record count noticeably (~36% of records are
+  // duplicates) but did not collapse everything.
+  EXPECT_LT(linked.size(), d.dataset.size());
+  EXPECT_GT(linked.size(), d.dataset.size() / 2);
+
+  // Most clusters should be pure (one physical entity).
+  size_t pure = 0;
+  size_t multi = 0;
+  for (const LinkedEntity& e : linked) {
+    if (e.record_indices.size() < 2) continue;
+    ++multi;
+    const uint64_t physical = d.dataset[e.record_indices[0]].physical_id;
+    bool is_pure = true;
+    for (size_t r : e.record_indices) {
+      if (d.dataset[r].physical_id != physical) is_pure = false;
+    }
+    if (is_pure) ++pure;
+  }
+  ASSERT_GT(multi, 10u);
+  EXPECT_GT(static_cast<double>(pure) / static_cast<double>(multi), 0.5);
+}
+
+}  // namespace
+}  // namespace skyex::core

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset_view.h"
+#include "ml/decision_tree.h"
+#include "ml/elbow.h"
+#include "ml/extra_trees.h"
+#include "ml/gradient_boosting.h"
+#include "ml/linear_svm.h"
+#include "ml/mlp.h"
+#include "ml/random_forest.h"
+#include "ml/statistics.h"
+
+namespace skyex::ml {
+namespace {
+
+// -------------------------------------------------------------- Statistics
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantVectorIsZero) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> c = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, c), 0.0);
+}
+
+TEST(Pearson, KnownValue) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 3, 2, 5, 4};
+  // cov = 2.0, sd_x = sqrt(2), sd_y = sqrt(2) → rho = 0.8 (n-denominator
+  // cancels).
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.8, 1e-12);
+}
+
+TEST(MutualInformation, DependentBeatsIndependent) {
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<double> x(4000);
+  std::vector<double> y_dep(4000);
+  std::vector<double> y_ind(4000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = unit(rng);
+    y_dep[i] = x[i] * x[i];  // deterministic, non-linear
+    y_ind[i] = unit(rng);
+  }
+  EXPECT_GT(MutualInformation(x, y_dep), 10.0 * MutualInformation(x, y_ind));
+}
+
+TEST(MutualInformation, NormalizedSelfIsOne) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<double> x(2000);
+  for (double& v : x) v = unit(rng);
+  EXPECT_NEAR(NormalizedMutualInformation(x, x), 1.0, 1e-9);
+}
+
+TEST(MutualInformation, PairwiseMatrixShape) {
+  FeatureMatrix m = FeatureMatrix::Zeros(100, {"a", "b", "c"});
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (size_t r = 0; r < m.rows; ++r) {
+    const double v = unit(rng);
+    m.Row(r)[0] = v;
+    m.Row(r)[1] = v;          // duplicate of column 0
+    m.Row(r)[2] = unit(rng);  // independent
+  }
+  std::vector<size_t> rows(m.rows);
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  const auto mi = PairwiseNormalizedMi(m, rows);
+  EXPECT_NEAR(mi[0][1], 1.0, 1e-9);
+  EXPECT_LT(mi[0][2], 0.5);
+  EXPECT_DOUBLE_EQ(mi[1][0], mi[0][1]);
+}
+
+// ------------------------------------------------------------------- Elbow
+
+TEST(Elbow, PaperFigure2Example) {
+  // Example 4.9: |rho| = {.6,.56,.55,.54,.34,.33,.33,.32,.11,.06};
+  // groups are the first 4 and the next 4 features.
+  const std::vector<double> curve = {0.6,  0.56, 0.55, 0.54, 0.34,
+                                     0.33, 0.33, 0.32, 0.11, 0.06};
+  const TwoElbows elbows = FindTwoElbows(curve);
+  EXPECT_EQ(elbows.first, 3u);
+  EXPECT_EQ(elbows.second, 7u);
+}
+
+TEST(Elbow, DegenerateInputs) {
+  EXPECT_EQ(FindElbow({}, 0, 0), 0u);
+  EXPECT_EQ(FindElbow({1.0}, 0, 1), 0u);
+  EXPECT_EQ(FindElbow({1.0, 0.5}, 0, 2), 0u);
+  const TwoElbows e = FindTwoElbows({0.9});
+  EXPECT_EQ(e.first, 0u);
+  EXPECT_EQ(e.second, 0u);
+}
+
+TEST(Elbow, FlatCurveReturnsFirst) {
+  const std::vector<double> flat(10, 0.5);
+  EXPECT_EQ(FindElbow(flat, 0, flat.size()), 0u);
+}
+
+// ------------------------------------------------------------- FeatureMatrix
+
+TEST(FeatureMatrixTest, SelectColumnsAndRows) {
+  FeatureMatrix m = FeatureMatrix::Zeros(3, {"a", "b", "c"});
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) m.Row(r)[c] = 10.0 * r + c;
+  }
+  const FeatureMatrix cols = m.SelectColumns({2, 0});
+  EXPECT_EQ(cols.names, (std::vector<std::string>{"c", "a"}));
+  EXPECT_DOUBLE_EQ(cols.At(1, 0), 12.0);
+  EXPECT_DOUBLE_EQ(cols.At(1, 1), 10.0);
+
+  const FeatureMatrix rows = m.SelectRows({2, 1});
+  EXPECT_DOUBLE_EQ(rows.At(0, 1), 21.0);
+  EXPECT_EQ(m.ColumnIndex("b"), 1);
+  EXPECT_EQ(m.ColumnIndex("zzz"), -1);
+}
+
+// -------------------------------------------------------------- Classifiers
+
+// A linearly separable-ish imbalanced problem: positives cluster at high
+// feature values, negatives at low, with noise — the geometry of
+// similarity features.
+struct Problem {
+  FeatureMatrix matrix;
+  std::vector<uint8_t> labels;
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+Problem MakeProblem(size_t n, double positive_rate, uint64_t seed) {
+  Problem p;
+  p.matrix = FeatureMatrix::Zeros(n, {"f1", "f2", "f3", "noise"});
+  p.labels.resize(n);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::normal_distribution<double> noise(0.0, 0.12);
+  for (size_t r = 0; r < n; ++r) {
+    const bool positive = unit(rng) < positive_rate;
+    p.labels[r] = positive ? 1 : 0;
+    const double base = positive ? 0.85 : 0.35;
+    double* row = p.matrix.Row(r);
+    for (int c = 0; c < 3; ++c) {
+      row[c] = std::clamp(base + noise(rng), 0.0, 1.0);
+    }
+    row[3] = unit(rng);
+    if (r % 4 == 0) {
+      p.test.push_back(r);
+    } else {
+      p.train.push_back(r);
+    }
+  }
+  return p;
+}
+
+double TestF1(const Classifier& clf, const Problem& p) {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+  for (size_t r : p.test) {
+    const bool predicted = clf.PredictScore(p.matrix.Row(r)) >= 0.5;
+    if (predicted && p.labels[r]) ++tp;
+    else if (predicted && !p.labels[r]) ++fp;
+    else if (!predicted && p.labels[r]) ++fn;
+  }
+  return 2.0 * tp == 0 ? 0.0
+                       : 2.0 * static_cast<double>(tp) / (2.0 * tp + fp + fn);
+}
+
+class ClassifierTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<Classifier> Make() const {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<LinearSvm>();
+      case 1:
+        return std::make_unique<DecisionTree>();
+      case 2:
+        return std::make_unique<RandomForest>();
+      case 3:
+        return std::make_unique<ExtraTrees>();
+      case 4:
+        return std::make_unique<GradientBoosting>();
+      default:
+        return std::make_unique<Mlp>();
+    }
+  }
+};
+
+TEST_P(ClassifierTest, LearnsImbalancedSeparableProblem) {
+  const Problem p = MakeProblem(3000, 0.05, 42);
+  auto clf = Make();
+  clf->Fit(p.matrix, p.labels, p.train);
+  EXPECT_GT(TestF1(*clf, p), 0.85) << clf->name();
+}
+
+TEST_P(ClassifierTest, HandlesTinyTrainingSet) {
+  const Problem p = MakeProblem(800, 0.2, 7);
+  auto clf = Make();
+  // 40 training rows only.
+  std::vector<size_t> tiny(p.train.begin(), p.train.begin() + 40);
+  clf->Fit(p.matrix, p.labels, tiny);
+  EXPECT_GT(TestF1(*clf, p), 0.6) << clf->name();
+}
+
+TEST_P(ClassifierTest, DegenerateSingleClassDoesNotCrash) {
+  const Problem p = MakeProblem(200, 0.0, 9);
+  auto clf = Make();
+  clf->Fit(p.matrix, p.labels, p.train);
+  const double score = clf->PredictScore(p.matrix.Row(p.test[0]));
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+}
+
+std::string ClassifierCaseName(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"Svm",        "DecisionTree",
+                                       "RandomForest", "ExtraTrees",
+                                       "Xgboost",    "Mlp"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClassifiers, ClassifierTest,
+                         ::testing::Range(0, 6), ClassifierCaseName);
+
+TEST(DecisionTreeTest, DepthIsBounded) {
+  const Problem p = MakeProblem(1000, 0.3, 13);
+  TreeOptions options;
+  options.max_depth = 4;
+  DecisionTree tree(options);
+  tree.Fit(p.matrix, p.labels, p.train);
+  EXPECT_LE(tree.depth(), 4u);
+}
+
+TEST(StandardizerTest, ZeroMeanUnitVariance) {
+  FeatureMatrix m = FeatureMatrix::Zeros(4, {"a"});
+  m.Row(0)[0] = 1.0;
+  m.Row(1)[0] = 2.0;
+  m.Row(2)[0] = 3.0;
+  m.Row(3)[0] = 4.0;
+  Standardizer s;
+  s.Fit(m, {0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(s.mean[0], 2.5);
+  double out = 0.0;
+  const double in = 2.5;
+  s.Apply(&in, &out);
+  EXPECT_DOUBLE_EQ(out, 0.0);
+}
+
+}  // namespace
+}  // namespace skyex::ml

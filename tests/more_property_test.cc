@@ -1,0 +1,188 @@
+// Additional property sweeps across modules: partition invariants of
+// the LGM list split, QuadFlex versus a brute-force radius scan, CSV
+// round trips over adversarial strings, and serialization of random
+// canonical preferences.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "data/csv.h"
+#include "geo/distance.h"
+#include "geo/quadflex.h"
+#include "lgm/list_split.h"
+#include "skyline/serialize.h"
+#include "text/jaro.h"
+#include "text/normalize.h"
+#include "text/tokenize.h"
+
+namespace skyex {
+namespace {
+
+double Jw(std::string_view a, std::string_view b) {
+  return text::JaroWinklerSimilarity(a, b);
+}
+
+// ------------------------------------------------ LGM list split invariant
+
+TEST(ListSplitProperty, ListsPartitionTheTokens) {
+  std::mt19937_64 rng(3);
+  const std::vector<std::string> vocab = {
+      "cafe", "amelie", "vest",  "nord",  "bageri", "x",
+      "perla", "roma",   "grill", "salon", "kiosk"};
+  const lgm::FrequentTermDictionary dict =
+      lgm::FrequentTermDictionary::FromTerms({"cafe", "bageri", "grill"});
+  std::uniform_int_distribution<size_t> count(0, 6);
+  std::uniform_int_distribution<size_t> pick(0, vocab.size() - 1);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::string> ta;
+    std::vector<std::string> tb;
+    for (size_t k = count(rng); k > 0; --k) ta.push_back(vocab[pick(rng)]);
+    for (size_t k = count(rng); k > 0; --k) tb.push_back(vocab[pick(rng)]);
+    const lgm::TermLists lists = lgm::SplitTermLists(
+        text::JoinTokens(ta), text::JoinTokens(tb), dict, Jw, 0.8);
+
+    // Partition: every input token lands in exactly one list, counts
+    // preserved.
+    std::vector<std::string> rebuilt_a = lists.base_a;
+    rebuilt_a.insert(rebuilt_a.end(), lists.mismatch_a.begin(),
+                     lists.mismatch_a.end());
+    rebuilt_a.insert(rebuilt_a.end(), lists.frequent_a.begin(),
+                     lists.frequent_a.end());
+    std::sort(rebuilt_a.begin(), rebuilt_a.end());
+    std::vector<std::string> sorted_a = ta;
+    std::sort(sorted_a.begin(), sorted_a.end());
+    EXPECT_EQ(rebuilt_a, sorted_a);
+
+    // Base lists stay aligned and actually match.
+    ASSERT_EQ(lists.base_a.size(), lists.base_b.size());
+    for (size_t k = 0; k < lists.base_a.size(); ++k) {
+      EXPECT_GE(Jw(lists.base_a[k], lists.base_b[k]), 0.8);
+    }
+    // Frequent lists contain only dictionary terms.
+    for (const std::string& t : lists.frequent_a) {
+      EXPECT_TRUE(dict.Contains(t)) << t;
+    }
+  }
+}
+
+// ---------------------------------------------- QuadFlex vs brute force
+
+TEST(QuadFlexProperty, SupersetOfBruteForceAtMinRadius) {
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> lat(57.05, 0.004);
+  std::normal_distribution<double> lon(9.92, 0.007);
+  std::vector<geo::GeoPoint> points;
+  for (int i = 0; i < 400; ++i) {
+    points.push_back({lat(rng), lon(rng), true});
+  }
+  geo::QuadFlexOptions options;
+  options.min_radius_m = 30.0;
+  options.max_radius_m = 150.0;
+  const auto pairs = geo::QuadFlexBlock(points, options);
+  std::vector<geo::CandidatePair> sorted = pairs;
+
+  // Every pair within the guaranteed floor radius must be found, and no
+  // reported pair may exceed the ceiling.
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      const double d = geo::EquirectangularMeters(points[i], points[j]);
+      const bool found = std::binary_search(sorted.begin(), sorted.end(),
+                                            geo::CandidatePair{i, j});
+      if (d <= options.min_radius_m) {
+        EXPECT_TRUE(found) << i << "," << j << " at " << d << " m";
+      }
+      if (found) {
+        EXPECT_LE(d, options.max_radius_m * 1.001);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- CSV fuzz round trip
+
+TEST(CsvProperty, RoundTripsAdversarialStrings) {
+  data::Dataset dataset;
+  const std::vector<std::string> nasties = {
+      "comma, inside",
+      "\"quoted\"",
+      "both, \"of\", them",
+      "semi;colon;cats",
+      "trailing space ",
+      " leading",
+      "æøå ÆØÅ unicode",
+      "",
+  };
+  uint64_t id = 1;
+  for (const std::string& name : nasties) {
+    data::SpatialEntity e;
+    e.id = id++;
+    e.name = name;
+    e.address_name = name;
+    e.city = name;
+    e.phone = "+45" + std::to_string(id);
+    e.website = name;
+    // ';' is the category separator and documented as reserved.
+    if (!name.empty() && name.find(';') == std::string::npos) {
+      e.categories = {name};
+    }
+    e.location = geo::GeoPoint{57.0, 9.9, true};
+    dataset.entities.push_back(std::move(e));
+  }
+  const std::string path = ::testing::TempDir() + "/skyex_fuzz.csv";
+  ASSERT_TRUE(data::WriteDatasetCsv(dataset, path));
+  data::Dataset loaded;
+  ASSERT_TRUE(data::ReadDatasetCsv(path, &loaded));
+  ASSERT_EQ(loaded.size(), dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_EQ(loaded[i].name, dataset[i].name) << i;
+    EXPECT_EQ(loaded[i].website, dataset[i].website) << i;
+    EXPECT_EQ(loaded[i].categories, dataset[i].categories) << i;
+  }
+  std::remove(path.c_str());
+}
+
+// ----------------------------------- random canonical preference round trip
+
+TEST(SerializeProperty, RandomCanonicalPreferencesRoundTrip) {
+  std::mt19937_64 rng(23);
+  std::uniform_int_distribution<size_t> group_count(1, 3);
+  std::uniform_int_distribution<size_t> group_size(1, 4);
+  std::uniform_int_distribution<size_t> feature(0, 30);
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::unique_ptr<skyline::Preference>> groups;
+    for (size_t g = group_count(rng); g > 0; --g) {
+      std::vector<std::unique_ptr<skyline::Preference>> leaves;
+      for (size_t t = group_size(rng); t > 0; --t) {
+        const size_t f = feature(rng);
+        leaves.push_back(coin(rng) ? skyline::High(f) : skyline::Low(f));
+      }
+      groups.push_back(skyline::ParetoOf(std::move(leaves)));
+    }
+    const auto p = skyline::PriorityOf(std::move(groups));
+    const std::string text = skyline::SerializePreference(*p);
+    ASSERT_FALSE(text.empty());
+    const auto parsed = skyline::ParsePreference(text);
+    ASSERT_NE(parsed, nullptr) << text;
+    EXPECT_EQ(skyline::SerializePreference(*parsed), text);
+
+    // Behavioral equivalence on random rows.
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    for (int check = 0; check < 20; ++check) {
+      double a[32];
+      double b[32];
+      for (int c = 0; c < 32; ++c) {
+        a[c] = std::round(unit(rng) * 3.0) / 3.0;
+        b[c] = std::round(unit(rng) * 3.0) / 3.0;
+      }
+      EXPECT_EQ(p->Compare(a, b), parsed->Compare(a, b)) << text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skyex

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "text/phonetic.h"
+#include "text/tfidf.h"
+
+namespace skyex::text {
+namespace {
+
+// ----------------------------------------------------------------- Soundex
+
+TEST(Soundex, ClassicReferenceValues) {
+  EXPECT_EQ(Soundex("robert"), "r163");
+  EXPECT_EQ(Soundex("rupert"), "r163");
+  EXPECT_EQ(Soundex("tymczak"), "t522");
+  EXPECT_EQ(Soundex("pfister"), "p236");
+  EXPECT_EQ(Soundex("honeyman"), "h555");
+}
+
+TEST(Soundex, HAndWAreTransparent) {
+  // The consonant after a transparent h/w keeps suppressing equal codes:
+  // Ashcraft and Ashcroft both map to a261, not a226.
+  EXPECT_EQ(Soundex("ashcraft"), "a261");
+  EXPECT_EQ(Soundex("ashcroft"), "a261");
+}
+
+TEST(Soundex, PadsAndCleans) {
+  EXPECT_EQ(Soundex("lee"), "l000");
+  EXPECT_EQ(Soundex("O'Brien"), "o165");
+  EXPECT_EQ(Soundex(""), "");
+  EXPECT_EQ(Soundex("123"), "");
+}
+
+TEST(Soundex, SimilarityBounds) {
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("robert", "rupert"), 1.0);
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("abc", ""), 0.0);
+  const double partial = SoundexSimilarity("robert", "roger");
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 1.0);
+}
+
+// ------------------------------------------------------------------ NYSIIS
+
+TEST(Nysiis, CollapsesSpellingVariants) {
+  EXPECT_EQ(Nysiis("jensen"), Nysiis("jenson"));
+  EXPECT_EQ(Nysiis("pedersen"), Nysiis("pederson"));
+  EXPECT_EQ(Nysiis("knight"), Nysiis("night"));
+}
+
+TEST(Nysiis, BasicShape) {
+  const std::string code = Nysiis("christensen");
+  EXPECT_FALSE(code.empty());
+  EXPECT_LE(code.size(), 6u);
+  EXPECT_EQ(Nysiis(""), "");
+  // Deterministic.
+  EXPECT_EQ(Nysiis("rasmussen"), Nysiis("rasmussen"));
+}
+
+TEST(Nysiis, TokenSimilarity) {
+  EXPECT_DOUBLE_EQ(
+      NysiisTokenSimilarity("jensen bageri", "jenson bageri"), 1.0);
+  EXPECT_LT(NysiisTokenSimilarity("jensen bageri", "hansen kiosk"), 0.5);
+}
+
+// ------------------------------------------------------------------ TF-IDF
+
+class TfIdfTest : public ::testing::Test {
+ protected:
+  static TfIdfWeights Weights() {
+    std::vector<std::string> corpus;
+    for (int i = 0; i < 50; ++i) {
+      corpus.push_back("cafe name" + std::to_string(i));
+    }
+    corpus.push_back("amelie unique");
+    return TfIdfWeights::Build(corpus);
+  }
+};
+
+TEST_F(TfIdfTest, FrequentTermsGetLowWeight) {
+  const TfIdfWeights w = Weights();
+  EXPECT_LT(w.Idf("cafe"), w.Idf("amelie"));
+  // Unseen terms get the maximum weight.
+  EXPECT_GE(w.Idf("neverseen"), w.Idf("amelie"));
+}
+
+TEST_F(TfIdfTest, CosineDiscountsSharedFrequentTerm) {
+  const TfIdfWeights w = Weights();
+  // Sharing only "cafe" counts far less than sharing "amelie".
+  const double frequent_overlap = TfIdfCosine(w, "cafe amelie", "cafe other");
+  const double rare_overlap = TfIdfCosine(w, "cafe amelie", "bar amelie");
+  EXPECT_LT(frequent_overlap, rare_overlap);
+}
+
+TEST_F(TfIdfTest, CosineBoundsAndIdentity) {
+  const TfIdfWeights w = Weights();
+  EXPECT_DOUBLE_EQ(TfIdfCosine(w, "", ""), 1.0);
+  EXPECT_NEAR(TfIdfCosine(w, "cafe amelie", "cafe amelie"), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(TfIdfCosine(w, "cafe", "xyz"), 0.0);
+}
+
+TEST_F(TfIdfTest, SoftVariantToleratesTypos) {
+  const TfIdfWeights w = Weights();
+  const double hard = TfIdfCosine(w, "cafe amelie", "cafe amelia");
+  const double soft = SoftTfIdf(w, "cafe amelie", "cafe amelia");
+  EXPECT_GT(soft, hard);
+  EXPECT_GT(soft, 0.5);
+  EXPECT_LE(soft, 1.0);
+}
+
+TEST_F(TfIdfTest, SoftVariantEdgeCases) {
+  const TfIdfWeights w = Weights();
+  EXPECT_DOUBLE_EQ(SoftTfIdf(w, "", ""), 1.0);
+  EXPECT_DOUBLE_EQ(SoftTfIdf(w, "cafe", ""), 0.0);
+}
+
+}  // namespace
+}  // namespace skyex::text

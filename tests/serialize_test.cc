@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/model_io.h"
+#include "core/pipeline.h"
+#include "core/skyex_t.h"
+#include "eval/metrics.h"
+#include "eval/sampling.h"
+#include "skyline/serialize.h"
+
+namespace skyex::skyline {
+namespace {
+
+std::unique_ptr<Preference> SamplePreference() {
+  std::vector<std::unique_ptr<Preference>> g1;
+  g1.push_back(High(3));
+  g1.push_back(Low(7));
+  std::vector<std::unique_ptr<Preference>> parts;
+  parts.push_back(ParetoOf(std::move(g1)));
+  parts.push_back(High(12));
+  return PriorityOf(std::move(parts));
+}
+
+TEST(Serialize, RoundTrip) {
+  const auto p = SamplePreference();
+  const std::string text = SerializePreference(*p);
+  EXPECT_EQ(text, "(high(3) & low(7)) > high(12)");
+  const auto parsed = ParsePreference(text);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(SerializePreference(*parsed), text);
+
+  // Same comparison semantics.
+  double a[16] = {};
+  double b[16] = {};
+  a[3] = 0.9;
+  b[3] = 0.5;
+  EXPECT_EQ(parsed->Compare(a, b), p->Compare(a, b));
+  a[3] = b[3];
+  a[12] = 1.0;
+  EXPECT_EQ(parsed->Compare(a, b), Comparison::kBetter);
+}
+
+TEST(Serialize, SingleLeaf) {
+  const auto p = High(5);
+  const std::string text = SerializePreference(*p);
+  EXPECT_EQ(text, "high(5)");
+  ASSERT_NE(ParsePreference(text), nullptr);
+}
+
+TEST(Serialize, WhitespaceTolerant) {
+  const auto parsed = ParsePreference("  ( high( 3 ) & low(7) )>high(12) ");
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(SerializePreference(*parsed), "(high(3) & low(7)) > high(12)");
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_EQ(ParsePreference(""), nullptr);
+  EXPECT_EQ(ParsePreference("high()"), nullptr);
+  EXPECT_EQ(ParsePreference("medium(3)"), nullptr);
+  EXPECT_EQ(ParsePreference("high(3) >"), nullptr);
+  EXPECT_EQ(ParsePreference("(high(3) & low(7)"), nullptr);
+  EXPECT_EQ(ParsePreference("high(3) garbage"), nullptr);
+}
+
+}  // namespace
+}  // namespace skyex::skyline
+
+namespace skyex::core {
+namespace {
+
+TEST(ModelIo, SaveLoadRoundTripPreservesPredictions) {
+  data::NorthDkOptions options;
+  options.num_entities = 800;
+  options.seed = 23;
+  const PreparedData d = PrepareNorthDk(options);
+  const auto split = eval::RandomSplit(d.pairs.size(), 0.1, 4);
+  const SkyExT skyex;
+  const auto model = skyex.Train(d.features, d.pairs.labels, split.train);
+
+  const std::string text = SaveModel(model);
+  EXPECT_NE(text.find("preference: "), std::string::npos);
+  EXPECT_NE(text.find("cutoff_ratio: "), std::string::npos);
+
+  const auto loaded = LoadModel(text);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(loaded->cutoff_ratio, model.cutoff_ratio);
+
+  const auto original_labels =
+      SkyExT::Label(d.features, split.test, model);
+  const auto loaded_labels =
+      SkyExT::Label(d.features, split.test, *loaded);
+  EXPECT_EQ(original_labels, loaded_labels);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  SkyExTModel model;
+  model.preference = skyline::High(2);
+  model.cutoff_ratio = 0.125;
+  const std::string path = ::testing::TempDir() + "/skyex_model.txt";
+  ASSERT_TRUE(SaveModelToFile(model, path));
+  const auto loaded = LoadModelFromFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(loaded->cutoff_ratio, 0.125);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsMalformed) {
+  EXPECT_FALSE(LoadModel("").has_value());
+  EXPECT_FALSE(LoadModel("preference: high(1)\n").has_value());
+  EXPECT_FALSE(LoadModel("cutoff_ratio: 0.5\n").has_value());
+  EXPECT_FALSE(
+      LoadModel("preference: nope\ncutoff_ratio: 0.5\n").has_value());
+  EXPECT_FALSE(
+      LoadModel("preference: high(1)\ncutoff_ratio: 7.5\n").has_value());
+  EXPECT_FALSE(LoadModelFromFile("/nonexistent/path").has_value());
+}
+
+}  // namespace
+}  // namespace skyex::core

@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "ml/dataset_view.h"
+#include "skyline/dominance.h"
+#include "skyline/layers.h"
+#include "skyline/preference.h"
+
+namespace skyex::skyline {
+namespace {
+
+ml::FeatureMatrix MatrixOf(std::vector<std::vector<double>> rows) {
+  ml::FeatureMatrix m;
+  m.rows = rows.size();
+  m.cols = rows.empty() ? 0 : rows[0].size();
+  for (size_t c = 0; c < m.cols; ++c) {
+    m.names.push_back("X" + std::to_string(c + 1));
+  }
+  for (const auto& row : rows) {
+    m.values.insert(m.values.end(), row.begin(), row.end());
+  }
+  return m;
+}
+
+std::vector<size_t> AllRows(const ml::FeatureMatrix& m) {
+  std::vector<size_t> rows(m.rows);
+  std::iota(rows.begin(), rows.end(), 0);
+  return rows;
+}
+
+// ------------------------------------------------------- Pareto semantics
+
+// Example 4.5 of the paper: X1=0.7, X2=0.3 under high(X1) Δ high(X2).
+TEST(Pareto, PaperExample45) {
+  const ml::FeatureMatrix m = MatrixOf({
+      {0.7, 0.3},  // the reference pair
+      {0.7, 0.4},  // better
+      {0.9, 0.3},  // better
+      {0.8, 0.4},  // better
+      {0.9, 0.2},  // incomparable (trades off)
+      {0.7, 0.3},  // equal
+  });
+  std::vector<std::unique_ptr<Preference>> leaves;
+  leaves.push_back(High(0));
+  leaves.push_back(High(1));
+  const auto p = ParetoOf(std::move(leaves));
+
+  EXPECT_EQ(p->Compare(m.Row(1), m.Row(0)), Comparison::kBetter);
+  EXPECT_EQ(p->Compare(m.Row(2), m.Row(0)), Comparison::kBetter);
+  EXPECT_EQ(p->Compare(m.Row(3), m.Row(0)), Comparison::kBetter);
+  EXPECT_EQ(p->Compare(m.Row(4), m.Row(0)), Comparison::kIncomparable);
+  EXPECT_EQ(p->Compare(m.Row(5), m.Row(0)), Comparison::kEqual);
+  EXPECT_EQ(p->Compare(m.Row(0), m.Row(1)), Comparison::kWorse);
+}
+
+// Example 4.7: high(X2) ▷ high(X1).
+TEST(Priority, PaperExample47) {
+  const ml::FeatureMatrix m = MatrixOf({
+      {0.7, 0.3},  // reference
+      {0.8, 0.3},  // same X2, better X1 → better
+      {0.6, 0.4},  // higher X2 regardless of X1 → better
+      {0.9, 0.2},  // lower X2 → worse
+  });
+  std::vector<std::unique_ptr<Preference>> parts;
+  parts.push_back(High(1));
+  parts.push_back(High(0));
+  const auto p = PriorityOf(std::move(parts));
+
+  EXPECT_EQ(p->Compare(m.Row(1), m.Row(0)), Comparison::kBetter);
+  EXPECT_EQ(p->Compare(m.Row(2), m.Row(0)), Comparison::kBetter);
+  EXPECT_EQ(p->Compare(m.Row(3), m.Row(0)), Comparison::kWorse);
+}
+
+// Example 4.8: p = high(X2) ▷ (high(X1) Δ low(X3)).
+TEST(Priority, PaperExample48LowDirection) {
+  const ml::FeatureMatrix m = MatrixOf({
+      {0.7, 0.3, 10.0},
+      {0.7, 0.3, 5.0},   // same X2, same X1, closer → better
+      {0.7, 0.3, 20.0},  // farther → worse
+      {0.8, 0.3, 20.0},  // X1 better but X3 worse → incomparable
+  });
+  std::vector<std::unique_ptr<Preference>> pareto;
+  pareto.push_back(High(0));
+  pareto.push_back(Low(2));
+  std::vector<std::unique_ptr<Preference>> parts;
+  parts.push_back(High(1));
+  parts.push_back(ParetoOf(std::move(pareto)));
+  const auto p = PriorityOf(std::move(parts));
+
+  EXPECT_EQ(p->Compare(m.Row(1), m.Row(0)), Comparison::kBetter);
+  EXPECT_EQ(p->Compare(m.Row(2), m.Row(0)), Comparison::kWorse);
+  EXPECT_EQ(p->Compare(m.Row(3), m.Row(0)), Comparison::kIncomparable);
+}
+
+TEST(Preference, ToStringIsReadable) {
+  std::vector<std::unique_ptr<Preference>> pareto;
+  pareto.push_back(High(0));
+  pareto.push_back(Low(2));
+  std::vector<std::unique_ptr<Preference>> parts;
+  parts.push_back(High(1));
+  parts.push_back(ParetoOf(std::move(pareto)));
+  const auto p = PriorityOf(std::move(parts));
+  const std::string s = p->ToString({"X1", "X2", "X3"});
+  EXPECT_EQ(s, "high(X2) ▷ (high(X1) Δ low(X3))");
+}
+
+TEST(Preference, CloneIsIndependentAndEquivalent) {
+  std::vector<std::unique_ptr<Preference>> leaves;
+  leaves.push_back(High(0));
+  leaves.push_back(Low(1));
+  const auto p = ParetoOf(std::move(leaves));
+  const auto q = p->Clone();
+  const double a[] = {0.5, 0.2};
+  const double b[] = {0.4, 0.3};
+  EXPECT_EQ(p->Compare(a, b), q->Compare(a, b));
+}
+
+// ------------------------------------------------------------- Compilation
+
+TEST(Compile, CanonicalFormCompiles) {
+  std::vector<std::unique_ptr<Preference>> g1;
+  g1.push_back(High(0));
+  g1.push_back(High(1));
+  std::vector<std::unique_ptr<Preference>> parts;
+  parts.push_back(ParetoOf(std::move(g1)));
+  parts.push_back(Low(2));
+  const auto p = PriorityOf(std::move(parts));
+  const auto compiled = Compile(*p);
+  ASSERT_TRUE(compiled.has_value());
+  EXPECT_EQ(compiled->groups.size(), 2u);
+  EXPECT_EQ(compiled->groups[0].size(), 2u);
+  EXPECT_EQ(compiled->groups[1][0].sign, -1);
+}
+
+TEST(Compile, NonCanonicalFormRejected) {
+  // Pareto containing a priority child is not canonical.
+  std::vector<std::unique_ptr<Preference>> inner;
+  inner.push_back(High(0));
+  inner.push_back(High(1));
+  std::vector<std::unique_ptr<Preference>> outer;
+  outer.push_back(PriorityOf(std::move(inner)));
+  outer.push_back(High(2));
+  const auto p = ParetoOf(std::move(outer));
+  EXPECT_FALSE(Compile(*p).has_value());
+}
+
+TEST(Compile, CompiledAgreesWithTree) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<std::unique_ptr<Preference>> g1;
+  g1.push_back(High(0));
+  g1.push_back(Low(1));
+  std::vector<std::unique_ptr<Preference>> parts;
+  parts.push_back(ParetoOf(std::move(g1)));
+  parts.push_back(High(2));
+  const auto p = PriorityOf(std::move(parts));
+  const auto compiled = Compile(*p);
+  ASSERT_TRUE(compiled.has_value());
+  for (int trial = 0; trial < 500; ++trial) {
+    double a[3];
+    double b[3];
+    for (int c = 0; c < 3; ++c) {
+      // Coarse grid so equal values occur often.
+      a[c] = std::round(unit(rng) * 4.0) / 4.0;
+      b[c] = std::round(unit(rng) * 4.0) / 4.0;
+    }
+    EXPECT_EQ(p->Compare(a, b), compiled->Compare(a, b));
+  }
+}
+
+// ----------------------------------------------------------------- Layers
+
+// Brute-force reference: repeated peeling of maximal elements by full
+// pairwise comparison.
+std::vector<uint32_t> ReferenceLayers(const ml::FeatureMatrix& m,
+                                      const Preference& p) {
+  std::vector<uint32_t> layer(m.rows, 0);
+  uint32_t current = 0;
+  size_t assigned = 0;
+  while (assigned < m.rows) {
+    ++current;
+    std::vector<size_t> this_layer;
+    for (size_t i = 0; i < m.rows; ++i) {
+      if (layer[i] != 0) continue;
+      bool dominated = false;
+      for (size_t j = 0; j < m.rows && !dominated; ++j) {
+        if (i == j || layer[j] != 0) continue;
+        dominated = Dominates(p, m.Row(j), m.Row(i));
+      }
+      if (!dominated) this_layer.push_back(i);
+    }
+    for (size_t i : this_layer) layer[i] = current;
+    assigned += this_layer.size();
+  }
+  return layer;
+}
+
+TEST(Layers, HandComputedExample) {
+  // 2D Pareto (both high): classic staircase.
+  const ml::FeatureMatrix m = MatrixOf({
+      {0.9, 0.9},  // layer 1 (dominates everything)
+      {0.8, 0.5},  // layer 2
+      {0.5, 0.8},  // layer 2
+      {0.4, 0.4},  // layer 3
+      {0.9, 0.9},  // layer 1 (duplicate of row 0)
+  });
+  std::vector<std::unique_ptr<Preference>> leaves;
+  leaves.push_back(High(0));
+  leaves.push_back(High(1));
+  const auto p = ParetoOf(std::move(leaves));
+  const SkylineLayers layers = ComputeSkylineLayers(m, AllRows(m), *p);
+  EXPECT_EQ(layers.layer, (std::vector<uint32_t>{1, 2, 2, 3, 1}));
+  EXPECT_EQ(layers.max_layer, 3u);
+  EXPECT_EQ(layers.layer_counts, (std::vector<size_t>{2, 2, 1}));
+}
+
+class LayerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayerPropertyTest, MatchesBruteForceReference) {
+  const int seed = GetParam();
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> grid(0, 4);
+  const size_t n = 60;
+  const size_t d = 3;
+  std::vector<std::vector<double>> rows(n, std::vector<double>(d));
+  for (auto& row : rows) {
+    for (double& v : row) v = grid(rng) / 4.0;
+  }
+  const ml::FeatureMatrix m = MatrixOf(rows);
+
+  // Alternate between pure Pareto and priority-of-Pareto preferences.
+  std::unique_ptr<Preference> p;
+  if (seed % 2 == 0) {
+    std::vector<std::unique_ptr<Preference>> leaves;
+    leaves.push_back(High(0));
+    leaves.push_back(High(1));
+    leaves.push_back(Low(2));
+    p = ParetoOf(std::move(leaves));
+  } else {
+    std::vector<std::unique_ptr<Preference>> g1;
+    g1.push_back(High(0));
+    g1.push_back(High(1));
+    std::vector<std::unique_ptr<Preference>> parts;
+    parts.push_back(ParetoOf(std::move(g1)));
+    parts.push_back(Low(2));
+    p = PriorityOf(std::move(parts));
+  }
+
+  const SkylineLayers layers = ComputeSkylineLayers(m, AllRows(m), *p);
+  const std::vector<uint32_t> reference = ReferenceLayers(m, *p);
+  EXPECT_EQ(layers.layer, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayerPropertyTest, ::testing::Range(0, 12));
+
+TEST(Layers, LayersPartitionAndRespectDominance) {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const size_t n = 120;
+  std::vector<std::vector<double>> rows(n, std::vector<double>(4));
+  for (auto& row : rows) {
+    for (double& v : row) v = unit(rng);
+  }
+  const ml::FeatureMatrix m = MatrixOf(rows);
+  std::vector<std::unique_ptr<Preference>> leaves;
+  for (size_t c = 0; c < 4; ++c) leaves.push_back(High(c));
+  const auto p = ParetoOf(std::move(leaves));
+
+  const SkylineLayers layers = ComputeSkylineLayers(m, AllRows(m), *p);
+  size_t total = 0;
+  for (size_t count : layers.layer_counts) total += count;
+  EXPECT_EQ(total, n);
+  // Dominance implies a strictly earlier layer.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (Dominates(*p, m.Row(i), m.Row(j))) {
+        EXPECT_LT(layers.layer[i], layers.layer[j]);
+      }
+    }
+  }
+}
+
+TEST(Peeler, StrictPartialOrderProperties) {
+  // Irreflexivity and asymmetry of the Better relation, plus sampled
+  // transitivity, for a priority-of-Pareto preference.
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<int> grid(0, 3);
+  std::vector<std::vector<double>> rows(40, std::vector<double>(3));
+  for (auto& row : rows) {
+    for (double& v : row) v = grid(rng) / 3.0;
+  }
+  const ml::FeatureMatrix m = MatrixOf(rows);
+  std::vector<std::unique_ptr<Preference>> g1;
+  g1.push_back(High(0));
+  g1.push_back(High(1));
+  std::vector<std::unique_ptr<Preference>> parts;
+  parts.push_back(ParetoOf(std::move(g1)));
+  parts.push_back(High(2));
+  const auto p = PriorityOf(std::move(parts));
+
+  for (size_t i = 0; i < m.rows; ++i) {
+    EXPECT_EQ(p->Compare(m.Row(i), m.Row(i)), Comparison::kEqual);
+    for (size_t j = 0; j < m.rows; ++j) {
+      const Comparison ij = p->Compare(m.Row(i), m.Row(j));
+      const Comparison ji = p->Compare(m.Row(j), m.Row(i));
+      EXPECT_EQ(ij, Flip(ji));
+      if (ij != Comparison::kBetter) continue;
+      for (size_t k = 0; k < m.rows; ++k) {
+        if (p->Compare(m.Row(j), m.Row(k)) == Comparison::kBetter) {
+          EXPECT_EQ(p->Compare(m.Row(i), m.Row(k)), Comparison::kBetter)
+              << i << "," << j << "," << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(Peeler, EmptyInput) {
+  const ml::FeatureMatrix m = MatrixOf({});
+  std::vector<std::unique_ptr<Preference>> leaves;
+  leaves.push_back(High(0));
+  const auto p = ParetoOf(std::move(leaves));
+  SkylinePeeler peeler(m, {}, *p);
+  EXPECT_TRUE(peeler.Next().empty());
+}
+
+TEST(Peeler, SubsetOfRows) {
+  const ml::FeatureMatrix m = MatrixOf({
+      {0.9}, {0.8}, {0.7}, {0.6},
+  });
+  std::vector<std::unique_ptr<Preference>> leaves;
+  leaves.push_back(High(0));
+  const auto p = ParetoOf(std::move(leaves));
+  SkylinePeeler peeler(m, {1, 3}, *p);
+  EXPECT_EQ(peeler.Next(), (std::vector<size_t>{1}));
+  EXPECT_EQ(peeler.Next(), (std::vector<size_t>{3}));
+  EXPECT_TRUE(peeler.Next().empty());
+}
+
+}  // namespace
+}  // namespace skyex::skyline

@@ -1,0 +1,104 @@
+// SkyEx-T as a generic tabular classifier (core/tabular.h): it must
+// behave like any other ml::Classifier on classification problems that
+// have nothing to do with entity pairs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/tabular.h"
+#include "eval/metrics.h"
+#include "ml/curves.h"
+
+namespace skyex::core {
+namespace {
+
+struct Problem {
+  ml::FeatureMatrix matrix;
+  std::vector<uint8_t> labels;
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+Problem MakeProblem(size_t n, double positive_rate, uint64_t seed) {
+  Problem p;
+  p.matrix = ml::FeatureMatrix::Zeros(n, {"f1", "f2", "f3", "noise"});
+  p.labels.resize(n);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::normal_distribution<double> noise(0.0, 0.12);
+  for (size_t r = 0; r < n; ++r) {
+    const bool positive = unit(rng) < positive_rate;
+    p.labels[r] = positive ? 1 : 0;
+    const double base = positive ? 0.8 : 0.35;
+    for (int c = 0; c < 3; ++c) {
+      p.matrix.Row(r)[c] = std::clamp(base + noise(rng), 0.0, 1.0);
+    }
+    p.matrix.Row(r)[3] = unit(rng);
+    (r % 4 == 0 ? p.test : p.train).push_back(r);
+  }
+  return p;
+}
+
+TEST(SkyExTClassifierTest, LearnsGenericTabularProblem) {
+  const Problem p = MakeProblem(3000, 0.1, 11);
+  SkyExTClassifier classifier;
+  classifier.Fit(p.matrix, p.labels, p.train);
+  const auto predicted = classifier.Predict(p.matrix, p.test);
+  std::vector<uint8_t> truth;
+  for (size_t r : p.test) truth.push_back(p.labels[r]);
+  const auto cm = eval::Confusion(predicted, truth);
+  EXPECT_GT(cm.F1(), 0.8) << cm.ToString();
+}
+
+TEST(SkyExTClassifierTest, ScoresAreCalibratedAroundBoundary) {
+  const Problem p = MakeProblem(2000, 0.15, 13);
+  SkyExTClassifier classifier;
+  classifier.Fit(p.matrix, p.labels, p.train);
+  // The training predicted-positive fraction tracks the learned c_t.
+  size_t predicted_positive = 0;
+  for (size_t r : p.train) {
+    if (classifier.PredictScore(p.matrix.Row(r)) >= 0.5) {
+      ++predicted_positive;
+    }
+  }
+  const double fraction = static_cast<double>(predicted_positive) /
+                          static_cast<double>(p.train.size());
+  EXPECT_NEAR(fraction, classifier.model().cutoff_ratio, 0.05);
+
+  // Scores rank positives above negatives overall.
+  std::vector<double> scores;
+  std::vector<uint8_t> labels;
+  for (size_t r : p.test) {
+    scores.push_back(classifier.PredictScore(p.matrix.Row(r)));
+    labels.push_back(p.labels[r]);
+  }
+  EXPECT_GT(ml::RocAuc(scores, labels), 0.9);
+}
+
+TEST(SkyExTClassifierTest, UnfittedAndDegenerate) {
+  SkyExTClassifier classifier;
+  const double row[4] = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(classifier.PredictScore(row), 0.0);
+
+  // All-negative training: must not crash, scores stay bounded.
+  Problem p = MakeProblem(200, 0.0, 17);
+  classifier.Fit(p.matrix, p.labels, p.train);
+  const double s = classifier.PredictScore(p.matrix.Row(0));
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(SkyExTClassifierTest, ModelRemainsExplainable) {
+  const Problem p = MakeProblem(1500, 0.2, 19);
+  SkyExTClassifier classifier;
+  classifier.Fit(p.matrix, p.labels, p.train);
+  const std::string description =
+      classifier.model().Describe(p.matrix.names);
+  EXPECT_NE(description.find("high("), std::string::npos);
+  // The noise column must not lead the preference.
+  EXPECT_NE(description.find("f1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skyex::core

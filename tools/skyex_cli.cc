@@ -1,0 +1,276 @@
+// skyex — command-line interface to the spatial entity linkage pipeline.
+//
+//   skyex generate --dataset=northdk --entities=8000 --out=entities.csv
+//   skyex train    --in=entities.csv --train-fraction=0.04 --model-out=m.txt
+//   skyex apply    --in=entities.csv --model=m.txt --out=matches.csv
+//   skyex link     --in=entities.csv --train-fraction=0.04 --out=linked.csv
+//   skyex eval     --in=entities.csv --model=m.txt
+//
+// Ground-truth labels come from the phone/website rule of the paper; for
+// hand-labeled data, put the shared identifier into the phone column.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/linker.h"
+#include "core/model_io.h"
+#include "core/pipeline.h"
+#include "core/skyex_t.h"
+#include "data/csv.h"
+#include "data/ground_truth.h"
+#include "data/northdk_generator.h"
+#include "data/restaurants_generator.h"
+#include "eval/metrics.h"
+#include "eval/sampling.h"
+#include "features/lgm_x.h"
+#include "geo/quadflex.h"
+
+namespace {
+
+using skyex::core::SkyExT;
+using skyex::core::SkyExTModel;
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::stod(it->second);
+  }
+  size_t GetSize(const std::string& key, size_t fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback
+                              : std::stoull(it->second);
+  }
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags.values[arg] = "true";
+    } else {
+      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: skyex <command> [--flag=value ...]\n\n"
+      "commands:\n"
+      "  generate  --dataset=northdk|restaurants --entities=N --seed=N\n"
+      "            --out=FILE.csv\n"
+      "  train     --in=FILE.csv --train-fraction=F --seed=N\n"
+      "            --model-out=FILE.txt\n"
+      "  apply     --in=FILE.csv --model=FILE.txt --out=matches.csv\n"
+      "  link      --in=FILE.csv [--model=FILE.txt | --train-fraction=F]\n"
+      "            --out=linked.csv\n"
+      "  eval      --in=FILE.csv --model=FILE.txt\n");
+  return 2;
+}
+
+// Loads the dataset, blocks it (QuadFlex with coordinates, Cartesian
+// without), labels with the ground-truth rule and extracts features.
+struct LoadedPipeline {
+  skyex::data::Dataset dataset;
+  std::vector<skyex::geo::CandidatePair> pairs;
+  std::vector<uint8_t> labels;
+  skyex::ml::FeatureMatrix features;
+};
+
+std::optional<LoadedPipeline> LoadPipeline(const std::string& path) {
+  LoadedPipeline p;
+  if (!skyex::data::ReadDatasetCsv(path, &p.dataset)) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  const bool has_coordinates =
+      !p.dataset.entities.empty() &&
+      p.dataset.entities.front().location.valid;
+  p.pairs = has_coordinates
+                ? skyex::geo::QuadFlexBlock(p.dataset.Points())
+                : skyex::geo::CartesianBlock(p.dataset.size());
+  p.labels = skyex::data::LabelPairs(p.dataset, p.pairs);
+  std::fprintf(stderr, "loaded %zu records, %zu candidate pairs (%s)\n",
+               p.dataset.size(), p.pairs.size(),
+               has_coordinates ? "QuadFlex" : "Cartesian");
+  const auto extractor =
+      skyex::features::LgmXExtractor::FromCorpus(p.dataset);
+  p.features = extractor.Extract(p.dataset, p.pairs);
+  return p;
+}
+
+SkyExTModel TrainOnFraction(const LoadedPipeline& p, double fraction,
+                            uint64_t seed) {
+  const auto split =
+      skyex::eval::RandomSplit(p.pairs.size(), fraction, seed);
+  const std::vector<size_t> all_rows = skyex::core::AllRows(p.pairs.size());
+  const SkyExT skyex;
+  SkyExTModel model =
+      skyex.Train(p.features, p.labels, split.train, &all_rows);
+  std::fprintf(stderr, "trained on %zu pairs; %s\n", split.train.size(),
+               model.Describe(p.features.names).c_str());
+  return model;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string out = flags.Get("out", "entities.csv");
+  skyex::data::Dataset dataset;
+  if (flags.Get("dataset", "northdk") == "restaurants") {
+    skyex::data::RestaurantsOptions options;
+    options.seed = flags.GetSize("seed", options.seed);
+    dataset = skyex::data::GenerateRestaurants(options);
+  } else {
+    skyex::data::NorthDkOptions options;
+    options.num_entities = flags.GetSize("entities", options.num_entities);
+    options.seed = flags.GetSize("seed", options.seed);
+    dataset = skyex::data::GenerateNorthDk(options);
+  }
+  if (!skyex::data::WriteDatasetCsv(dataset, out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu records to %s\n", dataset.size(), out.c_str());
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  const auto p = LoadPipeline(flags.Get("in", "entities.csv"));
+  if (!p.has_value()) return 1;
+  const SkyExTModel model = TrainOnFraction(
+      *p, flags.GetDouble("train-fraction", 0.04),
+      flags.GetSize("seed", 42));
+  const std::string out = flags.Get("model-out", "model.txt");
+  if (!skyex::core::SaveModelToFile(model, out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("model written to %s\n", out.c_str());
+  return 0;
+}
+
+bool WriteMatchesCsv(const LoadedPipeline& p,
+                     const std::vector<uint8_t>& predicted,
+                     const std::string& out) {
+  std::ofstream file(out);
+  if (!file) return false;
+  file << "id_a,name_a,id_b,name_b\n";
+  for (size_t k = 0; k < p.pairs.size(); ++k) {
+    if (!predicted[k]) continue;
+    const auto& [i, j] = p.pairs[k];
+    file << p.dataset[i].id << ','
+         << skyex::data::EscapeCsvField(p.dataset[i].name) << ','
+         << p.dataset[j].id << ','
+         << skyex::data::EscapeCsvField(p.dataset[j].name) << '\n';
+  }
+  return static_cast<bool>(file);
+}
+
+void ReportAgainstRule(const LoadedPipeline& p,
+                       const std::vector<uint8_t>& predicted) {
+  const auto cm = skyex::eval::Confusion(predicted, p.labels);
+  std::printf("against the phone/website rule: %s\n",
+              cm.ToString().c_str());
+}
+
+int CmdApply(const Flags& flags) {
+  const auto p = LoadPipeline(flags.Get("in", "entities.csv"));
+  if (!p.has_value()) return 1;
+  const auto model =
+      skyex::core::LoadModelFromFile(flags.Get("model", "model.txt"));
+  if (!model.has_value()) {
+    std::fprintf(stderr, "error: cannot load model\n");
+    return 1;
+  }
+  const auto predicted = SkyExT::Label(
+      p->features, skyex::core::AllRows(p->pairs.size()), *model);
+  const std::string out = flags.Get("out", "matches.csv");
+  if (!WriteMatchesCsv(*p, predicted, out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  size_t matches = 0;
+  for (uint8_t v : predicted) matches += v;
+  std::printf("%zu matched pairs written to %s\n", matches, out.c_str());
+  ReportAgainstRule(*p, predicted);
+  return 0;
+}
+
+int CmdLink(const Flags& flags) {
+  const auto p = LoadPipeline(flags.Get("in", "entities.csv"));
+  if (!p.has_value()) return 1;
+  SkyExTModel model;
+  const std::string model_path = flags.Get("model");
+  if (!model_path.empty()) {
+    auto loaded = skyex::core::LoadModelFromFile(model_path);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "error: cannot load model\n");
+      return 1;
+    }
+    model = std::move(*loaded);
+  } else {
+    model = TrainOnFraction(*p, flags.GetDouble("train-fraction", 0.04),
+                            flags.GetSize("seed", 42));
+  }
+  const auto linked = skyex::core::LinkEntities(p->dataset, p->features,
+                                                p->pairs, model);
+  const std::string out = flags.Get("out", "linked.csv");
+  skyex::data::Dataset merged;
+  merged.entities.reserve(linked.size());
+  for (const auto& entity : linked) {
+    merged.entities.push_back(entity.merged);
+  }
+  if (!skyex::data::WriteDatasetCsv(merged, out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("linked %zu records into %zu entities; merged view in %s\n",
+              p->dataset.size(), linked.size(), out.c_str());
+  return 0;
+}
+
+int CmdEval(const Flags& flags) {
+  const auto p = LoadPipeline(flags.Get("in", "entities.csv"));
+  if (!p.has_value()) return 1;
+  const auto model =
+      skyex::core::LoadModelFromFile(flags.Get("model", "model.txt"));
+  if (!model.has_value()) {
+    std::fprintf(stderr, "error: cannot load model\n");
+    return 1;
+  }
+  const auto predicted = SkyExT::Label(
+      p->features, skyex::core::AllRows(p->pairs.size()), *model);
+  ReportAgainstRule(*p, predicted);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "apply") return CmdApply(flags);
+  if (command == "link") return CmdLink(flags);
+  if (command == "eval") return CmdEval(flags);
+  return Usage();
+}
