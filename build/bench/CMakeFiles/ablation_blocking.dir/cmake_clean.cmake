@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_blocking.dir/ablation_blocking.cc.o"
+  "CMakeFiles/ablation_blocking.dir/ablation_blocking.cc.o.d"
+  "ablation_blocking"
+  "ablation_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_skyext.dir/ablation_skyext.cc.o"
+  "CMakeFiles/ablation_skyext.dir/ablation_skyext.cc.o.d"
+  "ablation_skyext"
+  "ablation_skyext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skyext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_elbow.dir/figure2_elbow.cc.o"
+  "CMakeFiles/figure2_elbow.dir/figure2_elbow.cc.o.d"
+  "figure2_elbow"
+  "figure2_elbow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_elbow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

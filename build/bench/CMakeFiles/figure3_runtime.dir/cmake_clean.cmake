@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_runtime.dir/figure3_runtime.cc.o"
+  "CMakeFiles/figure3_runtime.dir/figure3_runtime.cc.o.d"
+  "figure3_runtime"
+  "figure3_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_blocking.dir/micro_blocking.cc.o"
+  "CMakeFiles/micro_blocking.dir/micro_blocking.cc.o.d"
+  "micro_blocking"
+  "micro_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

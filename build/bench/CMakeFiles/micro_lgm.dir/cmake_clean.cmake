@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lgm.dir/micro_lgm.cc.o"
+  "CMakeFiles/micro_lgm.dir/micro_lgm.cc.o.d"
+  "micro_lgm"
+  "micro_lgm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lgm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_string_similarity.dir/micro_string_similarity.cc.o"
+  "CMakeFiles/micro_string_similarity.dir/micro_string_similarity.cc.o.d"
+  "micro_string_similarity"
+  "micro_string_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_string_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

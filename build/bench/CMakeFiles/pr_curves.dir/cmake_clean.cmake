@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pr_curves.dir/pr_curves.cc.o"
+  "CMakeFiles/pr_curves.dir/pr_curves.cc.o.d"
+  "pr_curves"
+  "pr_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pr_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sources.dir/table2_sources.cc.o"
+  "CMakeFiles/table2_sources.dir/table2_sources.cc.o.d"
+  "table2_sources"
+  "table2_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cutoff_northdk.dir/table3_cutoff_northdk.cc.o"
+  "CMakeFiles/table3_cutoff_northdk.dir/table3_cutoff_northdk.cc.o.d"
+  "table3_cutoff_northdk"
+  "table3_cutoff_northdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cutoff_northdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_cutoff_restaurants.dir/table4_cutoff_restaurants.cc.o"
+  "CMakeFiles/table4_cutoff_restaurants.dir/table4_cutoff_restaurants.cc.o.d"
+  "table4_cutoff_restaurants"
+  "table4_cutoff_restaurants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cutoff_restaurants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_cutoff_restaurants.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ml_northdk.dir/table6_ml_northdk.cc.o"
+  "CMakeFiles/table6_ml_northdk.dir/table6_ml_northdk.cc.o.d"
+  "table6_ml_northdk"
+  "table6_ml_northdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ml_northdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

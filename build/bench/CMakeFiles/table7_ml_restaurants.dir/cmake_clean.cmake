@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_ml_restaurants.dir/table7_ml_restaurants.cc.o"
+  "CMakeFiles/table7_ml_restaurants.dir/table7_ml_restaurants.cc.o.d"
+  "table7_ml_restaurants"
+  "table7_ml_restaurants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_ml_restaurants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

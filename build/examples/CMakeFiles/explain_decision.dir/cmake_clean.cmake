@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_decision.dir/explain_decision.cc.o"
+  "CMakeFiles/explain_decision.dir/explain_decision.cc.o.d"
+  "explain_decision"
+  "explain_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

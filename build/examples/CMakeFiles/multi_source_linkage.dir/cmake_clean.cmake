@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_source_linkage.dir/multi_source_linkage.cc.o"
+  "CMakeFiles/multi_source_linkage.dir/multi_source_linkage.cc.o.d"
+  "multi_source_linkage"
+  "multi_source_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_source_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

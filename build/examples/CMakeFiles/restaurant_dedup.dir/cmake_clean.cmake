@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restaurant_dedup.dir/restaurant_dedup.cc.o"
+  "CMakeFiles/restaurant_dedup.dir/restaurant_dedup.cc.o.d"
+  "restaurant_dedup"
+  "restaurant_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restaurant_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyex_blocking.dir/blocking/blockers.cc.o"
+  "CMakeFiles/skyex_blocking.dir/blocking/blockers.cc.o.d"
+  "libskyex_blocking.a"
+  "libskyex_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyex_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/CMakeFiles/skyex_core.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/skyex_core.dir/core/baselines.cc.o.d"
+  "/root/repo/src/core/feature_selection.cc" "src/CMakeFiles/skyex_core.dir/core/feature_selection.cc.o" "gcc" "src/CMakeFiles/skyex_core.dir/core/feature_selection.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/CMakeFiles/skyex_core.dir/core/incremental.cc.o" "gcc" "src/CMakeFiles/skyex_core.dir/core/incremental.cc.o.d"
+  "/root/repo/src/core/linker.cc" "src/CMakeFiles/skyex_core.dir/core/linker.cc.o" "gcc" "src/CMakeFiles/skyex_core.dir/core/linker.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/CMakeFiles/skyex_core.dir/core/model_io.cc.o" "gcc" "src/CMakeFiles/skyex_core.dir/core/model_io.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/skyex_core.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/skyex_core.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/skyex_d.cc" "src/CMakeFiles/skyex_core.dir/core/skyex_d.cc.o" "gcc" "src/CMakeFiles/skyex_core.dir/core/skyex_d.cc.o.d"
+  "/root/repo/src/core/skyex_f.cc" "src/CMakeFiles/skyex_core.dir/core/skyex_f.cc.o" "gcc" "src/CMakeFiles/skyex_core.dir/core/skyex_f.cc.o.d"
+  "/root/repo/src/core/skyex_t.cc" "src/CMakeFiles/skyex_core.dir/core/skyex_t.cc.o" "gcc" "src/CMakeFiles/skyex_core.dir/core/skyex_t.cc.o.d"
+  "/root/repo/src/core/tabular.cc" "src/CMakeFiles/skyex_core.dir/core/tabular.cc.o" "gcc" "src/CMakeFiles/skyex_core.dir/core/tabular.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skyex_skyline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyex_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyex_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyex_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyex_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyex_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyex_lgm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyex_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyex_core.dir/core/baselines.cc.o"
+  "CMakeFiles/skyex_core.dir/core/baselines.cc.o.d"
+  "CMakeFiles/skyex_core.dir/core/feature_selection.cc.o"
+  "CMakeFiles/skyex_core.dir/core/feature_selection.cc.o.d"
+  "CMakeFiles/skyex_core.dir/core/incremental.cc.o"
+  "CMakeFiles/skyex_core.dir/core/incremental.cc.o.d"
+  "CMakeFiles/skyex_core.dir/core/linker.cc.o"
+  "CMakeFiles/skyex_core.dir/core/linker.cc.o.d"
+  "CMakeFiles/skyex_core.dir/core/model_io.cc.o"
+  "CMakeFiles/skyex_core.dir/core/model_io.cc.o.d"
+  "CMakeFiles/skyex_core.dir/core/pipeline.cc.o"
+  "CMakeFiles/skyex_core.dir/core/pipeline.cc.o.d"
+  "CMakeFiles/skyex_core.dir/core/skyex_d.cc.o"
+  "CMakeFiles/skyex_core.dir/core/skyex_d.cc.o.d"
+  "CMakeFiles/skyex_core.dir/core/skyex_f.cc.o"
+  "CMakeFiles/skyex_core.dir/core/skyex_f.cc.o.d"
+  "CMakeFiles/skyex_core.dir/core/skyex_t.cc.o"
+  "CMakeFiles/skyex_core.dir/core/skyex_t.cc.o.d"
+  "CMakeFiles/skyex_core.dir/core/tabular.cc.o"
+  "CMakeFiles/skyex_core.dir/core/tabular.cc.o.d"
+  "libskyex_core.a"
+  "libskyex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

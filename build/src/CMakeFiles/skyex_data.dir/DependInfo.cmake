@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/skyex_data.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/skyex_data.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/ground_truth.cc" "src/CMakeFiles/skyex_data.dir/data/ground_truth.cc.o" "gcc" "src/CMakeFiles/skyex_data.dir/data/ground_truth.cc.o.d"
+  "/root/repo/src/data/name_model.cc" "src/CMakeFiles/skyex_data.dir/data/name_model.cc.o" "gcc" "src/CMakeFiles/skyex_data.dir/data/name_model.cc.o.d"
+  "/root/repo/src/data/northdk_generator.cc" "src/CMakeFiles/skyex_data.dir/data/northdk_generator.cc.o" "gcc" "src/CMakeFiles/skyex_data.dir/data/northdk_generator.cc.o.d"
+  "/root/repo/src/data/pair_store.cc" "src/CMakeFiles/skyex_data.dir/data/pair_store.cc.o" "gcc" "src/CMakeFiles/skyex_data.dir/data/pair_store.cc.o.d"
+  "/root/repo/src/data/restaurants_generator.cc" "src/CMakeFiles/skyex_data.dir/data/restaurants_generator.cc.o" "gcc" "src/CMakeFiles/skyex_data.dir/data/restaurants_generator.cc.o.d"
+  "/root/repo/src/data/spatial_entity.cc" "src/CMakeFiles/skyex_data.dir/data/spatial_entity.cc.o" "gcc" "src/CMakeFiles/skyex_data.dir/data/spatial_entity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skyex_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyex_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyex_data.dir/data/csv.cc.o"
+  "CMakeFiles/skyex_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/skyex_data.dir/data/ground_truth.cc.o"
+  "CMakeFiles/skyex_data.dir/data/ground_truth.cc.o.d"
+  "CMakeFiles/skyex_data.dir/data/name_model.cc.o"
+  "CMakeFiles/skyex_data.dir/data/name_model.cc.o.d"
+  "CMakeFiles/skyex_data.dir/data/northdk_generator.cc.o"
+  "CMakeFiles/skyex_data.dir/data/northdk_generator.cc.o.d"
+  "CMakeFiles/skyex_data.dir/data/pair_store.cc.o"
+  "CMakeFiles/skyex_data.dir/data/pair_store.cc.o.d"
+  "CMakeFiles/skyex_data.dir/data/restaurants_generator.cc.o"
+  "CMakeFiles/skyex_data.dir/data/restaurants_generator.cc.o.d"
+  "CMakeFiles/skyex_data.dir/data/spatial_entity.cc.o"
+  "CMakeFiles/skyex_data.dir/data/spatial_entity.cc.o.d"
+  "libskyex_data.a"
+  "libskyex_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyex_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

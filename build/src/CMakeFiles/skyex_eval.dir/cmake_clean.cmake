@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyex_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/skyex_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/skyex_eval.dir/eval/sampling.cc.o"
+  "CMakeFiles/skyex_eval.dir/eval/sampling.cc.o.d"
+  "libskyex_eval.a"
+  "libskyex_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyex_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

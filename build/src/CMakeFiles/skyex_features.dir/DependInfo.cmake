@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/feature_schema.cc" "src/CMakeFiles/skyex_features.dir/features/feature_schema.cc.o" "gcc" "src/CMakeFiles/skyex_features.dir/features/feature_schema.cc.o.d"
+  "/root/repo/src/features/lgm_x.cc" "src/CMakeFiles/skyex_features.dir/features/lgm_x.cc.o" "gcc" "src/CMakeFiles/skyex_features.dir/features/lgm_x.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skyex_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyex_lgm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyex_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyex_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyex_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyex_features.dir/features/feature_schema.cc.o"
+  "CMakeFiles/skyex_features.dir/features/feature_schema.cc.o.d"
+  "CMakeFiles/skyex_features.dir/features/lgm_x.cc.o"
+  "CMakeFiles/skyex_features.dir/features/lgm_x.cc.o.d"
+  "libskyex_features.a"
+  "libskyex_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyex_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/distance.cc" "src/CMakeFiles/skyex_geo.dir/geo/distance.cc.o" "gcc" "src/CMakeFiles/skyex_geo.dir/geo/distance.cc.o.d"
+  "/root/repo/src/geo/geohash.cc" "src/CMakeFiles/skyex_geo.dir/geo/geohash.cc.o" "gcc" "src/CMakeFiles/skyex_geo.dir/geo/geohash.cc.o.d"
+  "/root/repo/src/geo/point.cc" "src/CMakeFiles/skyex_geo.dir/geo/point.cc.o" "gcc" "src/CMakeFiles/skyex_geo.dir/geo/point.cc.o.d"
+  "/root/repo/src/geo/quadflex.cc" "src/CMakeFiles/skyex_geo.dir/geo/quadflex.cc.o" "gcc" "src/CMakeFiles/skyex_geo.dir/geo/quadflex.cc.o.d"
+  "/root/repo/src/geo/quadtree.cc" "src/CMakeFiles/skyex_geo.dir/geo/quadtree.cc.o" "gcc" "src/CMakeFiles/skyex_geo.dir/geo/quadtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

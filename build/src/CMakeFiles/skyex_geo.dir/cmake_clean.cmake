@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyex_geo.dir/geo/distance.cc.o"
+  "CMakeFiles/skyex_geo.dir/geo/distance.cc.o.d"
+  "CMakeFiles/skyex_geo.dir/geo/geohash.cc.o"
+  "CMakeFiles/skyex_geo.dir/geo/geohash.cc.o.d"
+  "CMakeFiles/skyex_geo.dir/geo/point.cc.o"
+  "CMakeFiles/skyex_geo.dir/geo/point.cc.o.d"
+  "CMakeFiles/skyex_geo.dir/geo/quadflex.cc.o"
+  "CMakeFiles/skyex_geo.dir/geo/quadflex.cc.o.d"
+  "CMakeFiles/skyex_geo.dir/geo/quadtree.cc.o"
+  "CMakeFiles/skyex_geo.dir/geo/quadtree.cc.o.d"
+  "libskyex_geo.a"
+  "libskyex_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyex_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

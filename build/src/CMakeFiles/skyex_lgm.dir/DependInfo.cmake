@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lgm/frequent_terms.cc" "src/CMakeFiles/skyex_lgm.dir/lgm/frequent_terms.cc.o" "gcc" "src/CMakeFiles/skyex_lgm.dir/lgm/frequent_terms.cc.o.d"
+  "/root/repo/src/lgm/lgm_sim.cc" "src/CMakeFiles/skyex_lgm.dir/lgm/lgm_sim.cc.o" "gcc" "src/CMakeFiles/skyex_lgm.dir/lgm/lgm_sim.cc.o.d"
+  "/root/repo/src/lgm/list_split.cc" "src/CMakeFiles/skyex_lgm.dir/lgm/list_split.cc.o" "gcc" "src/CMakeFiles/skyex_lgm.dir/lgm/list_split.cc.o.d"
+  "/root/repo/src/lgm/weight_search.cc" "src/CMakeFiles/skyex_lgm.dir/lgm/weight_search.cc.o" "gcc" "src/CMakeFiles/skyex_lgm.dir/lgm/weight_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skyex_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyex_lgm.dir/lgm/frequent_terms.cc.o"
+  "CMakeFiles/skyex_lgm.dir/lgm/frequent_terms.cc.o.d"
+  "CMakeFiles/skyex_lgm.dir/lgm/lgm_sim.cc.o"
+  "CMakeFiles/skyex_lgm.dir/lgm/lgm_sim.cc.o.d"
+  "CMakeFiles/skyex_lgm.dir/lgm/list_split.cc.o"
+  "CMakeFiles/skyex_lgm.dir/lgm/list_split.cc.o.d"
+  "CMakeFiles/skyex_lgm.dir/lgm/weight_search.cc.o"
+  "CMakeFiles/skyex_lgm.dir/lgm/weight_search.cc.o.d"
+  "libskyex_lgm.a"
+  "libskyex_lgm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyex_lgm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/curves.cc" "src/CMakeFiles/skyex_ml.dir/ml/curves.cc.o" "gcc" "src/CMakeFiles/skyex_ml.dir/ml/curves.cc.o.d"
+  "/root/repo/src/ml/dataset_view.cc" "src/CMakeFiles/skyex_ml.dir/ml/dataset_view.cc.o" "gcc" "src/CMakeFiles/skyex_ml.dir/ml/dataset_view.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/skyex_ml.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/skyex_ml.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/elbow.cc" "src/CMakeFiles/skyex_ml.dir/ml/elbow.cc.o" "gcc" "src/CMakeFiles/skyex_ml.dir/ml/elbow.cc.o.d"
+  "/root/repo/src/ml/extra_trees.cc" "src/CMakeFiles/skyex_ml.dir/ml/extra_trees.cc.o" "gcc" "src/CMakeFiles/skyex_ml.dir/ml/extra_trees.cc.o.d"
+  "/root/repo/src/ml/gradient_boosting.cc" "src/CMakeFiles/skyex_ml.dir/ml/gradient_boosting.cc.o" "gcc" "src/CMakeFiles/skyex_ml.dir/ml/gradient_boosting.cc.o.d"
+  "/root/repo/src/ml/importance.cc" "src/CMakeFiles/skyex_ml.dir/ml/importance.cc.o" "gcc" "src/CMakeFiles/skyex_ml.dir/ml/importance.cc.o.d"
+  "/root/repo/src/ml/linear_svm.cc" "src/CMakeFiles/skyex_ml.dir/ml/linear_svm.cc.o" "gcc" "src/CMakeFiles/skyex_ml.dir/ml/linear_svm.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/CMakeFiles/skyex_ml.dir/ml/mlp.cc.o" "gcc" "src/CMakeFiles/skyex_ml.dir/ml/mlp.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/skyex_ml.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/skyex_ml.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/statistics.cc" "src/CMakeFiles/skyex_ml.dir/ml/statistics.cc.o" "gcc" "src/CMakeFiles/skyex_ml.dir/ml/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

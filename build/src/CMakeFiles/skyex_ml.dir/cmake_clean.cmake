@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyex_ml.dir/ml/curves.cc.o"
+  "CMakeFiles/skyex_ml.dir/ml/curves.cc.o.d"
+  "CMakeFiles/skyex_ml.dir/ml/dataset_view.cc.o"
+  "CMakeFiles/skyex_ml.dir/ml/dataset_view.cc.o.d"
+  "CMakeFiles/skyex_ml.dir/ml/decision_tree.cc.o"
+  "CMakeFiles/skyex_ml.dir/ml/decision_tree.cc.o.d"
+  "CMakeFiles/skyex_ml.dir/ml/elbow.cc.o"
+  "CMakeFiles/skyex_ml.dir/ml/elbow.cc.o.d"
+  "CMakeFiles/skyex_ml.dir/ml/extra_trees.cc.o"
+  "CMakeFiles/skyex_ml.dir/ml/extra_trees.cc.o.d"
+  "CMakeFiles/skyex_ml.dir/ml/gradient_boosting.cc.o"
+  "CMakeFiles/skyex_ml.dir/ml/gradient_boosting.cc.o.d"
+  "CMakeFiles/skyex_ml.dir/ml/importance.cc.o"
+  "CMakeFiles/skyex_ml.dir/ml/importance.cc.o.d"
+  "CMakeFiles/skyex_ml.dir/ml/linear_svm.cc.o"
+  "CMakeFiles/skyex_ml.dir/ml/linear_svm.cc.o.d"
+  "CMakeFiles/skyex_ml.dir/ml/mlp.cc.o"
+  "CMakeFiles/skyex_ml.dir/ml/mlp.cc.o.d"
+  "CMakeFiles/skyex_ml.dir/ml/random_forest.cc.o"
+  "CMakeFiles/skyex_ml.dir/ml/random_forest.cc.o.d"
+  "CMakeFiles/skyex_ml.dir/ml/statistics.cc.o"
+  "CMakeFiles/skyex_ml.dir/ml/statistics.cc.o.d"
+  "libskyex_ml.a"
+  "libskyex_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyex_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skyline/dominance.cc" "src/CMakeFiles/skyex_skyline.dir/skyline/dominance.cc.o" "gcc" "src/CMakeFiles/skyex_skyline.dir/skyline/dominance.cc.o.d"
+  "/root/repo/src/skyline/layers.cc" "src/CMakeFiles/skyex_skyline.dir/skyline/layers.cc.o" "gcc" "src/CMakeFiles/skyex_skyline.dir/skyline/layers.cc.o.d"
+  "/root/repo/src/skyline/preference.cc" "src/CMakeFiles/skyex_skyline.dir/skyline/preference.cc.o" "gcc" "src/CMakeFiles/skyex_skyline.dir/skyline/preference.cc.o.d"
+  "/root/repo/src/skyline/serialize.cc" "src/CMakeFiles/skyex_skyline.dir/skyline/serialize.cc.o" "gcc" "src/CMakeFiles/skyex_skyline.dir/skyline/serialize.cc.o.d"
+  "/root/repo/src/skyline/topk.cc" "src/CMakeFiles/skyex_skyline.dir/skyline/topk.cc.o" "gcc" "src/CMakeFiles/skyex_skyline.dir/skyline/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

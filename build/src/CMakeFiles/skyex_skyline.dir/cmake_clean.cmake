@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyex_skyline.dir/skyline/dominance.cc.o"
+  "CMakeFiles/skyex_skyline.dir/skyline/dominance.cc.o.d"
+  "CMakeFiles/skyex_skyline.dir/skyline/layers.cc.o"
+  "CMakeFiles/skyex_skyline.dir/skyline/layers.cc.o.d"
+  "CMakeFiles/skyex_skyline.dir/skyline/preference.cc.o"
+  "CMakeFiles/skyex_skyline.dir/skyline/preference.cc.o.d"
+  "CMakeFiles/skyex_skyline.dir/skyline/serialize.cc.o"
+  "CMakeFiles/skyex_skyline.dir/skyline/serialize.cc.o.d"
+  "CMakeFiles/skyex_skyline.dir/skyline/topk.cc.o"
+  "CMakeFiles/skyex_skyline.dir/skyline/topk.cc.o.d"
+  "libskyex_skyline.a"
+  "libskyex_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyex_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/edit_distance.cc" "src/CMakeFiles/skyex_text.dir/text/edit_distance.cc.o" "gcc" "src/CMakeFiles/skyex_text.dir/text/edit_distance.cc.o.d"
+  "/root/repo/src/text/jaro.cc" "src/CMakeFiles/skyex_text.dir/text/jaro.cc.o" "gcc" "src/CMakeFiles/skyex_text.dir/text/jaro.cc.o.d"
+  "/root/repo/src/text/ngram.cc" "src/CMakeFiles/skyex_text.dir/text/ngram.cc.o" "gcc" "src/CMakeFiles/skyex_text.dir/text/ngram.cc.o.d"
+  "/root/repo/src/text/normalize.cc" "src/CMakeFiles/skyex_text.dir/text/normalize.cc.o" "gcc" "src/CMakeFiles/skyex_text.dir/text/normalize.cc.o.d"
+  "/root/repo/src/text/phonetic.cc" "src/CMakeFiles/skyex_text.dir/text/phonetic.cc.o" "gcc" "src/CMakeFiles/skyex_text.dir/text/phonetic.cc.o.d"
+  "/root/repo/src/text/similarity_registry.cc" "src/CMakeFiles/skyex_text.dir/text/similarity_registry.cc.o" "gcc" "src/CMakeFiles/skyex_text.dir/text/similarity_registry.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/CMakeFiles/skyex_text.dir/text/tfidf.cc.o" "gcc" "src/CMakeFiles/skyex_text.dir/text/tfidf.cc.o.d"
+  "/root/repo/src/text/token_similarity.cc" "src/CMakeFiles/skyex_text.dir/text/token_similarity.cc.o" "gcc" "src/CMakeFiles/skyex_text.dir/text/token_similarity.cc.o.d"
+  "/root/repo/src/text/tokenize.cc" "src/CMakeFiles/skyex_text.dir/text/tokenize.cc.o" "gcc" "src/CMakeFiles/skyex_text.dir/text/tokenize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyex_text.dir/text/edit_distance.cc.o"
+  "CMakeFiles/skyex_text.dir/text/edit_distance.cc.o.d"
+  "CMakeFiles/skyex_text.dir/text/jaro.cc.o"
+  "CMakeFiles/skyex_text.dir/text/jaro.cc.o.d"
+  "CMakeFiles/skyex_text.dir/text/ngram.cc.o"
+  "CMakeFiles/skyex_text.dir/text/ngram.cc.o.d"
+  "CMakeFiles/skyex_text.dir/text/normalize.cc.o"
+  "CMakeFiles/skyex_text.dir/text/normalize.cc.o.d"
+  "CMakeFiles/skyex_text.dir/text/phonetic.cc.o"
+  "CMakeFiles/skyex_text.dir/text/phonetic.cc.o.d"
+  "CMakeFiles/skyex_text.dir/text/similarity_registry.cc.o"
+  "CMakeFiles/skyex_text.dir/text/similarity_registry.cc.o.d"
+  "CMakeFiles/skyex_text.dir/text/tfidf.cc.o"
+  "CMakeFiles/skyex_text.dir/text/tfidf.cc.o.d"
+  "CMakeFiles/skyex_text.dir/text/token_similarity.cc.o"
+  "CMakeFiles/skyex_text.dir/text/token_similarity.cc.o.d"
+  "CMakeFiles/skyex_text.dir/text/tokenize.cc.o"
+  "CMakeFiles/skyex_text.dir/text/tokenize.cc.o.d"
+  "libskyex_text.a"
+  "libskyex_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyex_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskyex_text.a"
+)

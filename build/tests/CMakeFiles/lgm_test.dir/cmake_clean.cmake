@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgm_test.dir/lgm_test.cc.o"
+  "CMakeFiles/lgm_test.dir/lgm_test.cc.o.d"
+  "lgm_test"
+  "lgm_test.pdb"
+  "lgm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_property_test.dir/reference_property_test.cc.o"
+  "CMakeFiles/reference_property_test.dir/reference_property_test.cc.o.d"
+  "reference_property_test"
+  "reference_property_test.pdb"
+  "reference_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

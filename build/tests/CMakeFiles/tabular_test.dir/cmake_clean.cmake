@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabular_test.dir/tabular_test.cc.o"
+  "CMakeFiles/tabular_test.dir/tabular_test.cc.o.d"
+  "tabular_test"
+  "tabular_test.pdb"
+  "tabular_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_incremental_test.dir/topk_incremental_test.cc.o"
+  "CMakeFiles/topk_incremental_test.dir/topk_incremental_test.cc.o.d"
+  "topk_incremental_test"
+  "topk_incremental_test.pdb"
+  "topk_incremental_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/lgm_test[1]_include.cmake")
+include("/root/repo/build/tests/features_test[1]_include.cmake")
+include("/root/repo/build/tests/skyline_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/linker_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/phonetic_test[1]_include.cmake")
+include("/root/repo/build/tests/blocking_test[1]_include.cmake")
+include("/root/repo/build/tests/curves_test[1]_include.cmake")
+include("/root/repo/build/tests/topk_incremental_test[1]_include.cmake")
+include("/root/repo/build/tests/tabular_test[1]_include.cmake")
+include("/root/repo/build/tests/reference_property_test[1]_include.cmake")
+include("/root/repo/build/tests/more_property_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_case_test[1]_include.cmake")
+include("/root/repo/build/tests/invariant_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")

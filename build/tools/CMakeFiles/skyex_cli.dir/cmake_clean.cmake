@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyex_cli.dir/skyex_cli.cc.o"
+  "CMakeFiles/skyex_cli.dir/skyex_cli.cc.o.d"
+  "skyex"
+  "skyex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyex_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
