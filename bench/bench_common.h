@@ -11,15 +11,18 @@
 //   --max-eval=N   cap on evaluation rows per split (default 30000)
 //   --seed=N       master seed
 //   --fast         tiny configuration for smoke runs
+//   --metrics-out=FILE  dump the metrics registry as JSON at exit
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 
 namespace skyex::bench {
 
@@ -30,6 +33,23 @@ struct BenchConfig {
   uint64_t seed = 7;
   bool fast = false;
 };
+
+/// Path for the atexit metrics dump (atexit takes no closure argument).
+inline std::string& MetricsOutPath() {
+  static std::string path;
+  return path;
+}
+
+inline void WriteMetricsAtExit() {
+  const std::string& path = MetricsOutPath();
+  if (path.empty()) return;
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  obs::MetricsRegistry::Global().WriteJson(file);
+}
 
 inline BenchConfig ParseFlags(int argc, char** argv) {
   BenchConfig config;
@@ -43,6 +63,9 @@ inline BenchConfig ParseFlags(int argc, char** argv) {
       config.max_eval = std::strtoull(arg + 11, nullptr, 10);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       config.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      MetricsOutPath() = arg + 14;
+      std::atexit(WriteMetricsAtExit);
     } else if (std::strcmp(arg, "--fast") == 0) {
       config.fast = true;
     } else {
@@ -68,6 +91,9 @@ inline core::PreparedData PrepareNorthDkBench(const BenchConfig& config) {
   std::printf("# blocked pairs=%zu positives=%zu (%.2f%%)\n\n",
               d.pairs.size(), d.pairs.NumPositives(),
               100.0 * d.pairs.PositiveRate());
+  SKYEX_COUNTER_ADD("bench/pairs_blocked", d.pairs.size());
+  SKYEX_COUNTER_ADD("bench/positive_pairs", d.pairs.NumPositives());
+  SKYEX_GAUGE_SET("bench/positive_rate", d.pairs.PositiveRate());
   return d;
 }
 
@@ -83,6 +109,9 @@ inline core::PreparedData PrepareRestaurantsBench(const BenchConfig& config,
       "# pairs=%zu (subsampled from the 372,816 Cartesian pairs, all 112 "
       "positives kept)\n\n",
       d.pairs.size());
+  SKYEX_COUNTER_ADD("bench/pairs_blocked", d.pairs.size());
+  SKYEX_COUNTER_ADD("bench/positive_pairs", d.pairs.NumPositives());
+  SKYEX_GAUGE_SET("bench/positive_rate", d.pairs.PositiveRate());
   return d;
 }
 

@@ -7,11 +7,60 @@
 #include "bench_common.h"
 #include "core/skyex_t.h"
 #include "eval/sampling.h"
-#include "eval/stopwatch.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
+
+namespace {
+
+// Phase split for one Train() call. With observability compiled in, the
+// ranking time comes from the `skyline/sweep_cutoff` span that Train()
+// records internally — no second sweep run needed. Under
+// SKYEX_OBS_DISABLED spans record nothing, so fall back to re-running
+// the sweep (the pre-span measurement trick).
+struct PhaseSplit {
+  double pref_ms = 0.0;
+  double rank_ms = 0.0;
+};
+
+PhaseSplit MeasureTrain(const skyex::core::SkyExT& skyex,
+                        const skyex::core::PreparedData& d,
+                        const std::vector<size_t>& train_rows) {
+  PhaseSplit split;
+#if !defined(SKYEX_OBS_DISABLED)
+  auto& collector = skyex::obs::TraceCollector::Global();
+  collector.Reset();
+  const auto model = skyex.Train(d.features, d.pairs.labels, train_rows);
+  (void)model;
+  const auto stats = collector.Aggregate();
+  const auto train_it = stats.find("core/train_skyext");
+  const auto sweep_it = stats.find("skyline/sweep_cutoff");
+  const double total_ms =
+      train_it == stats.end() ? 0.0 : train_it->second.total_us / 1000.0;
+  split.rank_ms =
+      sweep_it == stats.end() ? 0.0 : sweep_it->second.total_us / 1000.0;
+  split.pref_ms = std::max(0.0, total_ms - split.rank_ms);
+#else
+  const skyex::obs::Stopwatch total_watch;
+  const auto model = skyex.Train(d.features, d.pairs.labels, train_rows);
+  const double total_ms = total_watch.ElapsedMillis();
+  const skyex::obs::Stopwatch rank_watch;
+  (void)skyex::core::SweepCutoffOverSkylines(
+      d.features, train_rows, d.pairs.labels, *model.preference,
+      /*tie_tolerance=*/0.985);
+  split.rank_ms = rank_watch.ElapsedMillis();
+  split.pref_ms = std::max(0.0, total_ms - split.rank_ms);
+#endif
+  return split;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto config = skyex::bench::ParseFlags(argc, argv);
   const auto d = skyex::bench::PrepareNorthDkBench(config);
+#if !defined(SKYEX_OBS_DISABLED)
+  skyex::obs::TraceCollector::Global().SetEnabled(true);
+#endif
 
   std::printf("Figure 3: SkyEx-T training runtime vs training size "
               "(North-DK, averages over repetitions)\n\n");
@@ -34,22 +83,9 @@ int main(int argc, char** argv) {
     size_t rows = 0;
     for (const auto& split : splits) {
       rows = split.train.size();
-      // Preference training time: MI de-duplication, correlations and
-      // elbow grouping. Measured by training with a degenerate sweep
-      // first is intrusive, so we time the two phases directly: the
-      // full Train() minus a re-run of the ranking sweep.
-      skyex::eval::Stopwatch total_watch;
-      const auto model =
-          skyex.Train(d.features, d.pairs.labels, split.train);
-      const double total = total_watch.ElapsedMillis();
-
-      skyex::eval::Stopwatch rank_watch;
-      (void)skyex::core::SweepCutoffOverSkylines(
-          d.features, split.train, d.pairs.labels, *model.preference,
-          /*tie_tolerance=*/0.985);
-      const double ranking = rank_watch.ElapsedMillis();
-      rank_ms += ranking;
-      pref_ms += std::max(0.0, total - ranking);
+      const PhaseSplit phases = MeasureTrain(skyex, d, split.train);
+      pref_ms += phases.pref_ms;
+      rank_ms += phases.rank_ms;
     }
     const double n = static_cast<double>(splits.size());
     std::printf("%8.2f%% %8zu %16.1f %16.1f %12.1f\n", 100.0 * fraction,

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full verification: tier-1 build + tests, then a second build with the
+# observability instrumentation compiled out (SKYEX_OBS=OFF) to prove
+# every macro site degrades to a no-op and the obs API still links.
+#
+#   scripts/verify.sh [build-dir] [obs-off-build-dir]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OBS_OFF_DIR="${2:-build-obs-off}"
+
+echo "=== tier-1: default build (SKYEX_OBS=ON) ==="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== stripped build (SKYEX_OBS=OFF) ==="
+cmake -B "$OBS_OFF_DIR" -S . -DSKYEX_OBS=OFF
+cmake --build "$OBS_OFF_DIR" -j
+# The obs suites exercise the registry/collector API; the rest of the
+# suite proves the pipeline is unaffected by compiled-out macros.
+ctest --test-dir "$OBS_OFF_DIR" --output-on-failure -j "$(nproc)" \
+      -R "Obs|Skyline|CliTest"
+
+echo
+echo "verify: OK"

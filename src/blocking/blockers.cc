@@ -8,6 +8,8 @@
 
 #include "data/ground_truth.h"
 #include "geo/distance.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/normalize.h"
 #include "text/tokenize.h"
 
@@ -34,6 +36,7 @@ void SortUnique(std::vector<geo::CandidatePair>* pairs) {
 
 std::vector<geo::CandidatePair> TokenBlock(const data::Dataset& dataset,
                                            const TokenBlockOptions& options) {
+  SKYEX_SPAN("blocking/token");
   std::unordered_map<std::string, std::vector<size_t>> blocks;
   for (size_t i = 0; i < dataset.size(); ++i) {
     for (std::string& t :
@@ -58,12 +61,14 @@ std::vector<geo::CandidatePair> TokenBlock(const data::Dataset& dataset,
     EmitBlockPairs(block, &pairs);
   }
   SortUnique(&pairs);
+  SKYEX_COUNTER_ADD("blocking/candidate_pairs", pairs.size());
   return pairs;
 }
 
 std::vector<geo::CandidatePair> SortedNeighborhoodBlock(
     const data::Dataset& dataset,
     const SortedNeighborhoodOptions& options) {
+  SKYEX_SPAN("blocking/sorted_neighborhood");
   std::vector<geo::CandidatePair> pairs;
   if (dataset.size() < 2 || options.window < 2) return pairs;
 
@@ -88,11 +93,13 @@ std::vector<geo::CandidatePair> SortedNeighborhoodBlock(
   run_pass(/*reversed=*/false);
   if (options.passes > 1) run_pass(/*reversed=*/true);
   SortUnique(&pairs);
+  SKYEX_COUNTER_ADD("blocking/candidate_pairs", pairs.size());
   return pairs;
 }
 
 std::vector<geo::CandidatePair> GridBlock(const data::Dataset& dataset,
                                           const GridBlockOptions& options) {
+  SKYEX_SPAN("blocking/grid");
   // Hash records to integer grid cells sized `cell_m`.
   const double lat_step = geo::MetersToLatDegrees(options.cell_m);
   std::unordered_map<int64_t, std::vector<size_t>> cells;
@@ -132,6 +139,7 @@ std::vector<geo::CandidatePair> GridBlock(const data::Dataset& dataset,
     }
   }
   SortUnique(&pairs);
+  SKYEX_COUNTER_ADD("blocking/candidate_pairs", pairs.size());
   return pairs;
 }
 

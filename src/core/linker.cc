@@ -5,6 +5,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace skyex::core {
 
 namespace {
@@ -104,18 +107,23 @@ std::vector<LinkedEntity> LinkEntities(
     const data::Dataset& dataset, const ml::FeatureMatrix& features,
     const std::vector<geo::CandidatePair>& pairs,
     const SkyExTModel& model) {
+  SKYEX_SPAN("core/link_entities");
   std::vector<size_t> rows(pairs.size());
   std::iota(rows.begin(), rows.end(), 0);
   const std::vector<uint8_t> predicted =
       SkyExT::Label(features, rows, model);
   std::vector<LinkedEntity> linked;
-  for (std::vector<size_t>& cluster :
-       ConnectedComponents(dataset.size(), pairs, predicted)) {
-    LinkedEntity entity;
-    entity.merged = MergeRecords(dataset, cluster);
-    entity.record_indices = std::move(cluster);
-    linked.push_back(std::move(entity));
+  {
+    SKYEX_SPAN("core/cluster_components");
+    for (std::vector<size_t>& cluster :
+         ConnectedComponents(dataset.size(), pairs, predicted)) {
+      LinkedEntity entity;
+      entity.merged = MergeRecords(dataset, cluster);
+      entity.record_indices = std::move(cluster);
+      linked.push_back(std::move(entity));
+    }
   }
+  SKYEX_COUNTER_ADD("core/entities_linked", linked.size());
   return linked;
 }
 

@@ -5,29 +5,50 @@
 #include <random>
 
 #include "data/ground_truth.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace skyex::core {
 
 PreparedData PrepareNorthDk(const data::NorthDkOptions& data_options,
                             const geo::QuadFlexOptions& blocking,
                             const features::LgmXOptions& feat) {
+  SKYEX_SPAN("core/prepare_northdk");
   PreparedData out;
-  out.dataset = data::GenerateNorthDk(data_options);
+  {
+    SKYEX_SPAN("data/generate_northdk");
+    out.dataset = data::GenerateNorthDk(data_options);
+  }
   out.pairs.pairs = geo::QuadFlexBlock(out.dataset.Points(), blocking);
-  out.pairs.labels = data::LabelPairs(out.dataset, out.pairs.pairs);
+  {
+    SKYEX_SPAN("data/label_pairs");
+    out.pairs.labels = data::LabelPairs(out.dataset, out.pairs.pairs);
+  }
   const features::LgmXExtractor extractor =
       features::LgmXExtractor::FromCorpus(out.dataset, feat);
   out.features = extractor.Extract(out.dataset, out.pairs.pairs);
+  SKYEX_LOG_DEBUG("core/prepare_northdk", "prepared North-DK",
+                  {"records", out.dataset.size()},
+                  {"pairs", out.pairs.size()},
+                  {"positives", out.pairs.NumPositives()});
   return out;
 }
 
 PreparedData PrepareRestaurants(const data::RestaurantsOptions& data_options,
                                 const features::LgmXOptions& feat,
                                 size_t max_pairs, uint64_t subsample_seed) {
+  SKYEX_SPAN("core/prepare_restaurants");
   PreparedData out;
-  out.dataset = data::GenerateRestaurants(data_options);
+  {
+    SKYEX_SPAN("data/generate_restaurants");
+    out.dataset = data::GenerateRestaurants(data_options);
+  }
   out.pairs.pairs = geo::CartesianBlock(out.dataset.size());
-  out.pairs.labels = data::LabelPairs(out.dataset, out.pairs.pairs);
+  {
+    SKYEX_SPAN("data/label_pairs");
+    out.pairs.labels = data::LabelPairs(out.dataset, out.pairs.pairs);
+  }
 
   if (max_pairs > 0 && out.pairs.size() > max_pairs) {
     // Deterministic subsample that keeps every positive pair (there are

@@ -7,6 +7,8 @@
 #include <unordered_map>
 
 #include "ml/elbow.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace skyex::core {
 
@@ -15,6 +17,7 @@ CutoffSweep SweepCutoffOverSkylines(const ml::FeatureMatrix& matrix,
                                     const std::vector<uint8_t>& labels,
                                     const skyline::Preference& preference,
                                     double tie_tolerance) {
+  SKYEX_SPAN("skyline/sweep_cutoff");
   CutoffSweep sweep;
   size_t total_pos = 0;
   for (size_t r : rows) total_pos += labels[r];
@@ -70,6 +73,7 @@ SkyExTModel SkyExT::Train(const ml::FeatureMatrix& matrix,
                           const std::vector<size_t>& train_rows,
                           const std::vector<size_t>* unsupervised_rows)
     const {
+  SKYEX_SPAN("core/train_skyext");
   SkyExTModel model;
 
   // Step 2 (Section 4.3.1): drop highly correlated features. This step
@@ -209,12 +213,15 @@ SkyExTModel SkyExT::Train(const ml::FeatureMatrix& matrix,
                                     options_.cutoff_rate_cap * rate);
     }
   }
+  SKYEX_COUNTER_INC("core/models_trained");
+  SKYEX_GAUGE_SET("core/cutoff_ratio", model.cutoff_ratio);
   return model;
 }
 
 std::vector<uint8_t> SkyExT::Label(const ml::FeatureMatrix& matrix,
                                    const std::vector<size_t>& rows,
                                    const SkyExTModel& model) {
+  SKYEX_SPAN("core/label_pairs");
   std::vector<uint8_t> labels(rows.size(), 0);
   if (model.preference == nullptr || rows.empty()) return labels;
 
@@ -225,14 +232,18 @@ std::vector<uint8_t> SkyExT::Label(const ml::FeatureMatrix& matrix,
   const size_t target = static_cast<size_t>(
       std::ceil(model.cutoff_ratio * static_cast<double>(rows.size())));
 
-  skyline::SkylinePeeler peeler(matrix, rows, *model.preference);
   size_t ranked = 0;
-  while (ranked < target) {
-    const std::vector<size_t> skyline = peeler.Next();
-    if (skyline.empty()) break;
-    ranked += skyline.size();
-    for (size_t r : skyline) labels[position_of.at(r)] = 1;
+  {
+    SKYEX_SPAN("skyline/rank_layers");
+    skyline::SkylinePeeler peeler(matrix, rows, *model.preference);
+    while (ranked < target) {
+      const std::vector<size_t> skyline = peeler.Next();
+      if (skyline.empty()) break;
+      ranked += skyline.size();
+      for (size_t r : skyline) labels[position_of.at(r)] = 1;
+    }
   }
+  SKYEX_COUNTER_ADD("core/pairs_labeled_positive", ranked);
   return labels;
 }
 

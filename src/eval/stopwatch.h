@@ -1,26 +1,17 @@
 #ifndef SKYEX_EVAL_STOPWATCH_H_
 #define SKYEX_EVAL_STOPWATCH_H_
 
-#include <chrono>
+// DEPRECATED: the stopwatch moved to the observability layer
+// (obs/stopwatch.h); this alias header stays for one release so bench
+// and example code can migrate incrementally. New code should use
+// skyex::obs::Stopwatch — or better, SKYEX_SPAN (obs/trace.h), which
+// feeds the trace collector.
+
+#include "obs/stopwatch.h"
 
 namespace skyex::eval {
 
-/// Wall-clock stopwatch for the runtime experiments (Fig. 3).
-class Stopwatch {
- public:
-  Stopwatch() : start_(Clock::now()) {}
-
-  void Reset() { start_ = Clock::now(); }
-
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
-
- private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
-};
+using Stopwatch = ::skyex::obs::Stopwatch;
 
 }  // namespace skyex::eval
 

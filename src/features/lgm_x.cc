@@ -9,6 +9,8 @@
 
 #include "features/feature_schema.h"
 #include "geo/distance.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/edit_distance.h"
 #include "text/normalize.h"
 #include "text/similarity_registry.h"
@@ -136,6 +138,7 @@ void LgmXExtractor::ExtractRow(const data::SpatialEntity& a,
 ml::FeatureMatrix LgmXExtractor::Extract(
     const data::Dataset& dataset,
     const std::vector<geo::CandidatePair>& pairs) const {
+  SKYEX_SPAN("features/extract_lgmx");
   ml::FeatureMatrix matrix = ml::FeatureMatrix::Zeros(pairs.size(), names_);
 
   // Cache normalized strings per entity once.
@@ -156,6 +159,7 @@ ml::FeatureMatrix LgmXExtractor::Extract(
   std::atomic<size_t> next_chunk{0};
   constexpr size_t kChunk = 256;
   const auto worker = [&]() {
+    SKYEX_SPAN("features/extract_worker");
     for (;;) {
       const size_t begin = next_chunk.fetch_add(kChunk);
       if (begin >= pairs.size()) return;
@@ -175,6 +179,7 @@ ml::FeatureMatrix LgmXExtractor::Extract(
     for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
     for (std::thread& t : threads) t.join();
   }
+  SKYEX_COUNTER_ADD("features/rows_extracted", pairs.size());
   return matrix;
 }
 

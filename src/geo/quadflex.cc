@@ -5,6 +5,8 @@
 
 #include "geo/distance.h"
 #include "geo/quadtree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace skyex::geo {
 
@@ -24,6 +26,7 @@ double LeafRadiusMeters(const BoundingBox& box, const QuadFlexOptions& opt) {
 
 std::vector<CandidatePair> QuadFlexBlock(const std::vector<GeoPoint>& points,
                                          const QuadFlexOptions& options) {
+  SKYEX_SPAN("blocking/quadflex");
   Quadtree::Options tree_options;
   tree_options.capacity = options.leaf_capacity;
   tree_options.max_depth = options.max_depth;
@@ -69,10 +72,14 @@ std::vector<CandidatePair> QuadFlexBlock(const std::vector<GeoPoint>& points,
 
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  SKYEX_COUNTER_ADD("geo/quadtree_node_visits", tree.query_nodes_visited());
+  SKYEX_COUNTER_ADD("geo/quadflex_leaves", tree.num_leaves());
+  SKYEX_COUNTER_ADD("blocking/candidate_pairs", pairs.size());
   return pairs;
 }
 
 std::vector<CandidatePair> CartesianBlock(size_t n) {
+  SKYEX_SPAN("blocking/cartesian");
   std::vector<CandidatePair> pairs;
   if (n < 2) return pairs;
   pairs.reserve(n * (n - 1) / 2);
@@ -81,6 +88,7 @@ std::vector<CandidatePair> CartesianBlock(size_t n) {
       pairs.emplace_back(i, j);
     }
   }
+  SKYEX_COUNTER_ADD("blocking/candidate_pairs", pairs.size());
   return pairs;
 }
 

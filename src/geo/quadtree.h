@@ -37,6 +37,11 @@ class Quadtree {
   size_t num_points() const { return num_points_; }
   size_t num_leaves() const;
 
+  /// Nodes touched by Query() calls since construction (root included,
+  /// pruned subtrees excluded). Plain counter: concurrent Query() calls
+  /// undercount, which is acceptable for telemetry.
+  uint64_t query_nodes_visited() const { return query_nodes_visited_; }
+
  private:
   struct Node {
     BoundingBox box;
@@ -67,6 +72,7 @@ class Quadtree {
   Options options_;
   std::unique_ptr<Node> root_;
   size_t num_points_ = 0;
+  mutable uint64_t query_nodes_visited_ = 0;
 };
 
 }  // namespace skyex::geo

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ml/dataset_view.h"
+#include "obs/trace.h"
 
 namespace skyex::ml {
 
@@ -29,6 +30,7 @@ class Classifier {
   /// Predicts the selected rows (1 = positive).
   std::vector<uint8_t> Predict(const FeatureMatrix& matrix,
                                const std::vector<size_t>& rows) const {
+    SKYEX_SPAN("ml/predict_batch");
     std::vector<uint8_t> out;
     out.reserve(rows.size());
     for (size_t r : rows) {

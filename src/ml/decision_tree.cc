@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/trace.h"
+
 namespace skyex::ml {
 
 namespace {
@@ -195,6 +197,7 @@ DecisionTree::DecisionTree(TreeOptions options) : tree_(options) {}
 void DecisionTree::Fit(const FeatureMatrix& matrix,
                        const std::vector<uint8_t>& labels,
                        const std::vector<size_t>& rows) {
+  SKYEX_SPAN("ml/train_decision_tree");
   tree_.Fit(matrix, labels, rows, nullptr);
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <random>
 
+#include "obs/trace.h"
+
 namespace skyex::ml {
 
 ExtraTrees::ExtraTrees(Options options) : options_(options) {}
@@ -11,6 +13,7 @@ ExtraTrees::ExtraTrees(Options options) : options_(options) {}
 void ExtraTrees::Fit(const FeatureMatrix& matrix,
                      const std::vector<uint8_t>& labels,
                      const std::vector<size_t>& rows) {
+  SKYEX_SPAN("ml/train_extra_trees");
   trees_.clear();
   if (rows.empty()) return;
   std::mt19937_64 rng(options_.seed);

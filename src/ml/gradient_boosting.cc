@@ -5,6 +5,8 @@
 #include <limits>
 #include <random>
 
+#include "obs/trace.h"
+
 namespace skyex::ml {
 
 namespace {
@@ -119,6 +121,7 @@ int32_t GradientBoosting::BuildNode(const FeatureMatrix& matrix,
 void GradientBoosting::Fit(const FeatureMatrix& matrix,
                            const std::vector<uint8_t>& labels,
                            const std::vector<size_t>& rows) {
+  SKYEX_SPAN("ml/train_gradient_boosting");
   trees_.clear();
   base_score_ = 0.0;
   if (rows.empty()) return;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <random>
 
+#include "obs/trace.h"
+
 namespace skyex::ml {
 
 void Standardizer::Fit(const FeatureMatrix& matrix,
@@ -41,6 +43,7 @@ LinearSvm::LinearSvm(Options options) : options_(options) {}
 void LinearSvm::Fit(const FeatureMatrix& matrix,
                     const std::vector<uint8_t>& labels,
                     const std::vector<size_t>& rows) {
+  SKYEX_SPAN("ml/train_linear_svm");
   standardizer_.Fit(matrix, rows);
   weights_.assign(matrix.cols, 0.0);
   bias_ = 0.0;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <random>
 
+#include "obs/trace.h"
+
 namespace skyex::ml {
 
 namespace {
@@ -38,6 +40,7 @@ double Mlp::Forward(const double* input,
 
 void Mlp::Fit(const FeatureMatrix& matrix, const std::vector<uint8_t>& labels,
               const std::vector<size_t>& rows) {
+  SKYEX_SPAN("ml/train_mlp");
   standardizer_.Fit(matrix, rows);
   layers_.clear();
   if (rows.empty()) return;

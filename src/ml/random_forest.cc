@@ -3,6 +3,8 @@
 #include <cmath>
 #include <random>
 
+#include "obs/trace.h"
+
 namespace skyex::ml {
 
 RandomForest::RandomForest(Options options) : options_(options) {}
@@ -10,6 +12,7 @@ RandomForest::RandomForest(Options options) : options_(options) {}
 void RandomForest::Fit(const FeatureMatrix& matrix,
                        const std::vector<uint8_t>& labels,
                        const std::vector<size_t>& rows) {
+  SKYEX_SPAN("ml/train_random_forest");
   trees_.clear();
   if (rows.empty()) return;
   std::mt19937_64 rng(options_.seed);

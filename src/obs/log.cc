@@ -1,0 +1,112 @@
+#include "obs/log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+
+namespace skyex::obs {
+
+namespace {
+
+std::mutex& EmitMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+void AppendQuoted(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (char c : text) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendValue(std::string* out, const LogKV& kv) {
+  char buffer[48];
+  switch (kv.kind) {
+    case LogKV::Kind::kInt:
+      std::snprintf(buffer, sizeof(buffer), "%" PRId64, kv.int_v);
+      out->append(buffer);
+      break;
+    case LogKV::Kind::kUint:
+      std::snprintf(buffer, sizeof(buffer), "%" PRIu64, kv.uint_v);
+      out->append(buffer);
+      break;
+    case LogKV::Kind::kDouble:
+      std::snprintf(buffer, sizeof(buffer), "%.6g", kv.double_v);
+      out->append(buffer);
+      break;
+    case LogKV::Kind::kBool:
+      out->append(kv.bool_v ? "true" : "false");
+      break;
+    case LogKV::Kind::kString:
+      AppendQuoted(out, kv.string_v);
+      break;
+  }
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  if (text == "debug") { *out = LogLevel::kDebug; return true; }
+  if (text == "info") { *out = LogLevel::kInfo; return true; }
+  if (text == "warn" || text == "warning") {
+    *out = LogLevel::kWarn;
+    return true;
+  }
+  if (text == "error") { *out = LogLevel::kError; return true; }
+  return false;
+}
+
+Logger& Logger::Global() {
+  static Logger* global = new Logger;
+  return *global;
+}
+
+void Logger::Log(LogLevel level, std::string_view event,
+                 std::string_view msg, std::initializer_list<LogKV> kvs) {
+  std::string line;
+  line.reserve(96);
+  line.append("level=");
+  line.append(LogLevelName(level));
+  line.append(" event=");
+  line.append(event);
+  line.append(" msg=");
+  AppendQuoted(&line, msg);
+  for (const LogKV& kv : kvs) {
+    line.push_back(' ');
+    line.append(kv.key);
+    line.push_back('=');
+    AppendValue(&line, kv);
+  }
+  line.push_back('\n');
+
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  if (capture_ != nullptr) {
+    capture_->append(line);
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+void Logger::SetCaptureForTest(std::string* capture) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  capture_ = capture;
+}
+
+}  // namespace skyex::obs

@@ -1,0 +1,124 @@
+#ifndef SKYEX_OBS_TRACE_H_
+#define SKYEX_OBS_TRACE_H_
+
+// RAII scoped spans feeding per-thread trace buffers, merged by a global
+// collector. Traces export as Chrome trace-event JSON ("X" complete
+// events, microsecond timestamps) loadable in about://tracing and
+// https://ui.perfetto.dev, or as an aggregated plain-text summary.
+//
+// Tracing is off by default: a span site costs one relaxed atomic load.
+// Call TraceCollector::Global().SetEnabled(true) (the CLI does this when
+// --trace-out is given) to start recording. Span names must be string
+// literals (or otherwise outlive the collector) and follow the
+// `subsystem/verb_noun` convention.
+//
+// Compiling with -DSKYEX_OBS_DISABLED turns every SKYEX_SPAN site into a
+// no-op; the collector API itself stays available.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace skyex::obs {
+
+/// One completed span. `ts_us` is microseconds since the collector
+/// epoch (first use in the process); `depth` is the nesting level on its
+/// thread (0 = outermost).
+struct TraceEvent {
+  const char* name = nullptr;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  uint32_t tid = 0;
+  uint32_t depth = 0;
+};
+
+/// Aggregated view of one span name.
+struct SpanStat {
+  uint64_t count = 0;
+  double total_us = 0.0;  // wall time inside the span
+  double self_us = 0.0;   // total minus direct children
+};
+
+class TraceCollector {
+ public:
+  static TraceCollector& Global();
+
+  /// Starts/stops recording. Spans opened while disabled record nothing.
+  void SetEnabled(bool enabled);
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every buffered event (live thread buffers and retired ones).
+  void Reset();
+
+  /// Merged copy of all completed spans, sorted by start time. Call at a
+  /// quiescent point (worker threads joined or idle).
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Per-name aggregation of Snapshot().
+  std::map<std::string, SpanStat> Aggregate() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}).
+  void WriteChromeTrace(std::ostream& out) const;
+
+  /// Fixed-width per-span summary (count, total, self, mean).
+  std::string SummaryTable() const;
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+ private:
+  friend class ScopedSpan;
+  friend struct ThreadTraceBuffer;
+  TraceCollector();
+  ~TraceCollector();
+
+  std::atomic<bool> enabled_{false};
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RAII span: records a TraceEvent on the current thread's buffer when
+/// destroyed, if tracing was enabled at construction. Prefer the
+/// SKYEX_SPAN macro over direct use.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+  bool active_;
+};
+
+/// Microseconds since the collector epoch (shared clock of all spans).
+double TraceNowUs();
+
+/// Wall-clock stopwatch (successor of skyex::eval::Stopwatch); see
+/// obs/stopwatch.h for the definition.
+
+}  // namespace skyex::obs
+
+#if defined(SKYEX_OBS_DISABLED)
+
+#define SKYEX_SPAN(name) ((void)0)
+
+#else
+
+#define SKYEX_OBS_CONCAT_INNER(a, b) a##b
+#define SKYEX_OBS_CONCAT(a, b) SKYEX_OBS_CONCAT_INNER(a, b)
+#define SKYEX_SPAN(name) \
+  ::skyex::obs::ScopedSpan SKYEX_OBS_CONCAT(skyex_obs_span_, __LINE__)(name)
+
+#endif  // SKYEX_OBS_DISABLED
+
+#endif  // SKYEX_OBS_TRACE_H_

@@ -1,9 +1,12 @@
 #include "skyline/dominance.h"
 
+#include "obs/metrics.h"
+
 namespace skyex::skyline {
 
 bool Dominates(const Preference& preference, const double* a,
                const double* b) {
+  SKYEX_COUNTER_INC("skyline/dominance_tests");
   return preference.Compare(a, b) == Comparison::kBetter;
 }
 

@@ -4,6 +4,9 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+
 namespace skyex::skyline {
 
 SkylinePeeler::SkylinePeeler(const ml::FeatureMatrix& matrix,
@@ -43,7 +46,14 @@ SkylinePeeler::SkylinePeeler(const ml::FeatureMatrix& matrix,
 // the eviction branch in Next() never fires; without it (general trees)
 // the full BNL handles out-of-order arrivals.
 
+SkylinePeeler::~SkylinePeeler() {
+  SKYEX_COUNTER_ADD("skyline/dominance_tests", dominance_tests_);
+}
+
 Comparison SkylinePeeler::CompareRows(size_t a, size_t b) const {
+#if !defined(SKYEX_OBS_DISABLED)
+  ++dominance_tests_;
+#endif
   const double* ra = matrix_.Row(a);
   const double* rb = matrix_.Row(b);
   if (compiled_.has_value()) return compiled_->Compare(ra, rb);
@@ -52,6 +62,9 @@ Comparison SkylinePeeler::CompareRows(size_t a, size_t b) const {
 
 std::vector<size_t> SkylinePeeler::Next() {
   if (order_.empty()) return {};
+#if !defined(SKYEX_OBS_DISABLED)
+  const obs::Stopwatch layer_watch;
+#endif
 
   // Block-nested-loop pass: `window` accumulates the current skyline,
   // `survivors` the dominated rows that stay for later layers.
@@ -85,6 +98,9 @@ std::vector<size_t> SkylinePeeler::Next() {
 
   order_ = std::move(survivors);  // presorted order is preserved
   ++layers_peeled_;
+  SKYEX_COUNTER_INC("skyline/layers_peeled");
+  SKYEX_HISTOGRAM_OBSERVE_US("skyline/peel_layer_us",
+                             layer_watch.ElapsedMicros());
   return window;
 }
 

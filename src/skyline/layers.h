@@ -30,6 +30,10 @@ class SkylinePeeler {
   SkylinePeeler(const ml::FeatureMatrix& matrix, std::vector<size_t> rows,
                 const Preference& preference);
 
+  /// Flushes the dominance-test count to the metrics registry
+  /// (`skyline/dominance_tests`).
+  ~SkylinePeeler();
+
   SkylinePeeler(const SkylinePeeler&) = delete;
   SkylinePeeler& operator=(const SkylinePeeler&) = delete;
 
@@ -41,6 +45,8 @@ class SkylinePeeler {
   size_t remaining() const { return order_.size(); }
   /// Number of skylines peeled so far.
   uint32_t layers_peeled() const { return layers_peeled_; }
+  /// Dominance comparisons performed so far (this peeler only).
+  uint64_t dominance_tests() const { return dominance_tests_; }
 
  private:
   Comparison CompareRows(size_t a, size_t b) const;
@@ -51,6 +57,9 @@ class SkylinePeeler {
   bool presorted_ = false;
   std::vector<size_t> order_;  // remaining rows, presorted when possible
   uint32_t layers_peeled_ = 0;
+  // Local (non-atomic) tally flushed to the registry on destruction so
+  // the hot comparison loop never touches shared state.
+  mutable uint64_t dominance_tests_ = 0;
 };
 
 /// Full layer assignment: layer[i] is the 1-based skyline level of

@@ -1,0 +1,58 @@
+// Compiled with -DSKYEX_OBS_DISABLED (see tests/CMakeLists.txt): checks
+// that every instrumentation macro expands to a no-op in this
+// translation unit while the observability API itself stays usable, so
+// exporters and tooling still link in stripped builds.
+
+#ifndef SKYEX_OBS_DISABLED
+#error "this test must be compiled with SKYEX_OBS_DISABLED"
+#endif
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace skyex::obs {
+namespace {
+
+TEST(ObsDisabledTest, MacrosCompileToNoOps) {
+  MetricsRegistry::Global().ResetForTest();
+
+  SKYEX_COUNTER_INC("disabled/counter");
+  SKYEX_COUNTER_ADD("disabled/counter", 10);
+  SKYEX_GAUGE_SET("disabled/gauge", 1.0);
+  SKYEX_HISTOGRAM_OBSERVE_US("disabled/hist", 5.0);
+  SKYEX_LOG_ERROR("disabled/event", "never emitted", {"k", 1});
+
+  // The macros must not even register the metrics.
+  EXPECT_FALSE(MetricsRegistry::Global().HasCounter("disabled/counter"));
+  EXPECT_FALSE(MetricsRegistry::Global().HasGauge("disabled/gauge"));
+  EXPECT_FALSE(MetricsRegistry::Global().HasHistogram("disabled/hist"));
+}
+
+TEST(ObsDisabledTest, SpanMacroRecordsNothing) {
+  TraceCollector::Global().SetEnabled(true);
+  {
+    SKYEX_SPAN("disabled/span");
+  }
+  EXPECT_TRUE(TraceCollector::Global().Snapshot().empty());
+  TraceCollector::Global().SetEnabled(false);
+}
+
+TEST(ObsDisabledTest, ApiStaysLinkedAndUsable) {
+  // Direct API calls (as opposed to macro sites) keep working, so the
+  // exporters can be exercised even in stripped builds.
+  Counter counter = MetricsRegistry::Global().GetCounter("disabled/direct");
+  counter.Add(3);
+  EXPECT_EQ(counter.Value(), 3u);
+
+  std::ostringstream out;
+  MetricsRegistry::Global().WriteJson(out);
+  EXPECT_NE(out.str().find("disabled/direct"), std::string::npos);
+  MetricsRegistry::Global().ResetForTest();
+}
+
+}  // namespace
+}  // namespace skyex::obs

@@ -1,0 +1,383 @@
+// Tests for the observability layer: metrics registry under contention,
+// span collection and nesting, Chrome-trace JSON parse-back, structured
+// log filtering and the JSON validator itself.
+//
+// Uses the direct API (ScopedSpan, handles, Logger::Log) rather than the
+// SKYEX_* macros so the suite also passes in SKYEX_OBS=OFF builds where
+// the macros compile out; macro behavior is asserted in the gated tests
+// at the bottom and in obs_disabled_test.cc.
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
+
+namespace skyex::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().ResetForTest();
+    TraceCollector::Global().SetEnabled(false);
+    TraceCollector::Global().Reset();
+  }
+  void TearDown() override {
+    TraceCollector::Global().SetEnabled(false);
+    TraceCollector::Global().Reset();
+    Logger::Global().SetCaptureForTest(nullptr);
+    Logger::Global().SetLevel(LogLevel::kInfo);
+  }
+};
+
+// --- metrics ----------------------------------------------------------
+
+TEST_F(ObsTest, CounterAccumulatesAcrossHandles) {
+  Counter a = MetricsRegistry::Global().GetCounter("test/counter");
+  Counter b = MetricsRegistry::Global().GetCounter("test/counter");
+  a.Add(3);
+  b.Add();
+  EXPECT_EQ(a.Value(), 4u);
+  EXPECT_EQ(b.Value(), 4u);
+}
+
+TEST_F(ObsTest, DefaultHandlesAreInertNotCrashy) {
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  counter.Add(5);
+  gauge.Set(1.0);
+  histogram.Observe(2.0);
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(gauge.Value(), 0.0);
+  EXPECT_EQ(histogram.Count(), 0u);
+}
+
+TEST_F(ObsTest, CounterIsExactUnderEightThreads) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  Counter counter = MetricsRegistry::Global().GetCounter("test/contended");
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      // Fresh handle per thread: same underlying cell.
+      Counter local =
+          MetricsRegistry::Global().GetCounter("test/contended");
+      for (uint64_t i = 0; i < kPerThread; ++i) local.Add();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, HistogramIsExactUnderEightThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  const std::vector<double> bounds = {1.0, 10.0, 100.0};
+  Histogram histogram =
+      MetricsRegistry::Global().GetHistogram("test/hist", bounds);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Cycle through the buckets: 0.5, 5, 50, 500.
+        histogram.Observe(0.5 * std::pow(10.0, i % 4));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const uint64_t total = kThreads * kPerThread;
+  EXPECT_EQ(histogram.Count(), total);
+  const std::vector<uint64_t> cumulative = histogram.CumulativeCounts();
+  ASSERT_EQ(cumulative.size(), bounds.size() + 1);
+  EXPECT_EQ(cumulative[0], total / 4);      // <= 1
+  EXPECT_EQ(cumulative[1], total / 2);      // <= 10
+  EXPECT_EQ(cumulative[2], 3 * total / 4);  // <= 100
+  EXPECT_EQ(cumulative[3], total);          // +inf
+  // Sum: per cycle of 4 observations 0.5 + 5 + 50 + 500 = 555.5.
+  EXPECT_NEAR(histogram.Sum(), 555.5 * static_cast<double>(total / 4),
+              1e-6 * static_cast<double>(total));
+}
+
+TEST_F(ObsTest, GaugeKeepsLastWrite) {
+  Gauge gauge = MetricsRegistry::Global().GetGauge("test/gauge");
+  gauge.Set(0.25);
+  gauge.Set(-3.5);
+  EXPECT_EQ(gauge.Value(), -3.5);
+}
+
+TEST_F(ObsTest, MetricsJsonRoundTripsThroughParser) {
+  MetricsRegistry::Global().GetCounter("test/json_counter").Add(7);
+  MetricsRegistry::Global().GetGauge("test/json_gauge").Set(1.5);
+  MetricsRegistry::Global()
+      .GetHistogram("test/json_hist", {10.0, 100.0})
+      .Observe(42.0);
+
+  std::ostringstream out;
+  MetricsRegistry::Global().WriteJson(out);
+  std::string error;
+  const auto doc = json::Parse(out.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+
+  const json::Value* counter = doc->Find("counters");
+  ASSERT_NE(counter, nullptr);
+  const json::Value* value = counter->Find("test/json_counter");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->number_v, 7.0);
+
+  const json::Value* hist = doc->Find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const json::Value* cell = hist->Find("test/json_hist");
+  ASSERT_NE(cell, nullptr);
+  ASSERT_NE(cell->Find("count"), nullptr);
+  EXPECT_EQ(cell->Find("count")->number_v, 1.0);
+  EXPECT_EQ(cell->Find("sum")->number_v, 42.0);
+  const json::Value* buckets = cell->Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->array_v.size(), 3u);  // 10, 100, inf
+  EXPECT_EQ(buckets->array_v[0].Find("count")->number_v, 0.0);
+  EXPECT_EQ(buckets->array_v[1].Find("count")->number_v, 1.0);
+  EXPECT_EQ(buckets->array_v[2].Find("le")->string_v, "inf");
+}
+
+TEST_F(ObsTest, ResetForTestZeroesEverything) {
+  Counter counter = MetricsRegistry::Global().GetCounter("test/reset");
+  counter.Add(9);
+  MetricsRegistry::Global().ResetForTest();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_TRUE(MetricsRegistry::Global().HasCounter("test/reset"));
+}
+
+// --- spans / tracing --------------------------------------------------
+
+TEST_F(ObsTest, SpansRecordNothingWhileDisabled) {
+  { ScopedSpan span("test/disabled_span"); }
+  EXPECT_TRUE(TraceCollector::Global().Snapshot().empty());
+}
+
+TEST_F(ObsTest, NestedSpansRecordDepthAndContainment) {
+  TraceCollector::Global().SetEnabled(true);
+  {
+    ScopedSpan outer("test/outer");
+    {
+      ScopedSpan inner("test/inner");
+    }
+  }
+  const std::vector<TraceEvent> events = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Snapshot is start-time sorted, so the outer span comes first.
+  EXPECT_STREQ(events[0].name, "test/outer");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_STREQ(events[1].name, "test/inner");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_GE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us);
+}
+
+TEST_F(ObsTest, AggregateComputesSelfTime) {
+  TraceCollector::Global().SetEnabled(true);
+  {
+    ScopedSpan outer("test/agg_outer");
+    ScopedSpan inner("test/agg_inner");
+  }
+  const auto stats = TraceCollector::Global().Aggregate();
+  ASSERT_TRUE(stats.count("test/agg_outer"));
+  ASSERT_TRUE(stats.count("test/agg_inner"));
+  const SpanStat& outer = stats.at("test/agg_outer");
+  const SpanStat& inner = stats.at("test/agg_inner");
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_EQ(inner.count, 1u);
+  EXPECT_GE(outer.total_us, inner.total_us);
+  // Outer self time excludes the inner child.
+  EXPECT_LE(outer.self_us, outer.total_us - inner.total_us + 1e-6);
+  // A leaf's self time is its total.
+  EXPECT_DOUBLE_EQ(inner.self_us, inner.total_us);
+}
+
+TEST_F(ObsTest, SpansFromWorkerThreadsAreCollected) {
+  TraceCollector::Global().SetEnabled(true);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      ScopedSpan span("test/worker_span");
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const std::vector<TraceEvent> events = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads));
+  std::vector<uint32_t> tids;
+  for (const TraceEvent& e : events) {
+    EXPECT_STREQ(e.name, "test/worker_span");
+    tids.push_back(e.tid);
+  }
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+}
+
+TEST_F(ObsTest, ChromeTraceParsesBackWithRequiredFields) {
+  TraceCollector::Global().SetEnabled(true);
+  {
+    ScopedSpan outer("test/export_outer");
+    ScopedSpan inner("test/export_inner");
+  }
+  std::ostringstream out;
+  TraceCollector::Global().WriteChromeTrace(out);
+
+  std::string error;
+  const auto doc = json::Parse(out.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const json::Value* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array_v.size(), 2u);
+  for (const json::Value& e : events->array_v) {
+    ASSERT_NE(e.Find("name"), nullptr);
+    EXPECT_EQ(e.Find("ph")->string_v, "X");
+    EXPECT_TRUE(e.Find("ts")->is_number());
+    EXPECT_TRUE(e.Find("dur")->is_number());
+    EXPECT_TRUE(e.Find("pid")->is_number());
+    EXPECT_TRUE(e.Find("tid")->is_number());
+  }
+  const std::vector<std::string> names = {
+      events->array_v[0].Find("name")->string_v,
+      events->array_v[1].Find("name")->string_v};
+  EXPECT_NE(std::find(names.begin(), names.end(), "test/export_outer"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "test/export_inner"),
+            names.end());
+}
+
+TEST_F(ObsTest, StopwatchMeasuresForward) {
+  const Stopwatch watch;
+  double last = -1.0;
+  for (int i = 0; i < 3; ++i) {
+    const double now = watch.ElapsedMicros();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+}
+
+// --- logging ----------------------------------------------------------
+
+TEST_F(ObsTest, LogFormatsKeyValues) {
+  std::string captured;
+  Logger::Global().SetCaptureForTest(&captured);
+  Logger::Global().SetLevel(LogLevel::kDebug);
+  Logger::Global().Log(LogLevel::kInfo, "test/event", "hello world",
+                       {{"n", 42}, {"ratio", 0.5}, {"who", "a b"},
+                        {"ok", true}});
+  EXPECT_EQ(captured,
+            "level=info event=test/event msg=\"hello world\" n=42 "
+            "ratio=0.5 who=\"a b\" ok=true\n");
+}
+
+TEST_F(ObsTest, RuntimeLevelGatesThroughEnabled) {
+  Logger::Global().SetLevel(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::Global().Enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::Global().Enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::Global().Enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::Global().Enabled(LogLevel::kError));
+}
+
+TEST_F(ObsTest, ParseLogLevelAcceptsAliases) {
+  LogLevel level;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+}
+
+TEST_F(ObsTest, LogEscapesQuotesAndNewlines) {
+  std::string captured;
+  Logger::Global().SetCaptureForTest(&captured);
+  Logger::Global().Log(LogLevel::kWarn, "test/escape",
+                       "say \"hi\"\nplease", {});
+  EXPECT_NE(captured.find("msg=\"say \\\"hi\\\"\\nplease\""),
+            std::string::npos);
+}
+
+// --- macro sites (compiled out under SKYEX_OBS_DISABLED) --------------
+
+#if !defined(SKYEX_OBS_DISABLED)
+
+TEST_F(ObsTest, CounterMacroRegistersAndCaches) {
+  for (int i = 0; i < 3; ++i) SKYEX_COUNTER_ADD("test/macro_counter", 2);
+  ASSERT_TRUE(MetricsRegistry::Global().HasCounter("test/macro_counter"));
+  EXPECT_EQ(
+      MetricsRegistry::Global().GetCounter("test/macro_counter").Value(),
+      6u);
+}
+
+TEST_F(ObsTest, SpanMacroRecordsWhenEnabled) {
+  TraceCollector::Global().SetEnabled(true);
+  {
+    SKYEX_SPAN("test/macro_span");
+  }
+  const std::vector<TraceEvent> events = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test/macro_span");
+}
+
+TEST_F(ObsTest, LogMacroFiltersByRuntimeLevel) {
+  std::string captured;
+  Logger::Global().SetCaptureForTest(&captured);
+  Logger::Global().SetLevel(LogLevel::kWarn);
+  SKYEX_LOG_DEBUG("test/event", "dropped");
+  SKYEX_LOG_INFO("test/event", "dropped too");
+  SKYEX_LOG_WARN("test/event", "kept", {"n", 1});
+  SKYEX_LOG_ERROR("test/event", "kept too");
+  EXPECT_EQ(captured.find("dropped"), std::string::npos);
+  EXPECT_NE(captured.find("level=warn"), std::string::npos);
+  EXPECT_NE(captured.find("level=error"), std::string::npos);
+}
+
+#endif  // !SKYEX_OBS_DISABLED
+
+// --- JSON parser ------------------------------------------------------
+
+TEST_F(ObsTest, JsonParserHandlesScalarsAndStructure) {
+  std::string error;
+  const auto doc = json::Parse(
+      R"({"a": [1, -2.5e2, true, null], "b": {"c": "x\ty"}})", &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const json::Value* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array_v.size(), 4u);
+  EXPECT_EQ(a->array_v[0].number_v, 1.0);
+  EXPECT_EQ(a->array_v[1].number_v, -250.0);
+  EXPECT_TRUE(a->array_v[2].bool_v);
+  EXPECT_EQ(a->array_v[3].type, json::Value::Type::kNull);
+  const json::Value* b = doc->Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->Find("c")->string_v, "x\ty");
+}
+
+TEST_F(ObsTest, JsonParserRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(json::Parse("{", &error).has_value());
+  EXPECT_FALSE(json::Parse("{\"a\": }", &error).has_value());
+  EXPECT_FALSE(json::Parse("[1, 2,]", &error).has_value());
+  EXPECT_FALSE(json::Parse("{} trailing", &error).has_value());
+  EXPECT_FALSE(json::Parse("\"unterminated", &error).has_value());
+}
+
+}  // namespace
+}  // namespace skyex::obs

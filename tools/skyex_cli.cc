@@ -6,12 +6,21 @@
 //   skyex link     --in=entities.csv --train-fraction=0.04 --out=linked.csv
 //   skyex eval     --in=entities.csv --model=m.txt
 //
+// Every command also accepts the observability flags
+//   --trace-out=FILE     write a Chrome trace (about://tracing, Perfetto)
+//   --metrics-out=FILE   write the metrics registry as JSON
+//   --log-level=LEVEL    debug|info|warn|error (default info)
+//   --obs-summary        print span/metric summary tables to stderr
+//
 // Ground-truth labels come from the phone/website rule of the paper; for
 // hand-labeled data, put the shared identifier into the phone column.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <string>
@@ -29,43 +38,139 @@
 #include "eval/sampling.h"
 #include "features/lgm_x.h"
 #include "geo/quadflex.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
 using skyex::core::SkyExT;
 using skyex::core::SkyExTModel;
 
+// --- flag parsing ------------------------------------------------------
+//
+// Strict by design: unknown flags, positional arguments and malformed
+// numeric values are hard errors (a typo like --train-fracton must not
+// silently fall back to the default).
+
+enum class FlagType { kString, kDouble, kSize, kBool };
+
+struct FlagSpec {
+  const char* name;
+  FlagType type;
+};
+
 struct Flags {
   std::map<std::string, std::string> values;
 
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
   std::string Get(const std::string& key,
                   const std::string& fallback = "") const {
     const auto it = values.find(key);
     return it == values.end() ? fallback : it->second;
   }
+  // Values were syntax-checked during parsing, so conversion is safe.
   double GetDouble(const std::string& key, double fallback) const {
     const auto it = values.find(key);
-    return it == values.end() ? fallback : std::stod(it->second);
+    return it == values.end() ? fallback : std::strtod(it->second.c_str(),
+                                                       nullptr);
   }
   size_t GetSize(const std::string& key, size_t fallback) const {
     const auto it = values.find(key);
-    return it == values.end() ? fallback
-                              : std::stoull(it->second);
+    return it == values.end()
+               ? fallback
+               : std::strtoull(it->second.c_str(), nullptr, 10);
   }
 };
 
-Flags ParseFlags(int argc, char** argv, int first) {
+bool ValidDouble(const std::string& text) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  (void)std::strtod(text.c_str(), &end);
+  return errno == 0 && end == text.c_str() + text.size();
+}
+
+bool ValidSize(const std::string& text) {
+  if (text.empty() || text[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  (void)std::strtoull(text.c_str(), &end, 10);
+  return errno == 0 && end == text.c_str() + text.size();
+}
+
+// Observability flags shared by every command.
+constexpr FlagSpec kObsFlags[] = {
+    {"trace-out", FlagType::kString},
+    {"metrics-out", FlagType::kString},
+    {"log-level", FlagType::kString},
+    {"obs-summary", FlagType::kBool},
+};
+
+/// Parses `--key=value` arguments against the allowed specs. Returns
+/// nullopt after printing a diagnostic for: positional arguments,
+/// unknown flags, missing `=value` on non-bool flags, and malformed
+/// numeric values.
+std::optional<Flags> ParseFlags(int argc, char** argv, int first,
+                                std::initializer_list<FlagSpec> specs) {
   Flags flags;
-  for (int i = first; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
-    arg = arg.substr(2);
-    const size_t eq = arg.find('=');
-    if (eq == std::string::npos) {
-      flags.values[arg] = "true";
-    } else {
-      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+  const auto find_spec = [&](const std::string& key) -> const FlagSpec* {
+    for (const FlagSpec& spec : specs) {
+      if (key == spec.name) return &spec;
     }
+    for (const FlagSpec& spec : kObsFlags) {
+      if (key == spec.name) return &spec;
+    }
+    return nullptr;
+  };
+
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr,
+                   "error: unexpected argument '%s' (flags are "
+                   "--key=value)\n",
+                   arg.c_str());
+      return std::nullopt;
+    }
+    const size_t eq = arg.find('=');
+    const std::string key =
+        arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
+    const FlagSpec* spec = find_spec(key);
+    if (spec == nullptr) {
+      std::fprintf(stderr,
+                   "error: unknown flag --%s (run 'skyex' without "
+                   "arguments for usage)\n",
+                   key.c_str());
+      return std::nullopt;
+    }
+    if (eq == std::string::npos) {
+      if (spec->type != FlagType::kBool) {
+        std::fprintf(stderr, "error: flag --%s needs a value (--%s=...)\n",
+                     key.c_str(), key.c_str());
+        return std::nullopt;
+      }
+      flags.values[key] = "true";
+      continue;
+    }
+    const std::string value = arg.substr(eq + 1);
+    bool ok = true;
+    switch (spec->type) {
+      case FlagType::kDouble: ok = ValidDouble(value); break;
+      case FlagType::kSize: ok = ValidSize(value); break;
+      case FlagType::kString:
+      case FlagType::kBool: break;
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "error: invalid value '%s' for --%s (expected %s)\n",
+                   value.c_str(), key.c_str(),
+                   spec->type == FlagType::kDouble
+                       ? "a number"
+                       : "a non-negative integer");
+      return std::nullopt;
+    }
+    flags.values[key] = value;
   }
   return flags;
 }
@@ -82,7 +187,13 @@ int Usage() {
       "  apply     --in=FILE.csv --model=FILE.txt --out=matches.csv\n"
       "  link      --in=FILE.csv [--model=FILE.txt | --train-fraction=F]\n"
       "            --out=linked.csv\n"
-      "  eval      --in=FILE.csv --model=FILE.txt\n");
+      "  eval      --in=FILE.csv --model=FILE.txt\n\n"
+      "observability (all commands):\n"
+      "  --trace-out=FILE     Chrome trace-event JSON (Perfetto,\n"
+      "                       about://tracing)\n"
+      "  --metrics-out=FILE   metrics registry dump as JSON\n"
+      "  --log-level=LEVEL    debug|info|warn|error (default info)\n"
+      "  --obs-summary        span/metric summary tables on stderr\n");
   return 2;
 }
 
@@ -96,10 +207,14 @@ struct LoadedPipeline {
 };
 
 std::optional<LoadedPipeline> LoadPipeline(const std::string& path) {
+  SKYEX_SPAN("cli/load_pipeline");
   LoadedPipeline p;
-  if (!skyex::data::ReadDatasetCsv(path, &p.dataset)) {
-    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
-    return std::nullopt;
+  {
+    SKYEX_SPAN("data/read_csv");
+    if (!skyex::data::ReadDatasetCsv(path, &p.dataset)) {
+      std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+      return std::nullopt;
+    }
   }
   const bool has_coordinates =
       !p.dataset.entities.empty() &&
@@ -107,10 +222,14 @@ std::optional<LoadedPipeline> LoadPipeline(const std::string& path) {
   p.pairs = has_coordinates
                 ? skyex::geo::QuadFlexBlock(p.dataset.Points())
                 : skyex::geo::CartesianBlock(p.dataset.size());
-  p.labels = skyex::data::LabelPairs(p.dataset, p.pairs);
-  std::fprintf(stderr, "loaded %zu records, %zu candidate pairs (%s)\n",
-               p.dataset.size(), p.pairs.size(),
-               has_coordinates ? "QuadFlex" : "Cartesian");
+  {
+    SKYEX_SPAN("data/label_pairs");
+    p.labels = skyex::data::LabelPairs(p.dataset, p.pairs);
+  }
+  SKYEX_LOG_INFO("cli/load_pipeline", "loaded and blocked dataset",
+                 {"path", path}, {"records", p.dataset.size()},
+                 {"pairs", p.pairs.size()},
+                 {"blocker", has_coordinates ? "quadflex" : "cartesian"});
   const auto extractor =
       skyex::features::LgmXExtractor::FromCorpus(p.dataset);
   p.features = extractor.Extract(p.dataset, p.pairs);
@@ -125,8 +244,12 @@ SkyExTModel TrainOnFraction(const LoadedPipeline& p, double fraction,
   const SkyExT skyex;
   SkyExTModel model =
       skyex.Train(p.features, p.labels, split.train, &all_rows);
-  std::fprintf(stderr, "trained on %zu pairs; %s\n", split.train.size(),
-               model.Describe(p.features.names).c_str());
+  SKYEX_LOG_INFO("cli/train_model", "trained SkyEx-T model",
+                 {"train_pairs", split.train.size()},
+                 {"cutoff_ratio", model.cutoff_ratio},
+                 {"train_f1", model.train_f1});
+  SKYEX_LOG_DEBUG("cli/train_model", "preference",
+                  {"p", model.Describe(p.features.names)});
   return model;
 }
 
@@ -261,16 +384,111 @@ int CmdEval(const Flags& flags) {
   return 0;
 }
 
+// --- observability plumbing -------------------------------------------
+
+/// Applies --log-level and switches the trace collector on when a trace
+/// file was requested. Returns false on a bad flag value.
+bool ObsSetup(const Flags& flags) {
+  const std::string level_text = flags.Get("log-level");
+  if (!level_text.empty()) {
+    skyex::obs::LogLevel level;
+    if (!skyex::obs::ParseLogLevel(level_text, &level)) {
+      std::fprintf(stderr,
+                   "error: invalid value '%s' for --log-level (expected "
+                   "debug|info|warn|error)\n",
+                   level_text.c_str());
+      return false;
+    }
+    skyex::obs::Logger::Global().SetLevel(level);
+  }
+  if (flags.Has("trace-out")) {
+    skyex::obs::TraceCollector::Global().SetEnabled(true);
+  }
+  return true;
+}
+
+/// Writes the requested trace/metrics artifacts after the command ran.
+/// Failures here mean the requested observability output is missing, so
+/// they fail the invocation even when the command itself succeeded.
+int ObsFinish(const Flags& flags) {
+  int rc = 0;
+  const auto write_file = [&rc](const std::string& path, auto&& writer) {
+    std::ofstream file(path);
+    if (file) writer(file);
+    if (!file || !file.flush()) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      rc = 1;
+    }
+  };
+  const std::string trace_out = flags.Get("trace-out");
+  if (!trace_out.empty()) {
+    write_file(trace_out, [](std::ofstream& file) {
+      skyex::obs::TraceCollector::Global().WriteChromeTrace(file);
+    });
+  }
+  const std::string metrics_out = flags.Get("metrics-out");
+  if (!metrics_out.empty()) {
+    write_file(metrics_out, [](std::ofstream& file) {
+      skyex::obs::MetricsRegistry::Global().WriteJson(file);
+    });
+  }
+  if (flags.Has("obs-summary")) {
+    std::fprintf(stderr, "--- spans ---\n%s--- metrics ---\n%s",
+                 skyex::obs::TraceCollector::Global().SummaryTable().c_str(),
+                 skyex::obs::MetricsRegistry::Global().SummaryTable()
+                     .c_str());
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  const Flags flags = ParseFlags(argc, argv, 2);
-  if (command == "generate") return CmdGenerate(flags);
-  if (command == "train") return CmdTrain(flags);
-  if (command == "apply") return CmdApply(flags);
-  if (command == "link") return CmdLink(flags);
-  if (command == "eval") return CmdEval(flags);
-  return Usage();
+
+  std::optional<Flags> flags;
+  int (*run)(const Flags&) = nullptr;
+  if (command == "generate") {
+    flags = ParseFlags(argc, argv, 2,
+                       {{"dataset", FlagType::kString},
+                        {"entities", FlagType::kSize},
+                        {"seed", FlagType::kSize},
+                        {"out", FlagType::kString}});
+    run = CmdGenerate;
+  } else if (command == "train") {
+    flags = ParseFlags(argc, argv, 2,
+                       {{"in", FlagType::kString},
+                        {"train-fraction", FlagType::kDouble},
+                        {"seed", FlagType::kSize},
+                        {"model-out", FlagType::kString}});
+    run = CmdTrain;
+  } else if (command == "apply") {
+    flags = ParseFlags(argc, argv, 2,
+                       {{"in", FlagType::kString},
+                        {"model", FlagType::kString},
+                        {"out", FlagType::kString}});
+    run = CmdApply;
+  } else if (command == "link") {
+    flags = ParseFlags(argc, argv, 2,
+                       {{"in", FlagType::kString},
+                        {"model", FlagType::kString},
+                        {"train-fraction", FlagType::kDouble},
+                        {"seed", FlagType::kSize},
+                        {"out", FlagType::kString}});
+    run = CmdLink;
+  } else if (command == "eval") {
+    flags = ParseFlags(argc, argv, 2,
+                       {{"in", FlagType::kString},
+                        {"model", FlagType::kString}});
+    run = CmdEval;
+  } else {
+    return Usage();
+  }
+
+  if (!flags.has_value()) return 2;
+  if (!ObsSetup(*flags)) return 2;
+  const int rc = run(*flags);
+  const int obs_rc = ObsFinish(*flags);
+  return rc != 0 ? rc : obs_rc;
 }

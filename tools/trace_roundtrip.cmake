@@ -1,0 +1,64 @@
+# End-to-end observability round trip, run as a ctest:
+#   generate a small North-DK -> `skyex link --trace-out --metrics-out`
+#   -> validate_trace checks the Chrome trace structurally and for the
+#   pipeline-stage spans -> the metrics dump must carry nonzero
+#   dominance-test and quadtree-node-visit counters.
+#
+# Invoked as:
+#   cmake -DSKYEX_CLI=<path> -DVALIDATE_TRACE=<path> -DWORK_DIR=<dir>
+#         -P trace_roundtrip.cmake
+
+foreach(var SKYEX_CLI VALIDATE_TRACE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "trace_roundtrip: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(entities_csv "${WORK_DIR}/entities.csv")
+set(linked_csv "${WORK_DIR}/linked.csv")
+set(trace_json "${WORK_DIR}/trace.json")
+set(metrics_json "${WORK_DIR}/metrics.json")
+
+execute_process(
+  COMMAND "${SKYEX_CLI}" generate --dataset=northdk --entities=500
+          --seed=11 --out=${entities_csv}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_roundtrip: generate failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${SKYEX_CLI}" link --in=${entities_csv} --out=${linked_csv}
+          --trace-out=${trace_json} --metrics-out=${metrics_json}
+          --log-level=warn
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_roundtrip: link failed (${rc})")
+endif()
+
+# One required span per pipeline stage: blocking, feature extraction,
+# preference training, skyline ranking, labeling.
+execute_process(
+  COMMAND "${VALIDATE_TRACE}" "${trace_json}"
+          --require=blocking/quadflex
+          --require=features/extract_lgmx
+          --require=core/train_skyext
+          --require=skyline/rank_layers
+          --require=core/label_pairs
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_roundtrip: validate_trace failed (${rc})")
+endif()
+
+file(READ "${metrics_json}" metrics)
+foreach(counter "skyline/dominance_tests" "geo/quadtree_node_visits")
+  string(REGEX MATCH "\"${counter}\": ([0-9]+)" _ "${metrics}")
+  if(NOT CMAKE_MATCH_1 OR CMAKE_MATCH_1 EQUAL 0)
+    message(FATAL_ERROR
+            "trace_roundtrip: counter ${counter} missing or zero")
+  endif()
+  message(STATUS "trace_roundtrip: ${counter} = ${CMAKE_MATCH_1}")
+endforeach()
+
+message(STATUS "trace_roundtrip: OK")

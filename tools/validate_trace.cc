@@ -1,0 +1,113 @@
+// Validates a Chrome trace-event JSON file emitted via --trace-out.
+//
+//   validate_trace trace.json [--require=span/name ...]
+//
+// Checks the structural contract Perfetto/about://tracing rely on (an
+// object with a `traceEvents` array of complete "X" events carrying
+// name/ts/dur/pid/tid) and, with --require, that specific spans were
+// recorded. Exit code 0 on success, 1 on validation failure, 2 on usage
+// or I/O errors. Used by the trace_roundtrip ctest target.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+int Fail(const char* what, size_t index) {
+  std::fprintf(stderr, "validate_trace: event %zu: %s\n", index, what);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--require=", 10) == 0) {
+      required.emplace_back(arg + 10);
+    } else if (std::strncmp(arg, "--", 2) == 0 || !path.empty()) {
+      std::fprintf(stderr,
+                   "usage: validate_trace FILE [--require=span/name ...]\n");
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: validate_trace FILE [--require=span/name ...]\n");
+    return 2;
+  }
+
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "validate_trace: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+
+  std::string error;
+  const auto doc = skyex::obs::json::Parse(buffer.str(), &error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "validate_trace: %s: invalid JSON: %s\n",
+                 path.c_str(), error.c_str());
+    return 1;
+  }
+  if (!doc->is_object()) {
+    std::fprintf(stderr, "validate_trace: top level is not an object\n");
+    return 1;
+  }
+  const skyex::obs::json::Value* events = doc->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr,
+                 "validate_trace: missing `traceEvents` array\n");
+    return 1;
+  }
+
+  std::set<std::string> names;
+  for (size_t i = 0; i < events->array_v.size(); ++i) {
+    const skyex::obs::json::Value& e = events->array_v[i];
+    if (!e.is_object()) return Fail("not an object", i);
+    const auto* name = e.Find("name");
+    if (name == nullptr || !name->is_string() || name->string_v.empty()) {
+      return Fail("missing string `name`", i);
+    }
+    const auto* ph = e.Find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->string_v != "X") {
+      return Fail("`ph` is not \"X\"", i);
+    }
+    for (const char* key : {"ts", "dur", "pid", "tid"}) {
+      const auto* field = e.Find(key);
+      if (field == nullptr || !field->is_number()) {
+        return Fail("missing numeric ts/dur/pid/tid field", i);
+      }
+      if (field->number_v < 0.0) return Fail("negative time field", i);
+    }
+    names.insert(name->string_v);
+  }
+
+  int rc = 0;
+  for (const std::string& want : required) {
+    if (names.count(want) == 0) {
+      std::fprintf(stderr,
+                   "validate_trace: required span '%s' not in trace\n",
+                   want.c_str());
+      rc = 1;
+    }
+  }
+  if (rc == 0) {
+    std::printf("validate_trace: %s OK (%zu events, %zu span names)\n",
+                path.c_str(), events->array_v.size(), names.size());
+  }
+  return rc;
+}
