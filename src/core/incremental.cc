@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "geo/distance.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace skyex::core {
 
@@ -63,29 +65,38 @@ bool IncrementalLinker::Accept(const double* row) const {
 
 std::vector<size_t> IncrementalLinker::AddRecord(
     const data::SpatialEntity& record) {
+  SKYEX_SPAN("core/incremental_add");
   // Candidate set: spatial neighbors when coordinates exist, otherwise
   // everything (bounded).
   std::vector<size_t> candidates;
-  if (record.location.valid) {
-    for (size_t i = 0; i < dataset_.size(); ++i) {
-      const double d =
-          geo::EquirectangularMeters(record.location,
-                                     dataset_[i].location);
-      if (d >= 0.0 && d <= options_.radius_m) candidates.push_back(i);
+  {
+    SKYEX_SPAN("core/incremental_candidates");
+    if (record.location.valid) {
+      for (size_t i = 0; i < dataset_.size(); ++i) {
+        const double d =
+            geo::EquirectangularMeters(record.location,
+                                       dataset_[i].location);
+        if (d >= 0.0 && d <= options_.radius_m) candidates.push_back(i);
+      }
+    } else if (options_.max_cartesian == 0 ||
+               dataset_.size() <= options_.max_cartesian) {
+      candidates.resize(dataset_.size());
+      for (size_t i = 0; i < dataset_.size(); ++i) candidates[i] = i;
     }
-  } else if (options_.max_cartesian == 0 ||
-             dataset_.size() <= options_.max_cartesian) {
-    candidates.resize(dataset_.size());
-    for (size_t i = 0; i < dataset_.size(); ++i) candidates[i] = i;
+    SKYEX_COUNTER_ADD("core/incremental_candidates", candidates.size());
   }
 
   std::vector<size_t> links;
-  std::vector<double> row(extractor_.feature_count());
-  for (size_t i : candidates) {
-    extractor_.ExtractRow(record, dataset_[i], row.data());
-    if (Accept(row.data())) links.push_back(i);
+  {
+    SKYEX_SPAN("core/incremental_score");
+    std::vector<double> row(extractor_.feature_count());
+    for (size_t i : candidates) {
+      extractor_.ExtractRow(record, dataset_[i], row.data());
+      if (Accept(row.data())) links.push_back(i);
+    }
   }
   dataset_.entities.push_back(record);
+  SKYEX_COUNTER_INC("core/incremental_records");
   return links;
 }
 

@@ -30,6 +30,15 @@ struct IncrementalLinkerOptions {
   size_t max_cartesian = 200000;
 };
 
+/// Thread-safety contract: IncrementalLinker is NOT thread-safe.
+/// AddRecord mutates the dataset (it appends the new record), so
+/// concurrent callers must serialize every AddRecord call — and any
+/// dataset() read that can race with one — behind a single mutex or a
+/// single owning thread. The serving layer (serve::LinkService) funnels
+/// all access through one mutex and the server's single linker thread;
+/// tests/serve_test.cc asserts that concurrent batched access through
+/// the server stays consistent (no torn reads, record count equals the
+/// requests accepted).
 class IncrementalLinker {
  public:
   using Options = IncrementalLinkerOptions;

@@ -1,21 +1,79 @@
 #include "core/model_io.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "skyline/serialize.h"
 
 namespace skyex::core {
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  *out += buffer;
+}
+
+void AppendGroupLine(std::string* out, const char* key,
+                     const std::vector<RankedFeature>& group) {
+  *out += key;
+  *out += ':';
+  for (const RankedFeature& f : group) {
+    *out += ' ';
+    *out += std::to_string(f.column);
+    *out += ':';
+    AppendDouble(out, f.rho);
+  }
+  *out += '\n';
+}
+
+/// Parses "3:0.82 7:-0.41" (possibly empty) into ranked features.
+bool ParseGroupLine(std::string_view text,
+                    std::vector<RankedFeature>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    if (pos >= text.size()) break;
+    const size_t end_token = text.find(' ', pos);
+    const std::string token(
+        text.substr(pos, end_token == std::string_view::npos
+                             ? std::string_view::npos
+                             : end_token - pos));
+    pos = end_token == std::string_view::npos ? text.size() : end_token;
+    const size_t colon = token.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= token.size()) {
+      return false;
+    }
+    char* end = nullptr;
+    const unsigned long long column =
+        std::strtoull(token.c_str(), &end, 10);
+    if (end != token.c_str() + colon) return false;
+    const double rho = std::strtod(token.c_str() + colon + 1, &end);
+    if (end != token.c_str() + token.size()) return false;
+    out->push_back(RankedFeature{static_cast<size_t>(column), rho});
+  }
+  return true;
+}
+
+}  // namespace
 
 std::string SaveModel(const SkyExTModel& model) {
   if (model.preference == nullptr) return "";
   std::string out = "preference: ";
   out += skyline::SerializePreference(*model.preference);
   out += "\ncutoff_ratio: ";
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", model.cutoff_ratio);
-  out += buffer;
+  AppendDouble(&out, model.cutoff_ratio);
+  out += "\n";
+  AppendGroupLine(&out, "group1", model.group1);
+  AppendGroupLine(&out, "group2", model.group2);
+  out += "train_f1: ";
+  AppendDouble(&out, model.train_f1);
   out += "\n";
   return out;
 }
@@ -26,9 +84,13 @@ std::optional<SkyExTModel> LoadModel(const std::string& text) {
   SkyExTModel model;
   bool have_preference = false;
   bool have_cutoff = false;
+  bool have_groups = false;  // any v2 group line seen
   while (std::getline(in, line)) {
     constexpr std::string_view kPrefKey = "preference: ";
     constexpr std::string_view kCutoffKey = "cutoff_ratio: ";
+    constexpr std::string_view kGroup1Key = "group1:";
+    constexpr std::string_view kGroup2Key = "group2:";
+    constexpr std::string_view kTrainF1Key = "train_f1: ";
     if (line.rfind(kPrefKey, 0) == 0) {
       model.preference =
           skyline::ParsePreference(line.substr(kPrefKey.size()));
@@ -40,6 +102,25 @@ std::optional<SkyExTModel> LoadModel(const std::string& text) {
           std::strtod(line.c_str() + kCutoffKey.size(), &end);
       if (end == line.c_str() + kCutoffKey.size()) return std::nullopt;
       have_cutoff = true;
+    } else if (line.rfind(kGroup1Key, 0) == 0) {
+      if (!ParseGroupLine(
+              std::string_view(line).substr(kGroup1Key.size()),
+              &model.group1)) {
+        return std::nullopt;
+      }
+      have_groups = true;
+    } else if (line.rfind(kGroup2Key, 0) == 0) {
+      if (!ParseGroupLine(
+              std::string_view(line).substr(kGroup2Key.size()),
+              &model.group2)) {
+        return std::nullopt;
+      }
+      have_groups = true;
+    } else if (line.rfind(kTrainF1Key, 0) == 0) {
+      char* end = nullptr;
+      model.train_f1 =
+          std::strtod(line.c_str() + kTrainF1Key.size(), &end);
+      if (end == line.c_str() + kTrainF1Key.size()) return std::nullopt;
     }
   }
   if (!have_preference || !have_cutoff) return std::nullopt;
@@ -47,14 +128,17 @@ std::optional<SkyExTModel> LoadModel(const std::string& text) {
     return std::nullopt;
   }
 
-  // Rebuild the explanatory groups from the preference structure.
-  const auto compiled = skyline::Compile(*model.preference);
-  if (compiled.has_value()) {
-    for (size_t g = 0; g < compiled->groups.size(); ++g) {
-      auto& group = g == 0 ? model.group1 : model.group2;
-      for (const auto& term : compiled->groups[g]) {
-        group.push_back(RankedFeature{term.feature,
-                                      term.sign > 0 ? 0.0 : -0.0});
+  // Legacy v1 input: rebuild the explanatory groups from the preference
+  // structure (ρ magnitudes are not recoverable and stay 0).
+  if (!have_groups) {
+    const auto compiled = skyline::Compile(*model.preference);
+    if (compiled.has_value()) {
+      for (size_t g = 0; g < compiled->groups.size(); ++g) {
+        auto& group = g == 0 ? model.group1 : model.group2;
+        for (const auto& term : compiled->groups[g]) {
+          group.push_back(RankedFeature{term.feature,
+                                        term.sign > 0 ? 0.0 : -0.0});
+        }
       }
     }
   }

@@ -8,19 +8,27 @@
 
 namespace skyex::core {
 
-/// Serializes a trained SkyEx-T model (preference function + cut-off
-/// ratio) to a two-line text form:
+/// Serializes a trained SkyEx-T model to a line-oriented text form (v2):
 ///
 ///   preference: (high(3) & low(7)) > high(12)
 ///   cutoff_ratio: 0.0269
+///   group1: 3:0.82140000000000002 7:-0.41299999999999998
+///   group2: 12:0.30099999999999999
+///   train_f1: 0.93100000000000005
 ///
-/// The feature indices refer to the LGM-X schema order, so a model can
-/// be applied to any matrix extracted with the same schema.
+/// The group lines carry the explanatory group vectors (feature column
+/// and signed class correlation ρ, printed with enough digits to
+/// round-trip exactly), so LoadModel(SaveModel(m)) is behaviorally AND
+/// explanatorily identical to m — the serving layer exposes exactly the
+/// model that was trained. The feature indices refer to the LGM-X
+/// schema order, so a model can be applied to any matrix extracted with
+/// the same schema.
 std::string SaveModel(const SkyExTModel& model);
 
-/// Parses SaveModel output. The explanatory group vectors are
-/// reconstructed from the preference structure (with ρ magnitudes
-/// unavailable, set to 0). Returns nullopt on malformed input.
+/// Parses SaveModel output, v2 or the legacy v1 two-line form. For v1
+/// input (no group lines) the explanatory group vectors are
+/// reconstructed from the preference structure with ρ magnitudes
+/// unavailable (set to 0). Returns nullopt on malformed input.
 std::optional<SkyExTModel> LoadModel(const std::string& text);
 
 /// Convenience file variants. Return false / nullopt on I/O error.

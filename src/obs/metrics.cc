@@ -111,6 +111,35 @@ std::vector<uint64_t> Histogram::CumulativeCounts() const {
   return out;
 }
 
+std::vector<double> Histogram::BucketBounds() const {
+  return cell_ == nullptr ? std::vector<double>{} : cell_->bounds;
+}
+
+double Histogram::Quantile(double q) const {
+  if (cell_ == nullptr) return 0.0;
+  const std::vector<uint64_t> cumulative = CumulativeCounts();
+  if (cumulative.empty() || cumulative.back() == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(cumulative.back());
+  size_t bucket = 0;
+  while (bucket < cumulative.size() &&
+         static_cast<double>(cumulative[bucket]) < rank) {
+    ++bucket;
+  }
+  if (bucket >= cell_->bounds.size()) {
+    // +inf bucket: clamp to the largest finite bound.
+    return cell_->bounds.empty() ? 0.0 : cell_->bounds.back();
+  }
+  const double upper = cell_->bounds[bucket];
+  const double lower = bucket == 0 ? 0.0 : cell_->bounds[bucket - 1];
+  const uint64_t below = bucket == 0 ? 0 : cumulative[bucket - 1];
+  const uint64_t inside = cumulative[bucket] - below;
+  if (inside == 0) return upper;
+  const double fraction =
+      (rank - static_cast<double>(below)) / static_cast<double>(inside);
+  return lower + std::clamp(fraction, 0.0, 1.0) * (upper - lower);
+}
+
 const std::vector<double>& LatencyBucketsUs() {
   static const std::vector<double>* buckets = [] {
     auto* v = new std::vector<double>;

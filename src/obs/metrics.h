@@ -82,6 +82,13 @@ class Histogram {
   /// Cumulative count of observations <= bounds[i]; the final entry is
   /// the total count (the +inf bucket).
   std::vector<uint64_t> CumulativeCounts() const;
+  /// Upper bucket bounds this histogram was registered with (without
+  /// the implicit +inf bucket).
+  std::vector<double> BucketBounds() const;
+  /// Approximate quantile q in [0, 1] by linear interpolation inside
+  /// the containing bucket; observations in the +inf bucket clamp to
+  /// the largest bound. 0 when empty.
+  double Quantile(double q) const;
 
  private:
   friend class MetricsRegistry;
@@ -141,6 +148,7 @@ class MetricsRegistry {
 #define SKYEX_COUNTER_INC(name) ((void)0)
 #define SKYEX_GAUGE_SET(name, v) ((void)0)
 #define SKYEX_HISTOGRAM_OBSERVE_US(name, v) ((void)0)
+#define SKYEX_HISTOGRAM_OBSERVE(name, v, bounds) ((void)0)
 
 #else
 
@@ -161,10 +169,13 @@ class MetricsRegistry {
   } while (0)
 
 #define SKYEX_HISTOGRAM_OBSERVE_US(name, v)                               \
+  SKYEX_HISTOGRAM_OBSERVE(name, v, ::skyex::obs::LatencyBucketsUs())
+
+#define SKYEX_HISTOGRAM_OBSERVE(name, v, bounds)                          \
   do {                                                                    \
     static ::skyex::obs::Histogram skyex_obs_histogram_ =                 \
-        ::skyex::obs::MetricsRegistry::Global().GetHistogram(             \
-            name, ::skyex::obs::LatencyBucketsUs());                      \
+        ::skyex::obs::MetricsRegistry::Global().GetHistogram(name,        \
+                                                             bounds);     \
     skyex_obs_histogram_.Observe(v);                                      \
   } while (0)
 

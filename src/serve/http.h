@@ -1,0 +1,97 @@
+#ifndef SKYEX_SERVE_HTTP_H_
+#define SKYEX_SERVE_HTTP_H_
+
+// Minimal HTTP/1.1 over the net.h socket helpers: enough protocol for
+// the linkage service and its load generator — request line + headers,
+// Content-Length bodies, keep-alive. No chunked transfer encoding, no
+// TLS, no pipelining.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/net.h"
+
+namespace skyex::serve {
+
+/// A parsed request. Header names are lowercased; `path` excludes the
+/// query string (kept separately, unparsed).
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string query;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  bool KeepAlive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  std::string body;
+};
+
+const char* StatusReason(int status);
+
+enum class ReadStatus {
+  kOk,
+  kClosed,     // clean EOF (or idle-abort) before any request bytes
+  kTimeout,    // deadline hit mid-request
+  kTooLarge,   // Content-Length beyond `max_body` (body not consumed)
+  kMalformed,  // unparsable request line / headers
+  kError,      // socket error
+};
+
+struct HttpReadOptions {
+  int timeout_ms = 5000;
+  size_t max_body = 1 << 20;
+  size_t max_header_bytes = 16 * 1024;
+  /// When non-null and set, an idle wait (no request bytes received
+  /// yet) aborts with kClosed — the server's drain path. A partially
+  /// received request keeps reading until done or deadline.
+  const std::atomic<bool>* abort_idle = nullptr;
+};
+
+/// Reads one request from `fd`. `leftover` carries bytes read past the
+/// end of the previous request on this connection (keep-alive); it is
+/// consumed first and refilled on return.
+ReadStatus ReadHttpRequest(int fd, HttpRequest* out, std::string* leftover,
+                           const HttpReadOptions& options);
+
+/// Serializes and writes one response. `close` controls the Connection
+/// header. False on socket timeout/error.
+bool WriteHttpResponse(int fd, const HttpResponse& response, bool close,
+                       int timeout_ms);
+
+/// Blocking HTTP/1.1 client for the loadgen, tests and smoke checks.
+/// One connection, sequential requests, keep-alive by default.
+class HttpClient {
+ public:
+  /// Connects; `ok()` reports success.
+  HttpClient(const std::string& host, uint16_t port, int timeout_ms = 5000);
+
+  bool ok() const { return fd_.valid(); }
+
+  /// Sends a request and reads the response. nullopt on connection
+  /// failure (the connection is closed and must be re-established).
+  std::optional<HttpResponse> Request(const std::string& method,
+                                      const std::string& path,
+                                      const std::string& body = "",
+                                      const std::string& content_type =
+                                          "application/json");
+
+ private:
+  UniqueFd fd_;
+  std::string host_;
+  std::string leftover_;
+  int timeout_ms_;
+};
+
+}  // namespace skyex::serve
+
+#endif  // SKYEX_SERVE_HTTP_H_

@@ -1,0 +1,134 @@
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace skyex::serve {
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+UniqueFd ListenTcp(uint16_t port, int backlog, std::string* error) {
+  const auto fail = [error](const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + std::strerror(errno);
+    }
+    return UniqueFd();
+  };
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return fail("socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) return fail("listen");
+  return fd;
+}
+
+uint16_t LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int AcceptWithTimeout(int listen_fd, int timeout_ms) {
+  pollfd pfd{listen_fd, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc == 0) return kAcceptTimeout;
+  if (rc < 0) return errno == EINTR ? kAcceptTimeout : kAcceptError;
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+                   errno == ECONNABORTED
+               ? kAcceptTimeout
+               : kAcceptError;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+UniqueFd ConnectTcp(const std::string& host, uint16_t port, int timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return UniqueFd();
+  }
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return UniqueFd();
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return UniqueFd();
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) return UniqueFd();
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      return UniqueFd();
+    }
+  }
+  ::fcntl(fd.get(), F_SETFL, flags);  // back to blocking
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+long ReadWithTimeout(int fd, char* buf, size_t len, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc == 0) return kIoTimeout;
+  if (rc < 0) return errno == EINTR ? kIoTimeout : kIoError;
+  const ssize_t n = ::recv(fd, buf, len, 0);
+  if (n < 0) {
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR
+               ? kIoTimeout
+               : kIoError;
+  }
+  return n;
+}
+
+bool WriteAll(int fd, const char* buf, size_t len, int timeout_ms) {
+  size_t written = 0;
+  while (written < len) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc <= 0) return false;
+    const ssize_t n =
+        ::send(fd, buf + written, len - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace skyex::serve

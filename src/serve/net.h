@@ -1,0 +1,73 @@
+#ifndef SKYEX_SERVE_NET_H_
+#define SKYEX_SERVE_NET_H_
+
+// Thin POSIX TCP helpers for the serving layer: RAII file descriptors,
+// listener setup, poll-based accept/connect, and bounded-time reads and
+// writes. Everything is blocking-with-deadline — the server uses a
+// worker thread pool, not an event loop, so per-call poll() timeouts
+// are all the async machinery it needs.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace skyex::serve {
+
+/// Owning file descriptor; closes on destruction. -1 means empty.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening IPv4 socket on 127.0.0.1-or-any:`port`
+/// (SO_REUSEADDR; `port` 0 picks an ephemeral port). Returns an invalid
+/// fd and fills `error` on failure.
+UniqueFd ListenTcp(uint16_t port, int backlog, std::string* error);
+
+/// The locally bound port of a socket (0 on error).
+uint16_t LocalPort(int fd);
+
+/// Waits up to `timeout_ms` for a pending connection and accepts it.
+/// Returns the connection fd, or kAcceptTimeout / kAcceptError.
+inline constexpr int kAcceptTimeout = -1;
+inline constexpr int kAcceptError = -2;
+int AcceptWithTimeout(int listen_fd, int timeout_ms);
+
+/// Connects to host:port (numeric IPv4 or "localhost") within
+/// `timeout_ms`. Invalid fd on failure.
+UniqueFd ConnectTcp(const std::string& host, uint16_t port, int timeout_ms);
+
+/// Reads up to `len` bytes with a deadline. Returns bytes read (>0),
+/// 0 on clean EOF, kIoTimeout, or kIoError.
+inline constexpr long kIoTimeout = -1;
+inline constexpr long kIoError = -2;
+long ReadWithTimeout(int fd, char* buf, size_t len, int timeout_ms);
+
+/// Writes all of `len` bytes with a per-poll deadline (MSG_NOSIGNAL, so
+/// a dead peer yields an error instead of SIGPIPE). False on timeout or
+/// error.
+bool WriteAll(int fd, const char* buf, size_t len, int timeout_ms);
+
+}  // namespace skyex::serve
+
+#endif  // SKYEX_SERVE_NET_H_

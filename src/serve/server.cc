@@ -1,0 +1,344 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace skyex::serve {
+
+namespace {
+
+const std::vector<double>& BatchSizeBuckets() {
+  static const std::vector<double>* buckets = new std::vector<double>{
+      1, 2, 4, 8, 16, 32, 64, 128, 256};
+  return *buckets;
+}
+
+}  // namespace
+
+Server::Server(LinkService* service, ServerOptions options)
+    : service_(service),
+      options_(options),
+      conn_queue_(options.conn_backlog),
+      link_queue_(options.queue_depth) {}
+
+Server::~Server() { Stop(); }
+
+bool Server::Start(std::string* error) {
+  listen_fd_ = ListenTcp(options_.port, options_.listen_backlog, error);
+  if (!listen_fd_.valid()) return false;
+  port_ = LocalPort(listen_fd_.get());
+  started_.store(true);
+  listener_ = std::thread(&Server::ListenerLoop, this);
+  linker_ = std::thread(&Server::LinkerLoop, this);
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back(&Server::WorkerLoop, this);
+  }
+  SKYEX_LOG_INFO("serve/start", "server listening", {"port", port_},
+                 {"workers", options_.workers},
+                 {"queue_depth", options_.queue_depth},
+                 {"batch_window_us", options_.batch_window_us});
+  return true;
+}
+
+void Server::Stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  SKYEX_LOG_INFO("serve/stop", "draining",
+                 {"queued_jobs", link_queue_.size()},
+                 {"queued_connections", conn_queue_.size()});
+  // 1. Stop accepting; the listener closes the listen socket on exit.
+  stopping_.store(true);
+  listener_.join();
+  // 2. Workers: finish in-flight requests, serve connections that were
+  //    already accepted, close idle keep-alive connections.
+  draining_.store(true);
+  conn_queue_.Close();
+  for (std::thread& worker : workers_) worker.join();
+  // 3. Every admitted link job now has its producer gone; drain the
+  //    queue so no promise is left unfulfilled, then stop the linker.
+  link_queue_.Close();
+  linker_.join();
+  SKYEX_LOG_INFO("serve/stop", "shutdown complete",
+                 {"requests", requests_.load()},
+                 {"responses_ok", responses_ok_.load()},
+                 {"rejected_429", rejected_.load()});
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.connections = connections_.load();
+  s.requests = requests_.load();
+  s.responses_ok = responses_ok_.load();
+  s.responses_client_error = responses_client_error_.load();
+  s.rejected = rejected_.load();
+  s.responses_server_error = responses_server_error_.load();
+  return s;
+}
+
+void Server::ListenerLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = AcceptWithTimeout(listen_fd_.get(), 100);
+    if (fd == kAcceptTimeout) continue;
+    if (fd == kAcceptError) break;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    SKYEX_COUNTER_INC("serve/connections");
+    if (conn_queue_.TryPush(UniqueFd(fd)) != PushResult::kOk) {
+      // Connection backlog full: shed load at the door (the fd closes
+      // on UniqueFd destruction, clients see a reset).
+      SKYEX_COUNTER_INC("serve/connections_shed");
+    }
+  }
+  listen_fd_.Reset();
+}
+
+void Server::WorkerLoop() {
+  std::vector<UniqueFd> batch;
+  while (conn_queue_.PopBatch(&batch, std::chrono::microseconds(0), 1)) {
+    for (UniqueFd& fd : batch) ServeConnection(std::move(fd));
+  }
+}
+
+void Server::ServeConnection(UniqueFd fd) {
+  SKYEX_SPAN("serve/connection");
+  std::string leftover;
+  HttpReadOptions read_options;
+  read_options.timeout_ms = options_.read_timeout_ms;
+  read_options.max_body = options_.max_body_bytes;
+  read_options.abort_idle = &draining_;
+  for (;;) {
+    HttpRequest request;
+    const ReadStatus status =
+        ReadHttpRequest(fd.get(), &request, &leftover, read_options);
+    if (status == ReadStatus::kClosed || status == ReadStatus::kError) {
+      return;
+    }
+    if (status != ReadStatus::kOk) {
+      HttpResponse response;
+      switch (status) {
+        case ReadStatus::kTooLarge:
+          response = ErrorResponse(413, "request body too large");
+          SKYEX_COUNTER_INC("serve/oversized_413");
+          break;
+        case ReadStatus::kTimeout:
+          response = ErrorResponse(408, "request read timed out");
+          break;
+        default:
+          response = ErrorResponse(400, "malformed HTTP request");
+          break;
+      }
+      responses_client_error_.fetch_add(1, std::memory_order_relaxed);
+      WriteHttpResponse(fd.get(), response, /*close=*/true,
+                        options_.write_timeout_ms);
+      return;  // framing is unreliable now; drop the connection
+    }
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    SKYEX_COUNTER_INC("serve/http_requests");
+    const double start_us = obs::TraceNowUs();
+    HttpResponse response;
+    {
+      SKYEX_SPAN("serve/handle_request");
+      response = Dispatch(request);
+    }
+    if (response.status < 300) {
+      responses_ok_.fetch_add(1, std::memory_order_relaxed);
+    } else if (response.status == 429) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+    } else if (response.status < 500) {
+      responses_client_error_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      responses_server_error_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const bool close =
+        !request.KeepAlive() || draining_.load(std::memory_order_relaxed);
+    const bool written = WriteHttpResponse(fd.get(), response, close,
+                                           options_.write_timeout_ms);
+    SKYEX_HISTOGRAM_OBSERVE_US("serve/request_latency_us",
+                               obs::TraceNowUs() - start_us);
+    if (!written || close) return;
+  }
+}
+
+HttpResponse Server::Dispatch(const HttpRequest& request) {
+  if (request.path == "/v1/link" || request.path == "/v1/link_batch") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST");
+    }
+    return HandleLink(request, request.path == "/v1/link_batch");
+  }
+  if (request.path == "/healthz") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    json::Writer writer;
+    writer.BeginObject();
+    writer.Key("status").String(
+        draining_.load(std::memory_order_relaxed) ? "draining" : "ok");
+    writer.Key("records").Uint(service_->record_count());
+    writer.Key("queue_depth").Uint(link_queue_.size());
+    writer.EndObject();
+    HttpResponse response;
+    response.body = writer.Take();
+    return response;
+  }
+  if (request.path == "/metrics") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    std::ostringstream out;
+    obs::MetricsRegistry::Global().WriteJson(out);
+    HttpResponse response;
+    response.body = out.str();
+    return response;
+  }
+  if (request.path == "/model") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    HttpResponse response;
+    response.content_type = "text/plain";
+    response.body = service_->model_text();
+    return response;
+  }
+  return ErrorResponse(404, "no such endpoint");
+}
+
+HttpResponse Server::HandleLink(const HttpRequest& request, bool batch) {
+  std::string error;
+  LinkJob job;
+  {
+    SKYEX_SPAN("serve/parse_request");
+    const auto parsed = obs::json::Parse(request.body, &error);
+    if (!parsed.has_value()) {
+      SKYEX_COUNTER_INC("serve/bad_json_400");
+      return ErrorResponse(400, "invalid JSON: " + error);
+    }
+    if (batch) {
+      const obs::json::Value* entities = parsed->Find("entities");
+      if (entities == nullptr || !entities->is_array()) {
+        return ErrorResponse(400, "body needs an array field 'entities'");
+      }
+      if (entities->array_v.empty()) {
+        return ErrorResponse(400, "'entities' must not be empty");
+      }
+      if (entities->array_v.size() > options_.max_batch_entities) {
+        return ErrorResponse(
+            400, "'entities' exceeds the per-request cap of " +
+                     std::to_string(options_.max_batch_entities));
+      }
+      job.entities.resize(entities->array_v.size());
+      for (size_t i = 0; i < entities->array_v.size(); ++i) {
+        if (!ParseEntityJson(entities->array_v[i], &job.entities[i],
+                             &error)) {
+          return ErrorResponse(
+              400, "entities[" + std::to_string(i) + "]: " + error);
+        }
+      }
+    } else {
+      const obs::json::Value* entity = parsed->Find("entity");
+      if (entity == nullptr) {
+        return ErrorResponse(400, "body needs an object field 'entity'");
+      }
+      job.entities.resize(1);
+      if (!ParseEntityJson(*entity, &job.entities[0], &error)) {
+        return ErrorResponse(400, error);
+      }
+    }
+  }
+
+  job.enqueue_us = obs::TraceNowUs();
+  std::future<std::vector<LinkResult>> future = job.done.get_future();
+  const PushResult pushed = link_queue_.TryPush(std::move(job));
+  SKYEX_GAUGE_SET("serve/queue_depth",
+                  static_cast<double>(link_queue_.size()));
+  if (pushed == PushResult::kFull) {
+    SKYEX_COUNTER_INC("serve/rejected_429");
+    HttpResponse response = ErrorResponse(429, "link queue is full");
+    response.extra_headers.emplace_back(
+        "Retry-After", std::to_string(options_.retry_after_s));
+    return response;
+  }
+  if (pushed == PushResult::kClosed) {
+    return ErrorResponse(503, "server is draining");
+  }
+
+  std::vector<LinkResult> results;
+  {
+    SKYEX_SPAN("serve/queue_wait");
+    results = future.get();
+  }
+
+  json::Writer writer;
+  if (batch) {
+    writer.BeginObject();
+    writer.Key("results").BeginArray();
+    for (const LinkResult& result : results) {
+      WriteLinkResultJson(&writer, result);
+    }
+    writer.EndArray();
+    writer.EndObject();
+  } else {
+    WriteLinkResultJson(&writer, results[0]);
+  }
+  HttpResponse response;
+  response.body = writer.Take();
+  return response;
+}
+
+void Server::LinkerLoop() {
+  std::vector<LinkJob> jobs;
+  while (link_queue_.PopBatch(
+      &jobs, std::chrono::microseconds(options_.batch_window_us),
+      options_.max_batch)) {
+    SKYEX_GAUGE_SET("serve/queue_depth",
+                    static_cast<double>(link_queue_.size()));
+    std::vector<data::SpatialEntity> entities;
+    std::vector<size_t> offsets;  // start of each job's slice
+    {
+      SKYEX_SPAN("serve/batch_assembly");
+      const double now_us = obs::TraceNowUs();
+      size_t total = 0;
+      for (const LinkJob& job : jobs) total += job.entities.size();
+      entities.reserve(total);
+      offsets.reserve(jobs.size());
+      for (LinkJob& job : jobs) {
+        SKYEX_HISTOGRAM_OBSERVE_US("serve/queue_wait_us",
+                                   now_us - job.enqueue_us);
+        offsets.push_back(entities.size());
+        for (data::SpatialEntity& e : job.entities) {
+          entities.push_back(std::move(e));
+        }
+      }
+      SKYEX_HISTOGRAM_OBSERVE("serve/batch_size",
+                              static_cast<double>(total),
+                              BatchSizeBuckets());
+    }
+
+    std::vector<LinkResult> results = service_->LinkMany(entities);
+
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      const size_t begin = offsets[j];
+      const size_t end =
+          j + 1 < jobs.size() ? offsets[j + 1] : results.size();
+      std::vector<LinkResult> slice(
+          std::make_move_iterator(results.begin() + begin),
+          std::make_move_iterator(results.begin() + end));
+      jobs[j].done.set_value(std::move(slice));
+    }
+  }
+}
+
+HttpResponse Server::ErrorResponse(int status,
+                                   const std::string& message) const {
+  json::Writer writer;
+  writer.BeginObject();
+  writer.Key("error").String(message);
+  writer.Key("status").Int(status);
+  writer.EndObject();
+  HttpResponse response;
+  response.status = status;
+  response.body = writer.Take();
+  return response;
+}
+
+}  // namespace skyex::serve

@@ -1,0 +1,131 @@
+#ifndef SKYEX_SERVE_SERVER_H_
+#define SKYEX_SERVE_SERVER_H_
+
+// Embedded HTTP/1.1 linkage server. Architecture:
+//
+//   listener ──> conn queue ──> I/O workers ──> link queue ──> linker
+//    thread      (bounded)      (pool of N)      (bounded,      thread
+//                                                 admission)
+//
+// I/O workers parse requests and answer the cheap endpoints inline;
+// /v1/link and /v1/link_batch are admitted into the bounded link queue
+// (429 + Retry-After on overflow) and the single linker thread coalesces
+// queued requests into one LinkService pass per wakeup (micro-batching
+// window `batch_window_us`). The linker thread is the only writer of the
+// IncrementalLinker dataset, satisfying the serialization contract of
+// core/incremental.h.
+//
+// Endpoints:
+//   POST /v1/link        {"entity": {...}}    -> links + golden record
+//   POST /v1/link_batch  {"entities": [...]}  -> {"results": [...]}
+//   GET  /healthz                             -> liveness + record count
+//   GET  /metrics                             -> obs metrics registry JSON
+//   GET  /model                               -> model_io text (text/plain)
+//
+// Stop() drains gracefully: stop accepting, serve requests already in
+// flight (idle keep-alive connections are closed), complete every
+// admitted link job, then join all threads.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/spatial_entity.h"
+#include "serve/http.h"
+#include "serve/net.h"
+#include "serve/queue.h"
+#include "serve/service.h"
+
+namespace skyex::serve {
+
+struct ServerOptions {
+  uint16_t port = 8080;         // 0 = pick an ephemeral port
+  size_t workers = 8;           // I/O worker threads
+  size_t queue_depth = 128;     // link-job admission queue capacity
+  size_t conn_backlog = 256;    // accepted-connection queue capacity
+  uint32_t batch_window_us = 1000;  // micro-batch coalescing window
+  size_t max_batch = 64;        // link jobs drained per linker wakeup
+  size_t max_batch_entities = 256;  // entities per /v1/link_batch request
+  size_t max_body_bytes = 1 << 20;
+  int read_timeout_ms = 5000;
+  int write_timeout_ms = 5000;
+  int retry_after_s = 1;        // Retry-After on 429
+  int listen_backlog = 128;
+};
+
+class Server {
+ public:
+  /// `service` must outlive the server.
+  Server(LinkService* service, ServerOptions options);
+  ~Server();
+
+  /// Binds and spawns the listener, worker and linker threads. False +
+  /// `error` when the port cannot be bound.
+  bool Start(std::string* error);
+
+  /// The bound port (after Start; useful with options.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain; blocks until every thread is joined. Idempotent.
+  void Stop();
+
+  struct Stats {
+    uint64_t connections = 0;
+    uint64_t requests = 0;
+    uint64_t responses_ok = 0;
+    uint64_t responses_client_error = 0;  // 4xx except 429
+    uint64_t rejected = 0;                // 429
+    uint64_t responses_server_error = 0;  // 5xx
+  };
+  Stats stats() const;
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+ private:
+  struct LinkJob {
+    std::vector<data::SpatialEntity> entities;
+    double enqueue_us = 0.0;
+    std::promise<std::vector<LinkResult>> done;
+  };
+
+  void ListenerLoop();
+  void WorkerLoop();
+  void LinkerLoop();
+  void ServeConnection(UniqueFd fd);
+  HttpResponse Dispatch(const HttpRequest& request);
+  HttpResponse HandleLink(const HttpRequest& request, bool batch);
+  HttpResponse ErrorResponse(int status, const std::string& message) const;
+
+  LinkService* service_;
+  ServerOptions options_;
+  UniqueFd listen_fd_;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};   // listener exit
+  std::atomic<bool> draining_{false};   // workers abort idle reads
+  std::atomic<bool> stopped_{false};
+
+  BatchQueue<UniqueFd> conn_queue_;
+  BatchQueue<LinkJob> link_queue_;
+
+  std::thread listener_;
+  std::vector<std::thread> workers_;
+  std::thread linker_;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> responses_ok_{0};
+  std::atomic<uint64_t> responses_client_error_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> responses_server_error_{0};
+};
+
+}  // namespace skyex::serve
+
+#endif  // SKYEX_SERVE_SERVER_H_

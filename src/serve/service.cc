@@ -1,0 +1,238 @@
+#include "serve/service.h"
+
+#include <utility>
+
+#include "core/linker.h"
+#include "core/model_io.h"
+#include "core/pipeline.h"
+#include "core/skyex_t.h"
+#include "geo/quadflex.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace skyex::serve {
+
+namespace {
+
+bool ParseSourceName(const std::string& text, data::Source* out) {
+  for (int s = 0; s <= static_cast<int>(data::Source::kZagat); ++s) {
+    const auto source = static_cast<data::Source>(s);
+    if (text == data::SourceName(source)) {
+      *out = source;
+      return true;
+    }
+  }
+  return false;
+}
+
+const obs::json::Value* FindTyped(const obs::json::Value& object,
+                                  std::string_view key,
+                                  obs::json::Value::Type type) {
+  const obs::json::Value* v = object.Find(key);
+  return v != nullptr && v->type == type ? v : nullptr;
+}
+
+}  // namespace
+
+bool ParseEntityJson(const obs::json::Value& value,
+                     data::SpatialEntity* out, std::string* error) {
+  using Type = obs::json::Value::Type;
+  if (!value.is_object()) {
+    *error = "entity must be a JSON object";
+    return false;
+  }
+  *out = data::SpatialEntity{};
+  out->location = geo::GeoPoint::Invalid();
+
+  const obs::json::Value* name = FindTyped(value, "name", Type::kString);
+  if (name == nullptr || name->string_v.empty()) {
+    *error = "entity needs a non-empty string field 'name'";
+    return false;
+  }
+  out->name = name->string_v;
+
+  if (const auto* v = FindTyped(value, "id", Type::kNumber)) {
+    out->id = static_cast<uint64_t>(v->number_v);
+  }
+  if (const obs::json::Value* v = value.Find("source")) {
+    if (v->is_string()) {
+      if (!ParseSourceName(v->string_v, &out->source)) {
+        *error = "unknown source '" + v->string_v + "'";
+        return false;
+      }
+    } else if (v->is_number()) {
+      const int s = static_cast<int>(v->number_v);
+      if (s < 0 || s > static_cast<int>(data::Source::kZagat)) {
+        *error = "source index out of range";
+        return false;
+      }
+      out->source = static_cast<data::Source>(s);
+    } else {
+      *error = "source must be a string or an integer";
+      return false;
+    }
+  }
+  if (const auto* v = FindTyped(value, "address_name", Type::kString)) {
+    out->address_name = v->string_v;
+  }
+  if (const auto* v = FindTyped(value, "address_number", Type::kNumber)) {
+    out->address_number = static_cast<int>(v->number_v);
+  }
+  if (const auto* v = FindTyped(value, "city", Type::kString)) {
+    out->city = v->string_v;
+  }
+  if (const auto* v = FindTyped(value, "phone", Type::kString)) {
+    out->phone = v->string_v;
+  }
+  if (const auto* v = FindTyped(value, "website", Type::kString)) {
+    out->website = v->string_v;
+  }
+  if (const auto* v = FindTyped(value, "categories", Type::kArray)) {
+    for (const auto& item : v->array_v) {
+      if (!item.is_string()) {
+        *error = "categories must be an array of strings";
+        return false;
+      }
+      out->categories.push_back(item.string_v);
+    }
+  }
+  const auto* lat = FindTyped(value, "lat", Type::kNumber);
+  const auto* lon = FindTyped(value, "lon", Type::kNumber);
+  if ((lat == nullptr) != (lon == nullptr)) {
+    *error = "lat and lon must be given together";
+    return false;
+  }
+  if (lat != nullptr) {
+    if (lat->number_v < -90.0 || lat->number_v > 90.0 ||
+        lon->number_v < -180.0 || lon->number_v > 180.0) {
+      *error = "lat/lon out of range";
+      return false;
+    }
+    out->location = geo::GeoPoint{lat->number_v, lon->number_v, true};
+  }
+  return true;
+}
+
+void WriteEntityJson(json::Writer* writer, const data::SpatialEntity& e) {
+  writer->BeginObject();
+  writer->Key("id").Uint(e.id);
+  writer->Key("source").String(data::SourceName(e.source));
+  writer->Key("name").String(e.name);
+  if (!e.address_name.empty()) {
+    writer->Key("address_name").String(e.address_name);
+  }
+  if (e.address_number >= 0) {
+    writer->Key("address_number").Int(e.address_number);
+  }
+  if (!e.city.empty()) writer->Key("city").String(e.city);
+  if (!e.phone.empty()) writer->Key("phone").String(e.phone);
+  if (!e.website.empty()) writer->Key("website").String(e.website);
+  if (!e.categories.empty()) {
+    writer->Key("categories").BeginArray();
+    for (const auto& c : e.categories) writer->String(c);
+    writer->EndArray();
+  }
+  if (e.location.valid) {
+    writer->Key("lat").Number(e.location.lat);
+    writer->Key("lon").Number(e.location.lon);
+  }
+  writer->EndObject();
+}
+
+void WriteLinkResultJson(json::Writer* writer, const LinkResult& result) {
+  writer->BeginObject();
+  writer->Key("record_index").Uint(result.record_index);
+  writer->Key("links").BeginArray();
+  for (const LinkedRecord& link : result.links) {
+    writer->BeginObject();
+    writer->Key("record").Uint(link.record);
+    writer->Key("id").Uint(link.id);
+    writer->Key("name").String(link.name);
+    writer->Key("source").String(link.source);
+    writer->EndObject();
+  }
+  writer->EndArray();
+  writer->Key("merged");
+  WriteEntityJson(writer, result.merged);
+  writer->EndObject();
+}
+
+LinkService::LinkService(core::IncrementalLinker linker,
+                         std::string model_text)
+    : linker_(std::move(linker)), model_text_(std::move(model_text)) {}
+
+std::vector<LinkResult> LinkService::LinkMany(
+    const std::vector<data::SpatialEntity>& entities) {
+  SKYEX_SPAN("serve/link_batch");
+  std::vector<LinkResult> results;
+  results.reserve(entities.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const data::SpatialEntity& entity : entities) {
+    LinkResult result;
+    const std::vector<size_t> links = linker_.AddRecord(entity);
+    const data::Dataset& dataset = linker_.dataset();
+    result.record_index = dataset.size() - 1;
+    result.links.reserve(links.size());
+    for (size_t record : links) {
+      result.links.push_back(LinkedRecord{
+          record, dataset[record].id, dataset[record].name,
+          std::string(data::SourceName(dataset[record].source))});
+    }
+    std::vector<size_t> cluster = links;
+    cluster.push_back(result.record_index);
+    result.merged = core::MergeRecords(dataset, cluster);
+    SKYEX_COUNTER_INC("serve/link_requests");
+    SKYEX_COUNTER_ADD("serve/linked_records", links.size());
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+size_t LinkService::record_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return linker_.dataset().size();
+}
+
+std::unique_ptr<LinkService> BootstrapLinkService(
+    data::Dataset dataset, core::SkyExTModel model,
+    const core::IncrementalLinkerOptions& options, std::string* error) {
+  SKYEX_SPAN("serve/bootstrap");
+  if (model.preference == nullptr ||
+      !skyline::Compile(*model.preference).has_value()) {
+    if (error != nullptr) *error = "model preference is missing or invalid";
+    return nullptr;
+  }
+  const bool has_coordinates =
+      !dataset.entities.empty() && dataset.entities.front().location.valid;
+  std::vector<geo::CandidatePair> pairs =
+      has_coordinates ? geo::QuadFlexBlock(dataset.Points())
+                      : geo::CartesianBlock(dataset.size());
+  auto extractor = features::LgmXExtractor::FromCorpus(dataset);
+  const ml::FeatureMatrix features = extractor.Extract(dataset, pairs);
+  const std::vector<size_t> all_rows = core::AllRows(pairs.size());
+  const std::vector<uint8_t> predicted =
+      core::SkyExT::Label(features, all_rows, model);
+  std::vector<size_t> accepted;
+  for (size_t r = 0; r < predicted.size(); ++r) {
+    if (predicted[r]) accepted.push_back(r);
+  }
+  if (accepted.empty()) {
+    if (error != nullptr) {
+      *error = "model accepts no pair of the dataset; cannot calibrate";
+    }
+    return nullptr;
+  }
+  SKYEX_LOG_INFO("serve/bootstrap", "calibrated incremental linker",
+                 {"records", dataset.size()}, {"pairs", pairs.size()},
+                 {"accepted_pairs", accepted.size()},
+                 {"blocker", has_coordinates ? "quadflex" : "cartesian"});
+  std::string model_text = core::SaveModel(model);
+  core::IncrementalLinker linker(std::move(dataset), std::move(extractor),
+                                 std::move(model), features, accepted,
+                                 options);
+  return std::make_unique<LinkService>(std::move(linker),
+                                       std::move(model_text));
+}
+
+}  // namespace skyex::serve

@@ -1,0 +1,84 @@
+#ifndef SKYEX_SERVE_SERVICE_H_
+#define SKYEX_SERVE_SERVICE_H_
+
+// The linkage service behind the HTTP endpoints: typed request /
+// response structs with their JSON forms, a thread-safe wrapper around
+// core::IncrementalLinker (whose AddRecord mutates the dataset and must
+// be serialized — see core/incremental.h), and the bootstrap that
+// turns a dataset + saved model into a calibrated linker.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/incremental.h"
+#include "data/spatial_entity.h"
+#include "obs/json.h"
+#include "serve/json_writer.h"
+
+namespace skyex::serve {
+
+/// One record the new entity was linked to.
+struct LinkedRecord {
+  size_t record = 0;    // index into the served dataset
+  uint64_t id = 0;      // the record's own id
+  std::string name;
+  std::string source;
+};
+
+/// Outcome of linking one entity.
+struct LinkResult {
+  size_t record_index = 0;  // where the new entity landed in the dataset
+  std::vector<LinkedRecord> links;
+  data::SpatialEntity merged;  // golden record of {entity} ∪ links
+};
+
+/// Parses {"entity": {...}} / an entity object into `out`. `name` is
+/// required; everything else optional ("source" accepts the names from
+/// data::SourceName or an integer). False + `error` on bad input.
+bool ParseEntityJson(const obs::json::Value& value,
+                     data::SpatialEntity* out, std::string* error);
+
+/// Writes an entity as a JSON object (omits missing attributes).
+void WriteEntityJson(json::Writer* writer, const data::SpatialEntity& e);
+
+/// Writes one LinkResult as a JSON object.
+void WriteLinkResultJson(json::Writer* writer, const LinkResult& result);
+
+/// Serializes IncrementalLinker access behind one mutex — the write
+/// contract of core/incremental.h. All linkage performed by the server
+/// funnels through LinkMany (one lock acquisition per micro-batch).
+class LinkService {
+ public:
+  LinkService(core::IncrementalLinker linker, std::string model_text);
+
+  /// Links each entity in order against the (growing) dataset. One
+  /// batch = one lock hold = one linker pass.
+  std::vector<LinkResult> LinkMany(
+      const std::vector<data::SpatialEntity>& entities);
+
+  size_t record_count() const;
+
+  /// SaveModel text of the served model (immutable after construction).
+  const std::string& model_text() const { return model_text_; }
+
+ private:
+  mutable std::mutex mutex_;
+  core::IncrementalLinker linker_;
+  const std::string model_text_;
+};
+
+/// Builds a LinkService from a dataset and a trained model: blocks the
+/// dataset (QuadFlex with coordinates, Cartesian without), extracts
+/// LGM-X features, labels every pair with the model, and calibrates the
+/// incremental linker's acceptance threshold on the accepted pairs.
+/// nullptr + `error` when the model is unusable or no pair is accepted.
+std::unique_ptr<LinkService> BootstrapLinkService(
+    data::Dataset dataset, core::SkyExTModel model,
+    const core::IncrementalLinkerOptions& options, std::string* error);
+
+}  // namespace skyex::serve
+
+#endif  // SKYEX_SERVE_SERVICE_H_

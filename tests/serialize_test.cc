@@ -93,6 +93,94 @@ TEST(ModelIo, SaveLoadRoundTripPreservesPredictions) {
   EXPECT_EQ(original_labels, loaded_labels);
 }
 
+// The v2 format carries the explanatory group vectors (column + signed
+// ρ) verbatim, so a round-tripped model is *exactly* the trained one —
+// the serving layer must serve the model that was trained, not a lossy
+// reconstruction.
+TEST(ModelIo, V2RoundTripIsExact) {
+  data::NorthDkOptions options;
+  options.num_entities = 800;
+  options.seed = 23;
+  const PreparedData d = PrepareNorthDk(options);
+  const auto split = eval::RandomSplit(d.pairs.size(), 0.1, 4);
+  const SkyExT skyex;
+  const auto model = skyex.Train(d.features, d.pairs.labels, split.train);
+  ASSERT_FALSE(model.group1.empty());
+
+  const auto loaded = LoadModel(SaveModel(model));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->cutoff_ratio, model.cutoff_ratio);
+  EXPECT_EQ(loaded->train_f1, model.train_f1);
+  ASSERT_EQ(loaded->group1.size(), model.group1.size());
+  for (size_t i = 0; i < model.group1.size(); ++i) {
+    EXPECT_EQ(loaded->group1[i].column, model.group1[i].column);
+    EXPECT_EQ(loaded->group1[i].rho, model.group1[i].rho);  // bit-exact
+  }
+  ASSERT_EQ(loaded->group2.size(), model.group2.size());
+  for (size_t i = 0; i < model.group2.size(); ++i) {
+    EXPECT_EQ(loaded->group2[i].column, model.group2[i].column);
+    EXPECT_EQ(loaded->group2[i].rho, model.group2[i].rho);
+  }
+  EXPECT_EQ(skyline::SerializePreference(*loaded->preference),
+            skyline::SerializePreference(*model.preference));
+  // Second generation must be byte-identical (fixed point).
+  EXPECT_EQ(SaveModel(*loaded), SaveModel(model));
+}
+
+TEST(ModelIo, V2RoundTripHandcraftedGroups) {
+  SkyExTModel model;
+  model.preference = skyline::ParsePreference("(high(3) & low(7)) > high(12)");
+  model.cutoff_ratio = 0.0269;
+  model.group1 = {{3, 0.8214321}, {7, -0.4129999999}};
+  model.group2 = {{12, 1.0 / 3.0}};
+  model.train_f1 = 0.93125;
+
+  const std::string text = SaveModel(model);
+  EXPECT_NE(text.find("group1: 3:"), std::string::npos);
+  EXPECT_NE(text.find("group2: 12:"), std::string::npos);
+  EXPECT_NE(text.find("train_f1: "), std::string::npos);
+
+  const auto loaded = LoadModel(text);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->group1.size(), 2u);
+  EXPECT_EQ(loaded->group1[0].column, 3u);
+  EXPECT_EQ(loaded->group1[0].rho, 0.8214321);
+  EXPECT_EQ(loaded->group1[1].column, 7u);
+  EXPECT_EQ(loaded->group1[1].rho, -0.4129999999);
+  ASSERT_EQ(loaded->group2.size(), 1u);
+  EXPECT_EQ(loaded->group2[0].rho, 1.0 / 3.0);  // 17 digits round-trip
+  EXPECT_EQ(loaded->train_f1, 0.93125);
+}
+
+// Legacy v1 files (preference + cutoff only) must keep loading; their
+// group vectors are reconstructed from the preference with ρ = 0.
+TEST(ModelIo, V1BackwardCompatible) {
+  const auto loaded = LoadModel(
+      "preference: (high(3) & low(7)) > high(12)\ncutoff_ratio: 0.25\n");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(loaded->cutoff_ratio, 0.25);
+  ASSERT_EQ(loaded->group1.size(), 2u);
+  EXPECT_EQ(loaded->group1[0].column, 3u);
+  EXPECT_EQ(loaded->group1[0].rho, 0.0);
+  ASSERT_EQ(loaded->group2.size(), 1u);
+  EXPECT_EQ(loaded->group2[0].column, 12u);
+}
+
+TEST(ModelIo, RejectsMalformedGroupLines) {
+  const std::string head =
+      "preference: high(1)\ncutoff_ratio: 0.5\n";
+  EXPECT_FALSE(LoadModel(head + "group1: nope\n").has_value());
+  EXPECT_FALSE(LoadModel(head + "group1: 3\n").has_value());
+  EXPECT_FALSE(LoadModel(head + "group1: 3:\n").has_value());
+  EXPECT_FALSE(LoadModel(head + "group1: :0.5\n").has_value());
+  EXPECT_FALSE(LoadModel(head + "group1: 3:0.5x\n").has_value());
+  // An empty group line is valid v2 (an empty group).
+  const auto empty_group = LoadModel(head + "group1:\ngroup2:\n");
+  ASSERT_TRUE(empty_group.has_value());
+  EXPECT_TRUE(empty_group->group1.empty());
+  EXPECT_TRUE(empty_group->group2.empty());
+}
+
 TEST(ModelIo, FileRoundTrip) {
   SkyExTModel model;
   model.preference = skyline::High(2);

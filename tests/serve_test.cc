@@ -1,0 +1,391 @@
+// In-process tests of the serving stack: a real Server on an ephemeral
+// port, exercised over real sockets with the HttpClient. Covers the
+// happy path, batching, error mapping (400/404/405/413), admission
+// control (429 + Retry-After), concurrent access (the thread-safety
+// contract of core/incremental.h is enforced by the server's single
+// linker thread — asserted here by consistency under concurrency) and
+// the graceful drain.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model_io.h"
+#include "core/pipeline.h"
+#include "core/skyex_t.h"
+#include "eval/sampling.h"
+#include "obs/json.h"
+#include "serve/http.h"
+#include "serve/json_writer.h"
+#include "serve/server.h"
+#include "serve/service.h"
+
+namespace skyex {
+namespace {
+
+// Train once; every test re-bootstraps its own service from a copy of
+// the dataset and a reload of the saved model text (which also routes
+// every test through the v2 model round trip).
+struct Trained {
+  data::Dataset dataset;
+  std::string model_text;
+};
+
+const Trained& TrainOnce() {
+  static const Trained* trained = [] {
+    auto* out = new Trained;
+    data::NorthDkOptions options;
+    options.num_entities = 500;
+    options.seed = 11;
+    core::PreparedData d = core::PrepareNorthDk(options);
+    const auto split = eval::RandomSplit(d.pairs.size(), 0.2, 4);
+    const core::SkyExT skyex;
+    const auto model = skyex.Train(d.features, d.pairs.labels, split.train);
+    out->model_text = core::SaveModel(model);
+    out->dataset = std::move(d.dataset);
+    return out;
+  }();
+  return *trained;
+}
+
+struct TestServer {
+  std::unique_ptr<serve::LinkService> service;
+  std::unique_ptr<serve::Server> server;
+
+  uint16_t port() const { return server->port(); }
+};
+
+TestServer StartServer(serve::ServerOptions options = {}) {
+  const Trained& trained = TrainOnce();
+  auto model = core::LoadModel(trained.model_text);
+  EXPECT_TRUE(model.has_value());
+  std::string error;
+  TestServer ts;
+  ts.service = serve::BootstrapLinkService(
+      trained.dataset, std::move(*model), {}, &error);
+  EXPECT_NE(ts.service, nullptr) << error;
+  options.port = 0;  // ephemeral
+  ts.server = std::make_unique<serve::Server>(ts.service.get(), options);
+  EXPECT_TRUE(ts.server->Start(&error)) << error;
+  return ts;
+}
+
+// A near-duplicate of a dataset record with coordinates: identical
+// attributes from a different source, so its feature row dominates the
+// calibrated acceptance boundary and it must link.
+data::SpatialEntity DuplicateEntity(uint64_t id) {
+  const Trained& trained = TrainOnce();
+  for (size_t i = 0; i < trained.dataset.size(); ++i) {
+    const data::SpatialEntity& e = trained.dataset[i];
+    if (!e.location.valid || e.phone.empty()) continue;
+    data::SpatialEntity copy = e;
+    copy.id = id;
+    copy.source = e.source == data::Source::kYelp ? data::Source::kKrak
+                                                  : data::Source::kYelp;
+    return copy;
+  }
+  ADD_FAILURE() << "no located record with a phone in the test dataset";
+  return {};
+}
+
+std::string LinkBody(const data::SpatialEntity& entity) {
+  serve::json::Writer writer;
+  writer.BeginObject();
+  writer.Key("entity");
+  serve::WriteEntityJson(&writer, entity);
+  writer.EndObject();
+  return writer.Take();
+}
+
+std::string BatchBody(const std::vector<data::SpatialEntity>& entities) {
+  serve::json::Writer writer;
+  writer.BeginObject();
+  writer.Key("entities").BeginArray();
+  for (const auto& e : entities) serve::WriteEntityJson(&writer, e);
+  writer.EndArray();
+  writer.EndObject();
+  return writer.Take();
+}
+
+std::string Header(const serve::HttpResponse& response,
+                   const std::string& lowercase_key) {
+  for (const auto& [key, value] : response.extra_headers) {
+    if (key == lowercase_key) return value;
+  }
+  return "";
+}
+
+TEST(ServeTest, LinkHappyPath) {
+  TestServer ts = StartServer();
+  const size_t initial = ts.service->record_count();
+  serve::HttpClient client("127.0.0.1", ts.port());
+  ASSERT_TRUE(client.ok());
+
+  const auto response =
+      client.Request("POST", "/v1/link", LinkBody(DuplicateEntity(900001)));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+  std::string error;
+  const auto json = obs::json::Parse(response->body, &error);
+  ASSERT_TRUE(json.has_value()) << error;
+  const auto* record_index = json->Find("record_index");
+  ASSERT_NE(record_index, nullptr);
+  EXPECT_EQ(static_cast<size_t>(record_index->number_v), initial);
+  const auto* links = json->Find("links");
+  ASSERT_NE(links, nullptr);
+  ASSERT_TRUE(links->is_array());
+  // An exact duplicate dominates the acceptance boundary.
+  EXPECT_FALSE(links->array_v.empty());
+  const auto* merged = json->Find("merged");
+  ASSERT_NE(merged, nullptr);
+  ASSERT_TRUE(merged->is_object());
+  EXPECT_NE(merged->Find("name"), nullptr);
+  EXPECT_EQ(ts.service->record_count(), initial + 1);
+}
+
+TEST(ServeTest, LinkBatchPreservesOrder) {
+  TestServer ts = StartServer();
+  const size_t initial = ts.service->record_count();
+  serve::HttpClient client("127.0.0.1", ts.port());
+  const std::vector<data::SpatialEntity> entities = {
+      DuplicateEntity(910001), DuplicateEntity(910002),
+      DuplicateEntity(910003)};
+
+  const auto response =
+      client.Request("POST", "/v1/link_batch", BatchBody(entities));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+  std::string error;
+  const auto json = obs::json::Parse(response->body, &error);
+  ASSERT_TRUE(json.has_value()) << error;
+  const auto* results = json->Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array_v.size(), entities.size());
+  for (size_t i = 0; i < results->array_v.size(); ++i) {
+    const auto* record_index = results->array_v[i].Find("record_index");
+    ASSERT_NE(record_index, nullptr);
+    EXPECT_EQ(static_cast<size_t>(record_index->number_v), initial + i);
+  }
+  EXPECT_EQ(ts.service->record_count(), initial + entities.size());
+}
+
+TEST(ServeTest, ErrorMapping) {
+  TestServer ts = StartServer();
+  serve::HttpClient client("127.0.0.1", ts.port());
+
+  const auto bad_json = client.Request("POST", "/v1/link", "{not json");
+  ASSERT_TRUE(bad_json.has_value());
+  EXPECT_EQ(bad_json->status, 400);
+  EXPECT_NE(bad_json->body.find("error"), std::string::npos);
+
+  const auto no_name = client.Request("POST", "/v1/link",
+                                      R"({"entity": {"phone": "123"}})");
+  ASSERT_TRUE(no_name.has_value());
+  EXPECT_EQ(no_name->status, 400);
+
+  const auto wrong_method = client.Request("GET", "/v1/link");
+  ASSERT_TRUE(wrong_method.has_value());
+  EXPECT_EQ(wrong_method->status, 405);
+
+  const auto not_found = client.Request("GET", "/nope");
+  ASSERT_TRUE(not_found.has_value());
+  EXPECT_EQ(not_found->status, 404);
+
+  const auto empty_batch =
+      client.Request("POST", "/v1/link_batch", R"({"entities": []})");
+  ASSERT_TRUE(empty_batch.has_value());
+  EXPECT_EQ(empty_batch->status, 400);
+}
+
+TEST(ServeTest, OversizedBodyGets413) {
+  serve::ServerOptions options;
+  options.max_body_bytes = 512;
+  TestServer ts = StartServer(options);
+  serve::HttpClient client("127.0.0.1", ts.port());
+
+  const std::string big(2048, 'x');
+  const auto response = client.Request("POST", "/v1/link", big);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 413);
+}
+
+TEST(ServeTest, HealthzMetricsAndModel) {
+  TestServer ts = StartServer();
+  serve::HttpClient client("127.0.0.1", ts.port());
+
+  const auto health = client.Request("GET", "/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, 200);
+  std::string error;
+  const auto health_json = obs::json::Parse(health->body, &error);
+  ASSERT_TRUE(health_json.has_value()) << error;
+  ASSERT_NE(health_json->Find("status"), nullptr);
+  EXPECT_EQ(health_json->Find("status")->string_v, "ok");
+  ASSERT_NE(health_json->Find("records"), nullptr);
+  EXPECT_EQ(static_cast<size_t>(health_json->Find("records")->number_v),
+            ts.service->record_count());
+
+  const auto metrics = client.Request("GET", "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->status, 200);
+  const auto metrics_json = obs::json::Parse(metrics->body, &error);
+  ASSERT_TRUE(metrics_json.has_value()) << error;
+  EXPECT_NE(metrics_json->Find("counters"), nullptr);
+
+  const auto model = client.Request("GET", "/model");
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(model->status, 200);
+  EXPECT_EQ(model->content_type, "text/plain");
+  EXPECT_NE(model->body.find("preference: "), std::string::npos);
+  EXPECT_NE(model->body.find("group1: "), std::string::npos);
+  // The served text is exactly the loaded model (v2 fixed point).
+  EXPECT_TRUE(core::LoadModel(model->body).has_value());
+}
+
+// Offered load above the admission queue's capacity must shed with 429
+// + Retry-After instead of queueing unboundedly.
+TEST(ServeTest, QueueOverflowGets429WithRetryAfter) {
+  serve::ServerOptions options;
+  options.workers = 8;
+  options.queue_depth = 1;
+  // The linker lingers the full window waiting for a second job that can
+  // never be admitted (capacity 1), so the queue stays full and every
+  // concurrent push sheds deterministically.
+  options.batch_window_us = 200000;
+  options.max_batch = 2;
+  TestServer ts = StartServer(options);
+
+  constexpr size_t kClients = 8;
+  std::atomic<size_t> ok{0};
+  std::atomic<size_t> rejected{0};
+  std::atomic<size_t> with_retry_after{0};
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::HttpClient client("127.0.0.1", ts.port(), 20000);
+      const auto response = client.Request(
+          "POST", "/v1/link", LinkBody(DuplicateEntity(920000 + c)));
+      if (!response.has_value()) return;
+      if (response->status == 200) ok.fetch_add(1);
+      if (response->status == 429) {
+        rejected.fetch_add(1);
+        if (!Header(*response, "retry-after").empty()) {
+          with_retry_after.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_GT(ok.load(), 0u);
+  EXPECT_GT(rejected.load(), 0u);
+  EXPECT_EQ(with_retry_after.load(), rejected.load());
+  EXPECT_EQ(ok.load() + rejected.load(), kClients);
+  EXPECT_GE(ts.server->stats().rejected, rejected.load());
+}
+
+// The concurrent-access guarantee: many clients linking at once must
+// observe a consistent, serialized dataset — every response gets a
+// unique record index and the final count adds up. This is the test the
+// core/incremental.h thread-safety contract points at.
+TEST(ServeTest, ConcurrentLinksAreSerialized) {
+  serve::ServerOptions options;
+  options.workers = 8;
+  options.batch_window_us = 2000;
+  TestServer ts = StartServer(options);
+  const size_t initial = ts.service->record_count();
+
+  constexpr size_t kThreads = 6;
+  constexpr size_t kRequests = 5;
+  std::vector<std::vector<size_t>> indices(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kThreads; ++c) {
+    threads.emplace_back([&, c] {
+      serve::HttpClient client("127.0.0.1", ts.port(), 20000);
+      for (size_t r = 0; r < kRequests; ++r) {
+        const auto response = client.Request(
+            "POST", "/v1/link",
+            LinkBody(DuplicateEntity(930000 + c * kRequests + r)));
+        ASSERT_TRUE(response.has_value());
+        ASSERT_EQ(response->status, 200) << response->body;
+        std::string error;
+        const auto json = obs::json::Parse(response->body, &error);
+        ASSERT_TRUE(json.has_value()) << error;
+        const auto* record_index = json->Find("record_index");
+        ASSERT_NE(record_index, nullptr);
+        indices[c].push_back(static_cast<size_t>(record_index->number_v));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::set<size_t> unique;
+  for (const auto& per_thread : indices) {
+    for (size_t index : per_thread) unique.insert(index);
+  }
+  EXPECT_EQ(unique.size(), kThreads * kRequests);
+  EXPECT_EQ(*unique.begin(), initial);
+  EXPECT_EQ(*unique.rbegin(), initial + kThreads * kRequests - 1);
+  EXPECT_EQ(ts.service->record_count(), initial + kThreads * kRequests);
+}
+
+// Stop() must complete every admitted request before tearing down: no
+// client that got its request in sees a dropped connection.
+TEST(ServeTest, GracefulDrainCompletesInFlightRequests) {
+  serve::ServerOptions options;
+  options.workers = 6;  // one per client: all requests admitted at once
+  options.batch_window_us = 50000;  // hold jobs so Stop() races real work
+  TestServer ts = StartServer(options);
+
+  constexpr size_t kClients = 6;
+  std::atomic<size_t> ok{0};
+  std::atomic<size_t> sent{0};
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::HttpClient client("127.0.0.1", ts.port(), 20000);
+      if (!client.ok()) return;
+      sent.fetch_add(1);
+      const auto response = client.Request(
+          "POST", "/v1/link", LinkBody(DuplicateEntity(940000 + c)));
+      if (response.has_value() && response->status == 200) ok.fetch_add(1);
+    });
+  }
+  // Wait until every request has been parsed (it is then either queued
+  // or in flight), and drain while the batch window holds them pending.
+  while (ts.server->stats().requests < kClients) {
+    std::this_thread::yield();
+  }
+  ts.server->Stop();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(sent.load(), kClients);
+  EXPECT_EQ(ok.load(), kClients);
+
+  // After the drain the server refuses new connections.
+  serve::HttpClient late("127.0.0.1", ts.port(), 500);
+  EXPECT_FALSE(late.ok() &&
+               late.Request("GET", "/healthz").has_value());
+}
+
+TEST(ServeTest, KeepAliveServesSequentialRequests) {
+  TestServer ts = StartServer();
+  serve::HttpClient client("127.0.0.1", ts.port());
+  for (int i = 0; i < 3; ++i) {
+    const auto response = client.Request("GET", "/healthz");
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, 200);
+  }
+  // Still the same connection: the server counted one.
+  EXPECT_EQ(ts.server->stats().connections, 1u);
+  EXPECT_EQ(ts.server->stats().requests, 3u);
+}
+
+}  // namespace
+}  // namespace skyex

@@ -1,0 +1,208 @@
+#ifndef SKYEX_TOOLS_FLAGS_H_
+#define SKYEX_TOOLS_FLAGS_H_
+
+// Strict --key=value flag parsing shared by the skyex binaries (the
+// CLI, the server, the load generator), plus the observability
+// plumbing every binary offers (--trace-out / --metrics-out /
+// --log-level / --obs-summary).
+//
+// Strict by design: unknown flags, positional arguments and malformed
+// numeric values are hard errors (a typo like --train-fracton must not
+// silently fall back to the default).
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <initializer_list>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace skyex::tools {
+
+enum class FlagType { kString, kDouble, kSize, kBool };
+
+struct FlagSpec {
+  const char* name;
+  FlagType type;
+};
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  // Values were syntax-checked during parsing, so conversion is safe.
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::strtod(it->second.c_str(),
+                                                       nullptr);
+  }
+  size_t GetSize(const std::string& key, size_t fallback) const {
+    const auto it = values.find(key);
+    return it == values.end()
+               ? fallback
+               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+};
+
+inline bool ValidDouble(const std::string& text) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  (void)std::strtod(text.c_str(), &end);
+  return errno == 0 && end == text.c_str() + text.size();
+}
+
+inline bool ValidSize(const std::string& text) {
+  if (text.empty() || text[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  (void)std::strtoull(text.c_str(), &end, 10);
+  return errno == 0 && end == text.c_str() + text.size();
+}
+
+// Observability flags shared by every command.
+inline constexpr FlagSpec kObsFlags[] = {
+    {"trace-out", FlagType::kString},
+    {"metrics-out", FlagType::kString},
+    {"log-level", FlagType::kString},
+    {"obs-summary", FlagType::kBool},
+};
+
+/// Parses `--key=value` arguments against the allowed specs. Returns
+/// nullopt after printing a diagnostic for: positional arguments,
+/// unknown flags, missing `=value` on non-bool flags, and malformed
+/// numeric values.
+inline std::optional<Flags> ParseFlags(
+    int argc, char** argv, int first,
+    std::initializer_list<FlagSpec> specs) {
+  Flags flags;
+  const auto find_spec = [&](const std::string& key) -> const FlagSpec* {
+    for (const FlagSpec& spec : specs) {
+      if (key == spec.name) return &spec;
+    }
+    for (const FlagSpec& spec : kObsFlags) {
+      if (key == spec.name) return &spec;
+    }
+    return nullptr;
+  };
+
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr,
+                   "error: unexpected argument '%s' (flags are "
+                   "--key=value)\n",
+                   arg.c_str());
+      return std::nullopt;
+    }
+    const size_t eq = arg.find('=');
+    const std::string key =
+        arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
+    const FlagSpec* spec = find_spec(key);
+    if (spec == nullptr) {
+      std::fprintf(stderr,
+                   "error: unknown flag --%s (run the binary without "
+                   "arguments for usage)\n",
+                   key.c_str());
+      return std::nullopt;
+    }
+    if (eq == std::string::npos) {
+      if (spec->type != FlagType::kBool) {
+        std::fprintf(stderr, "error: flag --%s needs a value (--%s=...)\n",
+                     key.c_str(), key.c_str());
+        return std::nullopt;
+      }
+      flags.values[key] = "true";
+      continue;
+    }
+    const std::string value = arg.substr(eq + 1);
+    bool ok = true;
+    switch (spec->type) {
+      case FlagType::kDouble: ok = ValidDouble(value); break;
+      case FlagType::kSize: ok = ValidSize(value); break;
+      case FlagType::kString:
+      case FlagType::kBool: break;
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "error: invalid value '%s' for --%s (expected %s)\n",
+                   value.c_str(), key.c_str(),
+                   spec->type == FlagType::kDouble
+                       ? "a number"
+                       : "a non-negative integer");
+      return std::nullopt;
+    }
+    flags.values[key] = value;
+  }
+  return flags;
+}
+
+/// Applies --log-level and switches the trace collector on when a trace
+/// file was requested. Returns false on a bad flag value.
+inline bool ObsSetup(const Flags& flags) {
+  const std::string level_text = flags.Get("log-level");
+  if (!level_text.empty()) {
+    skyex::obs::LogLevel level;
+    if (!skyex::obs::ParseLogLevel(level_text, &level)) {
+      std::fprintf(stderr,
+                   "error: invalid value '%s' for --log-level (expected "
+                   "debug|info|warn|error)\n",
+                   level_text.c_str());
+      return false;
+    }
+    skyex::obs::Logger::Global().SetLevel(level);
+  }
+  if (flags.Has("trace-out")) {
+    skyex::obs::TraceCollector::Global().SetEnabled(true);
+  }
+  return true;
+}
+
+/// Writes the requested trace/metrics artifacts after the command ran.
+/// Failures here mean the requested observability output is missing, so
+/// they fail the invocation even when the command itself succeeded.
+inline int ObsFinish(const Flags& flags) {
+  int rc = 0;
+  const auto write_file = [&rc](const std::string& path, auto&& writer) {
+    std::ofstream file(path);
+    if (file) writer(file);
+    if (!file || !file.flush()) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      rc = 1;
+    }
+  };
+  const std::string trace_out = flags.Get("trace-out");
+  if (!trace_out.empty()) {
+    write_file(trace_out, [](std::ofstream& file) {
+      skyex::obs::TraceCollector::Global().WriteChromeTrace(file);
+    });
+  }
+  const std::string metrics_out = flags.Get("metrics-out");
+  if (!metrics_out.empty()) {
+    write_file(metrics_out, [](std::ofstream& file) {
+      skyex::obs::MetricsRegistry::Global().WriteJson(file);
+    });
+  }
+  if (flags.Has("obs-summary")) {
+    std::fprintf(stderr, "--- spans ---\n%s--- metrics ---\n%s",
+                 skyex::obs::TraceCollector::Global().SummaryTable().c_str(),
+                 skyex::obs::MetricsRegistry::Global().SummaryTable()
+                     .c_str());
+  }
+  return rc;
+}
+
+}  // namespace skyex::tools
+
+#endif  // SKYEX_TOOLS_FLAGS_H_

@@ -1,0 +1,329 @@
+// skyex_loadgen — closed-loop load generator for skyex_serve.
+//
+//   skyex_loadgen --port=8080 --requests=1000 --connections=4 \
+//                 --dataset=entities.csv
+//
+// Each connection thread sends link requests back-to-back (closed
+// loop), sampling entities from the dataset (or a generated North-DK
+// pool) with fresh ids. Latencies feed the obs histogram
+// `loadgen/request_latency_us`; the summary reports throughput and
+// p50/p95/p99 from that histogram. 429 responses are counted and
+// retried after --backoff-ms.
+//
+// --smoke runs a single-request validation pass instead: happy-path
+// link, batch link, /healthz, /model and /metrics responses are checked
+// structurally — the serve_smoke ctest drives this.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/csv.h"
+#include "data/northdk_generator.h"
+#include "flags.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "serve/http.h"
+#include "serve/json_writer.h"
+#include "serve/service.h"
+
+namespace {
+
+using skyex::serve::HttpClient;
+using skyex::serve::HttpResponse;
+using skyex::tools::FlagType;
+using skyex::tools::Flags;
+
+constexpr char kLatencyMetric[] = "loadgen/request_latency_us";
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: skyex_loadgen --port=N [flags]\n\n"
+      "  --host=H          server host (default 127.0.0.1)\n"
+      "  --requests=N      total requests, shared by connections "
+      "(default 1000)\n"
+      "  --connections=N   concurrent closed-loop connections (default "
+      "4)\n"
+      "  --batch-size=N    entities per request; >1 uses /v1/link_batch "
+      "(default 1)\n"
+      "  --dataset=FILE    CSV pool of entities to send (default: a "
+      "generated\n"
+      "                    North-DK pool, see --entities/--seed)\n"
+      "  --entities=N      generated pool size (default 500)\n"
+      "  --seed=N          generator seed (default 97)\n"
+      "  --backoff-ms=N    sleep before retrying a 429 (default 10)\n"
+      "  --timeout-ms=N    per-request socket timeout (default 10000)\n"
+      "  --smoke           validation pass instead of load\n\n"
+      "observability: --trace-out --metrics-out --log-level "
+      "--obs-summary\n");
+  return 2;
+}
+
+std::string LinkBody(const std::vector<skyex::data::SpatialEntity>& pool,
+                     size_t first, size_t count, uint64_t id_base) {
+  skyex::serve::json::Writer writer;
+  writer.BeginObject();
+  if (count == 1) {
+    writer.Key("entity");
+    skyex::data::SpatialEntity e = pool[first % pool.size()];
+    e.id = id_base + first;
+    skyex::serve::WriteEntityJson(&writer, e);
+  } else {
+    writer.Key("entities").BeginArray();
+    for (size_t i = 0; i < count; ++i) {
+      skyex::data::SpatialEntity e = pool[(first + i) % pool.size()];
+      e.id = id_base + first + i;
+      skyex::serve::WriteEntityJson(&writer, e);
+    }
+    writer.EndArray();
+  }
+  writer.EndObject();
+  return writer.Take();
+}
+
+struct LoadCounters {
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> rejected{0};      // 429 responses (retried)
+  std::atomic<uint64_t> client_errors{0};  // other 4xx/5xx
+  std::atomic<uint64_t> io_errors{0};
+};
+
+void LoadLoop(const std::string& host, uint16_t port, int timeout_ms,
+              const std::vector<skyex::data::SpatialEntity>* pool,
+              size_t first_request, size_t num_requests, size_t batch_size,
+              int backoff_ms, LoadCounters* counters) {
+  const std::string path =
+      batch_size > 1 ? "/v1/link_batch" : "/v1/link";
+  HttpClient client(host, port, timeout_ms);
+  for (size_t r = 0; r < num_requests; ++r) {
+    const std::string body = LinkBody(
+        *pool, (first_request + r) * batch_size, batch_size, 1000000000);
+    for (;;) {
+      if (!client.ok()) {
+        client = HttpClient(host, port, timeout_ms);
+        if (!client.ok()) {
+          counters->io_errors.fetch_add(1);
+          return;  // server gone; stop this connection
+        }
+      }
+      const auto start = std::chrono::steady_clock::now();
+      const std::optional<HttpResponse> response =
+          client.Request("POST", path, body);
+      const double us =
+          std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      if (!response.has_value()) {
+        counters->io_errors.fetch_add(1);
+        break;
+      }
+      if (response->status == 429) {
+        counters->rejected.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        continue;  // closed loop: retry the same request
+      }
+      SKYEX_HISTOGRAM_OBSERVE_US(kLatencyMetric, us);
+      if (response->status == 200) {
+        counters->ok.fetch_add(1);
+      } else {
+        counters->client_errors.fetch_add(1);
+      }
+      break;
+    }
+  }
+}
+
+#define SMOKE_CHECK(cond, what)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "smoke: FAIL — %s\n", what);                  \
+      return 1;                                                          \
+    }                                                                    \
+    std::fprintf(stderr, "smoke: ok — %s\n", what);                      \
+  } while (0)
+
+int RunSmoke(const std::string& host, uint16_t port, int timeout_ms,
+             const std::vector<skyex::data::SpatialEntity>& pool) {
+  using skyex::obs::json::Parse;
+  HttpClient client(host, port, timeout_ms);
+  SMOKE_CHECK(client.ok(), "connected to the server");
+
+  auto health = client.Request("GET", "/healthz");
+  SMOKE_CHECK(health.has_value() && health->status == 200,
+              "/healthz answers 200");
+  std::string error;
+  auto health_json = Parse(health->body, &error);
+  SMOKE_CHECK(health_json.has_value() &&
+                  health_json->Find("status") != nullptr &&
+                  health_json->Find("records") != nullptr &&
+                  health_json->Find("records")->number_v > 0,
+              "/healthz body has status and a positive record count");
+
+  const auto link = client.Request("POST", "/v1/link",
+                                   LinkBody(pool, 0, 1, 1000000000));
+  SMOKE_CHECK(link.has_value() && link->status == 200,
+              "/v1/link answers 200");
+  const auto link_json = Parse(link->body, &error);
+  SMOKE_CHECK(link_json.has_value(), "/v1/link body is valid JSON");
+  SMOKE_CHECK(link_json->Find("record_index") != nullptr &&
+                  link_json->Find("record_index")->is_number(),
+              "link response has record_index");
+  SMOKE_CHECK(link_json->Find("links") != nullptr &&
+                  link_json->Find("links")->is_array(),
+              "link response has a links array");
+  const auto* merged = link_json->Find("merged");
+  SMOKE_CHECK(merged != nullptr && merged->is_object() &&
+                  merged->Find("name") != nullptr &&
+                  !merged->Find("name")->string_v.empty(),
+              "link response has a merged golden record");
+
+  const auto batch = client.Request("POST", "/v1/link_batch",
+                                    LinkBody(pool, 1, 2, 1000000000));
+  SMOKE_CHECK(batch.has_value() && batch->status == 200,
+              "/v1/link_batch answers 200");
+  const auto batch_json = Parse(batch->body, &error);
+  SMOKE_CHECK(batch_json.has_value() &&
+                  batch_json->Find("results") != nullptr &&
+                  batch_json->Find("results")->array_v.size() == 2,
+              "batch response has 2 results");
+
+  const auto model = client.Request("GET", "/model");
+  SMOKE_CHECK(model.has_value() && model->status == 200 &&
+                  model->body.find("preference: ") != std::string::npos &&
+                  model->body.find("cutoff_ratio: ") != std::string::npos,
+              "/model serves the model text");
+
+  const auto metrics = client.Request("GET", "/metrics");
+  SMOKE_CHECK(metrics.has_value() && metrics->status == 200,
+              "/metrics answers 200");
+  const auto metrics_json = Parse(metrics->body, &error);
+  SMOKE_CHECK(metrics_json.has_value(), "/metrics body is valid JSON");
+  const auto* counters = metrics_json->Find("counters");
+  SMOKE_CHECK(counters != nullptr &&
+                  counters->Find("serve/http_requests") != nullptr &&
+                  counters->Find("serve/http_requests")->number_v >= 3,
+              "serve/http_requests counter is advancing");
+  SMOKE_CHECK(counters->Find("serve/link_requests") != nullptr &&
+                  counters->Find("serve/link_requests")->number_v >= 3,
+              "serve/link_requests counter is advancing");
+  const auto* histograms = metrics_json->Find("histograms");
+  SMOKE_CHECK(histograms != nullptr &&
+                  histograms->Find("serve/request_latency_us") != nullptr,
+              "serve/request_latency_us histogram exists");
+
+  std::fprintf(stderr, "smoke: OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = skyex::tools::ParseFlags(
+      argc, argv, 1,
+      {{"host", FlagType::kString},
+       {"port", FlagType::kSize},
+       {"requests", FlagType::kSize},
+       {"connections", FlagType::kSize},
+       {"batch-size", FlagType::kSize},
+       {"dataset", FlagType::kString},
+       {"entities", FlagType::kSize},
+       {"seed", FlagType::kSize},
+       {"backoff-ms", FlagType::kSize},
+       {"timeout-ms", FlagType::kSize},
+       {"smoke", FlagType::kBool}});
+  if (!flags.has_value()) return Usage();
+  if (!skyex::tools::ObsSetup(*flags)) return 2;
+  if (!flags->Has("port")) {
+    std::fprintf(stderr, "error: --port is required\n");
+    return Usage();
+  }
+  const auto host = flags->Get("host", "127.0.0.1");
+  const auto port = static_cast<uint16_t>(flags->GetSize("port", 0));
+  const int timeout_ms =
+      static_cast<int>(flags->GetSize("timeout-ms", 10000));
+
+  std::vector<skyex::data::SpatialEntity> pool;
+  const std::string dataset_path = flags->Get("dataset");
+  if (!dataset_path.empty()) {
+    skyex::data::Dataset dataset;
+    if (!skyex::data::ReadDatasetCsv(dataset_path, &dataset)) {
+      std::fprintf(stderr, "error: cannot read %s\n",
+                   dataset_path.c_str());
+      return 1;
+    }
+    pool = std::move(dataset.entities);
+  } else {
+    skyex::data::NorthDkOptions options;
+    options.num_entities = flags->GetSize("entities", 500);
+    options.seed = flags->GetSize("seed", 97);
+    pool = skyex::data::GenerateNorthDk(options).entities;
+  }
+  if (pool.empty()) {
+    std::fprintf(stderr, "error: entity pool is empty\n");
+    return 1;
+  }
+
+  if (flags->Has("smoke")) {
+    const int rc = RunSmoke(host, port, timeout_ms, pool);
+    const int obs_rc = skyex::tools::ObsFinish(*flags);
+    return rc != 0 ? rc : obs_rc;
+  }
+
+  const size_t requests = flags->GetSize("requests", 1000);
+  const size_t connections =
+      std::max<size_t>(1, flags->GetSize("connections", 4));
+  const size_t batch_size =
+      std::max<size_t>(1, flags->GetSize("batch-size", 1));
+  const int backoff_ms =
+      static_cast<int>(flags->GetSize("backoff-ms", 10));
+
+  LoadCounters counters;
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  const auto start = std::chrono::steady_clock::now();
+  size_t assigned = 0;
+  for (size_t c = 0; c < connections; ++c) {
+    const size_t share =
+        requests / connections + (c < requests % connections ? 1 : 0);
+    threads.emplace_back(LoadLoop, host, port, timeout_ms, &pool, assigned,
+                         share, batch_size, backoff_ms, &counters);
+    assigned += share;
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+
+  const uint64_t ok = counters.ok.load();
+  auto histogram = skyex::obs::MetricsRegistry::Global().GetHistogram(
+      kLatencyMetric, skyex::obs::LatencyBucketsUs());
+  std::printf(
+      "loadgen: %llu ok, %llu retried (429), %llu rejected responses, "
+      "%llu io errors in %.2fs  (%.1f req/s)\n",
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(counters.rejected.load()),
+      static_cast<unsigned long long>(counters.client_errors.load()),
+      static_cast<unsigned long long>(counters.io_errors.load()), seconds,
+      seconds > 0 ? static_cast<double>(ok) / seconds : 0.0);
+  std::printf("latency_us: p50=%.0f p95=%.0f p99=%.0f (n=%llu, mean=%.0f)\n",
+              histogram.Quantile(0.50), histogram.Quantile(0.95),
+              histogram.Quantile(0.99),
+              static_cast<unsigned long long>(histogram.Count()),
+              histogram.Count() > 0
+                  ? histogram.Sum() / static_cast<double>(histogram.Count())
+                  : 0.0);
+  const int obs_rc = skyex::tools::ObsFinish(*flags);
+  // Any non-2xx or transport failure fails the run (the smoke/demo
+  // acceptance is zero errors; 429s are backpressure, not errors).
+  if (counters.client_errors.load() > 0 || counters.io_errors.load() > 0 ||
+      ok == 0) {
+    return 1;
+  }
+  return obs_rc;
+}

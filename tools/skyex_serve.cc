@@ -1,0 +1,170 @@
+// skyex_serve — online spatial-linkage service.
+//
+//   skyex_serve --model=model.txt --dataset=entities.csv --port=8080 \
+//               --workers=8 --queue-depth=128 --batch-window-us=1000
+//
+// Loads a trained SkyEx-T model (core/model_io v2) and a dataset,
+// calibrates an incremental linker on the pairs the model accepts, and
+// serves linkage queries over HTTP/1.1 (see src/serve/server.h for the
+// endpoints). SIGTERM/SIGINT drain gracefully: requests already in
+// flight receive their responses before the process exits.
+//
+// Observability: all the usual flags (--trace-out, --metrics-out,
+// --log-level, --obs-summary); artifacts are written after the drain.
+
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "core/model_io.h"
+#include "data/csv.h"
+#include "flags.h"
+#include "obs/log.h"
+#include "serve/server.h"
+#include "serve/service.h"
+
+namespace {
+
+using skyex::tools::FlagType;
+using skyex::tools::Flags;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: skyex_serve --model=FILE.txt --dataset=FILE.csv [flags]\n\n"
+      "  --port=N               listen port (default 8080; 0 = ephemeral)\n"
+      "  --port-file=FILE       write the bound port (for scripts)\n"
+      "  --workers=N            I/O worker threads (default 8)\n"
+      "  --queue-depth=N        link admission queue depth (default 128;\n"
+      "                         overflow answers 429 + Retry-After)\n"
+      "  --batch-window-us=N    micro-batch coalescing window (default\n"
+      "                         1000)\n"
+      "  --max-batch=N          link jobs per linker wakeup (default 64)\n"
+      "  --max-body-bytes=N     request body cap (default 1048576)\n"
+      "  --radius-m=R           candidate radius meters (default 200)\n"
+      "  --calibration-percentile=Q  acceptance boundary quantile\n"
+      "                         (default 0.1; higher = more precise)\n\n"
+      "observability: --trace-out --metrics-out --log-level "
+      "--obs-summary\n");
+  return 2;
+}
+
+// SIGTERM/SIGINT wake the main thread through a self-pipe; everything
+// else (drain, joins) happens in normal code, not in the handler.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = skyex::tools::ParseFlags(
+      argc, argv, 1,
+      {{"model", FlagType::kString},
+       {"dataset", FlagType::kString},
+       {"port", FlagType::kSize},
+       {"port-file", FlagType::kString},
+       {"workers", FlagType::kSize},
+       {"queue-depth", FlagType::kSize},
+       {"batch-window-us", FlagType::kSize},
+       {"max-batch", FlagType::kSize},
+       {"max-body-bytes", FlagType::kSize},
+       {"radius-m", FlagType::kDouble},
+       {"calibration-percentile", FlagType::kDouble}});
+  if (!flags.has_value()) return Usage();
+  if (!skyex::tools::ObsSetup(*flags)) return 2;
+  const std::string model_path = flags->Get("model");
+  const std::string dataset_path = flags->Get("dataset");
+  if (model_path.empty() || dataset_path.empty()) {
+    std::fprintf(stderr, "error: --model and --dataset are required\n");
+    return Usage();
+  }
+
+  skyex::data::Dataset dataset;
+  if (!skyex::data::ReadDatasetCsv(dataset_path, &dataset)) {
+    std::fprintf(stderr, "error: cannot read %s\n", dataset_path.c_str());
+    return 1;
+  }
+  auto model = skyex::core::LoadModelFromFile(model_path);
+  if (!model.has_value()) {
+    std::fprintf(stderr, "error: cannot load model %s\n",
+                 model_path.c_str());
+    return 1;
+  }
+
+  skyex::core::IncrementalLinkerOptions linker_options;
+  linker_options.radius_m = flags->GetDouble("radius-m", 200.0);
+  linker_options.calibration_percentile =
+      flags->GetDouble("calibration-percentile", 0.1);
+  std::string error;
+  std::fprintf(stderr, "skyex_serve: calibrating on %zu records...\n",
+               dataset.size());
+  auto service = skyex::serve::BootstrapLinkService(
+      std::move(dataset), std::move(*model), linker_options, &error);
+  if (service == nullptr) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  skyex::serve::ServerOptions options;
+  options.port = static_cast<uint16_t>(flags->GetSize("port", 8080));
+  options.workers = flags->GetSize("workers", 8);
+  options.queue_depth = flags->GetSize("queue-depth", 128);
+  options.batch_window_us =
+      static_cast<uint32_t>(flags->GetSize("batch-window-us", 1000));
+  options.max_batch = flags->GetSize("max-batch", 64);
+  options.max_body_bytes = flags->GetSize("max-body-bytes", 1 << 20);
+  skyex::serve::Server server(service.get(), options);
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "skyex_serve: listening on port %u (records=%zu, "
+               "workers=%zu, queue-depth=%zu)\n",
+               server.port(), service->record_count(), options.workers,
+               options.queue_depth);
+  const std::string port_file = flags->Get("port-file");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << "\n";
+    if (!out.flush()) {
+      std::fprintf(stderr, "error: cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "error: cannot create signal pipe\n");
+    return 1;
+  }
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0) {
+    // EINTR from the signal itself; retry until the self-pipe byte lands.
+  }
+
+  std::fprintf(stderr, "skyex_serve: draining...\n");
+  server.Stop();
+  const auto stats = server.stats();
+  std::fprintf(stderr,
+               "skyex_serve: shutdown complete — %llu requests on %llu "
+               "connections (%llu ok, %llu client errors, %llu rejected "
+               "429, %llu server errors)\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.connections),
+               static_cast<unsigned long long>(stats.responses_ok),
+               static_cast<unsigned long long>(stats.responses_client_error),
+               static_cast<unsigned long long>(stats.rejected),
+               static_cast<unsigned long long>(stats.responses_server_error));
+  return skyex::tools::ObsFinish(*flags);
+}
