@@ -11,6 +11,7 @@
 //   --max-eval=N   cap on evaluation rows per split (default 30000)
 //   --seed=N       master seed
 //   --fast         tiny configuration for smoke runs
+//   --threads=N    shared thread pool size (0/default = all cores)
 //   --metrics-out=FILE  dump the metrics registry as JSON at exit
 
 #include <cstdint>
@@ -23,6 +24,7 @@
 
 #include "core/pipeline.h"
 #include "obs/metrics.h"
+#include "par/thread_pool.h"
 
 namespace skyex::bench {
 
@@ -63,6 +65,9 @@ inline BenchConfig ParseFlags(int argc, char** argv) {
       config.max_eval = std::strtoull(arg + 11, nullptr, 10);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       config.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      par::ThreadPool::SetGlobalThreads(
+          std::strtoull(arg + 10, nullptr, 10));
     } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
       MetricsOutPath() = arg + 14;
       std::atexit(WriteMetricsAtExit);

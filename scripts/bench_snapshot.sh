@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Parallel-speedup snapshot: runs the micro_skyline, micro_lgm and
+# micro_ml suites at --threads=1 and --threads=N (default: all cores)
+# and writes BENCH_parallel.json at the repo root with per-benchmark
+# ops/sec plus the N-thread speedup over the serial run.
+#
+#   scripts/bench_snapshot.sh [build-dir] [threads]
+#
+# Speedup is hardware-dependent: on a single-core host the parallel run
+# degenerates to the serial path and speedups hover around 1.0 — the
+# recorded host_cpus field says which case a snapshot captured.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+THREADS="${2:-$(nproc)}"
+# The parallel leg must actually engage the pool; on a 1-core host
+# compare against an (oversubscribed) 2-thread run rather than itself.
+if [ "$THREADS" -le 1 ]; then THREADS=2; fi
+OUT="BENCH_parallel.json"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+# Filter to the suites with pool-backed parallel paths; the rest of the
+# micro benches measure serial kernels and would only add noise here.
+declare -A FILTERS=(
+  [micro_skyline]='BM_PeelFirstSkyline|BM_FullLayering'
+  [micro_lgm]='BM_LgmSimDamerau|BM_LgmIndividualScores'
+  [micro_ml]='BM_FitRandomForest|BM_FitExtraTrees|BM_FitGradientBoosting'
+)
+
+cmake --build "$BUILD_DIR" -j --target micro_skyline micro_lgm micro_ml
+
+for bench in micro_skyline micro_lgm micro_ml; do
+  for t in 1 "$THREADS"; do
+    echo "=== $bench --threads=$t ==="
+    "$BUILD_DIR/bench/$bench" --threads="$t" \
+      --benchmark_filter="${FILTERS[$bench]}" \
+      --benchmark_format=json \
+      --benchmark_out="$TMP_DIR/${bench}_t${t}.json" \
+      --benchmark_out_format=json >/dev/null
+  done
+done
+
+python3 - "$TMP_DIR" "$THREADS" "$OUT" <<'EOF'
+import json, os, sys
+
+tmp_dir, threads, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+
+def load(bench, t):
+    with open(os.path.join(tmp_dir, f"{bench}_t{t}.json")) as f:
+        report = json.load(f)
+    return {b["name"]: b for b in report["benchmarks"]
+            if b.get("run_type", "iteration") == "iteration"}
+
+snapshot = {"host_cpus": os.cpu_count(), "threads": threads,
+            "benchmarks": []}
+for bench in ("micro_skyline", "micro_lgm", "micro_ml"):
+    serial, parallel = load(bench, 1), load(bench, threads)
+    for name in serial:
+        if name not in parallel:
+            continue
+        s_ns, p_ns = serial[name]["real_time"], parallel[name]["real_time"]
+        unit = serial[name].get("time_unit", "ns")
+        scale = {"ns": 1e9, "us": 1e6, "ms": 1e3, "s": 1.0}[unit]
+        snapshot["benchmarks"].append({
+            "suite": bench,
+            "name": name,
+            "ops_per_sec_1_thread": scale / s_ns if s_ns else 0.0,
+            f"ops_per_sec_{threads}_threads":
+                scale / p_ns if p_ns else 0.0,
+            "speedup": s_ns / p_ns if p_ns else 0.0,
+        })
+
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path} ({len(snapshot['benchmarks'])} benchmarks, "
+      f"threads={threads}, host_cpus={snapshot['host_cpus']})")
+for b in snapshot["benchmarks"]:
+    print(f"  {b['name']:<40} speedup x{b['speedup']:.2f}")
+EOF

@@ -7,8 +7,17 @@
 #include "geo/distance.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/parallel_for.h"
 
 namespace skyex::core {
+
+namespace {
+
+/// Work below this many items is scanned inline: the pool hand-off only
+/// pays for itself on large stores.
+constexpr size_t kParallelScanMinItems = 2048;
+
+}  // namespace
 
 IncrementalLinker::IncrementalLinker(data::Dataset dataset,
                                      features::LgmXExtractor extractor,
@@ -72,12 +81,28 @@ std::vector<size_t> IncrementalLinker::AddRecord(
   {
     SKYEX_SPAN("core/incremental_candidates");
     if (record.location.valid) {
-      for (size_t i = 0; i < dataset_.size(); ++i) {
-        const double d =
-            geo::EquirectangularMeters(record.location,
-                                       dataset_[i].location);
-        if (d >= 0.0 && d <= options_.radius_m) candidates.push_back(i);
-      }
+      // Chunk results concatenate in chunk order, so the candidate list
+      // stays ascending at any thread count.
+      const size_t n = dataset_.size();
+      par::ForOptions for_options;
+      for_options.grain = kParallelScanMinItems;
+      for_options.chunking = par::Chunking::kDynamic;
+      candidates = par::ParallelReduceOrdered<std::vector<size_t>>(
+          0, n, for_options,
+          [&](size_t begin, size_t end) {
+            std::vector<size_t> local;
+            for (size_t i = begin; i < end; ++i) {
+              const double d = geo::EquirectangularMeters(
+                  record.location, dataset_[i].location);
+              if (d >= 0.0 && d <= options_.radius_m) local.push_back(i);
+            }
+            return local;
+          },
+          [](std::vector<size_t> acc, std::vector<size_t> next) {
+            acc.insert(acc.end(), next.begin(), next.end());
+            return acc;
+          },
+          std::vector<size_t>());
     } else if (options_.max_cartesian == 0 ||
                dataset_.size() <= options_.max_cartesian) {
       candidates.resize(dataset_.size());
@@ -89,11 +114,30 @@ std::vector<size_t> IncrementalLinker::AddRecord(
   std::vector<size_t> links;
   {
     SKYEX_SPAN("core/incremental_score");
-    std::vector<double> row(extractor_.feature_count());
-    for (size_t i : candidates) {
-      extractor_.ExtractRow(record, dataset_[i], row.data());
-      if (Accept(row.data())) links.push_back(i);
+    // Same ordered-concatenation scheme: links come out ascending.
+    par::ForOptions for_options;
+    for_options.grain = 64;
+    for_options.chunking = par::Chunking::kDynamic;
+    if (candidates.size() < kParallelScanMinItems) {
+      for_options.max_parallelism = 1;
     }
+    links = par::ParallelReduceOrdered<std::vector<size_t>>(
+        0, candidates.size(), for_options,
+        [&](size_t begin, size_t end) {
+          std::vector<size_t> local;
+          std::vector<double> row(extractor_.feature_count());
+          for (size_t k = begin; k < end; ++k) {
+            const size_t i = candidates[k];
+            extractor_.ExtractRow(record, dataset_[i], row.data());
+            if (Accept(row.data())) local.push_back(i);
+          }
+          return local;
+        },
+        [](std::vector<size_t> acc, std::vector<size_t> next) {
+          acc.insert(acc.end(), next.begin(), next.end());
+          return acc;
+        },
+        std::vector<size_t>());
   }
   dataset_.entities.push_back(record);
   SKYEX_COUNTER_INC("core/incremental_records");

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <numeric>
 #include <random>
-#include <unordered_map>
 
 #include "ml/elbow.h"
 #include "obs/metrics.h"
@@ -225,8 +224,9 @@ std::vector<uint8_t> SkyExT::Label(const ml::FeatureMatrix& matrix,
   std::vector<uint8_t> labels(rows.size(), 0);
   if (model.preference == nullptr || rows.empty()) return labels;
 
-  std::unordered_map<size_t, size_t> position_of;
-  position_of.reserve(rows.size());
+  // Dense row-id → position index; row ids are bounded by matrix.rows,
+  // so a flat vector beats hashing on the hot labeling path.
+  std::vector<size_t> position_of(matrix.rows, static_cast<size_t>(-1));
   for (size_t k = 0; k < rows.size(); ++k) position_of[rows[k]] = k;
 
   const size_t target = static_cast<size_t>(
@@ -240,7 +240,7 @@ std::vector<uint8_t> SkyExT::Label(const ml::FeatureMatrix& matrix,
       const std::vector<size_t> skyline = peeler.Next();
       if (skyline.empty()) break;
       ranked += skyline.size();
-      for (size_t r : skyline) labels[position_of.at(r)] = 1;
+      for (size_t r : skyline) labels[position_of[r]] = 1;
     }
   }
   SKYEX_COUNTER_ADD("core/pairs_labeled_positive", ranked);

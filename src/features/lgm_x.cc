@@ -1,16 +1,15 @@
 #include "features/lgm_x.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstdlib>
-#include <thread>
 #include <utility>
 
 #include "features/feature_schema.h"
 #include "geo/distance.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/parallel_for.h"
 #include "text/edit_distance.h"
 #include "text/normalize.h"
 #include "text/similarity_registry.h"
@@ -150,35 +149,23 @@ ml::FeatureMatrix LgmXExtractor::Extract(
     cache[i].addr_sorted = text::SortTokens(cache[i].addr_norm);
   }
 
-  size_t num_threads = options_.num_threads;
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  num_threads = std::min(num_threads, std::max<size_t>(1, pairs.size()));
-
-  std::atomic<size_t> next_chunk{0};
-  constexpr size_t kChunk = 256;
-  const auto worker = [&]() {
-    SKYEX_SPAN("features/extract_worker");
-    for (;;) {
-      const size_t begin = next_chunk.fetch_add(kChunk);
-      if (begin >= pairs.size()) return;
-      const size_t end = std::min(begin + kChunk, pairs.size());
-      for (size_t r = begin; r < end; ++r) {
-        const auto [i, j] = pairs[r];
-        RowFromCache(dataset[i], cache[i], dataset[j], cache[j],
-                     matrix.Row(r));
-      }
-    }
-  };
-  if (num_threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
-    for (std::thread& t : threads) t.join();
-  }
+  // Chunks go through the shared pool (warm threads, no per-call spawn);
+  // options_.num_threads only caps the fan-out of this call, it never
+  // grows the pool. Each row lands in its own matrix slot, so the result
+  // is the same at any thread count.
+  par::ForOptions for_options;
+  for_options.grain = 256;
+  for_options.chunking = par::Chunking::kDynamic;
+  for_options.max_parallelism = options_.num_threads;
+  par::ParallelForChunked(
+      0, pairs.size(), for_options, [&](size_t begin, size_t end) {
+        SKYEX_SPAN("features/extract_worker");
+        for (size_t r = begin; r < end; ++r) {
+          const auto [i, j] = pairs[r];
+          RowFromCache(dataset[i], cache[i], dataset[j], cache[j],
+                       matrix.Row(r));
+        }
+      });
   SKYEX_COUNTER_ADD("features/rows_extracted", pairs.size());
   return matrix;
 }

@@ -21,7 +21,8 @@ struct LgmXOptions {
   double max_distance_m = 300.0;
   /// Address-number deltas at/above this cap score 0.
   int max_number_delta = 50;
-  /// Threads for bulk extraction (0 = hardware concurrency).
+  /// Cap on this extractor's fan-out over the shared thread pool during
+  /// bulk extraction (0 = use the whole pool). Does not grow the pool.
   size_t num_threads = 0;
 };
 
@@ -50,8 +51,8 @@ class LgmXExtractor {
   void ExtractRow(const data::SpatialEntity& a, const data::SpatialEntity& b,
                   double* out) const;
 
-  /// Bulk extraction over candidate pairs; multi-threaded. Normalized
-  /// attribute strings are cached per entity.
+  /// Bulk extraction over candidate pairs, fanned out on the shared
+  /// par::ThreadPool. Normalized attribute strings are cached per entity.
   ml::FeatureMatrix Extract(const data::Dataset& dataset,
                             const std::vector<geo::CandidatePair>& pairs) const;
 

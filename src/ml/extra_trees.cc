@@ -5,6 +5,8 @@
 #include <random>
 
 #include "obs/trace.h"
+#include "par/parallel_for.h"
+#include "par/rng.h"
 
 namespace skyex::ml {
 
@@ -16,7 +18,6 @@ void ExtraTrees::Fit(const FeatureMatrix& matrix,
   SKYEX_SPAN("ml/train_extra_trees");
   trees_.clear();
   if (rows.empty()) return;
-  std::mt19937_64 rng(options_.seed);
 
   TreeOptions tree_options = options_.tree;
   tree_options.random_thresholds = true;
@@ -25,21 +26,26 @@ void ExtraTrees::Fit(const FeatureMatrix& matrix,
         std::lround(std::sqrt(static_cast<double>(matrix.cols))));
   }
 
-  std::vector<size_t> sample = rows;
-  trees_.reserve(options_.num_trees);
-  for (size_t t = 0; t < options_.num_trees; ++t) {
-    std::vector<size_t>* tree_rows = &sample;
-    std::vector<size_t> capped;
-    if (options_.max_rows_per_tree > 0 &&
-        rows.size() > options_.max_rows_per_tree) {
-      capped = rows;
+  const bool cap_rows = options_.max_rows_per_tree > 0 &&
+                        rows.size() > options_.max_rows_per_tree;
+
+  // Per-tree RNG streams (par::SeedStream) keep each tree a pure
+  // function of (seed, tree index) — deterministic at any thread count.
+  trees_.assign(options_.num_trees, ClassificationTree(tree_options));
+  par::ForOptions for_options;
+  for_options.grain = 1;
+  for_options.chunking = par::Chunking::kDynamic;
+  par::ParallelFor(0, options_.num_trees, for_options, [&](size_t t) {
+    std::mt19937_64 rng(par::SeedStream(options_.seed, t));
+    if (cap_rows) {
+      std::vector<size_t> capped = rows;
       std::shuffle(capped.begin(), capped.end(), rng);
       capped.resize(options_.max_rows_per_tree);
-      tree_rows = &capped;
+      trees_[t].Fit(matrix, labels, capped, &rng);
+    } else {
+      trees_[t].Fit(matrix, labels, rows, &rng);
     }
-    trees_.emplace_back(tree_options);
-    trees_.back().Fit(matrix, labels, *tree_rows, &rng);
-  }
+  });
 }
 
 double ExtraTrees::PredictScore(const double* row) const {

@@ -10,6 +10,8 @@ namespace skyex::ml {
 
 struct ExtraTreesOptions {
   size_t num_trees = 60;
+  /// Base seed; tree t draws from par::SeedStream(seed, t) — the model
+  /// is identical at any --threads value. Trees train in parallel.
   uint64_t seed = 4;
   /// Cap on rows per tree (0 = all) to bound cost at large training
   /// sizes; rows are subsampled without replacement when capped.

@@ -6,12 +6,18 @@
 #include <random>
 
 #include "obs/trace.h"
+#include "par/parallel_for.h"
+#include "par/thread_pool.h"
 
 namespace skyex::ml {
 
 namespace {
 
 double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Node width below which the feature-split scan stays single-threaded:
+/// the per-task bin buffers and pool hand-off only pay off on wide nodes.
+constexpr size_t kParallelScanMinRows = 1024;
 
 }  // namespace
 
@@ -48,14 +54,20 @@ int32_t GradientBoosting::BuildNode(const FeatureMatrix& matrix,
   if (depth >= options_.max_depth || end - begin < 2) return node_id;
 
   const double parent_obj = sum_g * sum_g / (sum_h + options_.lambda);
-  double best_gain = 1e-6;
-  size_t best_feature = 0;
-  double best_threshold = 0.0;
-  bool found = false;
 
-  std::vector<double> bin_g(options_.bins);
-  std::vector<double> bin_h(options_.bins);
-  for (size_t feature = 0; feature < matrix.cols; ++feature) {
+  // Per-feature best split. Features are scanned independently (each
+  // against the same 1e-6 gain floor, ties → earliest bin), then folded
+  // in feature order with a strictly-greater comparison — the same
+  // winner the old running-maximum loop picked, which makes the
+  // parallel scan bit-identical to the serial one.
+  struct FeatureSplit {
+    double gain = 1e-6;
+    double threshold = 0.0;
+    bool found = false;
+  };
+  const auto scan_feature = [&](size_t feature, std::vector<double>& bin_g,
+                                std::vector<double>& bin_h) {
+    FeatureSplit split;
     double lo = std::numeric_limits<double>::max();
     double hi = std::numeric_limits<double>::lowest();
     for (size_t k = begin; k < end; ++k) {
@@ -63,7 +75,7 @@ int32_t GradientBoosting::BuildNode(const FeatureMatrix& matrix,
       lo = std::min(lo, v);
       hi = std::max(hi, v);
     }
-    if (hi <= lo) continue;
+    if (hi <= lo) return split;
     std::fill(bin_g.begin(), bin_g.end(), 0.0);
     std::fill(bin_h.begin(), bin_h.end(), 0.0);
     const double width = (hi - lo) / static_cast<double>(options_.bins);
@@ -89,12 +101,48 @@ int32_t GradientBoosting::BuildNode(const FeatureMatrix& matrix,
           0.5 * (left_g * left_g / (left_h + options_.lambda) +
                  right_g * right_g / (right_h + options_.lambda) -
                  parent_obj);
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = feature;
-        best_threshold = lo + width * static_cast<double>(b + 1);
-        found = true;
+      if (gain > split.gain) {
+        split.gain = gain;
+        split.threshold = lo + width * static_cast<double>(b + 1);
+        split.found = true;
       }
+    }
+    return split;
+  };
+
+  std::vector<FeatureSplit> splits(matrix.cols);
+  // Fan the scan out only for wide nodes; small ones stay inline.
+  if ((end - begin) >= kParallelScanMinRows && matrix.cols > 1 &&
+      par::ThreadPool::Global().threads() > 1) {
+    par::ForOptions for_options;
+    for_options.grain = 1;
+    for_options.chunking = par::Chunking::kDynamic;
+    par::ParallelForChunked(
+        0, matrix.cols, for_options, [&](size_t fb, size_t fe) {
+          std::vector<double> bin_g(options_.bins);
+          std::vector<double> bin_h(options_.bins);
+          for (size_t feature = fb; feature < fe; ++feature) {
+            splits[feature] = scan_feature(feature, bin_g, bin_h);
+          }
+        });
+  } else {
+    std::vector<double> bin_g(options_.bins);
+    std::vector<double> bin_h(options_.bins);
+    for (size_t feature = 0; feature < matrix.cols; ++feature) {
+      splits[feature] = scan_feature(feature, bin_g, bin_h);
+    }
+  }
+
+  double best_gain = 1e-6;
+  size_t best_feature = 0;
+  double best_threshold = 0.0;
+  bool found = false;
+  for (size_t feature = 0; feature < matrix.cols; ++feature) {
+    if (splits[feature].found && splits[feature].gain > best_gain) {
+      best_gain = splits[feature].gain;
+      best_feature = feature;
+      best_threshold = splits[feature].threshold;
+      found = true;
     }
   }
   if (!found) return node_id;

@@ -1,9 +1,12 @@
 #include "ml/random_forest.h"
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 
 #include "obs/trace.h"
+#include "par/parallel_for.h"
+#include "par/rng.h"
 
 namespace skyex::ml {
 
@@ -15,7 +18,6 @@ void RandomForest::Fit(const FeatureMatrix& matrix,
   SKYEX_SPAN("ml/train_random_forest");
   trees_.clear();
   if (rows.empty()) return;
-  std::mt19937_64 rng(options_.seed);
 
   TreeOptions tree_options = options_.tree;
   if (tree_options.max_features == 0) {
@@ -26,14 +28,20 @@ void RandomForest::Fit(const FeatureMatrix& matrix,
   size_t bag = rows.size();
   if (options_.max_bag_size > 0) bag = std::min(bag, options_.max_bag_size);
 
-  std::uniform_int_distribution<size_t> pick(0, rows.size() - 1);
-  std::vector<size_t> sample(bag);
-  trees_.reserve(options_.num_trees);
-  for (size_t t = 0; t < options_.num_trees; ++t) {
+  // One independent RNG stream per tree (par::SeedStream) so each tree
+  // is a pure function of (seed, tree index): the forest comes out
+  // bit-identical at any thread count.
+  trees_.assign(options_.num_trees, ClassificationTree(tree_options));
+  par::ForOptions for_options;
+  for_options.grain = 1;
+  for_options.chunking = par::Chunking::kDynamic;
+  par::ParallelFor(0, options_.num_trees, for_options, [&](size_t t) {
+    std::mt19937_64 rng(par::SeedStream(options_.seed, t));
+    std::uniform_int_distribution<size_t> pick(0, rows.size() - 1);
+    std::vector<size_t> sample(bag);
     for (size_t k = 0; k < bag; ++k) sample[k] = rows[pick(rng)];
-    trees_.emplace_back(tree_options);
-    trees_.back().Fit(matrix, labels, sample, &rng);
-  }
+    trees_[t].Fit(matrix, labels, sample, &rng);
+  });
 }
 
 double RandomForest::PredictScore(const double* row) const {

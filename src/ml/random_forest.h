@@ -12,12 +12,16 @@ struct RandomForestOptions {
   size_t num_trees = 60;
   /// Bootstrap sample size cap (0 = the training size).
   size_t max_bag_size = 20000;
+  /// Base seed; tree t draws from the independent stream
+  /// par::SeedStream(seed, t), so the model is identical at any
+  /// --threads value.
   uint64_t seed = 3;
   TreeOptions tree;
 };
 
 /// Random forest: bootstrap-bagged CART trees with √d feature
-/// subsampling per split; scores are averaged leaf fractions.
+/// subsampling per split; scores are averaged leaf fractions. Trees
+/// train in parallel on the shared pool.
 class RandomForest final : public Classifier {
  public:
   using Options = RandomForestOptions;

@@ -1,0 +1,159 @@
+#ifndef SKYEX_PAR_PARALLEL_FOR_H_
+#define SKYEX_PAR_PARALLEL_FOR_H_
+
+// Data-parallel helpers on top of the shared ThreadPool: ParallelFor
+// with static or dynamic chunking, ParallelMap, and a deterministic
+// ordered reduce.
+//
+// Determinism contract: every helper partitions [begin, end) into
+// contiguous chunks and writes results to disjoint, pre-assigned slots
+// (or reduces them in chunk order), so the output never depends on the
+// thread count or on scheduling. Combined with per-stream RNG seeding
+// (par/rng.h) this is what keeps models and skylines bit-identical at
+// any --threads value.
+//
+// All helpers run the body inline when the effective parallelism is 1
+// or the range fits a single chunk — the `--threads=1` serial path has
+// zero pool involvement.
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "par/thread_pool.h"
+
+namespace skyex::par {
+
+/// How a range is split into chunks.
+enum class Chunking {
+  /// One equal slice per runner: minimal scheduling overhead; best for
+  /// uniform work (feature rows, tree training).
+  kStatic,
+  /// ceil(n / grain) chunks claimed via the work-stealing deques; best
+  /// when per-item cost is skewed (skyline windows, candidate scans).
+  kDynamic,
+};
+
+struct ForOptions {
+  /// Minimum items per chunk; ranges below `grain` run inline.
+  size_t grain = 1;
+  Chunking chunking = Chunking::kDynamic;
+  /// Caps the runners used for this loop (0 = pool size).
+  size_t max_parallelism = 0;
+  /// Pool to run on (nullptr = ThreadPool::Global()).
+  ThreadPool* pool = nullptr;
+};
+
+namespace internal {
+
+struct ChunkPlan {
+  ThreadPool* pool = nullptr;
+  std::vector<std::pair<size_t, size_t>> chunks;
+};
+
+/// Splits [begin, end) per the options; an empty `chunks` means "run
+/// inline" (size-1 plans are folded into the inline path too).
+inline ChunkPlan PlanChunks(size_t begin, size_t end,
+                            const ForOptions& options) {
+  ChunkPlan plan;
+  const size_t n = end - begin;
+  plan.pool = options.pool != nullptr ? options.pool : &ThreadPool::Global();
+  size_t parallelism = plan.pool->threads();
+  if (options.max_parallelism > 0) {
+    parallelism = std::min(parallelism, options.max_parallelism);
+  }
+  const size_t grain = std::max<size_t>(1, options.grain);
+  if (parallelism <= 1 || n <= grain) return plan;
+
+  size_t num_chunks = options.chunking == Chunking::kStatic
+                          ? std::min(parallelism, (n + grain - 1) / grain)
+                          : (n + grain - 1) / grain;
+  if (num_chunks <= 1) return plan;
+  plan.chunks.reserve(num_chunks);
+  // Even split with the remainder spread over the leading chunks, so
+  // chunk boundaries (and therefore per-chunk float accumulation) are a
+  // pure function of (n, num_chunks).
+  const size_t base = n / num_chunks;
+  const size_t extra = n % num_chunks;
+  size_t at = begin;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t size = base + (c < extra ? 1 : 0);
+    plan.chunks.emplace_back(at, at + size);
+    at += size;
+  }
+  return plan;
+}
+
+}  // namespace internal
+
+/// Runs `fn(chunk_begin, chunk_end)` over a partition of [begin, end).
+/// The caller participates: it runs one chunk itself and then helps
+/// drain the pool until the loop is done.
+template <typename Fn>
+void ParallelForChunked(size_t begin, size_t end, const ForOptions& options,
+                        Fn&& fn) {
+  if (begin >= end) return;
+  internal::ChunkPlan plan = internal::PlanChunks(begin, end, options);
+  if (plan.chunks.empty()) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool::TaskGroup group(plan.pool);
+  for (size_t c = 1; c < plan.chunks.size(); ++c) {
+    const auto [b, e] = plan.chunks[c];
+    group.Run([&fn, b, e] { fn(b, e); });
+  }
+  fn(plan.chunks[0].first, plan.chunks[0].second);
+  group.Wait();
+}
+
+/// Runs `fn(i)` for every i in [begin, end).
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, const ForOptions& options,
+                 Fn&& fn) {
+  ParallelForChunked(begin, end, options, [&fn](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) fn(i);
+  });
+}
+
+/// Maps `fn(i)` into slot i of the result — deterministic placement.
+template <typename Fn>
+auto ParallelMap(size_t begin, size_t end, const ForOptions& options,
+                 Fn&& fn) -> std::vector<decltype(fn(begin))> {
+  std::vector<decltype(fn(begin))> out(end - begin);
+  ParallelFor(begin, end, options, [&](size_t i) { out[i - begin] = fn(i); });
+  return out;
+}
+
+/// Deterministic ordered reduce: `map(chunk_begin, chunk_end)` runs in
+/// parallel per chunk, then `reduce(acc, chunk_value)` folds the chunk
+/// values **in chunk order** on the calling thread. The result is
+/// bit-identical for a fixed (range, grain, chunking) regardless of the
+/// thread count.
+template <typename T, typename MapFn, typename ReduceFn>
+T ParallelReduceOrdered(size_t begin, size_t end, const ForOptions& options,
+                        MapFn&& map, ReduceFn&& reduce, T init) {
+  if (begin >= end) return init;
+  internal::ChunkPlan plan = internal::PlanChunks(begin, end, options);
+  if (plan.chunks.empty()) {
+    return reduce(std::move(init), map(begin, end));
+  }
+  std::vector<T> partial(plan.chunks.size());
+  {
+    ThreadPool::TaskGroup group(plan.pool);
+    for (size_t c = 1; c < plan.chunks.size(); ++c) {
+      const auto [b, e] = plan.chunks[c];
+      group.Run([&map, &partial, b, e, c] { partial[c] = map(b, e); });
+    }
+    partial[0] = map(plan.chunks[0].first, plan.chunks[0].second);
+    group.Wait();
+  }
+  T acc = std::move(init);
+  for (T& value : partial) acc = reduce(std::move(acc), std::move(value));
+  return acc;
+}
+
+}  // namespace skyex::par
+
+#endif  // SKYEX_PAR_PARALLEL_FOR_H_

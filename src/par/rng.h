@@ -1,0 +1,32 @@
+#ifndef SKYEX_PAR_RNG_H_
+#define SKYEX_PAR_RNG_H_
+
+// Deterministic per-stream RNG seeding for parallel training.
+//
+// A single sequential std::mt19937_64 ties every consumer to the order
+// work happens to run in; parallel loops instead derive one independent
+// stream per logical unit (tree t, resample b, ...) from the base seed.
+// The mapping is a SplitMix64 finalizer, so neighboring stream ids land
+// far apart in seed space, and the resulting model depends only on
+// (seed, stream id) — never on the thread count or schedule.
+
+#include <cstdint>
+
+namespace skyex::par {
+
+/// SplitMix64 finalizer (Steele et al.); bijective on 64-bit ints.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Seed of logical stream `stream` under base seed `seed`.
+inline uint64_t SeedStream(uint64_t seed, uint64_t stream) {
+  return SplitMix64(seed ^ SplitMix64(stream + 1));
+}
+
+}  // namespace skyex::par
+
+#endif  // SKYEX_PAR_RNG_H_

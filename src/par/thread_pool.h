@@ -1,0 +1,120 @@
+#ifndef SKYEX_PAR_THREAD_POOL_H_
+#define SKYEX_PAR_THREAD_POOL_H_
+
+// Shared parallel runtime: a persistent work-stealing thread pool.
+//
+// One process-wide pool (`ThreadPool::Global()`) is shared by every hot
+// path — skyline peeling, forest training, bulk feature extraction and
+// the serving linker — so parallel sections reuse warm threads instead
+// of spawning and joining their own (what features/lgm_x.cc used to do
+// per Extract call).
+//
+// Scheduling model: each worker owns a deque of tasks. Submission
+// round-robins across the deques; a worker pops from the front of its
+// own deque and, when empty, steals from the back of a sibling's
+// (counted in `par/steals`). Waiters help: a thread blocked in
+// TaskGroup::Wait() drains pool tasks itself, which makes nested
+// parallel sections deadlock-free and lets the caller participate in
+// its own ParallelFor.
+//
+// A pool of size 1 has no worker threads at all: tasks run inline on
+// the submitting thread in submission order, so `--threads=1`
+// reproduces the serial behavior exactly.
+//
+// Observability (see docs/observability.md): `par/tasks_executed`,
+// `par/steals`, `par/queue_depth`, `par/task_latency_us`,
+// `par/pool_threads`.
+//
+// Thread-safety: Submit/TaskGroup are safe from any thread, including
+// pool workers. SetGlobalThreads must only be called while no tasks are
+// in flight (startup, between test cases).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace skyex::par {
+
+/// max(1, std::thread::hardware_concurrency()).
+size_t HardwareThreads();
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the calling thread:
+  /// the pool spawns `threads - 1` workers. 0 means HardwareThreads().
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured parallelism (workers + the submitting thread).
+  size_t threads() const { return threads_; }
+
+  /// The process-wide pool. Sized HardwareThreads() unless
+  /// SetGlobalThreads ran first (the `--threads` flag does).
+  static ThreadPool& Global();
+  /// Re-sizes the global pool (0 = HardwareThreads()). Joins the old
+  /// workers; only call while no tasks are in flight.
+  static void SetGlobalThreads(size_t threads);
+
+  /// A batch of tasks completed together. Run() submits, Wait() blocks
+  /// until every task of this group finished — helping to execute
+  /// pending pool tasks while it waits.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool* pool = nullptr);
+    /// Waits for stragglers; a TaskGroup must not outlive its tasks.
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Submits `fn` to the pool. On a 1-thread pool runs it inline.
+    void Run(std::function<void()> fn);
+    void Wait();
+
+   private:
+    friend class ThreadPool;
+    ThreadPool* pool_;
+    std::atomic<size_t> pending_{0};
+    std::mutex mutex_;
+    std::condition_variable done_cv_;
+  };
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void Submit(Task task);
+  /// Pops a task, preferring deque `home`; steals otherwise. `home` of
+  /// workers_.size() means "external thread" (no own deque).
+  bool TryPop(size_t home, Task* out);
+  void Execute(Task& task);
+  void WorkerLoop(size_t index);
+
+  size_t threads_;
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<size_t> queued_{0};  // tasks sitting in deques
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  bool stop_ = false;  // guarded by idle_mutex_
+};
+
+}  // namespace skyex::par
+
+#endif  // SKYEX_PAR_THREAD_POOL_H_

@@ -24,6 +24,13 @@ namespace skyex::skyline {
 /// each pass a pure window scan (a row can only be dominated by rows
 /// sorted before it). General preference trees fall back to full BNL
 /// with window eviction.
+///
+/// Large presorted layers peel in parallel on the shared thread pool:
+/// partition-local windows over contiguous slices of the sort order are
+/// merged into the exact global skyline (skylines are unique, so the
+/// output is bit-identical to the serial scan at any thread count; see
+/// docs/parallelism.md for the argument). `--threads=1` bypasses the
+/// pool entirely.
 class SkylinePeeler {
  public:
   /// `rows` are row indices into `matrix`; the peeler ranks only those.
@@ -50,6 +57,8 @@ class SkylinePeeler {
 
  private:
   Comparison CompareRows(size_t a, size_t b) const;
+  /// Exact parallel peel of a large presorted layer (pool-backed).
+  std::vector<size_t> PeelPresortedParallel();
 
   const ml::FeatureMatrix& matrix_;
   const Preference& preference_;

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "par/parallel_for.h"
+#include "par/rng.h"
+#include "par/thread_pool.h"
+
+namespace skyex::par {
+namespace {
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ParPool, SingleThreadPoolRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  ThreadPool::TaskGroup group(&pool);
+  for (int i = 0; i < 4; ++i) {
+    group.Run([&seen] { seen.push_back(std::this_thread::get_id()); });
+  }
+  group.Wait();
+  // Inline execution: tasks ran during Run(), in order, on the caller.
+  ASSERT_EQ(seen.size(), 4u);
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ParPool, ExecutesEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ThreadPool::TaskGroup group(&pool);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    group.Run([&hits, i] { hits[i].fetch_add(1); });
+  }
+  group.Wait();
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParPool, TaskGroupWaitIsReusable) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  ThreadPool::TaskGroup group(&pool);
+  group.Run([&total] { total.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(total.load(), 1);
+  group.Run([&total] { total.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(total.load(), 2);
+}
+
+TEST(ParPool, CountsExecutedTasksInRegistry) {
+  const obs::Counter executed =
+      obs::MetricsRegistry::Global().GetCounter("par/tasks_executed");
+  const uint64_t before = executed.Value();
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup group(&pool);
+  for (int i = 0; i < 32; ++i) group.Run([] {});
+  group.Wait();
+  EXPECT_GE(executed.Value(), before + 32);
+  EXPECT_GE(obs::MetricsRegistry::Global()
+                .GetGauge("par/pool_threads")
+                .Value(),
+            1.0);
+}
+
+TEST(ParPool, SetGlobalThreadsResizes) {
+  ThreadPool::SetGlobalThreads(2);
+  EXPECT_EQ(ThreadPool::Global().threads(), 2u);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(ThreadPool::Global().threads(), 1u);
+  ThreadPool::SetGlobalThreads(0);  // back to hardware concurrency
+  EXPECT_EQ(ThreadPool::Global().threads(), HardwareThreads());
+}
+
+// --------------------------------------------------------- ParallelFor &c.
+
+TEST(ParFor, CoversTheRangeExactlyOnce) {
+  ThreadPool pool(4);
+  for (const size_t n : {0u, 1u, 7u, 1000u}) {
+    std::vector<std::atomic<int>> hits(n);
+    ForOptions options;
+    options.grain = 8;
+    options.pool = &pool;
+    ParallelFor(0, n, options, [&hits](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ParFor, ChunkedPartitionIsContiguousAndComplete) {
+  ThreadPool pool(4);
+  ForOptions options;
+  options.grain = 10;
+  options.chunking = Chunking::kDynamic;
+  options.pool = &pool;
+  std::vector<std::atomic<int>> hits(237);
+  ParallelForChunked(0, hits.size(), options, [&hits](size_t b, size_t e) {
+    ASSERT_LT(b, e);
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParFor, MaxParallelismOneRunsInline) {
+  ThreadPool pool(4);
+  ForOptions options;
+  options.max_parallelism = 1;
+  options.pool = &pool;
+  const std::thread::id caller = std::this_thread::get_id();
+  ParallelFor(0, 100, options, [caller](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ParFor, NestedLoopsDoNotDeadlock) {
+  ThreadPool pool(2);  // one worker; inner waits must help, not block
+  ForOptions options;
+  options.pool = &pool;
+  std::atomic<int> total{0};
+  ParallelFor(0, 8, options, [&](size_t) {
+    ForOptions inner;
+    inner.pool = &pool;
+    ParallelFor(0, 8, inner, [&total](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParMap, PlacesResultsBySlot) {
+  ThreadPool pool(4);
+  ForOptions options;
+  options.pool = &pool;
+  const std::vector<size_t> out =
+      ParallelMap(10, 200, options, [](size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 190u);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], (i + 10) * (i + 10));
+}
+
+TEST(ParReduce, OrderedFoldMatchesSerialAtAnyThreadCount) {
+  // Float summation order is fixed by the chunk plan, so the reduction
+  // must be bit-identical for every pool size.
+  std::vector<double> values(10007);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const auto sum_with = [&](size_t threads) {
+    ThreadPool pool(threads);
+    ForOptions options;
+    options.grain = 128;
+    options.pool = &pool;
+    return ParallelReduceOrdered<double>(
+        0, values.size(), options,
+        [&](size_t b, size_t e) {
+          double acc = 0.0;
+          for (size_t i = b; i < e; ++i) acc += values[i];
+          return acc;
+        },
+        [](double acc, double next) { return acc + next; }, 0.0);
+  };
+  const double at1 = sum_with(1);
+  // threads=1 runs inline over one chunk; larger pools must reproduce
+  // the chunked result exactly and each other bit-for-bit.
+  const double at2 = sum_with(2);
+  const double at8 = sum_with(8);
+  EXPECT_EQ(at2, at8);
+  EXPECT_NEAR(at1, at2, 1e-9);
+  for (int rep = 0; rep < 5; ++rep) EXPECT_EQ(sum_with(8), at8);
+}
+
+// ------------------------------------------------------------ RNG streams
+
+TEST(ParRng, StreamsAreStableAndDistinct) {
+  EXPECT_EQ(SeedStream(7, 0), SeedStream(7, 0));
+  EXPECT_NE(SeedStream(7, 0), SeedStream(7, 1));
+  EXPECT_NE(SeedStream(7, 0), SeedStream(8, 0));
+  // Consecutive streams must not collide over a realistic tree count.
+  std::vector<uint64_t> seeds;
+  for (uint64_t t = 0; t < 4096; ++t) seeds.push_back(SeedStream(3, t));
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+}  // namespace
+}  // namespace skyex::par

@@ -4,7 +4,8 @@
 // Strict --key=value flag parsing shared by the skyex binaries (the
 // CLI, the server, the load generator), plus the observability
 // plumbing every binary offers (--trace-out / --metrics-out /
-// --log-level / --obs-summary).
+// --log-level / --obs-summary) and the shared parallelism knob
+// (--threads, sizing the process-wide par::ThreadPool).
 //
 // Strict by design: unknown flags, positional arguments and malformed
 // numeric values are hard errors (a typo like --train-fracton must not
@@ -22,6 +23,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/thread_pool.h"
 
 namespace skyex::tools {
 
@@ -71,12 +73,15 @@ inline bool ValidSize(const std::string& text) {
   return errno == 0 && end == text.c_str() + text.size();
 }
 
-// Observability flags shared by every command.
+// Observability and runtime flags shared by every command. `--threads`
+// sizes the process-wide thread pool (0 or unset = hardware
+// concurrency); `--threads=1` runs every parallel section inline.
 inline constexpr FlagSpec kObsFlags[] = {
     {"trace-out", FlagType::kString},
     {"metrics-out", FlagType::kString},
     {"log-level", FlagType::kString},
     {"obs-summary", FlagType::kBool},
+    {"threads", FlagType::kSize},
 };
 
 /// Parses `--key=value` arguments against the allowed specs. Returns
@@ -148,9 +153,13 @@ inline std::optional<Flags> ParseFlags(
   return flags;
 }
 
-/// Applies --log-level and switches the trace collector on when a trace
-/// file was requested. Returns false on a bad flag value.
+/// Applies --log-level and --threads, and switches the trace collector
+/// on when a trace file was requested. Returns false on a bad flag
+/// value.
 inline bool ObsSetup(const Flags& flags) {
+  if (flags.Has("threads")) {
+    skyex::par::ThreadPool::SetGlobalThreads(flags.GetSize("threads", 0));
+  }
   const std::string level_text = flags.Get("log-level");
   if (!level_text.empty()) {
     skyex::obs::LogLevel level;

@@ -11,6 +11,8 @@
 //   --metrics-out=FILE   write the metrics registry as JSON
 //   --log-level=LEVEL    debug|info|warn|error (default info)
 //   --obs-summary        print span/metric summary tables to stderr
+// and the shared runtime flag
+//   --threads=N          size of the shared thread pool (0 = all cores)
 //
 // Ground-truth labels come from the phone/website rule of the paper; for
 // hand-labeled data, put the shared identifier into the phone column.
@@ -70,7 +72,10 @@ int Usage() {
       "                       about://tracing)\n"
       "  --metrics-out=FILE   metrics registry dump as JSON\n"
       "  --log-level=LEVEL    debug|info|warn|error (default info)\n"
-      "  --obs-summary        span/metric summary tables on stderr\n");
+      "  --obs-summary        span/metric summary tables on stderr\n\n"
+      "runtime (all commands):\n"
+      "  --threads=N          shared thread pool size (default: all\n"
+      "                       cores; 1 = fully serial execution)\n");
   return 2;
 }
 

@@ -6,9 +6,10 @@
 // Each connection thread sends link requests back-to-back (closed
 // loop), sampling entities from the dataset (or a generated North-DK
 // pool) with fresh ids. Latencies feed the obs histogram
-// `loadgen/request_latency_us`; the summary reports throughput and
-// p50/p95/p99 from that histogram. 429 responses are counted and
-// retried after --backoff-ms.
+// `loadgen/request_latency_us`; the summary reports request and link
+// throughput (entities/s plus server-side candidate pairs/s, deltaed
+// from the server's /metrics) and p50/p95/p99 from that histogram.
+// 429 responses are counted and retried after --backoff-ms.
 //
 // --smoke runs a single-request validation pass instead: happy-path
 // link, batch link, /healthz, /model and /metrics responses are checked
@@ -59,6 +60,7 @@ int Usage() {
       "  --backoff-ms=N    sleep before retrying a 429 (default 10)\n"
       "  --timeout-ms=N    per-request socket timeout (default 10000)\n"
       "  --smoke           validation pass instead of load\n\n"
+      "runtime: --threads=N   shared thread pool size\n"
       "observability: --trace-out --metrics-out --log-level "
       "--obs-summary\n");
   return 2;
@@ -84,6 +86,25 @@ std::string LinkBody(const std::vector<skyex::data::SpatialEntity>& pool,
   }
   writer.EndObject();
   return writer.Take();
+}
+
+/// Reads one counter from the server's /metrics endpoint. Used to
+/// delta server-side work (candidate pairs scored) across a run.
+std::optional<double> FetchServerCounter(const std::string& host,
+                                         uint16_t port, int timeout_ms,
+                                         const std::string& name) {
+  HttpClient client(host, port, timeout_ms);
+  if (!client.ok()) return std::nullopt;
+  const auto response = client.Request("GET", "/metrics");
+  if (!response.has_value() || response->status != 200) return std::nullopt;
+  std::string error;
+  const auto json = skyex::obs::json::Parse(response->body, &error);
+  if (!json.has_value()) return std::nullopt;
+  const auto* counters = json->Find("counters");
+  if (counters == nullptr) return std::nullopt;
+  const auto* counter = counters->Find(name);
+  if (counter == nullptr) return std::nullopt;
+  return counter->number_v;
 }
 
 struct LoadCounters {
@@ -215,6 +236,11 @@ int RunSmoke(const std::string& host, uint16_t port, int timeout_ms,
   SMOKE_CHECK(histograms != nullptr &&
                   histograms->Find("serve/request_latency_us") != nullptr,
               "serve/request_latency_us histogram exists");
+  const auto* gauges = metrics_json->Find("gauges");
+  SMOKE_CHECK(gauges != nullptr &&
+                  gauges->Find("par/pool_threads") != nullptr &&
+                  gauges->Find("par/pool_threads")->number_v >= 1,
+              "par/pool_threads gauge reports the pool size");
 
   std::fprintf(stderr, "smoke: OK\n");
   return 0;
@@ -283,6 +309,8 @@ int main(int argc, char** argv) {
       static_cast<int>(flags->GetSize("backoff-ms", 10));
 
   LoadCounters counters;
+  const std::optional<double> pairs_before = FetchServerCounter(
+      host, port, timeout_ms, "core/incremental_candidates");
   std::vector<std::thread> threads;
   threads.reserve(connections);
   const auto start = std::chrono::steady_clock::now();
@@ -318,6 +346,25 @@ int main(int argc, char** argv) {
               histogram.Count() > 0
                   ? histogram.Sum() / static_cast<double>(histogram.Count())
                   : 0.0);
+  // Achieved link throughput: entities linked per second on our side,
+  // and (when the server exposes /metrics) candidate pairs the linker
+  // actually scored per second, deltaed across the run.
+  const double entities_per_s =
+      seconds > 0
+          ? static_cast<double>(ok * batch_size) / seconds
+          : 0.0;
+  const std::optional<double> pairs_after = FetchServerCounter(
+      host, port, timeout_ms, "core/incremental_candidates");
+  if (pairs_before.has_value() && pairs_after.has_value() &&
+      *pairs_after >= *pairs_before && seconds > 0) {
+    const double pairs = *pairs_after - *pairs_before;
+    std::printf(
+        "throughput: %.1f entities/s linked, %.1f candidate pairs/s "
+        "scored (%.0f pairs server-side)\n",
+        entities_per_s, pairs / seconds, pairs);
+  } else {
+    std::printf("throughput: %.1f entities/s linked\n", entities_per_s);
+  }
   const int obs_rc = skyex::tools::ObsFinish(*flags);
   // Any non-2xx or transport failure fails the run (the smoke/demo
   // acceptance is zero errors; 429s are backpressure, not errors).

@@ -49,6 +49,8 @@ int Usage() {
       "  --radius-m=R           candidate radius meters (default 200)\n"
       "  --calibration-percentile=Q  acceptance boundary quantile\n"
       "                         (default 0.1; higher = more precise)\n\n"
+      "runtime: --threads=N   shared thread pool size (default: all\n"
+      "                       cores; the linker scores batches on it)\n"
       "observability: --trace-out --metrics-out --log-level "
       "--obs-summary\n");
   return 2;
