@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# Full verification: tier-1 build + tests, then a second build with the
-# observability instrumentation compiled out (SKYEX_OBS=OFF) to prove
-# every macro site degrades to a no-op and the obs API still links.
+# Full verification: tier-1 build + tests, then stripped builds with the
+# observability instrumentation (SKYEX_OBS=OFF) and the fault-injection
+# points (SKYEX_FAULTS=OFF) compiled out, to prove every macro site
+# degrades to a no-op and the APIs still link.
 #
-#   scripts/verify.sh [build-dir] [obs-off-build-dir]
+#   scripts/verify.sh [build-dir] [obs-off-build-dir] [faults-off-build-dir]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 OBS_OFF_DIR="${2:-build-obs-off}"
+FAULTS_OFF_DIR="${3:-build-faults-off}"
 
 echo "=== tier-1: default build (SKYEX_OBS=ON) ==="
 cmake -B "$BUILD_DIR" -S .
@@ -24,6 +26,15 @@ cmake --build "$OBS_OFF_DIR" -j
 # suite proves the pipeline is unaffected by compiled-out macros.
 ctest --test-dir "$OBS_OFF_DIR" --output-on-failure -j "$(nproc)" \
       -R "Obs|Skyline|CliTest"
+
+echo
+echo "=== stripped build (SKYEX_FAULTS=OFF) ==="
+cmake -B "$FAULTS_OFF_DIR" -S . -DSKYEX_FAULTS=OFF
+cmake --build "$FAULTS_OFF_DIR" -j
+# SKYEX_FAULT_FIRE sites compile to no-ops: the registry never fires
+# even when armed (FaultDisabled), and serving works untouched.
+ctest --test-dir "$FAULTS_OFF_DIR" --output-on-failure -j "$(nproc)" \
+      -R "FaultDisabled|CircuitBreaker|ServeTest|CliTest"
 
 echo
 echo "verify: OK"

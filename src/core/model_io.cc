@@ -1,5 +1,6 @@
 #include "core/model_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -31,7 +32,18 @@ void AppendGroupLine(std::string* out, const char* key,
   *out += '\n';
 }
 
+void SetError(ModelIoError* error, ModelIoError::Code code,
+              std::string message) {
+  if (error != nullptr) {
+    error->code = code;
+    error->message = std::move(message);
+  }
+}
+
 /// Parses "3:0.82 7:-0.41" (possibly empty) into ranked features.
+/// Rejects non-finite ρ — a bit flip in the exponent of a serialized
+/// double turns into Inf, which would poison every downstream
+/// comparison of the explanatory ranking.
 bool ParseGroupLine(std::string_view text,
                     std::vector<RankedFeature>* out) {
   out->clear();
@@ -56,6 +68,7 @@ bool ParseGroupLine(std::string_view text,
     if (end != token.c_str() + colon) return false;
     const double rho = std::strtod(token.c_str() + colon + 1, &end);
     if (end != token.c_str() + token.size()) return false;
+    if (!std::isfinite(rho)) return false;
     out->push_back(RankedFeature{static_cast<size_t>(column), rho});
   }
   return true;
@@ -78,7 +91,8 @@ std::string SaveModel(const SkyExTModel& model) {
   return out;
 }
 
-std::optional<SkyExTModel> LoadModel(const std::string& text) {
+std::optional<SkyExTModel> LoadModel(const std::string& text,
+                                     ModelIoError* error) {
   std::istringstream in(text);
   std::string line;
   SkyExTModel model;
@@ -94,18 +108,29 @@ std::optional<SkyExTModel> LoadModel(const std::string& text) {
     if (line.rfind(kPrefKey, 0) == 0) {
       model.preference =
           skyline::ParsePreference(line.substr(kPrefKey.size()));
-      if (model.preference == nullptr) return std::nullopt;
+      if (model.preference == nullptr) {
+        SetError(error, ModelIoError::Code::kBadPreference,
+                 "unparseable preference expression");
+        return std::nullopt;
+      }
       have_preference = true;
     } else if (line.rfind(kCutoffKey, 0) == 0) {
       char* end = nullptr;
       model.cutoff_ratio =
           std::strtod(line.c_str() + kCutoffKey.size(), &end);
-      if (end == line.c_str() + kCutoffKey.size()) return std::nullopt;
+      if (end == line.c_str() + kCutoffKey.size() ||
+          end != line.c_str() + line.size()) {
+        SetError(error, ModelIoError::Code::kBadNumber,
+                 "cutoff_ratio is not a number");
+        return std::nullopt;
+      }
       have_cutoff = true;
     } else if (line.rfind(kGroup1Key, 0) == 0) {
       if (!ParseGroupLine(
               std::string_view(line).substr(kGroup1Key.size()),
               &model.group1)) {
+        SetError(error, ModelIoError::Code::kBadGroup,
+                 "malformed group1 line");
         return std::nullopt;
       }
       have_groups = true;
@@ -113,6 +138,8 @@ std::optional<SkyExTModel> LoadModel(const std::string& text) {
       if (!ParseGroupLine(
               std::string_view(line).substr(kGroup2Key.size()),
               &model.group2)) {
+        SetError(error, ModelIoError::Code::kBadGroup,
+                 "malformed group2 line");
         return std::nullopt;
       }
       have_groups = true;
@@ -120,11 +147,33 @@ std::optional<SkyExTModel> LoadModel(const std::string& text) {
       char* end = nullptr;
       model.train_f1 =
           std::strtod(line.c_str() + kTrainF1Key.size(), &end);
-      if (end == line.c_str() + kTrainF1Key.size()) return std::nullopt;
+      if (end == line.c_str() + kTrainF1Key.size() ||
+          end != line.c_str() + line.size()) {
+        SetError(error, ModelIoError::Code::kBadNumber,
+                 "train_f1 is not a number");
+        return std::nullopt;
+      }
+      if (!std::isfinite(model.train_f1)) {
+        SetError(error, ModelIoError::Code::kNonFinite,
+                 "train_f1 is not finite");
+        return std::nullopt;
+      }
     }
   }
-  if (!have_preference || !have_cutoff) return std::nullopt;
-  if (model.cutoff_ratio < 0.0 || model.cutoff_ratio > 1.0) {
+  if (!have_preference || !have_cutoff) {
+    SetError(error, ModelIoError::Code::kMissingField,
+             !have_preference ? "missing preference line"
+                              : "missing cutoff_ratio line");
+    return std::nullopt;
+  }
+  // Negated range check so NaN (for which every comparison is false)
+  // fails validation instead of sailing through it.
+  if (!(model.cutoff_ratio >= 0.0 && model.cutoff_ratio <= 1.0)) {
+    SetError(error,
+             std::isnan(model.cutoff_ratio)
+                 ? ModelIoError::Code::kNonFinite
+                 : ModelIoError::Code::kOutOfRange,
+             "cutoff_ratio outside [0, 1]");
     return std::nullopt;
   }
 
@@ -152,12 +201,17 @@ bool SaveModelToFile(const SkyExTModel& model, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<SkyExTModel> LoadModelFromFile(const std::string& path) {
+std::optional<SkyExTModel> LoadModelFromFile(const std::string& path,
+                                             ModelIoError* error) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) {
+    SetError(error, ModelIoError::Code::kMissingField,
+             "cannot open " + path);
+    return std::nullopt;
+  }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return LoadModel(buffer.str());
+  return LoadModel(buffer.str(), error);
 }
 
 }  // namespace skyex::core

@@ -25,15 +25,36 @@ namespace skyex::core {
 /// the same schema.
 std::string SaveModel(const SkyExTModel& model);
 
+/// Typed outcome of LoadModel on malformed input: which validation
+/// failed, plus a human-readable message naming the offending field. A
+/// truncated, bit-flipped or hand-edited model file must map to one of
+/// these — never to a crash or a silently-garbage model.
+struct ModelIoError {
+  enum class Code {
+    kNone,
+    kBadPreference,   // preference line absent from grammar
+    kBadNumber,       // numeric field failed strict parsing
+    kNonFinite,       // NaN/Inf where a finite value is required
+    kOutOfRange,      // cutoff_ratio outside [0, 1]
+    kBadGroup,        // malformed group1:/group2: line
+    kMissingField,    // no preference: or cutoff_ratio: line
+  };
+  Code code = Code::kNone;
+  std::string message;
+};
+
 /// Parses SaveModel output, v2 or the legacy v1 two-line form. For v1
 /// input (no group lines) the explanatory group vectors are
 /// reconstructed from the preference structure with ρ magnitudes
-/// unavailable (set to 0). Returns nullopt on malformed input.
-std::optional<SkyExTModel> LoadModel(const std::string& text);
+/// unavailable (set to 0). Returns nullopt on malformed input, filling
+/// `error` (when non-null) with the typed reason.
+std::optional<SkyExTModel> LoadModel(const std::string& text,
+                                     ModelIoError* error = nullptr);
 
 /// Convenience file variants. Return false / nullopt on I/O error.
 bool SaveModelToFile(const SkyExTModel& model, const std::string& path);
-std::optional<SkyExTModel> LoadModelFromFile(const std::string& path);
+std::optional<SkyExTModel> LoadModelFromFile(
+    const std::string& path, ModelIoError* error = nullptr);
 
 }  // namespace skyex::core
 

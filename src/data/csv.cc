@@ -1,6 +1,9 @@
 #include "data/csv.h"
 
-#include <charconv>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -50,6 +53,75 @@ std::string EscapeCsvField(const std::string& field) {
 
 namespace {
 
+// Length in bytes of the valid UTF-8 sequence starting at `i`, or 0
+// when the bytes there are not a valid sequence (lone continuation
+// byte, truncated or overlong sequence, surrogate, > U+10FFFF).
+size_t Utf8SequenceLength(const std::string& text, size_t i) {
+  const unsigned char c = static_cast<unsigned char>(text[i]);
+  size_t extra;
+  uint32_t code;
+  uint32_t min_code;
+  if (c < 0x80) {
+    return 1;
+  } else if ((c & 0xE0) == 0xC0) {
+    extra = 1;
+    code = c & 0x1F;
+    min_code = 0x80;
+  } else if ((c & 0xF0) == 0xE0) {
+    extra = 2;
+    code = c & 0x0F;
+    min_code = 0x800;
+  } else if ((c & 0xF8) == 0xF0) {
+    extra = 3;
+    code = c & 0x07;
+    min_code = 0x10000;
+  } else {
+    return 0;  // lone continuation byte or invalid lead byte
+  }
+  if (i + extra >= text.size()) return 0;  // truncated sequence
+  for (size_t k = 1; k <= extra; ++k) {
+    const unsigned char cont = static_cast<unsigned char>(text[i + k]);
+    if ((cont & 0xC0) != 0x80) return 0;
+    code = (code << 6) | (cont & 0x3F);
+  }
+  if (code < min_code) return 0;                   // overlong
+  if (code >= 0xD800 && code <= 0xDFFF) return 0;  // surrogate
+  if (code > 0x10FFFF) return 0;
+  return extra + 1;
+}
+
+}  // namespace
+
+bool IsValidUtf8(const std::string& text) {
+  size_t i = 0;
+  while (i < text.size()) {
+    const size_t len = Utf8SequenceLength(text, i);
+    if (len == 0) return false;
+    i += len;
+  }
+  return true;
+}
+
+std::string SanitizeUtf8(const std::string& text) {
+  if (IsValidUtf8(text)) return text;
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    const size_t len = Utf8SequenceLength(text, i);
+    if (len == 0) {
+      out += "\xEF\xBF\xBD";  // U+FFFD replacement character
+      ++i;
+    } else {
+      out.append(text, i, len);
+      i += len;
+    }
+  }
+  return out;
+}
+
+namespace {
+
 std::string JoinCategories(const std::vector<std::string>& categories) {
   std::string out;
   for (size_t i = 0; i < categories.size(); ++i) {
@@ -68,6 +140,48 @@ std::vector<std::string> SplitCategories(const std::string& joined) {
     if (!item.empty()) out.push_back(item);
   }
   return out;
+}
+
+// Strict full-field numeric parsers: the atoi/atof family stops at the
+// first bad character and returns 0 for pure garbage, so "12x" or "abc"
+// would load silently as 12 / 0. Here the whole field must parse.
+bool ParseU64Field(const std::string& field, uint64_t* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(field.c_str(), &end, 10);
+  if (errno != 0 || end != field.c_str() + field.size()) return false;
+  if (field[0] == '-') return false;  // strtoull silently negates
+  *out = v;
+  return true;
+}
+
+bool ParseIntField(const std::string& field, int* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(field.c_str(), &end, 10);
+  if (errno != 0 || end != field.c_str() + field.size()) return false;
+  if (v < INT_MIN || v > INT_MAX) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseDoubleField(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() + field.size()) return false;
+  *out = v;
+  return true;
+}
+
+void SetError(CsvError* error, size_t line, std::string message) {
+  if (error != nullptr) {
+    error->line = line;
+    error->message = std::move(message);
+  }
 }
 
 }  // namespace
@@ -93,33 +207,93 @@ bool WriteDatasetCsv(const Dataset& dataset, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-bool ReadDatasetCsv(const std::string& path, Dataset* dataset) {
+bool ReadDatasetCsv(const std::string& path, Dataset* dataset,
+                    CsvError* error, size_t* repaired_fields) {
   std::ifstream in(path);
-  if (!in) return false;
+  if (!in) {
+    SetError(error, 0, "cannot open " + path);
+    return false;
+  }
   dataset->entities.clear();
   std::string line;
-  if (!std::getline(in, line)) return false;  // header
+  size_t line_number = 1;
+  if (!std::getline(in, line)) {
+    SetError(error, 0, "empty file (missing header row)");
+    return false;
+  }
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty()) continue;
-    const std::vector<std::string> fields = ParseCsvLine(line);
-    if (fields.size() != 12) return false;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::vector<std::string> fields = ParseCsvLine(line);
+    if (fields.size() != 12) {
+      SetError(error, line_number,
+               "expected 12 fields, got " +
+                   std::to_string(fields.size()));
+      return false;
+    }
     SpatialEntity e;
-    e.id = std::strtoull(fields[0].c_str(), nullptr, 10);
-    e.source = static_cast<Source>(std::atoi(fields[1].c_str()));
+    if (!ParseU64Field(fields[0], &e.id)) {
+      SetError(error, line_number, "bad id '" + fields[0] + "'");
+      return false;
+    }
+    int source = 0;
+    if (!ParseIntField(fields[1], &source) || source < 0 ||
+        source > static_cast<int>(Source::kZagat)) {
+      SetError(error, line_number, "bad source '" + fields[1] + "'");
+      return false;
+    }
+    e.source = static_cast<Source>(source);
+    // Text payload: repair mojibake rather than reject the row. Every
+    // loaded field is valid UTF-8 afterwards (U+FFFD for bad bytes),
+    // so downstream serializers (JSON responses) stay spec-clean.
+    for (const size_t text_field : {2ul, 3ul, 5ul, 6ul, 7ul, 8ul}) {
+      if (!IsValidUtf8(fields[text_field])) {
+        fields[text_field] = SanitizeUtf8(fields[text_field]);
+        if (repaired_fields != nullptr) ++*repaired_fields;
+      }
+    }
     e.name = fields[2];
     e.address_name = fields[3];
-    e.address_number = std::atoi(fields[4].c_str());
+    if (!ParseIntField(fields[4], &e.address_number)) {
+      SetError(error, line_number,
+               "bad address_number '" + fields[4] + "'");
+      return false;
+    }
     e.city = fields[5];
     e.phone = fields[6];
     e.website = fields[7];
     e.categories = SplitCategories(fields[8]);
     if (!fields[9].empty() && !fields[10].empty()) {
-      e.location = geo::GeoPoint{std::atof(fields[9].c_str()),
-                                 std::atof(fields[10].c_str()), true};
+      double lat = 0.0;
+      double lon = 0.0;
+      if (!ParseDoubleField(fields[9], &lat) ||
+          !ParseDoubleField(fields[10], &lon)) {
+        SetError(error, line_number,
+                 "bad coordinates '" + fields[9] + "','" + fields[10] +
+                     "'");
+        return false;
+      }
+      // !(finite && in range) so NaN fails rather than passing every
+      // < / > comparison.
+      if (!(std::isfinite(lat) && std::isfinite(lon) && lat >= -90.0 &&
+            lat <= 90.0 && lon >= -180.0 && lon <= 180.0)) {
+        SetError(error, line_number,
+                 "coordinates out of range or non-finite");
+        return false;
+      }
+      e.location = geo::GeoPoint{lat, lon, true};
+    } else if (fields[9].empty() != fields[10].empty()) {
+      SetError(error, line_number, "lat and lon must be given together");
+      return false;
     } else {
       e.location = geo::GeoPoint::Invalid();
     }
-    e.physical_id = std::strtoull(fields[11].c_str(), nullptr, 10);
+    if (!ParseU64Field(fields[11], &e.physical_id)) {
+      SetError(error, line_number,
+               "bad physical_id '" + fields[11] + "'");
+      return false;
+    }
     dataset->entities.push_back(std::move(e));
   }
   return true;

@@ -1,6 +1,7 @@
 #ifndef SKYEX_DATA_CSV_H_
 #define SKYEX_DATA_CSV_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,16 @@ std::vector<std::string> ParseCsvLine(const std::string& line);
 /// Quotes a field when it contains commas, quotes or newlines.
 std::string EscapeCsvField(const std::string& field);
 
+/// Typed outcome of a failed ReadDatasetCsv: the 1-based line number of
+/// the offending row (0 for file-level problems) and what was wrong
+/// with it. Malformed feeds — wrong field counts, non-numeric ids,
+/// NaN/Inf or out-of-range coordinates — fail here with a locatable
+/// message instead of loading as garbage.
+struct CsvError {
+  size_t line = 0;
+  std::string message;
+};
+
 /// Writes a dataset to a CSV file with a header row
 /// (id,source,name,address_name,address_number,city,phone,website,
 ///  categories,lat,lon,physical_id; categories are ';'-separated).
@@ -23,9 +34,26 @@ std::string EscapeCsvField(const std::string& field);
 /// Returns false on I/O error.
 bool WriteDatasetCsv(const Dataset& dataset, const std::string& path);
 
-/// Reads a dataset written by WriteDatasetCsv. Returns false on I/O or
-/// parse error.
-bool ReadDatasetCsv(const std::string& path, Dataset* dataset);
+/// Reads a dataset written by WriteDatasetCsv. Numeric fields are
+/// parsed strictly (full-field match, finite values, lat/lon in range,
+/// source within the enum); structural problems fail with False +
+/// `error` (when non-null). Text fields with invalid UTF-8 are
+/// *repaired*, not rejected — real POI feeds carry mojibake, and one
+/// bad byte must not kill a 100k-row load — but the repaired bytes
+/// never propagate: every loaded text field is valid UTF-8 (so e.g.
+/// JSON responses stay spec-clean). `repaired_fields` (when non-null)
+/// counts the fields that needed repair.
+bool ReadDatasetCsv(const std::string& path, Dataset* dataset,
+                    CsvError* error = nullptr,
+                    size_t* repaired_fields = nullptr);
+
+/// True when `text` is well-formed UTF-8 (no overlong encodings, no
+/// surrogate code points, no truncated sequences).
+bool IsValidUtf8(const std::string& text);
+
+/// Returns `text` with every invalid UTF-8 byte replaced by U+FFFD
+/// (the replacement character); valid input comes back unchanged.
+std::string SanitizeUtf8(const std::string& text);
 
 }  // namespace skyex::data
 

@@ -8,10 +8,37 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <limits>
+#include <thread>
+
+#include "fault/fault.h"
 
 namespace skyex::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  if (left <= 0) return 0;
+  return static_cast<int>(
+      std::min<long long>(left, std::numeric_limits<int>::max()));
+}
+
+void FaultSleep(double ms) {
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+}  // namespace
 
 void UniqueFd::Reset(int fd) {
   if (fd_ >= 0) ::close(fd_);
@@ -99,29 +126,82 @@ UniqueFd ConnectTcp(const std::string& host, uint16_t port, int timeout_ms) {
 }
 
 long ReadWithTimeout(int fd, char* buf, size_t len, int timeout_ms) {
-  pollfd pfd{fd, POLLIN, 0};
-  const int rc = ::poll(&pfd, 1, timeout_ms);
-  if (rc == 0) return kIoTimeout;
-  if (rc < 0) return errno == EINTR ? kIoTimeout : kIoError;
-  const ssize_t n = ::recv(fd, buf, len, 0);
-  if (n < 0) {
-    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR
-               ? kIoTimeout
-               : kIoError;
+  // EINTR — from poll or recv — is retried against the original
+  // deadline instead of being surfaced as a timeout: a signal landing
+  // mid-read (SIGTERM during drain, profiling signals) must not abort a
+  // healthy connection.
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    fault::FaultAction fault_action;
+    if (SKYEX_FAULT_FIRE("net.slow_read", &fault_action)) {
+      FaultSleep(fault_action.ms);
+    }
+    if (SKYEX_FAULT_FIRE("net.read_err", nullptr)) return kIoError;
+    if (SKYEX_FAULT_FIRE("net.read_eintr", nullptr)) {
+      // Simulated EINTR from recv: take the retry path.
+      if (RemainingMs(deadline) == 0) return kIoTimeout;
+      continue;
+    }
+    const int wait_ms = RemainingMs(deadline);
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc == 0) return kIoTimeout;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return kIoError;
+    }
+    size_t want = len;
+    if (SKYEX_FAULT_FIRE("net.short_read", nullptr)) {
+      want = std::min<size_t>(want, 1);  // torn packet: 1 byte at a time
+    }
+    const ssize_t n = ::recv(fd, buf, want, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (RemainingMs(deadline) == 0) return kIoTimeout;
+        continue;
+      }
+      return kIoError;
+    }
+    return n;
   }
-  return n;
 }
 
 bool WriteAll(int fd, const char* buf, size_t len, int timeout_ms) {
+  // One deadline bounds the whole write (a peer draining one byte per
+  // poll window must not stretch a bounded write into minutes), and
+  // EINTR from poll or send is retried, never treated as failure —
+  // without the retry, a signal mid-write tears large /v1/link_batch
+  // responses that straddle several send() calls.
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   size_t written = 0;
   while (written < len) {
+    fault::FaultAction fault_action;
+    if (SKYEX_FAULT_FIRE("net.slow_write", &fault_action)) {
+      FaultSleep(fault_action.ms);
+    }
+    if (SKYEX_FAULT_FIRE("net.write_err", nullptr)) return false;
+    if (SKYEX_FAULT_FIRE("net.write_eintr", nullptr)) {
+      // Simulated EINTR from send: take the retry path.
+      if (RemainingMs(deadline) == 0) return false;
+      continue;
+    }
+    const int wait_ms = RemainingMs(deadline);
+    if (wait_ms == 0) return false;
     pollfd pfd{fd, POLLOUT, 0};
-    const int rc = ::poll(&pfd, 1, timeout_ms);
-    if (rc <= 0) return false;
-    const ssize_t n =
-        ::send(fd, buf + written, len - written, MSG_NOSIGNAL);
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc == 0) return false;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    size_t chunk = len - written;
+    if (SKYEX_FAULT_FIRE("net.short_write", nullptr)) {
+      chunk = std::min<size_t>(chunk, 1);  // force the partial-write path
+    }
+    const ssize_t n = ::send(fd, buf + written, chunk, MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
         continue;
       }
       return false;

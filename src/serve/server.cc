@@ -1,9 +1,11 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <utility>
 
+#include "fault/fault.h"
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -19,13 +21,20 @@ const std::vector<double>& BatchSizeBuckets() {
   return *buckets;
 }
 
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 Server::Server(LinkService* service, ServerOptions options)
     : service_(service),
       options_(options),
       conn_queue_(options.conn_backlog),
-      link_queue_(options.queue_depth) {}
+      link_queue_(options.queue_depth),
+      breaker_(options.breaker) {}
 
 Server::~Server() { Stop(); }
 
@@ -33,9 +42,15 @@ bool Server::Start(std::string* error) {
   listen_fd_ = ListenTcp(options_.port, options_.listen_backlog, error);
   if (!listen_fd_.valid()) return false;
   port_ = LocalPort(listen_fd_.get());
+  last_record_count_.store(service_->record_count(),
+                           std::memory_order_relaxed);
+  linker_heartbeat_ms_.store(NowMs(), std::memory_order_relaxed);
   started_.store(true);
   listener_ = std::thread(&Server::ListenerLoop, this);
   linker_ = std::thread(&Server::LinkerLoop, this);
+  if (options_.watchdog_ms > 0) {
+    watchdog_ = std::thread(&Server::WatchdogLoop, this);
+  }
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back(&Server::WorkerLoop, this);
@@ -43,7 +58,9 @@ bool Server::Start(std::string* error) {
   SKYEX_LOG_INFO("serve/start", "server listening", {"port", port_},
                  {"workers", options_.workers},
                  {"queue_depth", options_.queue_depth},
-                 {"batch_window_us", options_.batch_window_us});
+                 {"batch_window_us", options_.batch_window_us},
+                 {"deadline_ms", options_.deadline_ms},
+                 {"watchdog_ms", options_.watchdog_ms});
   return true;
 }
 
@@ -64,10 +81,14 @@ void Server::Stop() {
   //    queue so no promise is left unfulfilled, then stop the linker.
   link_queue_.Close();
   linker_.join();
+  if (watchdog_.joinable()) watchdog_.join();
   SKYEX_LOG_INFO("serve/stop", "shutdown complete",
                  {"requests", requests_.load()},
                  {"responses_ok", responses_ok_.load()},
-                 {"rejected_429", rejected_.load()});
+                 {"rejected_429", rejected_.load()},
+                 {"deadline_expired", deadline_expired_.load()},
+                 {"degraded", degraded_.load()},
+                 {"breaker_opens", breaker_.opens()});
 }
 
 Server::Stats Server::stats() const {
@@ -77,7 +98,13 @@ Server::Stats Server::stats() const {
   s.responses_ok = responses_ok_.load();
   s.responses_client_error = responses_client_error_.load();
   s.rejected = rejected_.load();
+  s.shed = shed_.load();
   s.responses_server_error = responses_server_error_.load();
+  s.deadline_expired = deadline_expired_.load();
+  s.degraded = degraded_.load();
+  s.breaker_rejected = breaker_rejected_.load();
+  s.breaker_opens = breaker_.opens();
+  s.watchdog_trips = watchdog_trips_.load();
   return s;
 }
 
@@ -150,6 +177,10 @@ void Server::ServeConnection(UniqueFd fd) {
       responses_ok_.fetch_add(1, std::memory_order_relaxed);
     } else if (response.status == 429) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+    } else if (response.status == 503) {
+      // Deliberate backpressure — breaker open, deadline shed, drain,
+      // wedged health check — not a server fault.
+      shed_.fetch_add(1, std::memory_order_relaxed);
     } else if (response.status < 500) {
       responses_client_error_.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -174,14 +205,23 @@ HttpResponse Server::Dispatch(const HttpRequest& request) {
   }
   if (request.path == "/healthz") {
     if (request.method != "GET") return ErrorResponse(405, "use GET");
+    // A wedged linker likely holds the service mutex, so /healthz must
+    // not call record_count() then — it reports the cached count.
+    const bool wedged = wedged_.load(std::memory_order_relaxed);
     json::Writer writer;
     writer.BeginObject();
     writer.Key("status").String(
-        draining_.load(std::memory_order_relaxed) ? "draining" : "ok");
-    writer.Key("records").Uint(service_->record_count());
+        wedged ? "wedged"
+               : draining_.load(std::memory_order_relaxed) ? "draining"
+                                                           : "ok");
+    writer.Key("records").Uint(
+        wedged ? last_record_count_.load(std::memory_order_relaxed)
+               : service_->record_count());
     writer.Key("queue_depth").Uint(link_queue_.size());
+    writer.Key("breaker").String(breaker_.StateName(NowMs()));
     writer.EndObject();
     HttpResponse response;
+    if (wedged) response.status = 503;
     response.body = writer.Take();
     return response;
   }
@@ -201,6 +241,39 @@ HttpResponse Server::Dispatch(const HttpRequest& request) {
     return response;
   }
   return ErrorResponse(404, "no such endpoint");
+}
+
+HttpResponse Server::LinkResponse(const std::vector<LinkResult>& results,
+                                  bool batch) {
+  json::Writer writer;
+  if (batch) {
+    writer.BeginObject();
+    writer.Key("results").BeginArray();
+    for (const LinkResult& result : results) {
+      WriteLinkResultJson(&writer, result);
+    }
+    writer.EndArray();
+    writer.EndObject();
+  } else {
+    WriteLinkResultJson(&writer, results[0]);
+  }
+  HttpResponse response;
+  response.body = writer.Take();
+  return response;
+}
+
+HttpResponse Server::DegradedResponse(
+    const std::vector<data::SpatialEntity>& entities, bool batch) {
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  SKYEX_COUNTER_INC("serve/degraded_responses");
+  return LinkResponse(service_->LinkDegraded(entities), batch);
+}
+
+HttpResponse Server::ShedResponse(const std::string& message) {
+  HttpResponse response = ErrorResponse(503, message);
+  response.extra_headers.emplace_back(
+      "Retry-After", std::to_string(breaker_.RetryAfterSeconds()));
+  return response;
 }
 
 HttpResponse Server::HandleLink(const HttpRequest& request, bool batch) {
@@ -246,12 +319,46 @@ HttpResponse Server::HandleLink(const HttpRequest& request, bool batch) {
     }
   }
 
+  // Injected allocation failure at the admission boundary: the request
+  // is well-formed but the server refuses to take on the work.
+  if (SKYEX_FAULT_FIRE("serve.alloc", nullptr)) {
+    SKYEX_COUNTER_INC("serve/alloc_failures");
+    return ShedResponse("out of memory (injected)");
+  }
+
+  // A wedged linker cannot serve the full path; don't enqueue work that
+  // would only expire. The watchdog clears the flag on recovery.
+  if (wedged_.load(std::memory_order_relaxed)) {
+    if (options_.degraded_fallback) {
+      return DegradedResponse(job.entities, batch);
+    }
+    return ShedResponse("linker wedged");
+  }
+
+  if (!breaker_.Admit(NowMs())) {
+    breaker_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SKYEX_COUNTER_INC("serve/breaker_rejected");
+    return ShedResponse("circuit breaker open");
+  }
+
+  // Keep a copy for the degraded path: the job itself is moved into the
+  // queue and may still be consumed by the linker after we give up.
+  std::vector<data::SpatialEntity> fallback_entities;
+  if (options_.deadline_ms > 0 && options_.degraded_fallback) {
+    fallback_entities = job.entities;
+  }
+
   job.enqueue_us = obs::TraceNowUs();
+  auto cancelled = std::make_shared<std::atomic<bool>>(false);
+  job.cancelled = cancelled;
   std::future<std::vector<LinkResult>> future = job.done.get_future();
   const PushResult pushed = link_queue_.TryPush(std::move(job));
   SKYEX_GAUGE_SET("serve/queue_depth",
                   static_cast<double>(link_queue_.size()));
   if (pushed == PushResult::kFull) {
+    // Backpressure, not linker failure: release a half-open probe slot
+    // without biasing the breaker window.
+    breaker_.RecordNeutral(NowMs());
     SKYEX_COUNTER_INC("serve/rejected_429");
     HttpResponse response = ErrorResponse(429, "link queue is full");
     response.extra_headers.emplace_back(
@@ -259,7 +366,38 @@ HttpResponse Server::HandleLink(const HttpRequest& request, bool batch) {
     return response;
   }
   if (pushed == PushResult::kClosed) {
+    breaker_.RecordNeutral(NowMs());
     return ErrorResponse(503, "server is draining");
+  }
+
+  if (options_.deadline_ms > 0) {
+    // Injected clock skew eats into the request's budget, as a skewed
+    // or stepped clock would.
+    double skew_ms = 0.0;
+    fault::FaultAction skew_action;
+    if (SKYEX_FAULT_FIRE("serve.clock_skew", &skew_action)) {
+      skew_ms = skew_action.ms;
+    }
+    const auto wait = std::chrono::milliseconds(std::max<int64_t>(
+        0, options_.deadline_ms - static_cast<int64_t>(skew_ms)));
+    std::future_status ready;
+    {
+      SKYEX_SPAN("serve/queue_wait");
+      ready = future.wait_for(wait);
+    }
+    if (ready != std::future_status::ready) {
+      cancelled->store(true, std::memory_order_relaxed);
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      SKYEX_COUNTER_INC("serve/deadline_expired");
+      breaker_.RecordFailure(NowMs());
+      if (options_.degraded_fallback) {
+        return DegradedResponse(fallback_entities, batch);
+      }
+      return ShedResponse("deadline exceeded");
+    }
+    std::vector<LinkResult> results = future.get();
+    breaker_.RecordSuccess(NowMs());
+    return LinkResponse(results, batch);
   }
 
   std::vector<LinkResult> results;
@@ -267,22 +405,8 @@ HttpResponse Server::HandleLink(const HttpRequest& request, bool batch) {
     SKYEX_SPAN("serve/queue_wait");
     results = future.get();
   }
-
-  json::Writer writer;
-  if (batch) {
-    writer.BeginObject();
-    writer.Key("results").BeginArray();
-    for (const LinkResult& result : results) {
-      WriteLinkResultJson(&writer, result);
-    }
-    writer.EndArray();
-    writer.EndObject();
-  } else {
-    WriteLinkResultJson(&writer, results[0]);
-  }
-  HttpResponse response;
-  response.body = writer.Take();
-  return response;
+  breaker_.RecordSuccess(NowMs());
+  return LinkResponse(results, batch);
 }
 
 void Server::LinkerLoop() {
@@ -290,6 +414,17 @@ void Server::LinkerLoop() {
   while (link_queue_.PopBatch(
       &jobs, std::chrono::microseconds(options_.batch_window_us),
       options_.max_batch)) {
+    linker_busy_.store(true, std::memory_order_relaxed);
+    linker_heartbeat_ms_.store(NowMs(), std::memory_order_relaxed);
+    // Injected wedge: the stall happens while busy with the heartbeat
+    // frozen, exactly what a deadlocked or livelocked linker looks like
+    // to the watchdog.
+    fault::FaultAction stall;
+    if (SKYEX_FAULT_FIRE("linker.stall", &stall)) {
+      SKYEX_LOG_WARN("serve/linker", "injected stall", {"ms", stall.ms});
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(stall.ms));
+    }
     SKYEX_GAUGE_SET("serve/queue_depth",
                     static_cast<double>(link_queue_.size()));
     std::vector<data::SpatialEntity> entities;
@@ -298,23 +433,42 @@ void Server::LinkerLoop() {
       SKYEX_SPAN("serve/batch_assembly");
       const double now_us = obs::TraceNowUs();
       size_t total = 0;
+      size_t skipped = 0;
+      offsets.reserve(jobs.size());
       for (const LinkJob& job : jobs) total += job.entities.size();
       entities.reserve(total);
-      offsets.reserve(jobs.size());
       for (LinkJob& job : jobs) {
+        offsets.push_back(entities.size());
+        // A cancelled job's caller gave up at its deadline; skipping it
+        // keeps the abandoned request from mutating the dataset. Its
+        // slice stays empty.
+        if (job.cancelled != nullptr &&
+            job.cancelled->load(std::memory_order_relaxed)) {
+          ++skipped;
+          continue;
+        }
         SKYEX_HISTOGRAM_OBSERVE_US("serve/queue_wait_us",
                                    now_us - job.enqueue_us);
-        offsets.push_back(entities.size());
         for (data::SpatialEntity& e : job.entities) {
           entities.push_back(std::move(e));
         }
       }
+      if (skipped > 0) {
+        SKYEX_COUNTER_ADD("serve/jobs_skipped_cancelled", skipped);
+      }
       SKYEX_HISTOGRAM_OBSERVE("serve/batch_size",
-                              static_cast<double>(total),
+                              static_cast<double>(entities.size()),
                               BatchSizeBuckets());
     }
 
-    std::vector<LinkResult> results = service_->LinkMany(entities);
+    std::vector<LinkResult> results;
+    if (!entities.empty()) {
+      results = service_->LinkMany(entities);
+      if (!results.empty()) {
+        last_record_count_.store(results.back().record_index + 1,
+                                 std::memory_order_relaxed);
+      }
+    }
 
     for (size_t j = 0; j < jobs.size(); ++j) {
       const size_t begin = offsets[j];
@@ -324,6 +478,40 @@ void Server::LinkerLoop() {
           std::make_move_iterator(results.begin() + begin),
           std::make_move_iterator(results.begin() + end));
       jobs[j].done.set_value(std::move(slice));
+    }
+    linker_heartbeat_ms_.store(NowMs(), std::memory_order_relaxed);
+    linker_busy_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void Server::WatchdogLoop() {
+  const int64_t interval =
+      std::max<int64_t>(10, options_.watchdog_ms / 4);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    for (int64_t slept = 0;
+         slept < interval && !stopping_.load(std::memory_order_relaxed);
+         slept += 10) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    const int64_t now = NowMs();
+    const bool active = linker_busy_.load(std::memory_order_relaxed) ||
+                        link_queue_.size() > 0;
+    const int64_t age =
+        now - linker_heartbeat_ms_.load(std::memory_order_relaxed);
+    if (active && age > options_.watchdog_ms) {
+      if (!wedged_.exchange(true, std::memory_order_relaxed)) {
+        watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+        SKYEX_COUNTER_INC("serve/watchdog_trips");
+        SKYEX_GAUGE_SET("serve/wedged", 1.0);
+        SKYEX_LOG_WARN("serve/watchdog", "linker wedged",
+                       {"heartbeat_age_ms", age},
+                       {"queue_depth", link_queue_.size()});
+        breaker_.ForceOpen(now);
+      }
+    } else if (wedged_.exchange(false, std::memory_order_relaxed)) {
+      SKYEX_GAUGE_SET("serve/wedged", 0.0);
+      SKYEX_LOG_INFO("serve/watchdog", "linker recovered",
+                     {"heartbeat_age_ms", age});
     }
   }
 }

@@ -15,6 +15,22 @@
 // IncrementalLinker dataset, satisfying the serialization contract of
 // core/incremental.h.
 //
+// Resilience (docs/robustness.md has the full semantics):
+//   - per-request deadline (`deadline_ms`): an admitted link job that
+//     misses its deadline is cancelled (the linker skips it) and the
+//     request gets a degraded fallback answer or 503 + Retry-After;
+//   - circuit breaker around the linker: deadline expiries feed a
+//     sliding failure window; past the threshold the server sheds
+//     /v1/link* load with 503 + *jittered* Retry-After until a
+//     half-open probe succeeds;
+//   - watchdog (`watchdog_ms`): a linker thread that stops heartbeating
+//     while work is pending marks the server wedged — /healthz turns
+//     503, the breaker is forced open, and link requests are answered
+//     degraded until the heartbeat resumes;
+//   - degraded fallback (`degraded_fallback`): answers from
+//     LinkService::LinkDegraded, marked "degraded":true, never
+//     persisted.
+//
 // Endpoints:
 //   POST /v1/link        {"entity": {...}}    -> links + golden record
 //   POST /v1/link_batch  {"entities": [...]}  -> {"results": [...]}
@@ -35,6 +51,7 @@
 #include <vector>
 
 #include "data/spatial_entity.h"
+#include "serve/breaker.h"
 #include "serve/http.h"
 #include "serve/net.h"
 #include "serve/queue.h"
@@ -55,6 +72,10 @@ struct ServerOptions {
   int write_timeout_ms = 5000;
   int retry_after_s = 1;        // Retry-After on 429
   int listen_backlog = 128;
+  int deadline_ms = 0;          // per-request link deadline (0 = none)
+  bool degraded_fallback = true;  // degrade instead of 503 when possible
+  int watchdog_ms = 0;          // wedged-linker threshold (0 = off)
+  CircuitBreakerOptions breaker;  // sheds load on sustained failures
 };
 
 class Server {
@@ -79,9 +100,18 @@ class Server {
     uint64_t responses_ok = 0;
     uint64_t responses_client_error = 0;  // 4xx except 429
     uint64_t rejected = 0;                // 429
-    uint64_t responses_server_error = 0;  // 5xx
+    uint64_t shed = 0;                    // 503 (deliberate backpressure)
+    uint64_t responses_server_error = 0;  // 5xx except 503
+    uint64_t deadline_expired = 0;        // link jobs past deadline
+    uint64_t degraded = 0;                // degraded fallback answers
+    uint64_t breaker_rejected = 0;        // shed by the open breaker
+    uint64_t breaker_opens = 0;
+    uint64_t watchdog_trips = 0;
   };
   Stats stats() const;
+
+  /// True while the watchdog considers the linker wedged.
+  bool wedged() const { return wedged_.load(std::memory_order_relaxed); }
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -90,16 +120,26 @@ class Server {
   struct LinkJob {
     std::vector<data::SpatialEntity> entities;
     double enqueue_us = 0.0;
+    // Set by the I/O worker when the request's deadline expires; the
+    // linker skips cancelled jobs instead of mutating the dataset for
+    // a caller that already gave up.
+    std::shared_ptr<std::atomic<bool>> cancelled;
     std::promise<std::vector<LinkResult>> done;
   };
 
   void ListenerLoop();
   void WorkerLoop();
   void LinkerLoop();
+  void WatchdogLoop();
   void ServeConnection(UniqueFd fd);
   HttpResponse Dispatch(const HttpRequest& request);
   HttpResponse HandleLink(const HttpRequest& request, bool batch);
+  HttpResponse DegradedResponse(
+      const std::vector<data::SpatialEntity>& entities, bool batch);
+  HttpResponse ShedResponse(const std::string& message);
   HttpResponse ErrorResponse(int status, const std::string& message) const;
+  static HttpResponse LinkResponse(const std::vector<LinkResult>& results,
+                                   bool batch);
 
   LinkService* service_;
   ServerOptions options_;
@@ -107,23 +147,39 @@ class Server {
   uint16_t port_ = 0;
 
   std::atomic<bool> started_{false};
-  std::atomic<bool> stopping_{false};   // listener exit
+  std::atomic<bool> stopping_{false};   // listener + watchdog exit
   std::atomic<bool> draining_{false};   // workers abort idle reads
   std::atomic<bool> stopped_{false};
 
   BatchQueue<UniqueFd> conn_queue_;
   BatchQueue<LinkJob> link_queue_;
+  CircuitBreaker breaker_;
 
   std::thread listener_;
   std::vector<std::thread> workers_;
   std::thread linker_;
+  std::thread watchdog_;
+
+  // Watchdog protocol: the linker stamps `linker_heartbeat_ms_` around
+  // every batch; wedged = heartbeat stale while busy or work is queued.
+  std::atomic<int64_t> linker_heartbeat_ms_{0};
+  std::atomic<bool> linker_busy_{false};
+  std::atomic<bool> wedged_{false};
+  // Record count as of the last completed batch — lets /healthz answer
+  // without touching the (possibly wedged) linker mutex.
+  std::atomic<uint64_t> last_record_count_{0};
 
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> responses_ok_{0};
   std::atomic<uint64_t> responses_client_error_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> responses_server_error_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> breaker_rejected_{0};
+  std::atomic<uint64_t> watchdog_trips_{0};
 };
 
 }  // namespace skyex::serve

@@ -1,15 +1,21 @@
 #include "serve/service.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "core/linker.h"
 #include "core/model_io.h"
 #include "core/pipeline.h"
 #include "core/skyex_t.h"
+#include "features/feature_schema.h"
+#include "geo/distance.h"
 #include "geo/quadflex.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "text/jaro.h"
+#include "text/normalize.h"
 
 namespace skyex::serve {
 
@@ -104,6 +110,12 @@ bool ParseEntityJson(const obs::json::Value& value,
     return false;
   }
   if (lat != nullptr) {
+    // NaN fails every range comparison, so check finiteness explicitly
+    // — a NaN coordinate must not slip into the spatial index.
+    if (!std::isfinite(lat->number_v) || !std::isfinite(lon->number_v)) {
+      *error = "lat/lon must be finite";
+      return false;
+    }
     if (lat->number_v < -90.0 || lat->number_v > 90.0 ||
         lon->number_v < -180.0 || lon->number_v > 180.0) {
       *error = "lat/lon out of range";
@@ -143,6 +155,7 @@ void WriteEntityJson(json::Writer* writer, const data::SpatialEntity& e) {
 void WriteLinkResultJson(json::Writer* writer, const LinkResult& result) {
   writer->BeginObject();
   writer->Key("record_index").Uint(result.record_index);
+  if (result.degraded) writer->Key("degraded").Bool(true);
   writer->Key("links").BeginArray();
   for (const LinkedRecord& link : result.links) {
     writer->BeginObject();
@@ -158,32 +171,95 @@ void WriteLinkResultJson(json::Writer* writer, const LinkResult& result) {
   writer->EndObject();
 }
 
+LinkService::DegradedEntry LinkService::MakeDegradedEntry(
+    const data::SpatialEntity& e) {
+  DegradedEntry entry;
+  entry.id = e.id;
+  entry.source = std::string(data::SourceName(e.source));
+  entry.name = e.name;
+  entry.normalized_name = text::Normalize(e.name);
+  entry.location = e.location;
+  return entry;
+}
+
 LinkService::LinkService(core::IncrementalLinker linker,
-                         std::string model_text)
-    : linker_(std::move(linker)), model_text_(std::move(model_text)) {}
+                         std::string model_text,
+                         DegradedOptions degraded_options)
+    : linker_(std::move(linker)),
+      model_text_(std::move(model_text)),
+      degraded_options_(degraded_options) {
+  const data::Dataset& dataset = linker_.dataset();
+  degraded_index_.reserve(dataset.size());
+  for (const data::SpatialEntity& e : dataset.entities) {
+    degraded_index_.push_back(MakeDegradedEntry(e));
+  }
+}
 
 std::vector<LinkResult> LinkService::LinkMany(
     const std::vector<data::SpatialEntity>& entities) {
   SKYEX_SPAN("serve/link_batch");
   std::vector<LinkResult> results;
   results.reserve(entities.size());
-  std::lock_guard<std::mutex> lock(mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const data::SpatialEntity& entity : entities) {
+      LinkResult result;
+      const std::vector<size_t> links = linker_.AddRecord(entity);
+      const data::Dataset& dataset = linker_.dataset();
+      result.record_index = dataset.size() - 1;
+      result.links.reserve(links.size());
+      for (size_t record : links) {
+        result.links.push_back(LinkedRecord{
+            record, dataset[record].id, dataset[record].name,
+            std::string(data::SourceName(dataset[record].source))});
+      }
+      std::vector<size_t> cluster = links;
+      cluster.push_back(result.record_index);
+      result.merged = core::MergeRecords(dataset, cluster);
+      SKYEX_COUNTER_INC("serve/link_requests");
+      SKYEX_COUNTER_ADD("serve/linked_records", links.size());
+      results.push_back(std::move(result));
+    }
+  }
+  // Mirror the new records into the degraded index outside the linker
+  // lock, so degraded readers only ever contend on this short append.
+  {
+    std::lock_guard<std::mutex> lock(degraded_mutex_);
+    for (const data::SpatialEntity& entity : entities) {
+      degraded_index_.push_back(MakeDegradedEntry(entity));
+    }
+  }
+  return results;
+}
+
+std::vector<LinkResult> LinkService::LinkDegraded(
+    const std::vector<data::SpatialEntity>& entities) const {
+  SKYEX_SPAN("serve/link_degraded");
+  std::vector<LinkResult> results;
+  results.reserve(entities.size());
+  std::lock_guard<std::mutex> lock(degraded_mutex_);
   for (const data::SpatialEntity& entity : entities) {
     LinkResult result;
-    const std::vector<size_t> links = linker_.AddRecord(entity);
-    const data::Dataset& dataset = linker_.dataset();
-    result.record_index = dataset.size() - 1;
-    result.links.reserve(links.size());
-    for (size_t record : links) {
-      result.links.push_back(LinkedRecord{
-          record, dataset[record].id, dataset[record].name,
-          std::string(data::SourceName(dataset[record].source))});
+    result.degraded = true;
+    // Where the record *would* land; nothing is actually appended.
+    result.record_index = degraded_index_.size();
+    const std::string normalized = text::Normalize(entity.name);
+    for (size_t i = 0; i < degraded_index_.size(); ++i) {
+      const DegradedEntry& entry = degraded_index_[i];
+      if (entity.location.valid && entry.location.valid &&
+          geo::HaversineMeters(entity.location, entry.location) >
+              degraded_options_.radius_m) {
+        continue;
+      }
+      const double f_sim =
+          text::JaroWinklerSimilarity(normalized, entry.normalized_name);
+      if (f_sim >= degraded_options_.f_sim_threshold) {
+        result.links.push_back(
+            LinkedRecord{i, entry.id, entry.name, entry.source});
+      }
     }
-    std::vector<size_t> cluster = links;
-    cluster.push_back(result.record_index);
-    result.merged = core::MergeRecords(dataset, cluster);
-    SKYEX_COUNTER_INC("serve/link_requests");
-    SKYEX_COUNTER_ADD("serve/linked_records", links.size());
+    result.merged = entity;
+    SKYEX_COUNTER_INC("serve/degraded_links");
     results.push_back(std::move(result));
   }
   return results;
@@ -202,6 +278,22 @@ std::unique_ptr<LinkService> BootstrapLinkService(
       !skyline::Compile(*model.preference).has_value()) {
     if (error != nullptr) *error = "model preference is missing or invalid";
     return nullptr;
+  }
+  // A corrupt or mismatched model may parse cleanly yet reference
+  // feature indices beyond the LGM-X schema; serving it would read out
+  // of bounds on every request. Reject it here, once.
+  std::vector<size_t> used_features;
+  model.preference->CollectFeatures(&used_features);
+  const size_t schema_width = features::LgmXFeatureCount();
+  for (size_t feature : used_features) {
+    if (feature >= schema_width) {
+      if (error != nullptr) {
+        *error = "model references feature index " +
+                 std::to_string(feature) + " but the LGM-X schema has " +
+                 std::to_string(schema_width) + " features";
+      }
+      return nullptr;
+    }
   }
   const bool has_coordinates =
       !dataset.entities.empty() && dataset.entities.front().location.valid;

@@ -6,6 +6,15 @@
 // core::IncrementalLinker (whose AddRecord mutates the dataset and must
 // be serialized — see core/incremental.h), and the bootstrap that
 // turns a dataset + saved model into a calibrated linker.
+//
+// Besides the full linker path, the service maintains a *degraded
+// index*: immutable snapshots (id, source, normalized name, location)
+// of every linked record, guarded by its own mutex. When the full path
+// is unavailable — deadline expired, linker wedged, breaker open — the
+// server can still answer from this index with a cheap
+// threshold-on-f_sim match (Jaro-Winkler on normalized names, gated by
+// a Haversine radius). Degraded answers are read-only (nothing is
+// persisted) and marked "degraded":true in the response.
 
 #include <cstdint>
 #include <memory>
@@ -33,11 +42,19 @@ struct LinkResult {
   size_t record_index = 0;  // where the new entity landed in the dataset
   std::vector<LinkedRecord> links;
   data::SpatialEntity merged;  // golden record of {entity} ∪ links
+  bool degraded = false;       // answered by the fallback path
+};
+
+/// Knobs of the degraded fallback matcher.
+struct DegradedOptions {
+  double f_sim_threshold = 0.9;  // Jaro-Winkler on normalized names
+  double radius_m = 500.0;       // Haversine gate when both have coords
 };
 
 /// Parses {"entity": {...}} / an entity object into `out`. `name` is
 /// required; everything else optional ("source" accepts the names from
-/// data::SourceName or an integer). False + `error` on bad input.
+/// data::SourceName or an integer). False + `error` on bad input —
+/// including non-finite lat/lon.
 bool ParseEntityJson(const obs::json::Value& value,
                      data::SpatialEntity* out, std::string* error);
 
@@ -52,12 +69,20 @@ void WriteLinkResultJson(json::Writer* writer, const LinkResult& result);
 /// funnels through LinkMany (one lock acquisition per micro-batch).
 class LinkService {
  public:
-  LinkService(core::IncrementalLinker linker, std::string model_text);
+  LinkService(core::IncrementalLinker linker, std::string model_text,
+              DegradedOptions degraded_options = {});
 
   /// Links each entity in order against the (growing) dataset. One
   /// batch = one lock hold = one linker pass.
   std::vector<LinkResult> LinkMany(
       const std::vector<data::SpatialEntity>& entities);
+
+  /// Read-only fallback: matches each entity against the degraded
+  /// index by name similarity + radius gate. Never touches the linker
+  /// or its mutex, so it stays responsive while the linker is wedged.
+  /// Results carry degraded = true and are NOT persisted.
+  std::vector<LinkResult> LinkDegraded(
+      const std::vector<data::SpatialEntity>& entities) const;
 
   size_t record_count() const;
 
@@ -65,16 +90,34 @@ class LinkService {
   const std::string& model_text() const { return model_text_; }
 
  private:
+  struct DegradedEntry {
+    uint64_t id = 0;
+    std::string source;
+    std::string name;             // original, for the response
+    std::string normalized_name;  // match key
+    geo::GeoPoint location;
+  };
+  static DegradedEntry MakeDegradedEntry(const data::SpatialEntity& e);
+
   mutable std::mutex mutex_;
   core::IncrementalLinker linker_;
   const std::string model_text_;
+
+  // Separate mutex: a wedged linker thread stalls inside mutex_, and
+  // the degraded path must not queue behind it.
+  mutable std::mutex degraded_mutex_;
+  std::vector<DegradedEntry> degraded_index_;
+  const DegradedOptions degraded_options_;
 };
 
 /// Builds a LinkService from a dataset and a trained model: blocks the
 /// dataset (QuadFlex with coordinates, Cartesian without), extracts
 /// LGM-X features, labels every pair with the model, and calibrates the
 /// incremental linker's acceptance threshold on the accepted pairs.
-/// nullptr + `error` when the model is unusable or no pair is accepted.
+/// Rejects models whose preference reads feature indices outside the
+/// LGM-X schema (a corrupt or mismatched model file would otherwise
+/// read out of bounds on every request). nullptr + `error` when the
+/// model is unusable or no pair is accepted.
 std::unique_ptr<LinkService> BootstrapLinkService(
     data::Dataset dataset, core::SkyExTModel model,
     const core::IncrementalLinkerOptions& options, std::string* error);

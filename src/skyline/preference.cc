@@ -1,6 +1,8 @@
 #include "skyline/preference.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace skyex::skyline {
 
@@ -9,6 +11,20 @@ namespace {
 std::string FeatureName(size_t index, const std::vector<std::string>& names) {
   if (index < names.size()) return names[index];
   return "X" + std::to_string(index);
+}
+
+/// Resolves a directed-value comparison where at least one side is NaN.
+/// NaN acts as -inf in the preference's direction: it ties with -inf and
+/// with other NaNs, and loses to everything else. This keeps dominance a
+/// deterministic partial order on poisoned rows and agrees with
+/// CompiledPreference::Key, which maps NaN group sums to -inf.
+Comparison CompareWithNan(double va, double vb) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  const double ea = std::isnan(va) ? ninf : va;
+  const double eb = std::isnan(vb) ? ninf : vb;
+  if (ea > eb) return Comparison::kBetter;
+  if (ea < eb) return Comparison::kWorse;
+  return Comparison::kEqual;
 }
 
 class FeatureDirectionNode final : public Preference {
@@ -22,7 +38,12 @@ class FeatureDirectionNode final : public Preference {
     const double vb = sign * b[index_];
     if (va > vb) return Comparison::kBetter;
     if (va < vb) return Comparison::kWorse;
-    return Comparison::kEqual;
+    if (va == vb) return Comparison::kEqual;
+    // NaN on at least one side (all three comparisons false). A NaN
+    // behaves as -inf — a poisoned feature deterministically loses —
+    // matching CompiledPreference::Key's NaN → -inf mapping. Finite
+    // data never reaches this branch.
+    return CompareWithNan(va, vb);
   }
 
   std::string ToString(const std::vector<std::string>& names) const override {
@@ -213,6 +234,21 @@ Comparison CompiledPreference::Compare(const double* a,
       } else if (va < vb) {
         has_worse = true;
         if (has_better) return Comparison::kIncomparable;
+      } else if (!(va == vb)) {
+        // NaN on at least one side; resolve with NaN-as--inf semantics
+        // (see CompareWithNan). Finite data never takes this branch.
+        switch (CompareWithNan(va, vb)) {
+          case Comparison::kBetter:
+            has_better = true;
+            if (has_worse) return Comparison::kIncomparable;
+            break;
+          case Comparison::kWorse:
+            has_worse = true;
+            if (has_better) return Comparison::kIncomparable;
+            break;
+          default:
+            break;
+        }
       }
     }
     if (has_better) return Comparison::kBetter;
@@ -226,7 +262,13 @@ void CompiledPreference::Key(const double* row, double* out) const {
   for (size_t g = 0; g < groups.size(); ++g) {
     double sum = 0.0;
     for (const Term& t : groups[g]) sum += t.sign * row[t.feature];
-    out[g] = sum;
+    // A NaN key breaks the strict weak ordering lexicographic key sorts
+    // rely on (every comparison false ⇒ std::sort UB). Map it to -inf:
+    // a row with an unusable feature deterministically sorts worst,
+    // matching Compare's treatment of NaN as never-better.
+    out[g] = std::isnan(sum)
+                 ? -std::numeric_limits<double>::infinity()
+                 : sum;
   }
 }
 

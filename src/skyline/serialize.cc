@@ -98,11 +98,16 @@ class Parser {
     }
     if (!Consume('(')) return nullptr;
     SkipSpace();
+    // Cap the feature index: unbounded accumulation silently wraps on
+    // long digit strings (a corrupt model would then index far outside
+    // any feature matrix). No real schema comes close to the cap.
+    constexpr size_t kMaxFeatureIndex = 1u << 20;
     size_t digits = 0;
     size_t value = 0;
     while (pos_ < text_.size() &&
            std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
       value = value * 10 + static_cast<size_t>(text_[pos_] - '0');
+      if (value > kMaxFeatureIndex) return nullptr;
       ++pos_;
       ++digits;
     }

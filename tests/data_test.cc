@@ -227,5 +227,130 @@ TEST(Csv, RoundTripDataset) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------------ CSV robustness
+
+namespace {
+
+/// Writes `rows` under the canonical header and loads them back,
+/// returning ReadDatasetCsv's verdict plus the typed error.
+bool LoadRows(const std::vector<std::string>& rows, Dataset* dataset,
+              CsvError* error, size_t* repaired = nullptr) {
+  const std::string path = ::testing::TempDir() + "/skyex_csv_robust.csv";
+  std::string body =
+      "id,source,name,address_name,address_number,city,phone,website,"
+      "categories,lat,lon,physical_id\n";
+  for (const std::string& row : rows) body += row + "\n";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr);
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  const bool ok = ReadDatasetCsv(path, dataset, error, repaired);
+  std::remove(path.c_str());
+  return ok;
+}
+
+constexpr char kGoodRow[] =
+    "1,0,Cafe,Street,12,City,+4511111111,www.x.dk,cafe,57.0,10.0,42";
+
+}  // namespace
+
+TEST(CsvRobust, MalformedRowsFailWithTypedErrors) {
+  struct Case {
+    const char* row;
+    const char* message_fragment;
+  };
+  const Case kCases[] = {
+      {"1,2,3", "expected 12 fields, got 3"},
+      {"x,0,Cafe,Street,12,City,p,w,c,57.0,10.0,42", "bad id"},
+      {"-1,0,Cafe,Street,12,City,p,w,c,57.0,10.0,42", "bad id"},
+      {"1,99,Cafe,Street,12,City,p,w,c,57.0,10.0,42", "bad source"},
+      {"1,krak,Cafe,Street,12,City,p,w,c,57.0,10.0,42", "bad source"},
+      {"1,0,Cafe,Street,twelve,City,p,w,c,57.0,10.0,42",
+       "bad address_number"},
+      {"1,0,Cafe,Street,12,City,p,w,c,57.0x,10.0,42", "bad coordinates"},
+      {"1,0,Cafe,Street,12,City,p,w,c,nan,10.0,42",
+       "out of range or non-finite"},
+      {"1,0,Cafe,Street,12,City,p,w,c,inf,10.0,42",
+       "out of range or non-finite"},
+      {"1,0,Cafe,Street,12,City,p,w,c,1e999,10.0,42",
+       "out of range or non-finite"},
+      {"1,0,Cafe,Street,12,City,p,w,c,95.0,10.0,42",
+       "out of range or non-finite"},
+      {"1,0,Cafe,Street,12,City,p,w,c,57.0,181.0,42",
+       "out of range or non-finite"},
+      {"1,0,Cafe,Street,12,City,p,w,c,57.0,,42",
+       "lat and lon must be given together"},
+      {"1,0,Cafe,Street,12,City,p,w,c,57.0,10.0,many", "bad physical_id"},
+  };
+  for (const Case& c : kCases) {
+    Dataset dataset;
+    CsvError error;
+    // A good row first: the error must name line 3, proving the loader
+    // reports where the feed broke, not just that it broke.
+    EXPECT_FALSE(LoadRows({kGoodRow, c.row}, &dataset, &error)) << c.row;
+    EXPECT_EQ(error.line, 3u) << c.row;
+    EXPECT_NE(error.message.find(c.message_fragment), std::string::npos)
+        << c.row << " → " << error.message;
+  }
+}
+
+TEST(CsvRobust, FileLevelErrorsUseLineZero) {
+  Dataset dataset;
+  CsvError error;
+  EXPECT_FALSE(ReadDatasetCsv("/nonexistent/skyex.csv", &dataset, &error));
+  EXPECT_EQ(error.line, 0u);
+  EXPECT_NE(error.message.find("cannot open"), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "/skyex_csv_empty.csv";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  EXPECT_FALSE(ReadDatasetCsv(path, &dataset, &error));
+  EXPECT_EQ(error.line, 0u);
+  EXPECT_NE(error.message.find("missing header"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvRobust, Utf8ValidationCatchesTheClassicBreakages) {
+  EXPECT_TRUE(IsValidUtf8(""));
+  EXPECT_TRUE(IsValidUtf8("plain ascii"));
+  EXPECT_TRUE(IsValidUtf8("tandl\xC3\xA6ge"));          // æ
+  EXPECT_TRUE(IsValidUtf8("\xF0\x9F\x98\x80"));         // 4-byte emoji
+  EXPECT_FALSE(IsValidUtf8("tandl\xA6ge"));             // lone continuation
+  EXPECT_FALSE(IsValidUtf8("tandl\xC3"));               // truncated lead
+  EXPECT_FALSE(IsValidUtf8("\xC0\xAF"));                // overlong '/'
+  EXPECT_FALSE(IsValidUtf8("\xED\xA0\x80"));            // UTF-16 surrogate
+  EXPECT_FALSE(IsValidUtf8("\xF4\x90\x80\x80"));        // > U+10FFFF
+}
+
+TEST(CsvRobust, SanitizeRepairsPerByteAndPreservesValidText) {
+  const std::string valid = "Caf\xC3\xA9 \xF0\x9F\x98\x80";
+  EXPECT_EQ(SanitizeUtf8(valid), valid);
+  // ApplyTypo-style damage: byte deletion inside 'æ' leaves a lone
+  // continuation byte — one replacement character, rest untouched.
+  EXPECT_EQ(SanitizeUtf8("tandl\xA6ge"), "tandl\xEF\xBF\xBDge");
+  // Each invalid byte gets its own U+FFFD.
+  EXPECT_EQ(SanitizeUtf8("\xC0\xAF"), "\xEF\xBF\xBD\xEF\xBF\xBD");
+  EXPECT_TRUE(IsValidUtf8(SanitizeUtf8("tandl\xA6ge")));
+}
+
+TEST(CsvRobust, MojibakeIsRepairedOnLoadAndCounted) {
+  Dataset dataset;
+  CsvError error;
+  size_t repaired = 0;
+  // Name and city both carry invalid bytes; the row still loads.
+  const std::string row =
+      "7,1,tandl\xA6ge,Street,3,\xC3QQ,+4511111111,www.t.dk,dental,"
+      "57.1,10.2,99";
+  ASSERT_TRUE(LoadRows({kGoodRow, row}, &dataset, &error, &repaired));
+  ASSERT_EQ(dataset.size(), 2u);
+  EXPECT_EQ(repaired, 2u);
+  EXPECT_TRUE(IsValidUtf8(dataset[1].name));
+  EXPECT_TRUE(IsValidUtf8(dataset[1].city));
+  EXPECT_NE(dataset[1].name.find("\xEF\xBF\xBD"), std::string::npos);
+  EXPECT_EQ(dataset[0].name, "Cafe");  // clean fields stay untouched
+  EXPECT_EQ(repaired, 2u);
+}
+
 }  // namespace
 }  // namespace skyex::data

@@ -1,0 +1,31 @@
+// Compiled with -DSKYEX_FAULTS_DISABLED (mirroring a SKYEX_FAULTS=OFF
+// build): SKYEX_FAULT_FIRE must be a compile-time no-op — even with the
+// registry armed, call sites in this translation unit never consult it,
+// record no hits, and never fire.
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.h"
+
+namespace skyex {
+namespace {
+
+TEST(FaultDisabledTest, MacroIsNoOpEvenWhenArmed) {
+  auto& registry = fault::Registry::Global();
+  fault::FaultConfig config;
+  config.every = 1;  // would fire on every hit if the macro were live
+  registry.Arm("disabled.point", config);
+  EXPECT_TRUE(registry.armed());
+
+  fault::FaultAction action;
+  action.ms = -1.0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(SKYEX_FAULT_FIRE("disabled.point", &action));
+  }
+  EXPECT_EQ(registry.Hits("disabled.point"), 0u);   // never consulted
+  EXPECT_DOUBLE_EQ(action.ms, -1.0);                // never filled
+  registry.DisarmAll();
+}
+
+}  // namespace
+}  // namespace skyex

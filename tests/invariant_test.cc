@@ -4,10 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
 #include <random>
 #include <set>
 
 #include "core/skyex_t.h"
+#include "ml/dataset_view.h"
+#include "skyline/serialize.h"
 #include "data/ground_truth.h"
 #include "data/northdk_generator.h"
 #include "data/restaurants_generator.h"
@@ -155,6 +161,126 @@ TEST(PreferenceInvariant, CollectFeaturesListsEveryLeaf) {
   std::vector<size_t> features;
   p->CollectFeatures(&features);
   EXPECT_EQ(features, (std::vector<size_t>{4, 9, 2}));
+}
+
+// ------------------------------------------- non-finite feature values
+
+// Feature extraction should never emit NaN/Inf, but a corrupted file or
+// a hand-built matrix can: dominance and SkyEx-T labeling must stay
+// deterministic (no ordering UB, no crash) on such rows.
+
+TEST(NonFiniteInvariant, LeafDominanceTreatsNanAsWorst) {
+  const auto high = skyline::High(0);
+  const auto low = skyline::Low(0);
+  const double nan_row[] = {std::nan("")};
+  const double one[] = {1.0};
+  const double inf_row[] = {std::numeric_limits<double>::infinity()};
+  const double ninf_row[] = {-std::numeric_limits<double>::infinity()};
+
+  // NaN acts as -inf in the preferred direction: a poisoned feature
+  // deterministically loses, so it can never enter a skyline layer
+  // ahead of clean rows.
+  EXPECT_EQ(high->Compare(nan_row, one), skyline::Comparison::kWorse);
+  EXPECT_EQ(high->Compare(one, nan_row), skyline::Comparison::kBetter);
+  EXPECT_EQ(low->Compare(nan_row, one), skyline::Comparison::kWorse);
+  EXPECT_EQ(low->Compare(one, nan_row), skyline::Comparison::kBetter);
+  EXPECT_EQ(high->Compare(nan_row, nan_row), skyline::Comparison::kEqual);
+  // NaN ties with -inf under high() (both map to the directed -inf).
+  EXPECT_EQ(high->Compare(nan_row, ninf_row), skyline::Comparison::kEqual);
+  EXPECT_EQ(high->Compare(ninf_row, nan_row), skyline::Comparison::kEqual);
+  // Infinities order normally.
+  EXPECT_EQ(high->Compare(inf_row, one), skyline::Comparison::kBetter);
+  EXPECT_EQ(high->Compare(ninf_row, one), skyline::Comparison::kWorse);
+}
+
+TEST(NonFiniteInvariant, CompiledCompareAgreesWithTreeOnNonFinite) {
+  const auto tree = skyline::ParsePreference("(high(0) & low(1)) > high(2)");
+  ASSERT_NE(tree, nullptr);
+  const auto compiled = skyline::Compile(*tree);
+  ASSERT_TRUE(compiled.has_value());
+
+  const double kValues[] = {std::nan(""),
+                            std::numeric_limits<double>::infinity(),
+                            -std::numeric_limits<double>::infinity(),
+                            0.0, 1.0};
+  for (const double a0 : kValues) {
+    for (const double b0 : kValues) {
+      const double a[] = {a0, 0.5, 0.25};
+      const double b[] = {b0, 0.5, 0.25};
+      EXPECT_EQ(tree->Compare(a, b), compiled->Compare(a, b))
+          << "a0=" << a0 << " b0=" << b0;
+    }
+  }
+}
+
+TEST(NonFiniteInvariant, CompiledKeyMapsNanToNegativeInfinity) {
+  const auto tree = skyline::ParsePreference("(high(0) & low(1)) > high(2)");
+  const auto compiled = skyline::Compile(*tree);
+  ASSERT_TRUE(compiled.has_value());
+
+  double key[2];
+  const double nan_row[] = {std::nan(""), 1.0, 2.0};
+  compiled->Key(nan_row, key);
+  EXPECT_TRUE(std::isinf(key[0]) && key[0] < 0.0);  // never NaN
+  EXPECT_DOUBLE_EQ(key[1], 2.0);
+
+  // Keys stay a valid strict-weak-order input: sorting rows with NaN
+  // features must be deterministic, with NaN rows at the very bottom.
+  std::vector<std::array<double, 3>> rows;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({i % 7 == 0 ? std::nan("") : static_cast<double>(i),
+                    static_cast<double>(i % 3), 0.0});
+  }
+  std::vector<std::vector<double>> keys;
+  for (const auto& row : rows) {
+    std::vector<double> k(compiled->KeySize());
+    compiled->Key(row.data(), k.data());
+    keys.push_back(std::move(k));
+  }
+  auto sorted = keys;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              return std::lexicographical_compare(b.begin(), b.end(),
+                                                  a.begin(), a.end());
+            });
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    EXPECT_GE(sorted[i][0], sorted[i + 1][0]);  // no NaN in any key
+  }
+}
+
+TEST(NonFiniteInvariant, SkyExTLabelIsDeterministicOnNonFiniteRows) {
+  // 20 rows on feature 0; rows 3, 9, 15 carry NaN and row 5 carries
+  // -Inf. With cutoff 0.5 the top half must be the clean high rows and
+  // every poisoned row must land in the negative class.
+  ml::FeatureMatrix matrix = ml::FeatureMatrix::Zeros(20, {"f0", "f1"});
+  for (size_t r = 0; r < 20; ++r) {
+    matrix.Row(r)[0] = static_cast<double>(r);
+    matrix.Row(r)[1] = 1.0;
+  }
+  matrix.Row(3)[0] = std::nan("");
+  matrix.Row(9)[0] = std::nan("");
+  matrix.Row(15)[0] = std::nan("");
+  matrix.Row(5)[0] = -std::numeric_limits<double>::infinity();
+
+  core::SkyExTModel model;
+  model.preference = skyline::High(0);
+  model.cutoff_ratio = 0.5;
+  std::vector<size_t> rows(20);
+  for (size_t r = 0; r < 20; ++r) rows[r] = r;
+
+  const auto labels = core::SkyExT::Label(matrix, rows, model);
+  ASSERT_EQ(labels.size(), 20u);
+  EXPECT_EQ(labels, core::SkyExT::Label(matrix, rows, model));
+
+  size_t positives = 0;
+  for (const uint8_t l : labels) positives += l;
+  EXPECT_EQ(positives, 10u);  // exactly cutoff * rows
+  EXPECT_EQ(labels[3], 0);    // NaN rows never make the positive class
+  EXPECT_EQ(labels[9], 0);
+  EXPECT_EQ(labels[15], 0);
+  EXPECT_EQ(labels[5], 0);    // -Inf sorts worst, stays negative
+  EXPECT_EQ(labels[19], 1);   // best clean rows do get labeled
+  EXPECT_EQ(labels[18], 1);
 }
 
 }  // namespace

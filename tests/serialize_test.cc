@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "core/model_io.h"
+#include "par/rng.h"
 #include "core/pipeline.h"
 #include "core/skyex_t.h"
 #include "eval/metrics.h"
@@ -202,6 +204,122 @@ TEST(ModelIo, RejectsMalformed) {
   EXPECT_FALSE(
       LoadModel("preference: high(1)\ncutoff_ratio: 7.5\n").has_value());
   EXPECT_FALSE(LoadModelFromFile("/nonexistent/path").has_value());
+}
+
+TEST(ModelIo, TypedErrorsNameTheFailure) {
+  using Code = ModelIoError::Code;
+  const struct {
+    const char* text;
+    Code code;
+  } kCases[] = {
+      {"", Code::kMissingField},
+      {"preference: high(1)\n", Code::kMissingField},
+      {"cutoff_ratio: 0.5\n", Code::kMissingField},
+      {"preference: nope\ncutoff_ratio: 0.5\n", Code::kBadPreference},
+      {"preference: high(1)\ncutoff_ratio: 7.5\n", Code::kOutOfRange},
+      {"preference: high(1)\ncutoff_ratio: -0.1\n", Code::kOutOfRange},
+      {"preference: high(1)\ncutoff_ratio: nan\n", Code::kNonFinite},
+      {"preference: high(1)\ncutoff_ratio: inf\n", Code::kOutOfRange},
+      {"preference: high(1)\ncutoff_ratio: 0.5x\n", Code::kBadNumber},
+      {"preference: high(1)\ncutoff_ratio: \n", Code::kBadNumber},
+      {"preference: high(1)\ncutoff_ratio: 0.5\ntrain_f1: junk\n",
+       Code::kBadNumber},
+      {"preference: high(1)\ncutoff_ratio: 0.5\ntrain_f1: inf\n",
+       Code::kNonFinite},
+      {"preference: high(1)\ncutoff_ratio: 0.5\ngroup1: 1:xyz\n",
+       Code::kBadGroup},
+      {"preference: high(1)\ncutoff_ratio: 0.5\ngroup1: 1:inf\n",
+       Code::kBadGroup},
+      {"preference: high(1)\ncutoff_ratio: 0.5\ngroup1: :0.5\n",
+       Code::kBadGroup},
+  };
+  for (const auto& c : kCases) {
+    ModelIoError error;
+    EXPECT_FALSE(LoadModel(c.text, &error).has_value()) << c.text;
+    EXPECT_EQ(static_cast<int>(error.code), static_cast<int>(c.code))
+        << c.text << " -> " << error.message;
+    EXPECT_FALSE(error.message.empty()) << c.text;
+  }
+}
+
+// Any model that loads — from however mangled a file — must satisfy the
+// invariants the rest of the system assumes.
+void ExpectLoadedModelIsSane(const SkyExTModel& model) {
+  ASSERT_NE(model.preference, nullptr);
+  EXPECT_TRUE(model.cutoff_ratio >= 0.0 && model.cutoff_ratio <= 1.0);
+  EXPECT_TRUE(std::isfinite(model.train_f1));
+  for (const RankedFeature& f : model.group1) {
+    EXPECT_TRUE(std::isfinite(f.rho));
+  }
+  for (const RankedFeature& f : model.group2) {
+    EXPECT_TRUE(std::isfinite(f.rho));
+  }
+}
+
+std::string CorpusModelText() {
+  SkyExTModel model;
+  model.preference =
+      skyline::ParsePreference("(high(3) & low(7)) > high(12)");
+  model.cutoff_ratio = 0.0269;
+  model.group1 = {{3, 0.8214321}, {7, -0.4129999999}};
+  model.group2 = {{12, 1.0 / 3.0}};
+  model.train_f1 = 0.93125;
+  return SaveModel(model);
+}
+
+TEST(ModelIo, TruncationCorpusNeverCrashes) {
+  const std::string text = CorpusModelText();
+  // Every prefix: typed error or a sane model, never a crash. (Cutting
+  // mid-line can still leave a loadable file — e.g. dropping only the
+  // trailing group/f1 lines degrades to v1 — so both outcomes are
+  // legal; garbage models are not.)
+  for (size_t len = 0; len <= text.size(); ++len) {
+    ModelIoError error;
+    const auto loaded = LoadModel(text.substr(0, len), &error);
+    if (loaded.has_value()) {
+      ExpectLoadedModelIsSane(*loaded);
+    } else {
+      EXPECT_NE(static_cast<int>(error.code),
+                static_cast<int>(ModelIoError::Code::kNone))
+          << "prefix length " << len;
+    }
+  }
+}
+
+TEST(ModelIo, BitFlipCorpusNeverCrashes) {
+  const std::string text = CorpusModelText();
+  // Deterministic single- and double-bit flips all over the file.
+  uint64_t rng = 0xc0ffee;
+  size_t loaded_count = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = text;
+    const int flips = trial % 3 == 0 ? 2 : 1;
+    for (int f = 0; f < flips; ++f) {
+      rng = par::SplitMix64(rng);
+      const size_t pos = rng % mutated.size();
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^
+          (1u << ((rng >> 32) % 8)));
+    }
+    const auto loaded = LoadModel(mutated);
+    if (loaded.has_value()) {
+      ExpectLoadedModelIsSane(*loaded);
+      ++loaded_count;
+    }
+  }
+  // Most flips land in digits or names and must be caught or harmless;
+  // the corpus is only meaningful if both outcomes actually occur.
+  EXPECT_GT(loaded_count, 0u);
+  EXPECT_LT(loaded_count, 2000u);
+}
+
+TEST(ModelIo, GroupFeatureIndexIsCapped) {
+  // A flipped digit can inflate a feature index to absurdity; the
+  // parser must refuse it instead of letting the serving layer index
+  // out of bounds.
+  EXPECT_FALSE(LoadModel("preference: high(99999999999)\n"
+                         "cutoff_ratio: 0.5\n")
+                   .has_value());
 }
 
 }  // namespace

@@ -1,0 +1,337 @@
+// skyex_chaos — chaos client for skyex_serve under fault injection.
+//
+//   skyex_chaos --port=8080 --requests=400 --connections=4
+//
+// Drives a running server with a deterministic mix of traffic — valid
+// single links, valid batches, malformed JSON, torn requests (half an
+// HTTP request then a hard close), /healthz probes — while the server
+// runs with an armed SKYEX_FAULT_SPEC (socket errors, short reads,
+// EINTR, slow I/O, linker stalls, injected allocation failures, clock
+// skew; see src/fault/fault.h). The chaos ctest (tools/chaos.cmake)
+// boots the real server with such a schedule and runs this binary.
+//
+// Acceptance, checked in-process (non-zero exit on violation):
+//   - >= 99% of admitted request slots end in a *valid* outcome: a
+//     well-formed 200 (possibly "degraded":true), an expected 400 for
+//     the malformed slots, or 429/503 backpressure. Transport failures
+//     are retried on a fresh connection within --max-retries; a slot
+//     that exhausts its budget counts as invalid.
+//   - the server still answers /healthz when the storm is over (no
+//     crash, no wedged accept loop);
+//   - the whole run finishes under --max-seconds (no hung connection
+//     can stall the driver: a watchdog thread aborts with exit 3).
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/northdk_generator.h"
+#include "flags.h"
+#include "par/rng.h"
+#include "serve/http.h"
+#include "serve/json_writer.h"
+#include "serve/net.h"
+#include "serve/service.h"
+
+namespace {
+
+using skyex::serve::HttpClient;
+using skyex::serve::HttpResponse;
+using skyex::tools::FlagType;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: skyex_chaos --port=N [flags]\n\n"
+      "  --host=H          server host (default 127.0.0.1)\n"
+      "  --requests=N      request slots, shared by connections "
+      "(default 400)\n"
+      "  --connections=N   concurrent driver threads (default 4)\n"
+      "  --entities=N      generated entity pool size (default 200)\n"
+      "  --seed=N          pool + jitter seed (default 41)\n"
+      "  --max-retries=N   transport retries per slot (default 6)\n"
+      "  --timeout-ms=N    per-request socket timeout (default 5000)\n"
+      "  --max-seconds=N   hard wall-clock cap on the run (default 120)\n"
+      "  --min-valid=F     required valid fraction (default 0.99)\n");
+  return 2;
+}
+
+struct ChaosCounters {
+  std::atomic<uint64_t> slots{0};           // scored request slots
+  std::atomic<uint64_t> ok{0};              // 200 with parseable body
+  std::atomic<uint64_t> degraded{0};        // subset of ok
+  std::atomic<uint64_t> expected_400{0};    // malformed slot answered 400
+  std::atomic<uint64_t> shed{0};            // final 429/503 outcome
+  std::atomic<uint64_t> healthz{0};         // healthz probes answered
+  std::atomic<uint64_t> torn{0};            // torn requests sent (unscored)
+  std::atomic<uint64_t> transport_retries{0};
+  std::atomic<uint64_t> invalid{0};         // exhausted / bad status
+};
+
+std::string LinkBody(const std::vector<skyex::data::SpatialEntity>& pool,
+                     size_t first, size_t count) {
+  skyex::serve::json::Writer writer;
+  writer.BeginObject();
+  if (count == 1) {
+    writer.Key("entity");
+    skyex::data::SpatialEntity e = pool[first % pool.size()];
+    e.id = 2000000000 + first;
+    skyex::serve::WriteEntityJson(&writer, e);
+  } else {
+    writer.Key("entities").BeginArray();
+    for (size_t i = 0; i < count; ++i) {
+      skyex::data::SpatialEntity e = pool[(first + i) % pool.size()];
+      e.id = 2000000000 + first + i;
+      skyex::serve::WriteEntityJson(&writer, e);
+    }
+    writer.EndArray();
+  }
+  writer.EndObject();
+  return writer.Take();
+}
+
+/// Sends the first half of a link request, then closes hard. The server
+/// must neither crash nor leak the connection (its read deadline reaps
+/// it); nothing is scored.
+void SendTornRequest(const std::string& host, uint16_t port,
+                     const std::string& body, int timeout_ms) {
+  skyex::serve::UniqueFd fd =
+      skyex::serve::ConnectTcp(host, port, timeout_ms);
+  if (!fd.valid()) return;
+  std::string out = "POST /v1/link HTTP/1.1\r\nHost: chaos\r\n"
+                    "Content-Type: application/json\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\n\r\n" + body;
+  out.resize(out.size() / 2);  // tear mid-body (or mid-headers)
+  skyex::serve::WriteAll(fd.get(), out.data(), out.size(), timeout_ms);
+  // UniqueFd closes on scope exit: RST/FIN mid-request.
+}
+
+void ChaosLoop(const std::string& host, uint16_t port, int timeout_ms,
+               const std::vector<skyex::data::SpatialEntity>* pool,
+               size_t first_slot, size_t num_slots, size_t max_retries,
+               uint64_t seed, ChaosCounters* counters) {
+  HttpClient client(host, port, timeout_ms);
+  uint64_t jitter = seed ^ (first_slot + 1);
+  for (size_t s = 0; s < num_slots; ++s) {
+    const size_t slot = first_slot + s;
+    const int kind = static_cast<int>(slot % 8);
+    if (kind == 6) {
+      // Torn request: fire and forget, then prove the server still
+      // answers by falling through to a scored slot next iteration.
+      counters->torn.fetch_add(1);
+      SendTornRequest(host, port, LinkBody(*pool, slot, 1), timeout_ms);
+      continue;
+    }
+    std::string method = "POST";
+    std::string path = "/v1/link";
+    std::string body;
+    bool expect_400 = false;
+    bool is_healthz = false;
+    if (kind == 4) {
+      path = "/v1/link_batch";
+      body = LinkBody(*pool, slot, 3);
+    } else if (kind == 5) {
+      body = "{\"entity\": {\"name\": ";  // truncated JSON
+      expect_400 = true;
+    } else if (kind == 7) {
+      method = "GET";
+      path = "/healthz";
+      is_healthz = true;
+    } else {
+      body = LinkBody(*pool, slot, 1);
+    }
+
+    counters->slots.fetch_add(1);
+    bool scored = false;
+    for (size_t attempt = 0; attempt <= max_retries && !scored;
+         ++attempt) {
+      if (!client.ok()) {
+        client = HttpClient(host, port, timeout_ms);
+        if (!client.ok()) {
+          counters->transport_retries.fetch_add(1);
+          jitter = skyex::par::SplitMix64(jitter);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(1 + jitter % 20));
+          continue;
+        }
+      }
+      const std::optional<HttpResponse> response =
+          client.Request(method, path, body);
+      if (!response.has_value()) {
+        // Injected socket fault (or a server-closed connection); retry
+        // on a fresh connection after a short jittered pause.
+        counters->transport_retries.fetch_add(1);
+        jitter = skyex::par::SplitMix64(jitter);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1 + jitter % 20));
+        continue;
+      }
+      const int status = response->status;
+      if (is_healthz) {
+        // Any well-formed health verdict is valid — 200 ok/draining or
+        // 503 wedged both prove the control plane is alive.
+        counters->healthz.fetch_add(1);
+        scored = true;
+      } else if (expect_400) {
+        if (status == 400) {
+          counters->expected_400.fetch_add(1);
+          scored = true;
+        } else if (status == 429 || status == 503) {
+          counters->shed.fetch_add(1);
+          scored = true;
+        }
+      } else if (status == 200) {
+        counters->ok.fetch_add(1);
+        if (response->body.find("\"degraded\":true") !=
+            std::string::npos) {
+          counters->degraded.fetch_add(1);
+        }
+        scored = true;
+      } else if (status == 429 || status == 503 || status == 408) {
+        // Backpressure / shed / read-deadline: valid resilience
+        // outcomes. Retry a couple of times to exercise recovery, then
+        // accept the shed as the slot's outcome.
+        if (attempt >= 2) {
+          counters->shed.fetch_add(1);
+          scored = true;
+        } else {
+          jitter = skyex::par::SplitMix64(jitter);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(1 + jitter % 50));
+        }
+      }
+      // Other statuses (500, unexpected 400): fall through and retry;
+      // unscored slots become invalid below.
+    }
+    if (!scored) counters->invalid.fetch_add(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = skyex::tools::ParseFlags(
+      argc, argv, 1,
+      {{"host", FlagType::kString},
+       {"port", FlagType::kSize},
+       {"requests", FlagType::kSize},
+       {"connections", FlagType::kSize},
+       {"entities", FlagType::kSize},
+       {"seed", FlagType::kSize},
+       {"max-retries", FlagType::kSize},
+       {"timeout-ms", FlagType::kSize},
+       {"max-seconds", FlagType::kSize},
+       {"min-valid", FlagType::kDouble}});
+  if (!flags.has_value()) return Usage();
+  if (!flags->Has("port")) {
+    std::fprintf(stderr, "error: --port is required\n");
+    return Usage();
+  }
+  const std::string host = flags->Get("host", "127.0.0.1");
+  const auto port = static_cast<uint16_t>(flags->GetSize("port", 0));
+  const int timeout_ms =
+      static_cast<int>(flags->GetSize("timeout-ms", 5000));
+  const size_t requests = flags->GetSize("requests", 400);
+  const size_t connections =
+      std::max<size_t>(1, flags->GetSize("connections", 4));
+  const size_t max_retries = flags->GetSize("max-retries", 6);
+  const size_t max_seconds = flags->GetSize("max-seconds", 120);
+  const double min_valid = flags->GetDouble("min-valid", 0.99);
+  const uint64_t seed = flags->GetSize("seed", 41);
+
+  skyex::data::NorthDkOptions pool_options;
+  pool_options.num_entities = flags->GetSize("entities", 200);
+  pool_options.seed = seed;
+  const std::vector<skyex::data::SpatialEntity> pool =
+      skyex::data::GenerateNorthDk(pool_options).entities;
+  if (pool.empty()) {
+    std::fprintf(stderr, "error: entity pool is empty\n");
+    return 1;
+  }
+
+  // Hang watchdog: a wedged connection or a stuck drain must fail the
+  // chaos run loudly instead of letting ctest time out opaquely.
+  std::atomic<bool> done{false};
+  std::thread hang_watchdog([&done, max_seconds] {
+    for (size_t tick = 0; tick < max_seconds * 10; ++tick) {
+      if (done.load(std::memory_order_relaxed)) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (!done.load(std::memory_order_relaxed)) {
+      std::fprintf(stderr, "chaos: FAIL — run exceeded %zus (hang)\n",
+                   max_seconds);
+      std::fflush(stderr);
+      ::_exit(3);
+    }
+  });
+
+  ChaosCounters counters;
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  size_t assigned = 0;
+  for (size_t c = 0; c < connections; ++c) {
+    const size_t share =
+        requests / connections + (c < requests % connections ? 1 : 0);
+    threads.emplace_back(ChaosLoop, host, port, timeout_ms, &pool,
+                         assigned, share, max_retries, seed, &counters);
+    assigned += share;
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Post-storm liveness: the server must still answer /healthz.
+  bool alive = false;
+  for (int attempt = 0; attempt < 10 && !alive; ++attempt) {
+    HttpClient probe(host, port, timeout_ms);
+    if (probe.ok()) {
+      const auto response = probe.Request("GET", "/healthz");
+      alive = response.has_value() &&
+              (response->status == 200 || response->status == 503);
+    }
+    if (!alive) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  done.store(true);
+  hang_watchdog.join();
+
+  const uint64_t slots = counters.slots.load();
+  const uint64_t valid = slots - counters.invalid.load();
+  const double fraction =
+      slots > 0 ? static_cast<double>(valid) / static_cast<double>(slots)
+                : 0.0;
+  std::printf(
+      "chaos: %llu/%llu slots valid (%.4f) — %llu ok (%llu degraded), "
+      "%llu shed 429/503, %llu expected 400, %llu healthz, %llu torn "
+      "sent, %llu transport retries, %llu invalid\n",
+      static_cast<unsigned long long>(valid),
+      static_cast<unsigned long long>(slots), fraction,
+      static_cast<unsigned long long>(counters.ok.load()),
+      static_cast<unsigned long long>(counters.degraded.load()),
+      static_cast<unsigned long long>(counters.shed.load()),
+      static_cast<unsigned long long>(counters.expected_400.load()),
+      static_cast<unsigned long long>(counters.healthz.load()),
+      static_cast<unsigned long long>(counters.torn.load()),
+      static_cast<unsigned long long>(counters.transport_retries.load()),
+      static_cast<unsigned long long>(counters.invalid.load()));
+  if (!alive) {
+    std::fprintf(stderr, "chaos: FAIL — server unresponsive after storm\n");
+    return 1;
+  }
+  if (slots == 0 || counters.ok.load() == 0) {
+    std::fprintf(stderr, "chaos: FAIL — no successful link at all\n");
+    return 1;
+  }
+  if (fraction < min_valid) {
+    std::fprintf(stderr, "chaos: FAIL — valid fraction %.4f < %.4f\n",
+                 fraction, min_valid);
+    return 1;
+  }
+  std::printf("chaos: OK\n");
+  return 0;
+}

@@ -9,7 +9,12 @@
 // `loadgen/request_latency_us`; the summary reports request and link
 // throughput (entities/s plus server-side candidate pairs/s, deltaed
 // from the server's /metrics) and p50/p95/p99 from that histogram.
-// 429 responses are counted and retried after --backoff-ms.
+// 429/503 responses are counted and retried with *full-jitter*
+// exponential backoff (uniform in [0, min(cap, base·2^attempt)],
+// honoring the server's Retry-After as the cap) — deterministic
+// backoff would march every shed client back in lockstep. --max-retries
+// bounds the retries per request; exhausted requests are reported
+// separately, as are degraded ("degraded":true) responses.
 //
 // --smoke runs a single-request validation pass instead: happy-path
 // link, batch link, /healthz, /model and /metrics responses are checked
@@ -26,6 +31,7 @@
 #include "data/csv.h"
 #include "data/northdk_generator.h"
 #include "flags.h"
+#include "par/rng.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "serve/http.h"
@@ -57,7 +63,10 @@ int Usage() {
       "                    North-DK pool, see --entities/--seed)\n"
       "  --entities=N      generated pool size (default 500)\n"
       "  --seed=N          generator seed (default 97)\n"
-      "  --backoff-ms=N    sleep before retrying a 429 (default 10)\n"
+      "  --backoff-ms=N    base of the full-jitter backoff before\n"
+      "                    retrying a 429/503 (default 10)\n"
+      "  --max-retries=N   retries per request before giving up\n"
+      "                    (default 8)\n"
       "  --timeout-ms=N    per-request socket timeout (default 10000)\n"
       "  --smoke           validation pass instead of load\n\n"
       "runtime: --threads=N   shared thread pool size\n"
@@ -109,21 +118,35 @@ std::optional<double> FetchServerCounter(const std::string& host,
 
 struct LoadCounters {
   std::atomic<uint64_t> ok{0};
-  std::atomic<uint64_t> rejected{0};      // 429 responses (retried)
+  std::atomic<uint64_t> rejected{0};       // 429/503 responses (retried)
   std::atomic<uint64_t> client_errors{0};  // other 4xx/5xx
   std::atomic<uint64_t> io_errors{0};
+  std::atomic<uint64_t> degraded{0};        // "degraded":true answers
+  std::atomic<uint64_t> retry_exhausted{0};  // gave up after max retries
 };
+
+/// Retry-After (seconds) from a response's headers, or 0 when absent.
+int RetryAfterSeconds(const HttpResponse& response) {
+  for (const auto& [key, value] : response.extra_headers) {
+    if (key == "retry-after") return std::atoi(value.c_str());
+  }
+  return 0;
+}
 
 void LoadLoop(const std::string& host, uint16_t port, int timeout_ms,
               const std::vector<skyex::data::SpatialEntity>* pool,
               size_t first_request, size_t num_requests, size_t batch_size,
-              int backoff_ms, LoadCounters* counters) {
+              int backoff_ms, size_t max_retries, LoadCounters* counters) {
   const std::string path =
       batch_size > 1 ? "/v1/link_batch" : "/v1/link";
   HttpClient client(host, port, timeout_ms);
+  // Deterministic per-thread jitter stream: the threads' streams differ
+  // (seeded by their request range) but a run replays exactly.
+  uint64_t jitter_state = 0x10adbeef ^ (first_request + 1);
   for (size_t r = 0; r < num_requests; ++r) {
     const std::string body = LinkBody(
         *pool, (first_request + r) * batch_size, batch_size, 1000000000);
+    size_t attempt = 0;
     for (;;) {
       if (!client.ok()) {
         client = HttpClient(host, port, timeout_ms);
@@ -143,14 +166,36 @@ void LoadLoop(const std::string& host, uint16_t port, int timeout_ms,
         counters->io_errors.fetch_add(1);
         break;
       }
-      if (response->status == 429) {
+      if (response->status == 429 || response->status == 503) {
         counters->rejected.fetch_add(1);
-        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        if (attempt >= max_retries) {
+          counters->retry_exhausted.fetch_add(1);
+          break;
+        }
+        // Full jitter: uniform in [0, cap] where cap doubles per
+        // attempt up to the server's Retry-After (when present).
+        // Everyone sleeping exactly backoff_ms would re-herd the whole
+        // shed cohort onto the server in one instant.
+        int64_t cap_ms =
+            static_cast<int64_t>(backoff_ms) << std::min<size_t>(attempt, 10);
+        const int retry_after_s = RetryAfterSeconds(*response);
+        if (retry_after_s > 0) {
+          cap_ms = std::min<int64_t>(cap_ms, retry_after_s * 1000);
+        }
+        cap_ms = std::max<int64_t>(1, cap_ms);
+        jitter_state = skyex::par::SplitMix64(jitter_state);
+        const int64_t sleep_ms =
+            static_cast<int64_t>(jitter_state % (cap_ms + 1));
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+        ++attempt;
         continue;  // closed loop: retry the same request
       }
       SKYEX_HISTOGRAM_OBSERVE_US(kLatencyMetric, us);
       if (response->status == 200) {
         counters->ok.fetch_add(1);
+        if (response->body.find("\"degraded\":true") != std::string::npos) {
+          counters->degraded.fetch_add(1);
+        }
       } else {
         counters->client_errors.fetch_add(1);
       }
@@ -260,6 +305,7 @@ int main(int argc, char** argv) {
        {"entities", FlagType::kSize},
        {"seed", FlagType::kSize},
        {"backoff-ms", FlagType::kSize},
+       {"max-retries", FlagType::kSize},
        {"timeout-ms", FlagType::kSize},
        {"smoke", FlagType::kBool}});
   if (!flags.has_value()) return Usage();
@@ -307,6 +353,7 @@ int main(int argc, char** argv) {
       std::max<size_t>(1, flags->GetSize("batch-size", 1));
   const int backoff_ms =
       static_cast<int>(flags->GetSize("backoff-ms", 10));
+  const size_t max_retries = flags->GetSize("max-retries", 8);
 
   LoadCounters counters;
   const std::optional<double> pairs_before = FetchServerCounter(
@@ -319,7 +366,8 @@ int main(int argc, char** argv) {
     const size_t share =
         requests / connections + (c < requests % connections ? 1 : 0);
     threads.emplace_back(LoadLoop, host, port, timeout_ms, &pool, assigned,
-                         share, batch_size, backoff_ms, &counters);
+                         share, batch_size, backoff_ms, max_retries,
+                         &counters);
     assigned += share;
   }
   for (std::thread& t : threads) t.join();
@@ -332,10 +380,13 @@ int main(int argc, char** argv) {
   auto histogram = skyex::obs::MetricsRegistry::Global().GetHistogram(
       kLatencyMetric, skyex::obs::LatencyBucketsUs());
   std::printf(
-      "loadgen: %llu ok, %llu retried (429), %llu rejected responses, "
-      "%llu io errors in %.2fs  (%.1f req/s)\n",
+      "loadgen: %llu ok (%llu degraded), %llu retried (429/503), %llu "
+      "retry-exhausted, %llu error responses, %llu io errors in %.2fs  "
+      "(%.1f req/s)\n",
       static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(counters.degraded.load()),
       static_cast<unsigned long long>(counters.rejected.load()),
+      static_cast<unsigned long long>(counters.retry_exhausted.load()),
       static_cast<unsigned long long>(counters.client_errors.load()),
       static_cast<unsigned long long>(counters.io_errors.load()), seconds,
       seconds > 0 ? static_cast<double>(ok) / seconds : 0.0);

@@ -23,6 +23,7 @@
 
 #include "core/model_io.h"
 #include "data/csv.h"
+#include "fault/fault.h"
 #include "flags.h"
 #include "obs/log.h"
 #include "serve/server.h"
@@ -49,6 +50,17 @@ int Usage() {
       "  --radius-m=R           candidate radius meters (default 200)\n"
       "  --calibration-percentile=Q  acceptance boundary quantile\n"
       "                         (default 0.1; higher = more precise)\n\n"
+      "resilience (docs/robustness.md):\n"
+      "  --deadline-ms=N        per-request link deadline (default 0 =\n"
+      "                         off; expiry answers degraded or 503)\n"
+      "  --watchdog-ms=N        wedged-linker threshold (default 0 = off)\n"
+      "  --no-degraded          disable the degraded fallback path\n"
+      "  --breaker-window=N     breaker outcome window (default 64)\n"
+      "  --breaker-threshold=F  failure rate that opens it (default 0.5)\n"
+      "  --breaker-open-ms=N    open period before a probe (default 1000)\n"
+      "  --max-retry-after-s=N  Retry-After jitter cap (default 4)\n"
+      "  --fault-spec=SPEC      arm fault-injection points (also read\n"
+      "                         from $SKYEX_FAULT_SPEC; see src/fault/)\n\n"
       "runtime: --threads=N   shared thread pool size (default: all\n"
       "                       cores; the linker scores batches on it)\n"
       "observability: --trace-out --metrics-out --log-level "
@@ -80,9 +92,33 @@ int main(int argc, char** argv) {
        {"max-batch", FlagType::kSize},
        {"max-body-bytes", FlagType::kSize},
        {"radius-m", FlagType::kDouble},
-       {"calibration-percentile", FlagType::kDouble}});
+       {"calibration-percentile", FlagType::kDouble},
+       {"deadline-ms", FlagType::kSize},
+       {"watchdog-ms", FlagType::kSize},
+       {"no-degraded", FlagType::kBool},
+       {"breaker-window", FlagType::kSize},
+       {"breaker-threshold", FlagType::kDouble},
+       {"breaker-open-ms", FlagType::kSize},
+       {"max-retry-after-s", FlagType::kSize},
+       {"fault-spec", FlagType::kString}});
   if (!flags.has_value()) return Usage();
   if (!skyex::tools::ObsSetup(*flags)) return 2;
+  {
+    std::string fault_error;
+    if (!skyex::fault::ArmFromEnv(&fault_error)) {
+      std::fprintf(stderr, "error: SKYEX_FAULT_SPEC: %s\n",
+                   fault_error.c_str());
+      return 2;
+    }
+    const std::string fault_spec = flags->Get("fault-spec");
+    if (!fault_spec.empty() &&
+        !skyex::fault::Registry::Global().ArmSpec(fault_spec,
+                                                  &fault_error)) {
+      std::fprintf(stderr, "error: --fault-spec: %s\n",
+                   fault_error.c_str());
+      return 2;
+    }
+  }
   const std::string model_path = flags->Get("model");
   const std::string dataset_path = flags->Get("dataset");
   if (model_path.empty() || dataset_path.empty()) {
@@ -91,14 +127,17 @@ int main(int argc, char** argv) {
   }
 
   skyex::data::Dataset dataset;
-  if (!skyex::data::ReadDatasetCsv(dataset_path, &dataset)) {
-    std::fprintf(stderr, "error: cannot read %s\n", dataset_path.c_str());
+  skyex::data::CsvError csv_error;
+  if (!skyex::data::ReadDatasetCsv(dataset_path, &dataset, &csv_error)) {
+    std::fprintf(stderr, "error: %s line %zu: %s\n", dataset_path.c_str(),
+                 csv_error.line, csv_error.message.c_str());
     return 1;
   }
-  auto model = skyex::core::LoadModelFromFile(model_path);
+  skyex::core::ModelIoError model_error;
+  auto model = skyex::core::LoadModelFromFile(model_path, &model_error);
   if (!model.has_value()) {
-    std::fprintf(stderr, "error: cannot load model %s\n",
-                 model_path.c_str());
+    std::fprintf(stderr, "error: cannot load model %s: %s\n",
+                 model_path.c_str(), model_error.message.c_str());
     return 1;
   }
 
@@ -124,6 +163,18 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(flags->GetSize("batch-window-us", 1000));
   options.max_batch = flags->GetSize("max-batch", 64);
   options.max_body_bytes = flags->GetSize("max-body-bytes", 1 << 20);
+  options.deadline_ms =
+      static_cast<int>(flags->GetSize("deadline-ms", 0));
+  options.watchdog_ms =
+      static_cast<int>(flags->GetSize("watchdog-ms", 0));
+  options.degraded_fallback = !flags->Has("no-degraded");
+  options.breaker.window = flags->GetSize("breaker-window", 64);
+  options.breaker.failure_threshold =
+      flags->GetDouble("breaker-threshold", 0.5);
+  options.breaker.open_ms =
+      static_cast<int>(flags->GetSize("breaker-open-ms", 1000));
+  options.breaker.max_retry_after_s =
+      static_cast<int>(flags->GetSize("max-retry-after-s", 4));
   skyex::serve::Server server(service.get(), options);
   if (!server.Start(&error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -161,12 +212,20 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "skyex_serve: shutdown complete — %llu requests on %llu "
                "connections (%llu ok, %llu client errors, %llu rejected "
-               "429, %llu server errors)\n",
+               "429, %llu shed 503, %llu server errors; %llu deadline "
+               "expiries, %llu degraded, %llu breaker-shed, %llu breaker "
+               "opens, %llu watchdog trips)\n",
                static_cast<unsigned long long>(stats.requests),
                static_cast<unsigned long long>(stats.connections),
                static_cast<unsigned long long>(stats.responses_ok),
                static_cast<unsigned long long>(stats.responses_client_error),
                static_cast<unsigned long long>(stats.rejected),
-               static_cast<unsigned long long>(stats.responses_server_error));
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.responses_server_error),
+               static_cast<unsigned long long>(stats.deadline_expired),
+               static_cast<unsigned long long>(stats.degraded),
+               static_cast<unsigned long long>(stats.breaker_rejected),
+               static_cast<unsigned long long>(stats.breaker_opens),
+               static_cast<unsigned long long>(stats.watchdog_trips));
   return skyex::tools::ObsFinish(*flags);
 }
