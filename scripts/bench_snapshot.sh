@@ -9,9 +9,80 @@
 # Speedup is hardware-dependent: on a single-core host the parallel run
 # degenerates to the serial path and speedups hover around 1.0 — the
 # recorded host_cpus field says which case a snapshot captured.
+#
+# Observability-overhead snapshot: compares micro_skyline between the
+# default build (SKYEX_SPAN / counter macros live, collector disabled —
+# the serving configuration) and a SKYEX_OBS=OFF build where the macros
+# compile out, and writes BENCH_obs.json with the per-benchmark
+# overhead of carrying the instrumentation:
+#
+#   scripts/bench_snapshot.sh --obs [obs-on-build-dir] [obs-off-build-dir]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--obs" ]; then
+  ON_DIR="${2:-build}"
+  OFF_DIR="${3:-build-obs-off}"
+  OUT="BENCH_obs.json"
+  TMP_DIR="$(mktemp -d)"
+  trap 'rm -rf "$TMP_DIR"' EXIT
+  FILTER='BM_PeelFirstSkyline|BM_FullLayering'
+
+  cmake -B "$ON_DIR" -S . >/dev/null
+  cmake --build "$ON_DIR" -j --target micro_skyline
+  cmake -B "$OFF_DIR" -S . -DSKYEX_OBS=OFF >/dev/null
+  cmake --build "$OFF_DIR" -j --target micro_skyline
+
+  for leg in on off; do
+    dir_var="ON_DIR"; [ "$leg" = "off" ] && dir_var="OFF_DIR"
+    echo "=== micro_skyline (obs ${leg}) ==="
+    "${!dir_var}/bench/micro_skyline" --threads=1 \
+      --benchmark_filter="$FILTER" \
+      --benchmark_format=json \
+      --benchmark_out="$TMP_DIR/obs_${leg}.json" \
+      --benchmark_out_format=json >/dev/null
+  done
+
+  python3 - "$TMP_DIR" "$OUT" <<'EOF'
+import json, os, sys
+
+tmp_dir, out_path = sys.argv[1], sys.argv[2]
+
+def load(leg):
+    with open(os.path.join(tmp_dir, f"obs_{leg}.json")) as f:
+        report = json.load(f)
+    return {b["name"]: b for b in report["benchmarks"]
+            if b.get("run_type", "iteration") == "iteration"}
+
+on, off = load("on"), load("off")
+snapshot = {"host_cpus": os.cpu_count(), "benchmarks": []}
+for name in on:
+    if name not in off:
+        continue
+    on_ns, off_ns = on[name]["real_time"], off[name]["real_time"]
+    unit = on[name].get("time_unit", "ns")
+    scale = {"ns": 1e9, "us": 1e6, "ms": 1e3, "s": 1.0}[unit]
+    snapshot["benchmarks"].append({
+        "name": name,
+        "ops_per_sec_obs_on": scale / on_ns if on_ns else 0.0,
+        "ops_per_sec_obs_off": scale / off_ns if off_ns else 0.0,
+        # > 0 means the instrumentation costs that fraction of runtime.
+        "span_overhead_fraction":
+            (on_ns - off_ns) / off_ns if off_ns else 0.0,
+    })
+
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path} ({len(snapshot['benchmarks'])} benchmarks)")
+for b in snapshot["benchmarks"]:
+    print(f"  {b['name']:<40} overhead "
+          f"{100.0 * b['span_overhead_fraction']:+.2f}%")
+EOF
+  exit 0
+fi
 
 BUILD_DIR="${1:-build}"
 THREADS="${2:-$(nproc)}"

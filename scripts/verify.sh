@@ -22,10 +22,12 @@ echo
 echo "=== stripped build (SKYEX_OBS=OFF) ==="
 cmake -B "$OBS_OFF_DIR" -S . -DSKYEX_OBS=OFF
 cmake --build "$OBS_OFF_DIR" -j
-# The obs suites exercise the registry/collector API; the rest of the
-# suite proves the pipeline is unaffected by compiled-out macros.
+# The obs suites exercise the registry/collector API; flight + serve
+# (incl. the smoke) prove request ids and flight timelines survive the
+# stripped build; the rest proves the pipeline is unaffected by
+# compiled-out macros.
 ctest --test-dir "$OBS_OFF_DIR" --output-on-failure -j "$(nproc)" \
-      -R "Obs|Skyline|CliTest"
+      -R "Obs|Flight|Skyline|ServeTest|serve_smoke|CliTest"
 
 echo
 echo "=== stripped build (SKYEX_FAULTS=OFF) ==="

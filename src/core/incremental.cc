@@ -73,13 +73,14 @@ bool IncrementalLinker::Accept(const double* row) const {
 }
 
 std::vector<size_t> IncrementalLinker::AddRecord(
-    const data::SpatialEntity& record) {
+    const data::SpatialEntity& record, AddRecordStats* stats) {
   SKYEX_SPAN("core/incremental_add");
   // Candidate set: spatial neighbors when coordinates exist, otherwise
   // everything (bounded).
   std::vector<size_t> candidates;
   {
     SKYEX_SPAN("core/incremental_candidates");
+    const double phase_start = obs::TraceNowUs();
     if (record.location.valid) {
       // Chunk results concatenate in chunk order, so the candidate list
       // stays ascending at any thread count.
@@ -109,11 +110,16 @@ std::vector<size_t> IncrementalLinker::AddRecord(
       for (size_t i = 0; i < dataset_.size(); ++i) candidates[i] = i;
     }
     SKYEX_COUNTER_ADD("core/incremental_candidates", candidates.size());
+    if (stats != nullptr) {
+      stats->candidates = candidates.size();
+      stats->candidates_us = obs::TraceNowUs() - phase_start;
+    }
   }
 
   std::vector<size_t> links;
   {
     SKYEX_SPAN("core/incremental_score");
+    const double phase_start = obs::TraceNowUs();
     // Same ordered-concatenation scheme: links come out ascending.
     par::ForOptions for_options;
     for_options.grain = 64;
@@ -138,6 +144,9 @@ std::vector<size_t> IncrementalLinker::AddRecord(
           return acc;
         },
         std::vector<size_t>());
+    if (stats != nullptr) {
+      stats->score_us = obs::TraceNowUs() - phase_start;
+    }
   }
   dataset_.entities.push_back(record);
   SKYEX_COUNTER_INC("core/incremental_records");

@@ -30,6 +30,16 @@ struct IncrementalLinkerOptions {
   size_t max_cartesian = 200000;
 };
 
+/// Per-call phase timing of AddRecord, for callers that attribute
+/// latency (the serving layer's flight recorder). `candidates_us` is
+/// the spatial/cartesian candidate scan, `score_us` the LGM-X feature
+/// extraction + skyline-key acceptance over those candidates.
+struct AddRecordStats {
+  size_t candidates = 0;
+  double candidates_us = 0.0;
+  double score_us = 0.0;
+};
+
 /// Thread-safety contract: IncrementalLinker is NOT thread-safe.
 /// AddRecord mutates the dataset (it appends the new record), so
 /// concurrent callers must serialize every AddRecord call — and any
@@ -53,7 +63,9 @@ class IncrementalLinker {
                     Options options = {});
 
   /// Adds the record, returns indices of existing records it links to.
-  std::vector<size_t> AddRecord(const data::SpatialEntity& record);
+  /// `stats` (optional) receives the call's phase timings.
+  std::vector<size_t> AddRecord(const data::SpatialEntity& record,
+                                AddRecordStats* stats = nullptr);
 
   const data::Dataset& dataset() const { return dataset_; }
 

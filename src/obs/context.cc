@@ -1,0 +1,80 @@
+#include "obs/context.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace skyex::obs {
+namespace {
+
+thread_local TraceContext t_current;
+
+// SplitMix64 finalizer (same mixing constants as par::SplitMix64): a
+// bijection on 64-bit ints, so distinct counter values can never
+// collide and 0 maps only to 0 (which the +1 below rules out).
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+TraceContext CurrentContext() { return t_current; }
+
+TraceContext SetCurrentContext(TraceContext ctx) {
+  const TraceContext prev = t_current;
+  t_current = ctx;
+  return prev;
+}
+
+std::uint64_t NewRequestId() {
+  static std::atomic<std::uint64_t> counter{0};
+  // counter+1 is never 0, and Mix64 is a bijection, so the result is
+  // never 0 either (Mix64's zero preimage is 0x61c8864680b583ebULL,
+  // unreachable for ~5e18 requests).
+  std::uint64_t id = Mix64(counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  if (id == 0) id = 1;  // belt and braces; see above
+  return id;
+}
+
+std::string FormatRequestId(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(id));
+  return std::string(buf, 16);
+}
+
+bool ParseRequestId(std::string_view text, std::uint64_t* id) {
+  if (text.empty() || text.size() > 16) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    const int d = HexDigit(c);
+    if (d < 0) return false;
+    value = (value << 4) | static_cast<std::uint64_t>(d);
+  }
+  *id = value;
+  return true;
+}
+
+std::uint64_t RequestIdFromText(std::string_view text) {
+  std::uint64_t id = 0;
+  if (ParseRequestId(text, &id) && id != 0) return id;
+  // FNV-1a over the raw bytes; fold through Mix64 for avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  id = Mix64(h);
+  if (id == 0) id = 1;
+  return id;
+}
+
+}  // namespace skyex::obs

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/context.h"
+
 namespace skyex::obs {
 
 namespace {
@@ -93,6 +95,13 @@ void Logger::Log(LogLevel level, std::string_view event,
     line.append(kv.key);
     line.push_back('=');
     AppendValue(&line, kv);
+  }
+  // Stamp the request this thread is working on (if any) so every log
+  // line joins the flight recorder / exemplars by id.
+  const TraceContext ctx = CurrentContext();
+  if (ctx.valid()) {
+    line.append(" rid=");
+    line.append(FormatRequestId(ctx.request_id));
   }
   line.push_back('\n');
 

@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include "obs/context.h"
+
 #include <algorithm>
 #include <bit>
 #include <cinttypes>
@@ -77,7 +79,9 @@ double Gauge::Value() const {
              : BitsDouble(cell_->bits.load(std::memory_order_relaxed));
 }
 
-void Histogram::Observe(double value) {
+void Histogram::Observe(double value) { Observe(value, 0); }
+
+void Histogram::Observe(double value, uint64_t exemplar_id) {
   if (cell_ == nullptr) return;
   const auto it = std::lower_bound(cell_->bounds.begin(),
                                    cell_->bounds.end(), value);
@@ -86,6 +90,11 @@ void Histogram::Observe(double value) {
   cell_->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
   cell_->count.fetch_add(1, std::memory_order_relaxed);
   AtomicDoubleAdd(&cell_->sum_bits, value);
+  if (exemplar_id != 0) {
+    cell_->exemplar_ids[bucket].store(exemplar_id, std::memory_order_relaxed);
+    cell_->exemplar_value_bits[bucket].store(DoubleBits(value),
+                                             std::memory_order_relaxed);
+  }
 }
 
 uint64_t Histogram::Count() const {
@@ -194,6 +203,10 @@ Histogram MetricsRegistry::GetHistogram(const std::string& name,
     cell->bounds = bounds;
     cell->buckets =
         std::vector<std::atomic<uint64_t>>(bounds.size() + 1);
+    cell->exemplar_ids =
+        std::vector<std::atomic<uint64_t>>(bounds.size() + 1);
+    cell->exemplar_value_bits =
+        std::vector<std::atomic<uint64_t>>(bounds.size() + 1);
   }
   return Histogram(cell.get());
 }
@@ -253,6 +266,67 @@ void MetricsRegistry::WriteJson(std::ostream& out) const {
   out << (first ? "" : "\n  ") << "}\n}\n";
 }
 
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's
+// `subsystem/verb_noun` names map '/' (and anything else illegal) to
+// '_' and gain a `skyex_` prefix.
+std::string PromName(const std::string& name) {
+  std::string out = "skyex_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::WritePrometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& [name, cell] : impl_->counters) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " counter\n"
+        << prom << " " << cell->value.load(std::memory_order_relaxed) << "\n";
+  }
+  for (const auto& [name, cell] : impl_->gauges) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " gauge\n"
+        << prom << " "
+        << NumberToJson(BitsDouble(cell->bits.load(std::memory_order_relaxed)))
+        << "\n";
+  }
+  for (const auto& [name, cell] : impl_->histograms) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " histogram\n";
+    uint64_t running = 0;
+    for (size_t b = 0; b < cell->buckets.size(); ++b) {
+      running += cell->buckets[b].load(std::memory_order_relaxed);
+      out << prom << "_bucket{le=\""
+          << (b < cell->bounds.size() ? NumberToJson(cell->bounds[b])
+                                      : std::string("+Inf"))
+          << "\"} " << running;
+      const uint64_t exemplar_id =
+          b < cell->exemplar_ids.size()
+              ? cell->exemplar_ids[b].load(std::memory_order_relaxed)
+              : 0;
+      if (exemplar_id != 0) {
+        out << " # {request_id=\"" << FormatRequestId(exemplar_id) << "\"} "
+            << NumberToJson(BitsDouble(cell->exemplar_value_bits[b].load(
+                   std::memory_order_relaxed)));
+      }
+      out << "\n";
+    }
+    out << prom << "_sum "
+        << NumberToJson(
+               BitsDouble(cell->sum_bits.load(std::memory_order_relaxed)))
+        << "\n"
+        << prom << "_count " << cell->count.load(std::memory_order_relaxed)
+        << "\n";
+  }
+}
+
 std::string MetricsRegistry::SummaryTable() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   std::ostringstream out;
@@ -287,6 +361,8 @@ void MetricsRegistry::ResetForTest() {
   for (auto& [name, cell] : impl_->gauges) cell->bits.store(0);
   for (auto& [name, cell] : impl_->histograms) {
     for (auto& bucket : cell->buckets) bucket.store(0);
+    for (auto& id : cell->exemplar_ids) id.store(0);
+    for (auto& bits : cell->exemplar_value_bits) bits.store(0);
     cell->count.store(0);
     cell->sum_bits.store(0);
   }

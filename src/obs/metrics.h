@@ -38,6 +38,12 @@ struct HistogramCell {
   std::vector<std::atomic<uint64_t>> buckets;  // bounds.size() + 1
   std::atomic<uint64_t> count{0};
   std::atomic<uint64_t> sum_bits{0};  // bit-cast double, CAS-accumulated
+  // Last request id + observed value to land in each bucket (exemplars
+  // for the Prometheus exposition). Written with independent relaxed
+  // stores: a reader can pair an id with a value from a neighbouring
+  // observation of the same bucket — benign for a debugging pointer.
+  std::vector<std::atomic<uint64_t>> exemplar_ids;         // bounds.size() + 1
+  std::vector<std::atomic<uint64_t>> exemplar_value_bits;  // bit-cast double
 };
 
 }  // namespace internal
@@ -77,6 +83,9 @@ class Histogram {
  public:
   Histogram() = default;
   void Observe(double value);
+  /// Observe + attach `exemplar_id` (a request id; 0 = none) to the
+  /// bucket the value lands in, for Prometheus exemplar exposition.
+  void Observe(double value, uint64_t exemplar_id);
   uint64_t Count() const;
   double Sum() const;
   /// Cumulative count of observations <= bounds[i]; the final entry is
@@ -122,6 +131,13 @@ class MetricsRegistry {
 
   /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
   void WriteJson(std::ostream& out) const;
+  /// Prometheus text exposition (text/plain; version=0.0.4): metric
+  /// names are prefixed `skyex_` and sanitized ('/' and other
+  /// non-[a-zA-Z0-9_:] characters become '_'); histograms emit
+  /// cumulative `_bucket{le="..."}` series plus `_sum`/`_count`, with
+  /// OpenMetrics-style `# {request_id="..."} value` exemplars on
+  /// buckets that have one.
+  void WritePrometheus(std::ostream& out) const;
   /// Fixed-width human-readable dump, one metric per line.
   std::string SummaryTable() const;
 
@@ -148,6 +164,7 @@ class MetricsRegistry {
 #define SKYEX_COUNTER_INC(name) ((void)0)
 #define SKYEX_GAUGE_SET(name, v) ((void)0)
 #define SKYEX_HISTOGRAM_OBSERVE_US(name, v) ((void)0)
+#define SKYEX_HISTOGRAM_OBSERVE_US_EX(name, v, exemplar_id) ((void)0)
 #define SKYEX_HISTOGRAM_OBSERVE(name, v, bounds) ((void)0)
 
 #else
@@ -170,6 +187,16 @@ class MetricsRegistry {
 
 #define SKYEX_HISTOGRAM_OBSERVE_US(name, v)                               \
   SKYEX_HISTOGRAM_OBSERVE(name, v, ::skyex::obs::LatencyBucketsUs())
+
+// Observe a microsecond latency and stamp the request id that produced
+// it as the bucket's exemplar (0 = no exemplar).
+#define SKYEX_HISTOGRAM_OBSERVE_US_EX(name, v, exemplar_id)               \
+  do {                                                                    \
+    static ::skyex::obs::Histogram skyex_obs_histogram_ =                 \
+        ::skyex::obs::MetricsRegistry::Global().GetHistogram(             \
+            name, ::skyex::obs::LatencyBucketsUs());                      \
+    skyex_obs_histogram_.Observe(v, exemplar_id);                         \
+  } while (0)
 
 #define SKYEX_HISTOGRAM_OBSERVE(name, v, bounds)                          \
   do {                                                                    \

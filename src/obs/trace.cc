@@ -140,7 +140,11 @@ std::map<std::string, SpanStat> TraceCollector::Aggregate() const {
 }
 
 void TraceCollector::WriteChromeTrace(std::ostream& out) const {
-  const std::vector<TraceEvent> events = Snapshot();
+  WriteChromeTraceEvents(out, Snapshot());
+}
+
+void WriteChromeTraceEvents(std::ostream& out,
+                            const std::vector<TraceEvent>& events) {
   out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;
   char line[256];

@@ -54,16 +54,24 @@ class TraceCollector {
   }
 
   /// Drops every buffered event (live thread buffers and retired ones).
+  /// Safe to call while worker threads are recording spans: an event
+  /// whose span completes concurrently with the Reset may survive it
+  /// (it is either cleared or appended atomically, never torn).
   void Reset();
 
-  /// Merged copy of all completed spans, sorted by start time. Call at a
-  /// quiescent point (worker threads joined or idle).
+  /// Merged copy of all completed spans, sorted by start time. Safe to
+  /// call at any time, including while worker threads are actively
+  /// recording: each per-thread buffer is copied under its own mutex,
+  /// so the result is a consistent prefix of every thread's stream.
+  /// Spans still open at snapshot time are not included (only
+  /// completed spans are ever buffered). No quiescence is required —
+  /// /debug/trace snapshots while the pool and linker run.
   std::vector<TraceEvent> Snapshot() const;
 
   /// Per-name aggregation of Snapshot().
   std::map<std::string, SpanStat> Aggregate() const;
 
-  /// Chrome trace-event JSON ({"traceEvents":[...]}).
+  /// Chrome trace-event JSON ({"traceEvents":[...]}) of Snapshot().
   void WriteChromeTrace(std::ostream& out) const;
 
   /// Fixed-width per-span summary (count, total, self, mean).
@@ -99,6 +107,11 @@ class ScopedSpan {
   std::chrono::steady_clock::time_point start_;
   bool active_;
 };
+
+/// Chrome trace-event JSON for an explicit event list (e.g. a
+/// Snapshot() filtered to a time window, as /debug/trace does).
+void WriteChromeTraceEvents(std::ostream& out,
+                            const std::vector<TraceEvent>& events);
 
 /// Microseconds since the collector epoch (shared clock of all spans).
 double TraceNowUs();

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
 
@@ -150,7 +151,20 @@ ThreadPool::TaskGroup::~TaskGroup() { Wait(); }
 
 void ThreadPool::TaskGroup::Run(std::function<void()> fn) {
   pending_.fetch_add(1, std::memory_order_relaxed);
-  pool_->Submit(Task{std::move(fn), this});
+  // Capture the submitter's trace context so request ids follow work
+  // across the pool boundary (ParallelFor/Map/Reduce all funnel their
+  // non-caller chunks through here). The caller-run chunk and the
+  // 1-thread inline path inherit the context naturally.
+  const obs::TraceContext ctx = obs::CurrentContext();
+  if (ctx.valid()) {
+    pool_->Submit(Task{[ctx, fn = std::move(fn)] {
+                         obs::ScopedTraceContext scope(ctx);
+                         fn();
+                       },
+                       this});
+  } else {
+    pool_->Submit(Task{std::move(fn), this});
+  }
 }
 
 void ThreadPool::TaskGroup::Wait() {

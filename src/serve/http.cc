@@ -234,7 +234,9 @@ HttpClient::HttpClient(const std::string& host, uint16_t port,
 
 std::optional<HttpResponse> HttpClient::Request(
     const std::string& method, const std::string& path,
-    const std::string& body, const std::string& content_type) {
+    const std::string& body, const std::string& content_type,
+    const std::vector<std::pair<std::string, std::string>>&
+        extra_headers) {
   if (!fd_.valid()) return std::nullopt;
   std::string out;
   out.reserve(body.size() + 192);
@@ -249,6 +251,12 @@ std::optional<HttpResponse> HttpClient::Request(
     out += content_type;
     out += "\r\nContent-Length: ";
     out += std::to_string(body.size());
+    out += "\r\n";
+  }
+  for (const auto& [key, value] : extra_headers) {
+    out += key;
+    out += ": ";
+    out += value;
     out += "\r\n";
   }
   out += "\r\n";

@@ -79,11 +79,14 @@ class HttpClient {
 
   /// Sends a request and reads the response. nullopt on connection
   /// failure (the connection is closed and must be re-established).
-  std::optional<HttpResponse> Request(const std::string& method,
-                                      const std::string& path,
-                                      const std::string& body = "",
-                                      const std::string& content_type =
-                                          "application/json");
+  /// `extra_headers` are written verbatim after Host/Content-* (e.g.
+  /// {"X-Request-Id", "abc123"} to hand the server a request id).
+  std::optional<HttpResponse> Request(
+      const std::string& method, const std::string& path,
+      const std::string& body = "",
+      const std::string& content_type = "application/json",
+      const std::vector<std::pair<std::string, std::string>>&
+          extra_headers = {});
 
  private:
   UniqueFd fd_;

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "fault/fault.h"
+#include "obs/context.h"
+#include "obs/flight.h"
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -25,6 +27,26 @@ int64_t NowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// Value of `key` in an (unescaped) query string "a=1&b=2"; false when
+// the key is absent.
+bool QueryParam(const std::string& query, std::string_view key,
+                std::string* out) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::string_view part =
+        std::string_view(query).substr(pos, end - pos);
+    const size_t eq = part.find('=');
+    if (eq != std::string_view::npos && part.substr(0, eq) == key) {
+      out->assign(part.substr(eq + 1));
+      return true;
+    }
+    pos = end + 1;
+  }
+  return false;
 }
 
 }  // namespace
@@ -168,11 +190,36 @@ void Server::ServeConnection(UniqueFd fd) {
     requests_.fetch_add(1, std::memory_order_relaxed);
     SKYEX_COUNTER_INC("serve/http_requests");
     const double start_us = obs::TraceNowUs();
+
+    // Request id: adopt the client's X-Request-Id (hex ids parse
+    // exactly so our own ids round-trip; anything else is hashed) or
+    // mint one. The original header value is echoed back verbatim;
+    // internally the 64-bit id keys logs, the flight recorder and
+    // exemplars.
+    uint64_t request_id = 0;
+    std::string request_id_text;
+    const auto rid_header = request.headers.find("x-request-id");
+    if (rid_header != request.headers.end() && !rid_header->second.empty()) {
+      request_id = obs::RequestIdFromText(rid_header->second);
+      request_id_text = rid_header->second;
+    } else {
+      request_id = obs::NewRequestId();
+      request_id_text = obs::FormatRequestId(request_id);
+    }
+    obs::ScopedTraceContext context_scope(
+        obs::TraceContext{request_id, 0});
+
+    obs::RequestTimeline timeline;
+    timeline.request_id = request_id;
+    timeline.start_us = start_us;
+    timeline.SetEndpoint(request.path);
+
     HttpResponse response;
     {
       SKYEX_SPAN("serve/handle_request");
-      response = Dispatch(request);
+      response = Dispatch(request, &timeline);
     }
+    response.extra_headers.emplace_back("X-Request-Id", request_id_text);
     if (response.status < 300) {
       responses_ok_.fetch_add(1, std::memory_order_relaxed);
     } else if (response.status == 429) {
@@ -190,18 +237,22 @@ void Server::ServeConnection(UniqueFd fd) {
         !request.KeepAlive() || draining_.load(std::memory_order_relaxed);
     const bool written = WriteHttpResponse(fd.get(), response, close,
                                            options_.write_timeout_ms);
-    SKYEX_HISTOGRAM_OBSERVE_US("serve/request_latency_us",
-                               obs::TraceNowUs() - start_us);
+    timeline.status = response.status;
+    timeline.total_us = obs::TraceNowUs() - start_us;
+    obs::FlightRecorder::Global().Record(timeline);
+    SKYEX_HISTOGRAM_OBSERVE_US_EX("serve/request_latency_us",
+                                  timeline.total_us, request_id);
     if (!written || close) return;
   }
 }
 
-HttpResponse Server::Dispatch(const HttpRequest& request) {
+HttpResponse Server::Dispatch(const HttpRequest& request,
+                              obs::RequestTimeline* timeline) {
   if (request.path == "/v1/link" || request.path == "/v1/link_batch") {
     if (request.method != "POST") {
       return ErrorResponse(405, "use POST");
     }
-    return HandleLink(request, request.path == "/v1/link_batch");
+    return HandleLink(request, request.path == "/v1/link_batch", timeline);
   }
   if (request.path == "/healthz") {
     if (request.method != "GET") return ErrorResponse(405, "use GET");
@@ -227,11 +278,30 @@ HttpResponse Server::Dispatch(const HttpRequest& request) {
   }
   if (request.path == "/metrics") {
     if (request.method != "GET") return ErrorResponse(405, "use GET");
+    std::string format;
+    QueryParam(request.query, "format", &format);
     std::ostringstream out;
-    obs::MetricsRegistry::Global().WriteJson(out);
+    HttpResponse response;
+    if (format == "prometheus") {
+      obs::MetricsRegistry::Global().WritePrometheus(out);
+      response.content_type = "text/plain; version=0.0.4";
+    } else {
+      obs::MetricsRegistry::Global().WriteJson(out);
+    }
+    response.body = out.str();
+    return response;
+  }
+  if (request.path == "/debug/flight") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    std::ostringstream out;
+    obs::FlightRecorder::Global().WriteJson(out);
     HttpResponse response;
     response.body = out.str();
     return response;
+  }
+  if (request.path == "/debug/trace") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    return HandleDebugTrace(request);
   }
   if (request.path == "/model") {
     if (request.method != "GET") return ErrorResponse(405, "use GET");
@@ -244,10 +314,14 @@ HttpResponse Server::Dispatch(const HttpRequest& request) {
 }
 
 HttpResponse Server::LinkResponse(const std::vector<LinkResult>& results,
-                                  bool batch) {
+                                  bool batch,
+                                  obs::RequestTimeline* timeline) {
+  const double serialize_start = obs::TraceNowUs();
+  const std::string rid = obs::FormatRequestId(timeline->request_id);
   json::Writer writer;
   if (batch) {
     writer.BeginObject();
+    writer.Key("request_id").String(rid);
     writer.Key("results").BeginArray();
     for (const LinkResult& result : results) {
       WriteLinkResultJson(&writer, result);
@@ -255,18 +329,64 @@ HttpResponse Server::LinkResponse(const std::vector<LinkResult>& results,
     writer.EndArray();
     writer.EndObject();
   } else {
-    WriteLinkResultJson(&writer, results[0]);
+    WriteLinkResultJson(&writer, results[0], &rid);
   }
   HttpResponse response;
   response.body = writer.Take();
+  timeline->serialize_us = obs::TraceNowUs() - serialize_start;
   return response;
 }
 
 HttpResponse Server::DegradedResponse(
-    const std::vector<data::SpatialEntity>& entities, bool batch) {
+    const std::vector<data::SpatialEntity>& entities, bool batch,
+    obs::RequestTimeline* timeline) {
   degraded_.fetch_add(1, std::memory_order_relaxed);
   SKYEX_COUNTER_INC("serve/degraded_responses");
-  return LinkResponse(service_->LinkDegraded(entities), batch);
+  timeline->degraded = true;
+  return LinkResponse(service_->LinkDegraded(entities), batch, timeline);
+}
+
+HttpResponse Server::HandleDebugTrace(const HttpRequest& request) {
+  std::string seconds_text;
+  int seconds = 1;
+  if (QueryParam(request.query, "seconds", &seconds_text)) {
+    try {
+      seconds = std::stoi(seconds_text);
+    } catch (...) {
+      return ErrorResponse(400, "seconds must be an integer");
+    }
+  }
+  seconds = std::clamp(seconds, 1, 10);
+
+  // Enable the collector for the window, then export only events that
+  // started inside it. Snapshot() is safe while pool workers and the
+  // linker are live (see trace.h), so nothing pauses. The window
+  // occupies this I/O worker; concurrent requests proceed on the
+  // others. If tracing was already on (e.g. --trace-out), leave it on
+  // and don't reset, so the long-running collection is untouched.
+  auto& collector = obs::TraceCollector::Global();
+  const bool was_enabled = collector.enabled();
+  const double window_start = obs::TraceNowUs();
+  collector.SetEnabled(true);
+  for (int slept_ms = 0;
+       slept_ms < seconds * 1000 &&
+       !draining_.load(std::memory_order_relaxed);
+       slept_ms += 50) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (!was_enabled) collector.SetEnabled(false);
+
+  std::vector<obs::TraceEvent> events = collector.Snapshot();
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [window_start](const obs::TraceEvent& e) {
+                                return e.ts_us < window_start;
+                              }),
+               events.end());
+  std::ostringstream out;
+  obs::WriteChromeTraceEvents(out, events);
+  HttpResponse response;
+  response.body = out.str();
+  return response;
 }
 
 HttpResponse Server::ShedResponse(const std::string& message) {
@@ -276,11 +396,20 @@ HttpResponse Server::ShedResponse(const std::string& message) {
   return response;
 }
 
-HttpResponse Server::HandleLink(const HttpRequest& request, bool batch) {
+HttpResponse Server::HandleLink(const HttpRequest& request, bool batch,
+                                obs::RequestTimeline* timeline) {
   std::string error;
   LinkJob job;
   {
     SKYEX_SPAN("serve/parse_request");
+    const double parse_start = obs::TraceNowUs();
+    struct ParseTimer {
+      double start;
+      obs::RequestTimeline* timeline;
+      ~ParseTimer() {
+        timeline->parse_us = obs::TraceNowUs() - start;
+      }
+    } parse_timer{parse_start, timeline};
     const auto parsed = obs::json::Parse(request.body, &error);
     if (!parsed.has_value()) {
       SKYEX_COUNTER_INC("serve/bad_json_400");
@@ -330,7 +459,7 @@ HttpResponse Server::HandleLink(const HttpRequest& request, bool batch) {
   // would only expire. The watchdog clears the flag on recovery.
   if (wedged_.load(std::memory_order_relaxed)) {
     if (options_.degraded_fallback) {
-      return DegradedResponse(job.entities, batch);
+      return DegradedResponse(job.entities, batch, timeline);
     }
     return ShedResponse("linker wedged");
   }
@@ -349,6 +478,9 @@ HttpResponse Server::HandleLink(const HttpRequest& request, bool batch) {
   }
 
   job.enqueue_us = obs::TraceNowUs();
+  job.request_id = timeline->request_id;
+  auto phases = std::make_shared<LinkPhases>();
+  job.phases = phases;
   auto cancelled = std::make_shared<std::atomic<bool>>(false);
   job.cancelled = cancelled;
   std::future<std::vector<LinkResult>> future = job.done.get_future();
@@ -390,14 +522,20 @@ HttpResponse Server::HandleLink(const HttpRequest& request, bool batch) {
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);
       SKYEX_COUNTER_INC("serve/deadline_expired");
       breaker_.RecordFailure(NowMs());
+      NoteBreakerOpens();
       if (options_.degraded_fallback) {
-        return DegradedResponse(fallback_entities, batch);
+        return DegradedResponse(fallback_entities, batch, timeline);
       }
       return ShedResponse("deadline exceeded");
     }
     std::vector<LinkResult> results = future.get();
     breaker_.RecordSuccess(NowMs());
-    return LinkResponse(results, batch);
+    timeline->queue_wait_us = phases->queue_wait_us;
+    timeline->batch_wait_us = phases->batch_wait_us;
+    timeline->extract_us = phases->extract_us;
+    timeline->rank_us = phases->rank_us;
+    timeline->batch_size = phases->batch_size;
+    return LinkResponse(results, batch, timeline);
   }
 
   std::vector<LinkResult> results;
@@ -406,7 +544,12 @@ HttpResponse Server::HandleLink(const HttpRequest& request, bool batch) {
     results = future.get();
   }
   breaker_.RecordSuccess(NowMs());
-  return LinkResponse(results, batch);
+  timeline->queue_wait_us = phases->queue_wait_us;
+  timeline->batch_wait_us = phases->batch_wait_us;
+  timeline->extract_us = phases->extract_us;
+  timeline->rank_us = phases->rank_us;
+  timeline->batch_size = phases->batch_size;
+  return LinkResponse(results, batch, timeline);
 }
 
 void Server::LinkerLoop() {
@@ -414,6 +557,19 @@ void Server::LinkerLoop() {
   while (link_queue_.PopBatch(
       &jobs, std::chrono::microseconds(options_.batch_window_us),
       options_.max_batch)) {
+    const double pop_us = obs::TraceNowUs();
+    // Attribute the linker's work (log lines, pool tasks) to the first
+    // live job of the batch — batches are usually size 1, and a single
+    // representative id beats no id for "what was the linker doing".
+    obs::TraceContext batch_context;
+    for (const LinkJob& job : jobs) {
+      if (job.cancelled == nullptr ||
+          !job.cancelled->load(std::memory_order_relaxed)) {
+        batch_context = obs::TraceContext{job.request_id, 0};
+        break;
+      }
+    }
+    obs::ScopedTraceContext context_scope(batch_context);
     linker_busy_.store(true, std::memory_order_relaxed);
     linker_heartbeat_ms_.store(NowMs(), std::memory_order_relaxed);
     // Injected wedge: the stall happens while busy with the heartbeat
@@ -447,6 +603,9 @@ void Server::LinkerLoop() {
           ++skipped;
           continue;
         }
+        if (job.phases != nullptr) {
+          job.phases->queue_wait_us = pop_us - job.enqueue_us;
+        }
         SKYEX_HISTOGRAM_OBSERVE_US("serve/queue_wait_us",
                                    now_us - job.enqueue_us);
         for (data::SpatialEntity& e : job.entities) {
@@ -462,12 +621,21 @@ void Server::LinkerLoop() {
     }
 
     std::vector<LinkResult> results;
+    LinkBatchStats batch_stats;
+    const double link_start_us = obs::TraceNowUs();
     if (!entities.empty()) {
-      results = service_->LinkMany(entities);
+      results = service_->LinkMany(entities, &batch_stats);
       if (!results.empty()) {
         last_record_count_.store(results.back().record_index + 1,
                                  std::memory_order_relaxed);
       }
+    }
+    for (LinkJob& job : jobs) {
+      if (job.phases == nullptr) continue;
+      job.phases->batch_wait_us = link_start_us - pop_us;
+      job.phases->extract_us = batch_stats.extract_us;
+      job.phases->rank_us = batch_stats.rank_us;
+      job.phases->batch_size = static_cast<uint32_t>(entities.size());
     }
 
     for (size_t j = 0; j < jobs.size(); ++j) {
@@ -507,11 +675,31 @@ void Server::WatchdogLoop() {
                        {"heartbeat_age_ms", age},
                        {"queue_depth", link_queue_.size()});
         breaker_.ForceOpen(now);
+        obs::FlightRecorder::Global().RecordEvent(
+            "watchdog_trip", "heartbeat_age_ms=" + std::to_string(age) +
+                                 " queue_depth=" +
+                                 std::to_string(link_queue_.size()));
+        obs::FlightRecorder::Global().DumpToStderr("watchdog_trip");
+        NoteBreakerOpens();
       }
     } else if (wedged_.exchange(false, std::memory_order_relaxed)) {
       SKYEX_GAUGE_SET("serve/wedged", 0.0);
       SKYEX_LOG_INFO("serve/watchdog", "linker recovered",
                      {"heartbeat_age_ms", age});
+    }
+  }
+}
+
+void Server::NoteBreakerOpens() {
+  const uint64_t opens = breaker_.opens();
+  uint64_t seen = flight_seen_opens_.load(std::memory_order_relaxed);
+  while (seen < opens) {
+    if (flight_seen_opens_.compare_exchange_weak(
+            seen, opens, std::memory_order_relaxed)) {
+      obs::FlightRecorder::Global().RecordEvent(
+          "breaker_open", "opens=" + std::to_string(opens));
+      obs::FlightRecorder::Global().DumpToStderr("breaker_open");
+      return;
     }
   }
 }

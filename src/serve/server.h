@@ -36,7 +36,23 @@
 //   POST /v1/link_batch  {"entities": [...]}  -> {"results": [...]}
 //   GET  /healthz                             -> liveness + record count
 //   GET  /metrics                             -> obs metrics registry JSON
+//        /metrics?format=prometheus           -> Prometheus text format
+//                                               with request-id exemplars
 //   GET  /model                               -> model_io text (text/plain)
+//   GET  /debug/flight                        -> flight-recorder dump JSON
+//   GET  /debug/trace?seconds=N               -> enables the trace
+//        collector for N seconds (cap 10) and streams the window as
+//        Chrome trace JSON; the linker keeps running throughout
+//
+// Request-scoped tracing: every request gets a 64-bit request id —
+// adopted from an incoming X-Request-Id header (hex ids parse exactly,
+// anything else is hashed) or freshly generated — installed as the
+// thread's obs::TraceContext for the request's lifetime, carried
+// through the link queue and the linker (and into pool tasks via
+// TaskGroup's context capture), echoed back as an X-Request-Id
+// response header and a "request_id" member of link response bodies,
+// and recorded as the request's flight-recorder timeline key and
+// latency-histogram exemplar.
 //
 // Stop() drains gracefully: stop accepting, serve requests already in
 // flight (idle keep-alive connections are closed), complete every
@@ -51,6 +67,7 @@
 #include <vector>
 
 #include "data/spatial_entity.h"
+#include "obs/flight.h"
 #include "serve/breaker.h"
 #include "serve/http.h"
 #include "serve/net.h"
@@ -117,9 +134,23 @@ class Server {
   Server& operator=(const Server&) = delete;
 
  private:
+  // Linker-side phase timings for one job, shared between the linker
+  // thread (writer, before the promise is fulfilled) and the I/O
+  // worker (reader, after future.get() returns) — the promise/future
+  // handoff orders the accesses.
+  struct LinkPhases {
+    double queue_wait_us = 0.0;  // enqueue -> batch popped
+    double batch_wait_us = 0.0;  // batch popped -> linking starts
+    double extract_us = 0.0;     // candidate scans (batch-level)
+    double rank_us = 0.0;        // scoring + acceptance (batch-level)
+    uint32_t batch_size = 0;     // entities linked in the batch
+  };
+
   struct LinkJob {
     std::vector<data::SpatialEntity> entities;
     double enqueue_us = 0.0;
+    uint64_t request_id = 0;
+    std::shared_ptr<LinkPhases> phases;
     // Set by the I/O worker when the request's deadline expires; the
     // linker skips cancelled jobs instead of mutating the dataset for
     // a caller that already gave up.
@@ -132,14 +163,24 @@ class Server {
   void LinkerLoop();
   void WatchdogLoop();
   void ServeConnection(UniqueFd fd);
-  HttpResponse Dispatch(const HttpRequest& request);
-  HttpResponse HandleLink(const HttpRequest& request, bool batch);
+  HttpResponse Dispatch(const HttpRequest& request,
+                        obs::RequestTimeline* timeline);
+  HttpResponse HandleLink(const HttpRequest& request, bool batch,
+                          obs::RequestTimeline* timeline);
+  HttpResponse HandleDebugTrace(const HttpRequest& request);
   HttpResponse DegradedResponse(
-      const std::vector<data::SpatialEntity>& entities, bool batch);
+      const std::vector<data::SpatialEntity>& entities, bool batch,
+      obs::RequestTimeline* timeline);
   HttpResponse ShedResponse(const std::string& message);
   HttpResponse ErrorResponse(int status, const std::string& message) const;
+  // Builds the link response body, timing serialization into the
+  // request's timeline and echoing its id in the body.
   static HttpResponse LinkResponse(const std::vector<LinkResult>& results,
-                                   bool batch);
+                                   bool batch,
+                                   obs::RequestTimeline* timeline);
+  // Records a flight-recorder marker + dump when the breaker opened
+  // since the last call (deadline-fed opens and watchdog force-opens).
+  void NoteBreakerOpens();
 
   LinkService* service_;
   ServerOptions options_;
@@ -180,6 +221,8 @@ class Server {
   std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> breaker_rejected_{0};
   std::atomic<uint64_t> watchdog_trips_{0};
+  // Breaker opens already reported to the flight recorder.
+  std::atomic<uint64_t> flight_seen_opens_{0};
 };
 
 }  // namespace skyex::serve

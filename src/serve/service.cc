@@ -152,8 +152,12 @@ void WriteEntityJson(json::Writer* writer, const data::SpatialEntity& e) {
   writer->EndObject();
 }
 
-void WriteLinkResultJson(json::Writer* writer, const LinkResult& result) {
+void WriteLinkResultJson(json::Writer* writer, const LinkResult& result,
+                         const std::string* request_id) {
   writer->BeginObject();
+  if (request_id != nullptr) {
+    writer->Key("request_id").String(*request_id);
+  }
   writer->Key("record_index").Uint(result.record_index);
   if (result.degraded) writer->Key("degraded").Bool(true);
   writer->Key("links").BeginArray();
@@ -196,7 +200,8 @@ LinkService::LinkService(core::IncrementalLinker linker,
 }
 
 std::vector<LinkResult> LinkService::LinkMany(
-    const std::vector<data::SpatialEntity>& entities) {
+    const std::vector<data::SpatialEntity>& entities,
+    LinkBatchStats* stats) {
   SKYEX_SPAN("serve/link_batch");
   std::vector<LinkResult> results;
   results.reserve(entities.size());
@@ -204,7 +209,13 @@ std::vector<LinkResult> LinkService::LinkMany(
     std::lock_guard<std::mutex> lock(mutex_);
     for (const data::SpatialEntity& entity : entities) {
       LinkResult result;
-      const std::vector<size_t> links = linker_.AddRecord(entity);
+      core::AddRecordStats add_stats;
+      const std::vector<size_t> links = linker_.AddRecord(
+          entity, stats != nullptr ? &add_stats : nullptr);
+      if (stats != nullptr) {
+        stats->extract_us += add_stats.candidates_us;
+        stats->rank_us += add_stats.score_us;
+      }
       const data::Dataset& dataset = linker_.dataset();
       result.record_index = dataset.size() - 1;
       result.links.reserve(links.size());

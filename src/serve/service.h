@@ -61,8 +61,19 @@ bool ParseEntityJson(const obs::json::Value& value,
 /// Writes an entity as a JSON object (omits missing attributes).
 void WriteEntityJson(json::Writer* writer, const data::SpatialEntity& e);
 
-/// Writes one LinkResult as a JSON object.
-void WriteLinkResultJson(json::Writer* writer, const LinkResult& result);
+/// Writes one LinkResult as a JSON object. When `request_id` is given
+/// it is written as a leading "request_id" member (single-entity
+/// responses echo the id in the body; see docs/serving.md).
+void WriteLinkResultJson(json::Writer* writer, const LinkResult& result,
+                         const std::string* request_id = nullptr);
+
+/// Batch-level phase timing of LinkMany, for the flight recorder:
+/// `extract_us` sums the candidate scans, `rank_us` the LGM-X scoring
+/// + skyline-key acceptance, across the whole batch.
+struct LinkBatchStats {
+  double extract_us = 0.0;
+  double rank_us = 0.0;
+};
 
 /// Serializes IncrementalLinker access behind one mutex — the write
 /// contract of core/incremental.h. All linkage performed by the server
@@ -73,9 +84,11 @@ class LinkService {
               DegradedOptions degraded_options = {});
 
   /// Links each entity in order against the (growing) dataset. One
-  /// batch = one lock hold = one linker pass.
+  /// batch = one lock hold = one linker pass. `stats` (optional)
+  /// receives the batch's phase timings.
   std::vector<LinkResult> LinkMany(
-      const std::vector<data::SpatialEntity>& entities);
+      const std::vector<data::SpatialEntity>& entities,
+      LinkBatchStats* stats = nullptr);
 
   /// Read-only fallback: matches each entity against the degraded
   /// index by name similarity + radius gate. Never touches the linker

@@ -8,13 +8,17 @@
 // at the bottom and in obs_disabled_test.cc.
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/context.h"
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -312,6 +316,261 @@ TEST_F(ObsTest, LogEscapesQuotesAndNewlines) {
                        "say \"hi\"\nplease", {});
   EXPECT_NE(captured.find("msg=\"say \\\"hi\\\"\\nplease\""),
             std::string::npos);
+}
+
+// --- trace context ----------------------------------------------------
+
+TEST_F(ObsTest, CurrentContextStartsInvalid) {
+  EXPECT_FALSE(CurrentContext().valid());
+  EXPECT_EQ(CurrentContext().request_id, 0u);
+}
+
+TEST_F(ObsTest, ScopedContextInstallsAndRestores) {
+  {
+    ScopedTraceContext scope(TraceContext{42, 7});
+    EXPECT_TRUE(CurrentContext().valid());
+    EXPECT_EQ(CurrentContext().request_id, 42u);
+    EXPECT_EQ(CurrentContext().span_id, 7u);
+    {
+      ScopedTraceContext nested(TraceContext{99, 0});
+      EXPECT_EQ(CurrentContext().request_id, 99u);
+    }
+    // The nested scope restores the outer context, not "no context".
+    EXPECT_EQ(CurrentContext().request_id, 42u);
+  }
+  EXPECT_FALSE(CurrentContext().valid());
+}
+
+TEST_F(ObsTest, ContextIsThreadLocal) {
+  ScopedTraceContext scope(TraceContext{42, 0});
+  uint64_t seen_on_thread = 1;  // sentinel: 0 is what we expect
+  std::thread worker([&seen_on_thread] {
+    seen_on_thread = CurrentContext().request_id;
+  });
+  worker.join();
+  EXPECT_EQ(seen_on_thread, 0u);
+  EXPECT_EQ(CurrentContext().request_id, 42u);
+}
+
+TEST_F(ObsTest, NewRequestIdsAreNonZeroAndDistinct) {
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(NewRequestId());
+  for (const uint64_t id : ids) EXPECT_NE(id, 0u);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+TEST_F(ObsTest, RequestIdFormatsAndParsesRoundTrip) {
+  const uint64_t id = 0x0123456789abcdefull;
+  const std::string text = FormatRequestId(id);
+  EXPECT_EQ(text, "0123456789abcdef");
+  uint64_t parsed = 0;
+  ASSERT_TRUE(ParseRequestId(text, &parsed));
+  EXPECT_EQ(parsed, id);
+  // Short hex parses too (leading zeros implied).
+  ASSERT_TRUE(ParseRequestId("ff", &parsed));
+  EXPECT_EQ(parsed, 0xffu);
+}
+
+TEST_F(ObsTest, ParseRequestIdRejectsNonHex) {
+  uint64_t parsed = 0;
+  EXPECT_FALSE(ParseRequestId("", &parsed));
+  EXPECT_FALSE(ParseRequestId("not-hex!", &parsed));
+  EXPECT_FALSE(ParseRequestId("0123456789abcdef0", &parsed));  // 17 digits
+  EXPECT_FALSE(ParseRequestId("12 34", &parsed));
+}
+
+TEST_F(ObsTest, RequestIdFromTextAdoptsHexAndHashesTheRest) {
+  // A well-formed hex id is adopted verbatim...
+  EXPECT_EQ(RequestIdFromText("00000000000000ff"), 0xffu);
+  // ...anything else hashes: deterministic, non-zero, spread out.
+  const uint64_t a = RequestIdFromText("client-req-1");
+  const uint64_t b = RequestIdFromText("client-req-2");
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, RequestIdFromText("client-req-1"));
+  // The empty string still maps to a usable id.
+  EXPECT_NE(RequestIdFromText(""), 0u);
+}
+
+TEST_F(ObsTest, LogLinesCarryTheCurrentRequestId) {
+  std::string captured;
+  Logger::Global().SetCaptureForTest(&captured);
+  {
+    ScopedTraceContext scope(TraceContext{0xabcu, 0});
+    Logger::Global().Log(LogLevel::kInfo, "test/rid", "in context", {});
+  }
+  Logger::Global().Log(LogLevel::kInfo, "test/rid", "out of context", {});
+  const std::string rid = " rid=" + FormatRequestId(0xabcu);
+  const size_t first_newline = captured.find('\n');
+  ASSERT_NE(first_newline, std::string::npos);
+  const std::string first_line = captured.substr(0, first_newline);
+  const std::string rest = captured.substr(first_newline + 1);
+  EXPECT_NE(first_line.find(rid), std::string::npos) << first_line;
+  EXPECT_EQ(rest.find(" rid="), std::string::npos) << rest;
+}
+
+// --- concurrent snapshot / reset (the /debug/trace contract) ----------
+
+TEST_F(ObsTest, SnapshotAndResetAreSafeWhileSpansRecord) {
+  // The /debug/trace endpoint snapshots and the obs teardown resets
+  // while I/O workers and the linker still record spans. Hammer that
+  // interleaving: correctness here is "no crash, no torn event" — every
+  // snapshotted event must be one of ours, fully formed. The writers
+  // record a bounded number of spans (free-running writers outproduce
+  // the snapshots and balloon the collector's buffers).
+  TraceCollector::Global().SetEnabled(true);
+  constexpr int kSpansPerThread = 20000;
+  std::atomic<int> live{4};
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < 4; ++t) {
+    recorders.emplace_back([&live] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan outer("test/hammer_outer");
+        ScopedSpan inner("test/hammer_inner");
+      }
+      live.fetch_sub(1);
+    });
+  }
+  int rounds = 0;
+  while (live.load() > 0 || rounds < 3) {
+    const std::vector<TraceEvent> events =
+        TraceCollector::Global().Snapshot();
+    for (const TraceEvent& e : events) {
+      const std::string name = e.name;
+      EXPECT_TRUE(name == "test/hammer_outer" ||
+                  name == "test/hammer_inner")
+          << name;
+      EXPECT_GE(e.dur_us, 0.0);
+    }
+    if (++rounds % 3 == 0) TraceCollector::Global().Reset();
+  }
+  for (std::thread& w : recorders) w.join();
+}
+
+// --- Prometheus exposition --------------------------------------------
+
+// Validates one line of Prometheus text format: either a "# TYPE"
+// comment or "<name>[{labels}] <number>[ # {labels} <number>]" (the
+// trailing part is an OpenMetrics-style exemplar).
+bool ValidPrometheusLine(const std::string& line, std::string* why) {
+  if (line.rfind("# TYPE ", 0) == 0) {
+    std::istringstream in(line.substr(7));
+    std::string name, type;
+    in >> name >> type;
+    if (name.empty() ||
+        (type != "counter" && type != "gauge" && type != "histogram")) {
+      *why = "bad TYPE line";
+      return false;
+    }
+    return true;
+  }
+  size_t i = 0;
+  auto name_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+           c == ':';
+  };
+  while (i < line.size() && name_char(line[i])) ++i;
+  if (i == 0) {
+    *why = "no metric name";
+    return false;
+  }
+  if (i < line.size() && line[i] == '{') {
+    const size_t close = line.find('}', i);
+    if (close == std::string::npos) {
+      *why = "unclosed label set";
+      return false;
+    }
+    i = close + 1;
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    *why = "no space before value";
+    return false;
+  }
+  ++i;
+  const size_t value_end = line.find(' ', i);
+  const std::string value = line.substr(i, value_end - i);
+  char* end = nullptr;
+  std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    *why = "unparseable value '" + value + "'";
+    return false;
+  }
+  if (value_end != std::string::npos) {
+    // Exemplar: " # {request_id=\"...\"} <number>".
+    if (line.compare(value_end, 4, " # {") != 0 ||
+        line.find('}', value_end) == std::string::npos) {
+      *why = "trailing garbage that is not an exemplar";
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST_F(ObsTest, PrometheusExpositionIsWellFormed) {
+  MetricsRegistry::Global().GetCounter("serve/http_requests").Add(12);
+  MetricsRegistry::Global().GetGauge("par/pool_threads").Set(8.0);
+  Histogram histogram = MetricsRegistry::Global().GetHistogram(
+      "serve/request_latency_us", {100.0, 1000.0});
+  histogram.Observe(50.0);
+  histogram.Observe(500.0, 0xfeedu);  // with an exemplar id
+  histogram.Observe(5000.0);
+
+  std::ostringstream out;
+  MetricsRegistry::Global().WritePrometheus(out);
+  const std::string text = out.str();
+
+  // Every line must be valid Prometheus text format.
+  std::istringstream lines(text);
+  std::string line, why;
+  size_t count = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(ValidPrometheusLine(line, &why)) << why << ": " << line;
+    ++count;
+  }
+  EXPECT_GE(count, 8u);
+
+  // Names are prefixed and sanitized ('/' -> '_'), values correct.
+  EXPECT_NE(text.find("# TYPE skyex_serve_http_requests counter\n"
+                      "skyex_serve_http_requests 12\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE skyex_par_pool_threads gauge\n"
+                      "skyex_par_pool_threads 8\n"),
+            std::string::npos);
+  // Histogram: cumulative buckets, +Inf, sum and count.
+  EXPECT_NE(text.find("skyex_serve_request_latency_us_bucket{le=\"100\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("skyex_serve_request_latency_us_bucket{le=\"1000\"} 2"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("skyex_serve_request_latency_us_bucket{le=\"+Inf\"} 3\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("skyex_serve_request_latency_us_sum 5550\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("skyex_serve_request_latency_us_count 3\n"),
+            std::string::npos);
+  // The exemplar links the le="1000" bucket to the request id.
+  EXPECT_NE(text.find("_bucket{le=\"1000\"} 2 # {request_id=\"" +
+                      FormatRequestId(0xfeedu) + "\"} 500"),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(ObsTest, PrometheusExemplarTracksLatestObservation) {
+  Histogram histogram = MetricsRegistry::Global().GetHistogram(
+      "test/exemplar_hist", {10.0});
+  histogram.Observe(5.0, 0xaaaau);
+  histogram.Observe(7.0, 0xbbbbu);
+  std::ostringstream out;
+  MetricsRegistry::Global().WritePrometheus(out);
+  const std::string text = out.str();
+  // Last writer wins; the stale exemplar id is gone.
+  EXPECT_NE(text.find("request_id=\"" + FormatRequestId(0xbbbbu) + "\""),
+            std::string::npos);
+  EXPECT_EQ(text.find(FormatRequestId(0xaaaau)), std::string::npos);
 }
 
 // --- macro sites (compiled out under SKYEX_OBS_DISABLED) --------------

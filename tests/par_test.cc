@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "par/parallel_for.h"
 #include "par/rng.h"
@@ -170,6 +171,72 @@ TEST(ParReduce, OrderedFoldMatchesSerialAtAnyThreadCount) {
   EXPECT_EQ(at2, at8);
   EXPECT_NEAR(at1, at2, 1e-9);
   for (int rep = 0; rep < 5; ++rep) EXPECT_EQ(sum_with(8), at8);
+}
+
+// ------------------------------------------- trace-context propagation
+
+TEST(ParPool, TaskGroupCarriesTheCallersTraceContext) {
+  ThreadPool pool(4);
+  obs::ScopedTraceContext scope(obs::TraceContext{0x5151u, 0});
+  std::atomic<int> wrong{0};
+  ThreadPool::TaskGroup group(&pool);
+  for (int i = 0; i < 64; ++i) {
+    group.Run([&wrong] {
+      if (obs::CurrentContext().request_id != 0x5151u) wrong.fetch_add(1);
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST(ParPool, TaskGroupWithoutContextStaysContextFree) {
+  ThreadPool pool(2);
+  ASSERT_FALSE(obs::CurrentContext().valid());
+  std::atomic<int> contaminated{0};
+  ThreadPool::TaskGroup group(&pool);
+  for (int i = 0; i < 16; ++i) {
+    group.Run([&contaminated] {
+      if (obs::CurrentContext().valid()) contaminated.fetch_add(1);
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(contaminated.load(), 0);
+}
+
+TEST(ParFor, BodySeesTheCallersTraceContextAtAnyThreadCount) {
+  // The server's linker runs ParallelFor under the batch's request
+  // context; every chunk — inline on the caller or stolen by a pool
+  // worker — must observe it.
+  for (const size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    ForOptions options;
+    options.grain = 4;
+    options.pool = &pool;
+    obs::ScopedTraceContext scope(obs::TraceContext{0xc0ffeeu, 0});
+    std::atomic<int> wrong{0};
+    ParallelFor(0, 500, options, [&wrong](size_t) {
+      if (obs::CurrentContext().request_id != 0xc0ffeeu) wrong.fetch_add(1);
+    });
+    EXPECT_EQ(wrong.load(), 0) << "threads=" << threads;
+  }
+}
+
+TEST(ParFor, WorkerContextDoesNotLeakPastTheLoop) {
+  // After the loop, pool workers go back to other callers; the scoped
+  // restore inside the captured task must leave them context-free.
+  ThreadPool pool(2);
+  ForOptions options;
+  options.grain = 1;
+  options.pool = &pool;
+  {
+    obs::ScopedTraceContext scope(obs::TraceContext{0x77u, 0});
+    ParallelFor(0, 32, options, [](size_t) {});
+  }
+  std::atomic<int> contaminated{0};
+  ParallelFor(0, 32, options, [&contaminated](size_t) {
+    if (obs::CurrentContext().valid()) contaminated.fetch_add(1);
+  });
+  EXPECT_EQ(contaminated.load(), 0);
 }
 
 // ------------------------------------------------------------ RNG streams

@@ -20,7 +20,10 @@
 #include "core/pipeline.h"
 #include "core/skyex_t.h"
 #include "eval/sampling.h"
+#include "obs/context.h"
+#include "obs/flight.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "serve/http.h"
 #include "serve/json_writer.h"
 #include "serve/server.h"
@@ -386,6 +389,194 @@ TEST(ServeTest, KeepAliveServesSequentialRequests) {
   EXPECT_EQ(ts.server->stats().connections, 1u);
   EXPECT_EQ(ts.server->stats().requests, 3u);
 }
+
+// ------------------------------------------- request-scoped tracing
+
+TEST(ServeTest, GeneratesAndEchoesARequestId) {
+  TestServer ts = StartServer();
+  serve::HttpClient client("127.0.0.1", ts.port());
+  const auto response =
+      client.Request("POST", "/v1/link", LinkBody(DuplicateEntity(950001)));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+  // A fresh id: 16 hex digits in the header, echoed in the body.
+  const std::string rid = Header(*response, "x-request-id");
+  ASSERT_EQ(rid.size(), 16u);
+  uint64_t parsed = 0;
+  EXPECT_TRUE(obs::ParseRequestId(rid, &parsed));
+  EXPECT_NE(parsed, 0u);
+  std::string error;
+  const auto json = obs::json::Parse(response->body, &error);
+  ASSERT_TRUE(json.has_value()) << error;
+  ASSERT_NE(json->Find("request_id"), nullptr);
+  EXPECT_EQ(json->Find("request_id")->string_v, rid);
+}
+
+TEST(ServeTest, AdoptsAClientHexRequestId) {
+  TestServer ts = StartServer();
+  serve::HttpClient client("127.0.0.1", ts.port());
+  std::vector<data::SpatialEntity> entities = {DuplicateEntity(950002),
+                                               DuplicateEntity(950003)};
+  const auto response = client.Request(
+      "POST", "/v1/link_batch", BatchBody(entities), "application/json",
+      {{"X-Request-Id", "00000000deadbeef"}});
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+  // The client's hex id is echoed verbatim and used as the internal id.
+  EXPECT_EQ(Header(*response, "x-request-id"), "00000000deadbeef");
+  std::string error;
+  const auto json = obs::json::Parse(response->body, &error);
+  ASSERT_TRUE(json.has_value()) << error;
+  ASSERT_NE(json->Find("request_id"), nullptr);
+  EXPECT_EQ(json->Find("request_id")->string_v, "00000000deadbeef");
+  ASSERT_NE(json->Find("results"), nullptr);
+  EXPECT_EQ(json->Find("results")->array_v.size(), 2u);
+}
+
+TEST(ServeTest, HashesAForeignRequestIdButEchoesTheOriginal) {
+  TestServer ts = StartServer();
+  serve::HttpClient client("127.0.0.1", ts.port());
+  const auto response = client.Request(
+      "POST", "/v1/link", LinkBody(DuplicateEntity(950004)),
+      "application/json", {{"X-Request-Id", "trace/abc-123!"}});
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+  // Non-hex ids echo as given in the header; the body carries the
+  // internal 16-hex form (the flight-recorder / exemplar key).
+  EXPECT_EQ(Header(*response, "x-request-id"), "trace/abc-123!");
+  std::string error;
+  const auto json = obs::json::Parse(response->body, &error);
+  ASSERT_TRUE(json.has_value()) << error;
+  ASSERT_NE(json->Find("request_id"), nullptr);
+  EXPECT_EQ(json->Find("request_id")->string_v,
+            obs::FormatRequestId(obs::RequestIdFromText("trace/abc-123!")));
+}
+
+// ------------------------------------------------ flight recorder
+
+TEST(ServeTest, DebugFlightShowsTheRequestWithPhases) {
+  obs::FlightRecorder::Global().ResetForTest();
+  TestServer ts = StartServer();
+  serve::HttpClient client("127.0.0.1", ts.port());
+  const auto link = client.Request(
+      "POST", "/v1/link", LinkBody(DuplicateEntity(950005)),
+      "application/json", {{"X-Request-Id", "00000000cafe0005"}});
+  ASSERT_TRUE(link.has_value());
+  ASSERT_EQ(link->status, 200);
+
+  const auto flight = client.Request("GET", "/debug/flight");
+  ASSERT_TRUE(flight.has_value());
+  EXPECT_EQ(flight->status, 200);
+  std::string error;
+  const auto json = obs::json::Parse(flight->body, &error);
+  ASSERT_TRUE(json.has_value()) << error;
+  const auto* recent = json->Find("recent");
+  ASSERT_NE(recent, nullptr);
+  const obs::json::Value* ours = nullptr;
+  for (const auto& entry : recent->array_v) {
+    const auto* rid = entry.Find("request_id");
+    if (rid != nullptr && rid->string_v == "00000000cafe0005") ours = &entry;
+  }
+  ASSERT_NE(ours, nullptr) << flight->body;
+  EXPECT_EQ(ours->Find("endpoint")->string_v, "/v1/link");
+  EXPECT_EQ(ours->Find("status")->number_v, 200.0);
+  EXPECT_EQ(ours->Find("batch_size")->number_v, 1.0);
+  // The full phase breakdown is present and plausible: the phases are
+  // all non-negative and no phase exceeds the total.
+  const double total = ours->Find("total_us")->number_v;
+  EXPECT_GT(total, 0.0);
+  for (const char* phase : {"parse_us", "queue_wait_us", "batch_wait_us",
+                            "extract_us", "rank_us", "serialize_us"}) {
+    ASSERT_NE(ours->Find(phase), nullptr) << phase;
+    EXPECT_GE(ours->Find(phase)->number_v, 0.0) << phase;
+    EXPECT_LE(ours->Find(phase)->number_v, total) << phase;
+  }
+  // A linked request spent real time in the linker phases.
+  EXPECT_GT(ours->Find("extract_us")->number_v +
+                ours->Find("rank_us")->number_v,
+            0.0);
+}
+
+#if !defined(SKYEX_OBS_DISABLED)
+
+// ------------------------------------------------ live exposition
+
+TEST(ServeTest, PrometheusScrapeCarriesRequestExemplars) {
+  obs::MetricsRegistry::Global().ResetForTest();
+  TestServer ts = StartServer();
+  serve::HttpClient client("127.0.0.1", ts.port());
+  const auto link = client.Request(
+      "POST", "/v1/link", LinkBody(DuplicateEntity(950006)),
+      "application/json", {{"X-Request-Id", "00000000cafe0006"}});
+  ASSERT_TRUE(link.has_value());
+  ASSERT_EQ(link->status, 200);
+
+  const auto scrape = client.Request("GET", "/metrics?format=prometheus");
+  ASSERT_TRUE(scrape.has_value());
+  EXPECT_EQ(scrape->status, 200);
+  EXPECT_EQ(scrape->content_type.rfind("text/plain", 0), 0u);
+  const std::string& text = scrape->body;
+  EXPECT_NE(text.find("# TYPE skyex_serve_http_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE skyex_serve_request_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("skyex_serve_request_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  // The link request's id is attached to its latency bucket.
+  EXPECT_NE(text.find("# {request_id=\"00000000cafe0006\"}"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ServeTest, DebugTraceStreamsChromeJsonWhileLinking) {
+  TestServer ts = StartServer();
+  // Concurrent link traffic for the whole trace window: the snapshot
+  // must be taken while workers and the linker are live.
+  std::atomic<bool> stop{false};
+  std::thread traffic([&ts, &stop] {
+    serve::HttpClient client("127.0.0.1", ts.port());
+    uint64_t id = 960000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!client.ok()) client = serve::HttpClient("127.0.0.1", ts.port());
+      client.Request("POST", "/v1/link", LinkBody(DuplicateEntity(++id)));
+    }
+  });
+  serve::HttpClient client("127.0.0.1", ts.port(), 15000);
+  const auto trace = client.Request("GET", "/debug/trace?seconds=1");
+  stop.store(true);
+  traffic.join();
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->status, 200);
+  std::string error;
+  const auto json = obs::json::Parse(trace->body, &error);
+  ASSERT_TRUE(json.has_value()) << error;
+  const auto* events = json->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // The window overlapped live link traffic, so spans were collected,
+  // and every event is a complete Chrome trace record.
+  EXPECT_FALSE(events->array_v.empty());
+  for (const auto& e : events->array_v) {
+    ASSERT_NE(e.Find("name"), nullptr);
+    EXPECT_EQ(e.Find("ph")->string_v, "X");
+    EXPECT_TRUE(e.Find("ts")->is_number());
+    EXPECT_TRUE(e.Find("dur")->is_number());
+  }
+  // The bounded window turned the collector back off.
+  const auto after = client.Request("GET", "/debug/trace?seconds=0");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->status, 200);  // seconds clamps to >= 1
+}
+
+TEST(ServeTest, DebugTraceRejectsBadSeconds) {
+  TestServer ts = StartServer();
+  serve::HttpClient client("127.0.0.1", ts.port());
+  const auto response = client.Request("GET", "/debug/trace?seconds=x");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 400);
+}
+
+#endif  // !SKYEX_OBS_DISABLED
 
 }  // namespace
 }  // namespace skyex

@@ -106,11 +106,13 @@ message(STATUS "chaos: server up on port ${port} (pid ${server_pid}), "
                "spec: ${fault_spec}")
 
 # The storm. skyex_chaos exits non-zero if fewer than 99% of admitted
-# requests end in a valid outcome, the server stops answering, or the
-# run hangs past --max-seconds.
+# requests end in a valid outcome, the server stops answering, the run
+# hangs past --max-seconds, or the flight recorder is missing the
+# storm's timelines / the linker.stall's watchdog_trip marker.
 execute_process(
   COMMAND "${SKYEX_CHAOS}" --port=${port} --requests=600 --connections=4
           --entities=150 --seed=41 --max-seconds=150
+          --expect-flight-watchdog
   OUTPUT_FILE "${chaos_log}" ERROR_FILE "${chaos_log}"
   RESULT_VARIABLE rc)
 file(READ "${chaos_log}" chaos_output)

@@ -33,6 +33,7 @@
 
 #include "data/northdk_generator.h"
 #include "flags.h"
+#include "obs/json.h"
 #include "par/rng.h"
 #include "serve/http.h"
 #include "serve/json_writer.h"
@@ -58,7 +59,11 @@ int Usage() {
       "  --max-retries=N   transport retries per slot (default 6)\n"
       "  --timeout-ms=N    per-request socket timeout (default 5000)\n"
       "  --max-seconds=N   hard wall-clock cap on the run (default 120)\n"
-      "  --min-valid=F     required valid fraction (default 0.99)\n");
+      "  --min-valid=F     required valid fraction (default 0.99)\n"
+      "  --expect-flight-watchdog  after the storm, require the server's\n"
+      "                    /debug/flight dump to be non-empty and carry\n"
+      "                    a watchdog_trip marker event (use with a\n"
+      "                    linker.stall schedule that trips the watchdog)\n");
   return 2;
 }
 
@@ -213,6 +218,59 @@ void ChaosLoop(const std::string& host, uint16_t port, int timeout_ms,
   }
 }
 
+/// Post-storm flight-recorder check (--expect-flight-watchdog): the
+/// storm's timelines must be in /debug/flight and the linker.stall that
+/// tripped the watchdog must have left a watchdog_trip marker event.
+bool CheckFlightRecorder(const std::string& host, uint16_t port,
+                         int timeout_ms) {
+  HttpClient client(host, port, timeout_ms);
+  if (!client.ok()) {
+    std::fprintf(stderr, "chaos: FAIL — cannot connect for /debug/flight\n");
+    return false;
+  }
+  const auto response = client.Request("GET", "/debug/flight");
+  if (!response.has_value() || response->status != 200) {
+    std::fprintf(stderr, "chaos: FAIL — /debug/flight did not answer 200\n");
+    return false;
+  }
+  std::string error;
+  const auto json = skyex::obs::json::Parse(response->body, &error);
+  if (!json.has_value()) {
+    std::fprintf(stderr, "chaos: FAIL — /debug/flight body unparseable: %s\n",
+                 error.c_str());
+    return false;
+  }
+  const auto* recent = json->Find("recent");
+  if (recent == nullptr || !recent->is_array() || recent->array_v.empty()) {
+    std::fprintf(stderr,
+                 "chaos: FAIL — /debug/flight has no recent timelines\n");
+    return false;
+  }
+  const auto* events = json->Find("events");
+  bool tripped = false;
+  if (events != nullptr && events->is_array()) {
+    for (const auto& event : events->array_v) {
+      const auto* kind = event.Find("kind");
+      if (kind != nullptr && kind->is_string() &&
+          kind->string_v == "watchdog_trip") {
+        tripped = true;
+        break;
+      }
+    }
+  }
+  if (!tripped) {
+    std::fprintf(stderr,
+                 "chaos: FAIL — no watchdog_trip marker in /debug/flight "
+                 "events (linker.stall schedule did not trip, or the "
+                 "marker was lost)\n");
+    return false;
+  }
+  std::printf("chaos: flight recorder has %zu recent timelines and a "
+              "watchdog_trip marker\n",
+              recent->array_v.size());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,7 +285,8 @@ int main(int argc, char** argv) {
        {"max-retries", FlagType::kSize},
        {"timeout-ms", FlagType::kSize},
        {"max-seconds", FlagType::kSize},
-       {"min-valid", FlagType::kDouble}});
+       {"min-valid", FlagType::kDouble},
+       {"expect-flight-watchdog", FlagType::kBool}});
   if (!flags.has_value()) return Usage();
   if (!flags->Has("port")) {
     std::fprintf(stderr, "error: --port is required\n");
@@ -330,6 +389,10 @@ int main(int argc, char** argv) {
   if (fraction < min_valid) {
     std::fprintf(stderr, "chaos: FAIL — valid fraction %.4f < %.4f\n",
                  fraction, min_valid);
+    return 1;
+  }
+  if (flags->Has("expect-flight-watchdog") &&
+      !CheckFlightRecorder(host, port, timeout_ms)) {
     return 1;
   }
   std::printf("chaos: OK\n");

@@ -20,6 +20,7 @@
 // link, batch link, /healthz, /model and /metrics responses are checked
 // structurally — the serve_smoke ctest drives this.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -125,6 +126,37 @@ struct LoadCounters {
   std::atomic<uint64_t> retry_exhausted{0};  // gave up after max retries
 };
 
+constexpr size_t kSlowestK = 10;
+
+/// One completed request, keyed by the server's echoed X-Request-Id —
+/// the handle for looking the request up in /debug/flight or as a
+/// /metrics exemplar.
+struct SlowSample {
+  double us = 0.0;
+  std::string request_id;
+};
+
+/// Keeps `samples` holding the top-`kSlowestK` slowest, sorted
+/// descending by latency. Called per response on a single thread; the
+/// per-thread lists are merged after the joins.
+void NoteSlowSample(std::vector<SlowSample>* samples, double us,
+                    const HttpResponse& response) {
+  if (samples->size() >= kSlowestK && us <= samples->back().us) return;
+  SlowSample sample;
+  sample.us = us;
+  for (const auto& [key, value] : response.extra_headers) {
+    if (key == "x-request-id") {
+      sample.request_id = value;
+      break;
+    }
+  }
+  const auto pos = std::upper_bound(
+      samples->begin(), samples->end(), sample,
+      [](const SlowSample& a, const SlowSample& b) { return a.us > b.us; });
+  samples->insert(pos, std::move(sample));
+  if (samples->size() > kSlowestK) samples->resize(kSlowestK);
+}
+
 /// Retry-After (seconds) from a response's headers, or 0 when absent.
 int RetryAfterSeconds(const HttpResponse& response) {
   for (const auto& [key, value] : response.extra_headers) {
@@ -136,7 +168,8 @@ int RetryAfterSeconds(const HttpResponse& response) {
 void LoadLoop(const std::string& host, uint16_t port, int timeout_ms,
               const std::vector<skyex::data::SpatialEntity>* pool,
               size_t first_request, size_t num_requests, size_t batch_size,
-              int backoff_ms, size_t max_retries, LoadCounters* counters) {
+              int backoff_ms, size_t max_retries, LoadCounters* counters,
+              std::vector<SlowSample>* slowest) {
   const std::string path =
       batch_size > 1 ? "/v1/link_batch" : "/v1/link";
   HttpClient client(host, port, timeout_ms);
@@ -191,6 +224,7 @@ void LoadLoop(const std::string& host, uint16_t port, int timeout_ms,
         continue;  // closed loop: retry the same request
       }
       SKYEX_HISTOGRAM_OBSERVE_US(kLatencyMetric, us);
+      NoteSlowSample(slowest, us, *response);
       if (response->status == 200) {
         counters->ok.fetch_add(1);
         if (response->body.find("\"degraded\":true") != std::string::npos) {
@@ -264,11 +298,21 @@ int RunSmoke(const std::string& host, uint16_t port, int timeout_ms,
                   model->body.find("cutoff_ratio: ") != std::string::npos,
               "/model serves the model text");
 
+  bool echoed_id = false;
+  for (const auto& [key, value] : link->extra_headers) {
+    if (key == "x-request-id" && !value.empty()) echoed_id = true;
+  }
+  SMOKE_CHECK(echoed_id, "/v1/link echoes an X-Request-Id header");
+
   const auto metrics = client.Request("GET", "/metrics");
   SMOKE_CHECK(metrics.has_value() && metrics->status == 200,
               "/metrics answers 200");
   const auto metrics_json = Parse(metrics->body, &error);
   SMOKE_CHECK(metrics_json.has_value(), "/metrics body is valid JSON");
+#if !defined(SKYEX_OBS_DISABLED)
+  // Metric *content* only exists when observability is compiled in;
+  // the obs-off CI job still runs this smoke for the structural checks
+  // above (request ids and flight timelines are not macro-gated).
   const auto* counters = metrics_json->Find("counters");
   SMOKE_CHECK(counters != nullptr &&
                   counters->Find("serve/http_requests") != nullptr &&
@@ -286,6 +330,22 @@ int RunSmoke(const std::string& host, uint16_t port, int timeout_ms,
                   gauges->Find("par/pool_threads") != nullptr &&
                   gauges->Find("par/pool_threads")->number_v >= 1,
               "par/pool_threads gauge reports the pool size");
+
+  const auto prom = client.Request("GET", "/metrics?format=prometheus");
+  SMOKE_CHECK(prom.has_value() && prom->status == 200 &&
+                  prom->body.find("# TYPE skyex_serve_http_requests "
+                                  "counter") != std::string::npos,
+              "/metrics?format=prometheus serves text format");
+#endif
+
+  const auto flight = client.Request("GET", "/debug/flight");
+  SMOKE_CHECK(flight.has_value() && flight->status == 200,
+              "/debug/flight answers 200");
+  const auto flight_json = Parse(flight->body, &error);
+  SMOKE_CHECK(flight_json.has_value() &&
+                  flight_json->Find("recent") != nullptr &&
+                  !flight_json->Find("recent")->array_v.empty(),
+              "/debug/flight has recent request timelines");
 
   std::fprintf(stderr, "smoke: OK\n");
   return 0;
@@ -360,6 +420,7 @@ int main(int argc, char** argv) {
       host, port, timeout_ms, "core/incremental_candidates");
   std::vector<std::thread> threads;
   threads.reserve(connections);
+  std::vector<std::vector<SlowSample>> per_thread_slowest(connections);
   const auto start = std::chrono::steady_clock::now();
   size_t assigned = 0;
   for (size_t c = 0; c < connections; ++c) {
@@ -367,7 +428,7 @@ int main(int argc, char** argv) {
         requests / connections + (c < requests % connections ? 1 : 0);
     threads.emplace_back(LoadLoop, host, port, timeout_ms, &pool, assigned,
                          share, batch_size, backoff_ms, max_retries,
-                         &counters);
+                         &counters, &per_thread_slowest[c]);
     assigned += share;
   }
   for (std::thread& t : threads) t.join();
@@ -415,6 +476,27 @@ int main(int argc, char** argv) {
         entities_per_s, pairs / seconds, pairs);
   } else {
     std::printf("throughput: %.1f entities/s linked\n", entities_per_s);
+  }
+  // The tail, by request id: feed these ids to the server's
+  // /debug/flight (phase breakdown) or find them as exemplars on
+  // /metrics?format=prometheus.
+  std::vector<SlowSample> slowest;
+  for (const auto& thread_slowest : per_thread_slowest) {
+    slowest.insert(slowest.end(), thread_slowest.begin(),
+                   thread_slowest.end());
+  }
+  std::sort(slowest.begin(), slowest.end(),
+            [](const SlowSample& a, const SlowSample& b) {
+              return a.us > b.us;
+            });
+  if (slowest.size() > kSlowestK) slowest.resize(kSlowestK);
+  if (!slowest.empty()) {
+    std::printf("slowest requests (latency_us  request_id):\n");
+    for (const SlowSample& sample : slowest) {
+      std::printf(
+          "  %10.0f  %s\n", sample.us,
+          sample.request_id.empty() ? "-" : sample.request_id.c_str());
+    }
   }
   const int obs_rc = skyex::tools::ObsFinish(*flags);
   // Any non-2xx or transport failure fails the run (the smoke/demo

@@ -7,7 +7,9 @@
 // calibrates an incremental linker on the pairs the model accepts, and
 // serves linkage queries over HTTP/1.1 (see src/serve/server.h for the
 // endpoints). SIGTERM/SIGINT drain gracefully: requests already in
-// flight receive their responses before the process exits.
+// flight receive their responses before the process exits. SIGUSR2
+// dumps the flight recorder (recent request timelines, top-K slowest,
+// marker events) to stderr and keeps serving.
 //
 // Observability: all the usual flags (--trace-out, --metrics-out,
 // --log-level, --obs-summary); artifacts are written after the drain.
@@ -25,6 +27,7 @@
 #include "data/csv.h"
 #include "fault/fault.h"
 #include "flags.h"
+#include "obs/flight.h"
 #include "obs/log.h"
 #include "serve/server.h"
 #include "serve/service.h"
@@ -64,16 +67,24 @@ int Usage() {
       "runtime: --threads=N   shared thread pool size (default: all\n"
       "                       cores; the linker scores batches on it)\n"
       "observability: --trace-out --metrics-out --log-level "
-      "--obs-summary\n");
+      "--obs-summary\n"
+      "signals: SIGTERM/SIGINT drain and exit; SIGUSR2 dumps the\n"
+      "         flight recorder to stderr and keeps serving\n");
   return 2;
 }
 
-// SIGTERM/SIGINT wake the main thread through a self-pipe; everything
-// else (drain, joins) happens in normal code, not in the handler.
+// SIGTERM/SIGINT (byte 1) and SIGUSR2 (byte 2) wake the main thread
+// through a self-pipe; everything else (drain, joins, flight dumps)
+// happens in normal code, not in the handler.
 int g_signal_pipe[2] = {-1, -1};
 
 void OnSignal(int) {
   const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void OnFlightDumpSignal(int) {
+  const char byte = 2;
   [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
 }
 
@@ -201,9 +212,17 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGTERM, OnSignal);
   std::signal(SIGINT, OnSignal);
-  char byte = 0;
-  while (::read(g_signal_pipe[0], &byte, 1) < 0) {
-    // EINTR from the signal itself; retry until the self-pipe byte lands.
+  std::signal(SIGUSR2, OnFlightDumpSignal);
+  for (;;) {
+    char byte = 0;
+    if (::read(g_signal_pipe[0], &byte, 1) < 0) {
+      continue;  // EINTR from the signal itself; retry for the byte
+    }
+    if (byte == 2) {
+      skyex::obs::FlightRecorder::Global().DumpToStderr("sigusr2");
+      continue;  // keep serving
+    }
+    break;  // SIGTERM/SIGINT: drain
   }
 
   std::fprintf(stderr, "skyex_serve: draining...\n");
