@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Parallel-speedup snapshot: runs the micro_skyline, micro_lgm and
-# micro_ml suites at --threads=1 and --threads=N (default: all cores)
-# and writes BENCH_parallel.json at the repo root with per-benchmark
+# Benchmark snapshots, written as BENCH_*.json at the repo root. Every
+# snapshot records host metadata (CPU model, core count, 1-minute load
+# average, UTC timestamp) and the repetition count, and reports medians
+# across repetitions so a single noisy run cannot skew the numbers.
+#
+# Parallel-speedup snapshot (default): runs the micro_skyline, micro_lgm
+# and micro_ml suites at --threads=1 and --threads=N (default: all
+# cores) and writes BENCH_parallel.json with per-benchmark median
 # ops/sec plus the N-thread speedup over the serial run.
 #
-#   scripts/bench_snapshot.sh [build-dir] [threads]
+#   scripts/bench_snapshot.sh [build-dir] [threads] [reps]
 #
 # Speedup is hardware-dependent: on a single-core host the parallel run
 # degenerates to the serial path and speedups hover around 1.0 — the
@@ -16,14 +21,232 @@
 # compile out, and writes BENCH_obs.json with the per-benchmark
 # overhead of carrying the instrumentation:
 #
-#   scripts/bench_snapshot.sh --obs [obs-on-build-dir] [obs-off-build-dir]
+#   scripts/bench_snapshot.sh --obs [obs-on-build-dir] [obs-off-build-dir] [reps]
+#
+# Profiler snapshot: boots skyex_serve twice — sampler off, then armed
+# at 97 Hz — drives each with skyex_loadgen for [reps] timed runs, and
+# writes BENCH_prof.json with the median-throughput overhead of the
+# always-on profiler plus a per-phase CPU-attribution table and the
+# top-10 functions by self samples, scraped from /debug/pprof/profile
+# under load:
+#
+#   scripts/bench_snapshot.sh --prof [build-dir] [reps]
+#
+# Overhead fractions are clamped at the measured noise floor (the
+# cross-repetition spread): a delta indistinguishable from run-to-run
+# noise is reported as 0, with the raw value kept alongside.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Shared host metadata, exported for the python aggregators below.
+HOST_META="$(python3 - <<'EOF'
+import json, os, time
+model = ""
+try:
+    with open("/proc/cpuinfo") as f:
+        for line in f:
+            if line.startswith("model name"):
+                model = line.split(":", 1)[1].strip()
+                break
+except OSError:
+    pass
+print(json.dumps({
+    "cpu_model": model,
+    "host_cpus": os.cpu_count(),
+    "load_avg_1m": round(os.getloadavg()[0], 2),
+    "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+}))
+EOF
+)"
+export HOST_META
+
+if [ "${1:-}" = "--prof" ]; then
+  BUILD_DIR="${2:-build}"
+  REPS="${3:-3}"
+  if [ "$REPS" -lt 3 ]; then REPS=3; fi
+  OUT="BENCH_prof.json"
+  TMP_DIR="$(mktemp -d)"
+  SERVER_PID=""
+  cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP_DIR"
+  }
+  trap cleanup EXIT
+
+  cmake --build "$BUILD_DIR" -j --target skyex_cli skyex_serve_bin \
+    skyex_loadgen
+
+  "$BUILD_DIR/tools/skyex" generate --dataset=northdk --entities=400 \
+    --seed=29 --out="$TMP_DIR/entities.csv"
+  "$BUILD_DIR/tools/skyex" train --in="$TMP_DIR/entities.csv" \
+    --train-fraction=0.1 --seed=3 --model-out="$TMP_DIR/model.txt" \
+    --log-level=warn
+
+  # Boots skyex_serve on an ephemeral port; sets SERVER_PID and PORT.
+  boot_server() {  # args: extra server flags
+    local port_file="$TMP_DIR/port.txt"
+    rm -f "$port_file"
+    "$BUILD_DIR/tools/skyex_serve" --model="$TMP_DIR/model.txt" \
+      --dataset="$TMP_DIR/entities.csv" --port=0 \
+      --port-file="$port_file" --workers=4 --queue-depth=64 \
+      --log-level=warn "$@" >"$TMP_DIR/serve.log" 2>&1 &
+    SERVER_PID=$!
+    PORT=""
+    for _ in $(seq 150); do
+      if [ -s "$port_file" ]; then PORT="$(cat "$port_file")"; break; fi
+      kill -0 "$SERVER_PID" 2>/dev/null || {
+        echo "server died during startup:" >&2
+        cat "$TMP_DIR/serve.log" >&2
+        exit 1
+      }
+      sleep 0.2
+    done
+    [ -n "$PORT" ] || { echo "server never bound a port" >&2; exit 1; }
+  }
+
+  stop_server() {
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+  }
+
+  run_loadgen() {  # args: output file, connections
+    "$BUILD_DIR/tools/skyex_loadgen" --port="$PORT" --requests=600 \
+      --connections="${2:-4}" --entities=100 --seed=41 | tee "$1"
+  }
+
+  for leg in off on; do
+    if [ "$leg" = "on" ]; then
+      boot_server --profile-hz=97
+    else
+      boot_server --profile-hz=0
+    fi
+    echo "=== loadgen (profiler $leg, port $PORT) ==="
+    run_loadgen "$TMP_DIR/warmup_${leg}.txt" >/dev/null  # warmup
+    for rep in $(seq "$REPS"); do
+      run_loadgen "$TMP_DIR/loadgen_${leg}_${rep}.txt"
+    done
+    if [ "$leg" = "on" ]; then
+      # Scrape the attribution profile while a background load runs so
+      # the window sees the real serve/extraction/skyline mix. The load
+      # uses one connection fewer than the server has workers: each
+      # worker owns a connection, so a saturating closed-loop load
+      # would starve the scrape connection until the load ends — and
+      # the window would cover an idle server.
+      run_loadgen "$TMP_DIR/loadgen_scrape.txt" 3 >/dev/null &
+      LOAD_PID=$!
+      python3 - "$PORT" "$TMP_DIR" <<'EOF'
+import sys, urllib.request
+port, tmp = sys.argv[1], sys.argv[2]
+base = f"http://127.0.0.1:{port}/debug/pprof"
+for url, path in [
+    (f"{base}/profile?seconds=3&format=json", f"{tmp}/profile.json"),
+    (f"{base}/profile?seconds=3", f"{tmp}/profile.folded"),
+    (f"{base}/heap", f"{tmp}/heap.json"),
+]:
+    with urllib.request.urlopen(url, timeout=60) as r:
+        with open(path, "wb") as f:
+            f.write(r.read())
+EOF
+      wait "$LOAD_PID" || true
+    fi
+    stop_server
+  done
+
+  python3 - "$TMP_DIR" "$REPS" "$OUT" <<'EOF'
+import json, os, re, statistics, sys
+
+tmp_dir, reps, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+
+def req_per_sec(leg):
+    rates = []
+    for rep in range(1, reps + 1):
+        with open(os.path.join(tmp_dir, f"loadgen_{leg}_{rep}.txt")) as f:
+            m = re.search(r"\(([\d.]+) req/s\)", f.read())
+        if not m:
+            raise SystemExit(f"no req/s in loadgen_{leg}_{rep}.txt")
+        rates.append(float(m.group(1)))
+    return rates
+
+off, on = req_per_sec("off"), req_per_sec("on")
+off_med, on_med = statistics.median(off), statistics.median(on)
+raw = (off_med - on_med) / off_med if off_med else 0.0
+# Noise floor: the worse of the two legs' relative spread. An overhead
+# smaller than the run-to-run spread is indistinguishable from noise.
+def spread(rates, med):
+    return (max(rates) - min(rates)) / med if med else 0.0
+noise = max(spread(off, off_med), spread(on, on_med))
+clamped = raw if abs(raw) > noise else 0.0
+
+with open(os.path.join(tmp_dir, "profile.json")) as f:
+    profile = json.load(f)
+total = sum(profile["phases"].values()) or 1
+attribution = {
+    phase: {"samples": count, "fraction": round(count / total, 4)}
+    for phase, count in sorted(profile["phases"].items(),
+                               key=lambda kv: -kv[1])
+}
+
+# Top functions by self samples: the leaf frame of each collapsed line.
+self_samples = {}
+with open(os.path.join(tmp_dir, "profile.folded")) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        stack, count = line.rsplit(" ", 1)
+        leaf = stack.rsplit(";", 1)[-1]
+        self_samples[leaf] = self_samples.get(leaf, 0) + int(count)
+top = [{"function": name, "self_samples": count,
+        "self_fraction": round(count / total, 4)}
+       for name, count in sorted(self_samples.items(),
+                                 key=lambda kv: -kv[1])[:10]]
+
+with open(os.path.join(tmp_dir, "heap.json")) as f:
+    heap = json.load(f)
+
+snapshot = {
+    **json.loads(os.environ["HOST_META"]),
+    "repetitions": reps,
+    "profiler_hz": profile.get("hz", 97),
+    "loadgen": {
+        "req_per_sec_profiler_off": off,
+        "req_per_sec_profiler_on": on,
+        "median_req_per_sec_profiler_off": off_med,
+        "median_req_per_sec_profiler_on": on_med,
+        # raw can be negative (on leg faster) — that is pure noise,
+        # which is exactly what the clamp reports.
+        "profiler_overhead_fraction_raw": round(raw, 4),
+        "profiler_overhead_fraction": round(clamped, 4),
+        "noise_floor_fraction": round(noise, 4),
+    },
+    "cpu_attribution": attribution,
+    "top_functions_by_self_samples": top,
+    "heap_zones": heap.get("zones", {}),
+    "profile_samples": profile.get("samples", 0),
+    "profile_dropped": profile.get("dropped", 0),
+}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+print(f"  throughput: off={off_med:.1f} on={on_med:.1f} req/s  "
+      f"overhead={100 * clamped:+.2f}% (raw {100 * raw:+.2f}%, "
+      f"noise floor {100 * noise:.2f}%)")
+for phase, row in attribution.items():
+    print(f"  {phase:<12} {row['samples']:>7} samples "
+          f"({100 * row['fraction']:.1f}%)")
+EOF
+  exit 0
+fi
+
 if [ "${1:-}" = "--obs" ]; then
   ON_DIR="${2:-build}"
   OFF_DIR="${3:-build-obs-off}"
+  REPS="${4:-3}"
+  if [ "$REPS" -lt 3 ]; then REPS=3; fi
   OUT="BENCH_obs.json"
   TMP_DIR="$(mktemp -d)"
   trap 'rm -rf "$TMP_DIR"' EXIT
@@ -39,53 +262,72 @@ if [ "${1:-}" = "--obs" ]; then
     echo "=== micro_skyline (obs ${leg}) ==="
     "${!dir_var}/bench/micro_skyline" --threads=1 \
       --benchmark_filter="$FILTER" \
+      --benchmark_repetitions="$REPS" \
       --benchmark_format=json \
       --benchmark_out="$TMP_DIR/obs_${leg}.json" \
       --benchmark_out_format=json >/dev/null
   done
 
-  python3 - "$TMP_DIR" "$OUT" <<'EOF'
+  python3 - "$TMP_DIR" "$REPS" "$OUT" <<'EOF'
 import json, os, sys
 
-tmp_dir, out_path = sys.argv[1], sys.argv[2]
+tmp_dir, reps, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
 
 def load(leg):
+    """name -> {"median": ns, "stddev": ns} from repetition aggregates."""
     with open(os.path.join(tmp_dir, f"obs_{leg}.json")) as f:
         report = json.load(f)
-    return {b["name"]: b for b in report["benchmarks"]
-            if b.get("run_type", "iteration") == "iteration"}
+    out = {}
+    for b in report["benchmarks"]:
+        agg = b.get("aggregate_name")
+        if agg not in ("median", "stddev"):
+            continue
+        name = b.get("run_name", b["name"])
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        out.setdefault(name, {})[agg] = b["real_time"] * scale
+    return out
 
 on, off = load("on"), load("off")
-snapshot = {"host_cpus": os.cpu_count(), "benchmarks": []}
+snapshot = {**json.loads(os.environ["HOST_META"]),
+            "repetitions": reps, "benchmarks": []}
 for name in on:
     if name not in off:
         continue
-    on_ns, off_ns = on[name]["real_time"], off[name]["real_time"]
-    unit = on[name].get("time_unit", "ns")
-    scale = {"ns": 1e9, "us": 1e6, "ms": 1e3, "s": 1.0}[unit]
+    on_ns, off_ns = on[name]["median"], off[name]["median"]
+    raw = (on_ns - off_ns) / off_ns if off_ns else 0.0
+    # Clamp at the noise floor: a delta inside the combined stddev of
+    # the two legs is indistinguishable from repetition noise.
+    noise = ((on[name].get("stddev", 0.0) + off[name].get("stddev", 0.0))
+             / off_ns if off_ns else 0.0)
     snapshot["benchmarks"].append({
         "name": name,
-        "ops_per_sec_obs_on": scale / on_ns if on_ns else 0.0,
-        "ops_per_sec_obs_off": scale / off_ns if off_ns else 0.0,
+        "median_ops_per_sec_obs_on": 1e9 / on_ns if on_ns else 0.0,
+        "median_ops_per_sec_obs_off": 1e9 / off_ns if off_ns else 0.0,
         # > 0 means the instrumentation costs that fraction of runtime.
-        "span_overhead_fraction":
-            (on_ns - off_ns) / off_ns if off_ns else 0.0,
+        "span_overhead_fraction": raw if abs(raw) > noise else 0.0,
+        "span_overhead_fraction_raw": raw,
+        "noise_floor_fraction": noise,
     })
 
 with open(out_path, "w") as f:
     json.dump(snapshot, f, indent=2)
     f.write("\n")
 
-print(f"wrote {out_path} ({len(snapshot['benchmarks'])} benchmarks)")
+print(f"wrote {out_path} ({len(snapshot['benchmarks'])} benchmarks, "
+      f"{reps} reps)")
 for b in snapshot["benchmarks"]:
     print(f"  {b['name']:<40} overhead "
-          f"{100.0 * b['span_overhead_fraction']:+.2f}%")
+          f"{100.0 * b['span_overhead_fraction']:+.2f}% "
+          f"(raw {100.0 * b['span_overhead_fraction_raw']:+.2f}%)")
 EOF
   exit 0
 fi
 
 BUILD_DIR="${1:-build}"
 THREADS="${2:-$(nproc)}"
+REPS="${3:-3}"
+if [ "$REPS" -lt 3 ]; then REPS=3; fi
 # The parallel leg must actually engage the pool; on a 1-core host
 # compare against an (oversubscribed) 2-thread run rather than itself.
 if [ "$THREADS" -le 1 ]; then THREADS=2; fi
@@ -108,39 +350,46 @@ for bench in micro_skyline micro_lgm micro_ml; do
     echo "=== $bench --threads=$t ==="
     "$BUILD_DIR/bench/$bench" --threads="$t" \
       --benchmark_filter="${FILTERS[$bench]}" \
+      --benchmark_repetitions="$REPS" \
       --benchmark_format=json \
       --benchmark_out="$TMP_DIR/${bench}_t${t}.json" \
       --benchmark_out_format=json >/dev/null
   done
 done
 
-python3 - "$TMP_DIR" "$THREADS" "$OUT" <<'EOF'
+python3 - "$TMP_DIR" "$THREADS" "$REPS" "$OUT" <<'EOF'
 import json, os, sys
 
-tmp_dir, threads, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+tmp_dir, threads = sys.argv[1], int(sys.argv[2])
+reps, out_path = int(sys.argv[3]), sys.argv[4]
 
 def load(bench, t):
+    """name -> median real_time in ns from repetition aggregates."""
     with open(os.path.join(tmp_dir, f"{bench}_t{t}.json")) as f:
         report = json.load(f)
-    return {b["name"]: b for b in report["benchmarks"]
-            if b.get("run_type", "iteration") == "iteration"}
+    out = {}
+    for b in report["benchmarks"]:
+        if b.get("aggregate_name") != "median":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        out[b.get("run_name", b["name"])] = b["real_time"] * scale
+    return out
 
-snapshot = {"host_cpus": os.cpu_count(), "threads": threads,
-            "benchmarks": []}
+snapshot = {**json.loads(os.environ["HOST_META"]),
+            "threads": threads, "repetitions": reps, "benchmarks": []}
 for bench in ("micro_skyline", "micro_lgm", "micro_ml"):
     serial, parallel = load(bench, 1), load(bench, threads)
     for name in serial:
         if name not in parallel:
             continue
-        s_ns, p_ns = serial[name]["real_time"], parallel[name]["real_time"]
-        unit = serial[name].get("time_unit", "ns")
-        scale = {"ns": 1e9, "us": 1e6, "ms": 1e3, "s": 1.0}[unit]
+        s_ns, p_ns = serial[name], parallel[name]
         snapshot["benchmarks"].append({
             "suite": bench,
             "name": name,
-            "ops_per_sec_1_thread": scale / s_ns if s_ns else 0.0,
-            f"ops_per_sec_{threads}_threads":
-                scale / p_ns if p_ns else 0.0,
+            "median_ops_per_sec_1_thread": 1e9 / s_ns if s_ns else 0.0,
+            f"median_ops_per_sec_{threads}_threads":
+                1e9 / p_ns if p_ns else 0.0,
             "speedup": s_ns / p_ns if p_ns else 0.0,
         })
 
@@ -149,7 +398,8 @@ with open(out_path, "w") as f:
     f.write("\n")
 
 print(f"wrote {out_path} ({len(snapshot['benchmarks'])} benchmarks, "
-      f"threads={threads}, host_cpus={snapshot['host_cpus']})")
+      f"threads={threads}, reps={reps}, "
+      f"host_cpus={snapshot['host_cpus']})")
 for b in snapshot["benchmarks"]:
     print(f"  {b['name']:<40} speedup x{b['speedup']:.2f}")
 EOF

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Full verification: tier-1 build + tests, then stripped builds with the
-# observability instrumentation (SKYEX_OBS=OFF) and the fault-injection
-# points (SKYEX_FAULTS=OFF) compiled out, to prove every macro site
-# degrades to a no-op and the APIs still link.
+# Full verification: tier-1 build + tests, then stripped builds with
+# the observability instrumentation + sampling profiler
+# (SKYEX_OBS=OFF + SKYEX_PROF=OFF) and the fault-injection points
+# (SKYEX_FAULTS=OFF) compiled out, to prove every macro site degrades
+# to a no-op and the APIs still link.
 #
 #   scripts/verify.sh [build-dir] [obs-off-build-dir] [faults-off-build-dir]
 
@@ -19,15 +20,15 @@ cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 echo
-echo "=== stripped build (SKYEX_OBS=OFF) ==="
-cmake -B "$OBS_OFF_DIR" -S . -DSKYEX_OBS=OFF
+echo "=== stripped build (SKYEX_OBS=OFF, SKYEX_PROF=OFF) ==="
+cmake -B "$OBS_OFF_DIR" -S . -DSKYEX_OBS=OFF -DSKYEX_PROF=OFF
 cmake --build "$OBS_OFF_DIR" -j
 # The obs suites exercise the registry/collector API; flight + serve
 # (incl. the smoke) prove request ids and flight timelines survive the
-# stripped build; the rest proves the pipeline is unaffected by
-# compiled-out macros.
+# stripped build; ProfDisabled pins the profiler macros as no-ops; the
+# rest proves the pipeline is unaffected by compiled-out macros.
 ctest --test-dir "$OBS_OFF_DIR" --output-on-failure -j "$(nproc)" \
-      -R "Obs|Flight|Skyline|ServeTest|serve_smoke|CliTest"
+      -R "Obs|Flight|Skyline|ServeTest|ProfDisabled|serve_smoke|CliTest"
 
 echo
 echo "=== stripped build (SKYEX_FAULTS=OFF) ==="

@@ -10,6 +10,7 @@
 #include "geo/distance.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "prof/prof.h"
 #include "text/normalize.h"
 #include "text/tokenize.h"
 
@@ -37,6 +38,7 @@ void SortUnique(std::vector<geo::CandidatePair>* pairs) {
 std::vector<geo::CandidatePair> TokenBlock(const data::Dataset& dataset,
                                            const TokenBlockOptions& options) {
   SKYEX_SPAN("blocking/token");
+  SKYEX_PROF_PHASE(::skyex::prof::Phase::kBlocking);
   std::unordered_map<std::string, std::vector<size_t>> blocks;
   for (size_t i = 0; i < dataset.size(); ++i) {
     for (std::string& t :
@@ -69,6 +71,7 @@ std::vector<geo::CandidatePair> SortedNeighborhoodBlock(
     const data::Dataset& dataset,
     const SortedNeighborhoodOptions& options) {
   SKYEX_SPAN("blocking/sorted_neighborhood");
+  SKYEX_PROF_PHASE(::skyex::prof::Phase::kBlocking);
   std::vector<geo::CandidatePair> pairs;
   if (dataset.size() < 2 || options.window < 2) return pairs;
 
@@ -100,6 +103,7 @@ std::vector<geo::CandidatePair> SortedNeighborhoodBlock(
 std::vector<geo::CandidatePair> GridBlock(const data::Dataset& dataset,
                                           const GridBlockOptions& options) {
   SKYEX_SPAN("blocking/grid");
+  SKYEX_PROF_PHASE(::skyex::prof::Phase::kBlocking);
   // Hash records to integer grid cells sized `cell_m`.
   const double lat_step = geo::MetersToLatDegrees(options.cell_m);
   std::unordered_map<int64_t, std::vector<size_t>> cells;

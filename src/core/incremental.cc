@@ -7,6 +7,7 @@
 #include "geo/distance.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "prof/prof.h"
 #include "par/parallel_for.h"
 
 namespace skyex::core {
@@ -80,6 +81,7 @@ std::vector<size_t> IncrementalLinker::AddRecord(
   std::vector<size_t> candidates;
   {
     SKYEX_SPAN("core/incremental_candidates");
+    SKYEX_PROF_PHASE(::skyex::prof::Phase::kBlocking);
     const double phase_start = obs::TraceNowUs();
     if (record.location.valid) {
       // Chunk results concatenate in chunk order, so the candidate list
@@ -119,6 +121,7 @@ std::vector<size_t> IncrementalLinker::AddRecord(
   std::vector<size_t> links;
   {
     SKYEX_SPAN("core/incremental_score");
+    SKYEX_PROF_PHASE(::skyex::prof::Phase::kExtraction);
     const double phase_start = obs::TraceNowUs();
     // Same ordered-concatenation scheme: links come out ascending.
     par::ForOptions for_options;

@@ -9,6 +9,7 @@
 #include "geo/distance.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "prof/prof.h"
 #include "par/parallel_for.h"
 #include "text/edit_distance.h"
 #include "text/normalize.h"
@@ -138,6 +139,7 @@ ml::FeatureMatrix LgmXExtractor::Extract(
     const data::Dataset& dataset,
     const std::vector<geo::CandidatePair>& pairs) const {
   SKYEX_SPAN("features/extract_lgmx");
+  SKYEX_PROF_PHASE(::skyex::prof::Phase::kExtraction);
   ml::FeatureMatrix matrix = ml::FeatureMatrix::Zeros(pairs.size(), names_);
 
   // Cache normalized strings per entity once.

@@ -1,0 +1,126 @@
+#include "obs/process.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
+
+#include "obs/metrics.h"
+
+namespace skyex::obs {
+
+namespace {
+
+#if defined(__linux__)
+
+// VmRSS / VmHWM lines of /proc/self/status, in kB.
+int64_t StatusFieldKb(const char* field) {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return -1;
+  char line[256];
+  int64_t value = -1;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 &&
+        line[field_len] == ':') {
+      long long kb = -1;
+      if (std::sscanf(line + field_len + 1, " %lld", &kb) == 1) value = kb;
+      break;
+    }
+  }
+  std::fclose(file);
+  return value;
+}
+
+int64_t CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int64_t count = 0;
+  while (struct dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++count;
+  }
+  ::closedir(dir);
+  return count > 0 ? count - 1 : 0;  // exclude the dirfd we hold open
+}
+
+// Process start (clock ticks since boot), field 22 of /proc/self/stat.
+// The comm field may contain spaces/parens, so scan from the last ')'.
+double UptimeSeconds() {
+  std::FILE* file = std::fopen("/proc/self/stat", "r");
+  if (file == nullptr) return -1;
+  char buffer[1024];
+  const size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  if (n == 0) return -1;
+  buffer[n] = '\0';
+  const char* after_comm = std::strrchr(buffer, ')');
+  if (after_comm == nullptr) return -1;
+  after_comm += 1;
+  long long start_ticks = -1;
+  {
+    // Fields 3..22 follow; starttime is the 20th of them.
+    int field = 2;
+    const char* cursor = after_comm;
+    while (*cursor != '\0' && field < 22) {
+      while (*cursor == ' ') ++cursor;
+      if (field == 21) {
+        if (std::sscanf(cursor, "%lld", &start_ticks) != 1) return -1;
+        break;
+      }
+      while (*cursor != '\0' && *cursor != ' ') ++cursor;
+      ++field;
+    }
+  }
+  if (start_ticks < 0) return -1;
+  std::FILE* uptime_file = std::fopen("/proc/uptime", "r");
+  if (uptime_file == nullptr) return -1;
+  double boot_uptime = -1;
+  const int got = std::fscanf(uptime_file, "%lf", &boot_uptime);
+  std::fclose(uptime_file);
+  if (got != 1) return -1;
+  const long ticks_per_sec = ::sysconf(_SC_CLK_TCK);
+  if (ticks_per_sec <= 0) return -1;
+  const double uptime =
+      boot_uptime - static_cast<double>(start_ticks) / ticks_per_sec;
+  return uptime >= 0 ? uptime : 0;
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+ProcessStats SampleProcessStats() {
+  ProcessStats stats;
+#if defined(__linux__)
+  const int64_t rss_kb = StatusFieldKb("VmRSS");
+  const int64_t peak_kb = StatusFieldKb("VmHWM");
+  if (rss_kb >= 0) stats.rss_bytes = rss_kb * 1024;
+  if (peak_kb >= 0) stats.peak_rss_bytes = peak_kb * 1024;
+  stats.open_fds = CountOpenFds();
+  stats.uptime_seconds = UptimeSeconds();
+#endif
+  return stats;
+}
+
+void PublishProcessGauges() {
+  const ProcessStats stats = SampleProcessStats();
+  auto& registry = MetricsRegistry::Global();
+  if (stats.rss_bytes >= 0) {
+    registry.GetGauge("process/rss_bytes").Set(static_cast<double>(stats.rss_bytes));
+  }
+  if (stats.peak_rss_bytes >= 0) {
+    registry.GetGauge("process/peak_rss_bytes").Set(static_cast<double>(stats.peak_rss_bytes));
+  }
+  if (stats.open_fds >= 0) {
+    registry.GetGauge("process/open_fds").Set(static_cast<double>(stats.open_fds));
+  }
+  if (stats.uptime_seconds >= 0) {
+    registry.GetGauge("process/uptime_seconds").Set(stats.uptime_seconds);
+  }
+}
+
+}  // namespace skyex::obs

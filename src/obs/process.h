@@ -1,0 +1,32 @@
+#ifndef SKYEX_OBS_PROCESS_H_
+#define SKYEX_OBS_PROCESS_H_
+
+// Process vitals: the numbers an operator alarms on before any
+// application metric — resident set size, peak RSS, open file
+// descriptors, uptime. Read from /proc on Linux; fields read -1 where
+// the platform offers no answer.
+
+#include <cstdint>
+
+namespace skyex::obs {
+
+struct ProcessStats {
+  int64_t rss_bytes = -1;       // VmRSS
+  int64_t peak_rss_bytes = -1;  // VmHWM (high-water mark)
+  int64_t open_fds = -1;        // entries in /proc/self/fd
+  double uptime_seconds = -1;   // since process start
+};
+
+/// Samples the current process. Cheap (three small /proc reads); safe
+/// to call per scrape.
+ProcessStats SampleProcessStats();
+
+/// Publishes the sample into the global metrics registry as gauges
+/// `process/rss_bytes`, `process/peak_rss_bytes`, `process/open_fds`,
+/// `process/uptime_seconds` (unavailable fields are skipped, not
+/// published as -1). The serve /metrics handler calls this per scrape.
+void PublishProcessGauges();
+
+}  // namespace skyex::obs
+
+#endif  // SKYEX_OBS_PROCESS_H_

@@ -5,6 +5,7 @@
 #include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
+#include "prof/prof.h"
 
 namespace skyex::par {
 
@@ -130,6 +131,9 @@ void ThreadPool::Execute(Task& task) {
 }
 
 void ThreadPool::WorkerLoop(size_t index) {
+  // Workers opt into CPU-time sampling up front, so a profiler started
+  // at any later point sees every pool thread.
+  prof::CpuProfiler::Global().RegisterCurrentThread();
   for (;;) {
     Task task;
     if (TryPop(index, &task)) {
@@ -151,14 +155,17 @@ ThreadPool::TaskGroup::~TaskGroup() { Wait(); }
 
 void ThreadPool::TaskGroup::Run(std::function<void()> fn) {
   pending_.fetch_add(1, std::memory_order_relaxed);
-  // Capture the submitter's trace context so request ids follow work
-  // across the pool boundary (ParallelFor/Map/Reduce all funnel their
-  // non-caller chunks through here). The caller-run chunk and the
-  // 1-thread inline path inherit the context naturally.
+  // Capture the submitter's trace context and profiler phase so request
+  // ids and sample attribution follow work across the pool boundary
+  // (ParallelFor/Map/Reduce all funnel their non-caller chunks through
+  // here). The caller-run chunk and the 1-thread inline path inherit
+  // both naturally.
   const obs::TraceContext ctx = obs::CurrentContext();
-  if (ctx.valid()) {
-    pool_->Submit(Task{[ctx, fn = std::move(fn)] {
+  const prof::Phase phase = prof::CurrentPhase();
+  if (ctx.valid() || phase != prof::Phase::kUntagged) {
+    pool_->Submit(Task{[ctx, phase, fn = std::move(fn)] {
                          obs::ScopedTraceContext scope(ctx);
+                         prof::PhaseScope phase_scope(phase);
                          fn();
                        },
                        this});

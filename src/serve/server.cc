@@ -11,7 +11,10 @@
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/process.h"
 #include "obs/trace.h"
+#include "prof/heap.h"
+#include "prof/prof.h"
 
 namespace skyex::serve {
 
@@ -76,6 +79,15 @@ bool Server::Start(std::string* error) {
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back(&Server::WorkerLoop, this);
+  }
+  if (options_.profile_hz > 0) {
+    std::string profile_error;
+    if (!prof::CpuProfiler::Global().Start(options_.profile_hz,
+                                           &profile_error) &&
+        !profile_error.empty()) {
+      SKYEX_LOG_WARN("serve/start", "profiler unavailable",
+                     {"error", profile_error});
+    }
   }
   SKYEX_LOG_INFO("serve/start", "server listening", {"port", port_},
                  {"workers", options_.workers},
@@ -217,6 +229,8 @@ void Server::ServeConnection(UniqueFd fd) {
     HttpResponse response;
     {
       SKYEX_SPAN("serve/handle_request");
+      // After the context scope, so the samples carry this request id.
+      SKYEX_PROF_PHASE(::skyex::prof::Phase::kServe);
       response = Dispatch(request, &timeline);
     }
     response.extra_headers.emplace_back("X-Request-Id", request_id_text);
@@ -280,6 +294,10 @@ HttpResponse Server::Dispatch(const HttpRequest& request,
     if (request.method != "GET") return ErrorResponse(405, "use GET");
     std::string format;
     QueryParam(request.query, "format", &format);
+    // Refresh the pull-style gauges once per scrape: process vitals
+    // (RSS, fds, uptime) and per-zone heap attribution.
+    obs::PublishProcessGauges();
+    prof::PublishHeapGauges();
     std::ostringstream out;
     HttpResponse response;
     if (format == "prometheus") {
@@ -302,6 +320,18 @@ HttpResponse Server::Dispatch(const HttpRequest& request,
   if (request.path == "/debug/trace") {
     if (request.method != "GET") return ErrorResponse(405, "use GET");
     return HandleDebugTrace(request);
+  }
+  if (request.path == "/debug/pprof/profile") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    return HandleProfile(request);
+  }
+  if (request.path == "/debug/pprof/heap") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    std::ostringstream out;
+    prof::WriteHeapProfileJson(out);
+    HttpResponse response;
+    response.body = out.str();
+    return response;
   }
   if (request.path == "/model") {
     if (request.method != "GET") return ErrorResponse(405, "use GET");
@@ -386,6 +416,51 @@ HttpResponse Server::HandleDebugTrace(const HttpRequest& request) {
   obs::WriteChromeTraceEvents(out, events);
   HttpResponse response;
   response.body = out.str();
+  return response;
+}
+
+HttpResponse Server::HandleProfile(const HttpRequest& request) {
+  auto& profiler = prof::CpuProfiler::Global();
+  if (!profiler.running()) {
+    return ErrorResponse(
+        503, "profiler not running (start skyex_serve with --profile-hz)");
+  }
+  std::string seconds_text;
+  int seconds = 2;
+  if (QueryParam(request.query, "seconds", &seconds_text)) {
+    try {
+      seconds = std::stoi(seconds_text);
+    } catch (...) {
+      return ErrorResponse(400, "seconds must be an integer");
+    }
+  }
+  seconds = std::clamp(seconds, 1, 30);
+  std::string format;
+  QueryParam(request.query, "format", &format);
+
+  // Window collection: discard whatever accumulated since the last
+  // drain, sleep the window out on this I/O worker (concurrent
+  // requests proceed on the others; draining cuts the window short),
+  // then drain exactly the window's samples. Drain() is safe while the
+  // handlers keep writing — see prof/prof.h.
+  profiler.DiscardPending();
+  for (int slept_ms = 0;
+       slept_ms < seconds * 1000 &&
+       !draining_.load(std::memory_order_relaxed);
+       slept_ms += 50) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const prof::Profile profile = profiler.Drain();
+
+  HttpResponse response;
+  if (format == "json") {
+    std::ostringstream out;
+    prof::WriteProfileJson(out, profile);
+    response.body = out.str();
+  } else {
+    response.content_type = "text/plain";
+    response.body = prof::CollapseProfile(profile);
+  }
   return response;
 }
 
@@ -570,6 +645,9 @@ void Server::LinkerLoop() {
       }
     }
     obs::ScopedTraceContext context_scope(batch_context);
+    // Linker glue samples as serve; LinkMany below re-tags its own
+    // blocking/extraction/ranking stretches.
+    SKYEX_PROF_PHASE(::skyex::prof::Phase::kServe);
     linker_busy_.store(true, std::memory_order_relaxed);
     linker_heartbeat_ms_.store(NowMs(), std::memory_order_relaxed);
     // Injected wedge: the stall happens while busy with the heartbeat
@@ -624,6 +702,10 @@ void Server::LinkerLoop() {
     LinkBatchStats batch_stats;
     const double link_start_us = obs::TraceNowUs();
     if (!entities.empty()) {
+      // Base tag for the linking pass: acceptance + golden-record time
+      // samples as ranking; candidate scan and feature extraction
+      // re-tag themselves inside (core/incremental.cc).
+      SKYEX_PROF_PHASE(::skyex::prof::Phase::kRanking);
       results = service_->LinkMany(entities, &batch_stats);
       if (!results.empty()) {
         last_record_count_.store(results.back().record_index + 1,

@@ -43,6 +43,18 @@
 //   GET  /debug/trace?seconds=N               -> enables the trace
 //        collector for N seconds (cap 10) and streams the window as
 //        Chrome trace JSON; the linker keeps running throughout
+//   GET  /debug/pprof/profile?seconds=N       -> collects CPU samples
+//        for N seconds (cap 30) and returns them collapsed-stack
+//        (flamegraph.pl format; &format=json for the JSON profile).
+//        Requires a running profiler (`profile_hz` > 0, the skyex_serve
+//        default) — 503 otherwise. Serving continues throughout. The
+//        window sleeps on the connection's I/O worker: when closed-loop
+//        clients hold every worker, the scrape connection is not picked
+//        up until one frees, so leave a worker unoccupied while scraping
+//        (e.g. drive N-1 load connections against N workers).
+//   GET  /debug/pprof/heap                    -> per-zone heap
+//        attribution JSON (prof/heap.h); "active":false when the
+//        allocation hooks are compiled out
 //
 // Request-scoped tracing: every request gets a 64-bit request id —
 // adopted from an incoming X-Request-Id header (hex ids parse exactly,
@@ -92,6 +104,11 @@ struct ServerOptions {
   int deadline_ms = 0;          // per-request link deadline (0 = none)
   bool degraded_fallback = true;  // degrade instead of 503 when possible
   int watchdog_ms = 0;          // wedged-linker threshold (0 = off)
+  // Sampling-profiler rate for this server's process (Hz). 0 leaves the
+  // profiler alone (unit-test / sanitizer default); the skyex_serve
+  // binary defaults it to prof::CpuProfiler::kDefaultHz so profiles are
+  // always collectable in production.
+  int profile_hz = 0;
   CircuitBreakerOptions breaker;  // sheds load on sustained failures
 };
 
@@ -168,6 +185,7 @@ class Server {
   HttpResponse HandleLink(const HttpRequest& request, bool batch,
                           obs::RequestTimeline* timeline);
   HttpResponse HandleDebugTrace(const HttpRequest& request);
+  HttpResponse HandleProfile(const HttpRequest& request);
   HttpResponse DegradedResponse(
       const std::vector<data::SpatialEntity>& entities, bool batch,
       obs::RequestTimeline* timeline);

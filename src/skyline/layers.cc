@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
+#include "prof/prof.h"
 #include "par/parallel_for.h"
 
 namespace skyex::skyline {
@@ -216,6 +217,7 @@ std::vector<size_t> SkylinePeeler::PeelPresortedParallel() {
 
 std::vector<size_t> SkylinePeeler::Next() {
   if (order_.empty()) return {};
+  SKYEX_PROF_PHASE(::skyex::prof::Phase::kSkyline);
 #if !defined(SKYEX_OBS_DISABLED)
   const obs::Stopwatch layer_watch;
 #endif

@@ -1,0 +1,47 @@
+// Compiled with -DSKYEX_PROF_DISABLED (mirroring a SKYEX_PROF=OFF
+// build): the SKYEX_PROF_PHASE / SKYEX_HEAP_ZONE macro sites in this
+// translation unit must be true no-ops — they never install a tag —
+// and CpuProfiler::Start must refuse with a diagnostic while the rest
+// of the API stays linked and callable.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "prof/heap.h"
+#include "prof/prof.h"
+
+namespace skyex {
+namespace {
+
+TEST(ProfDisabledTest, PhaseMacroIsNoOp) {
+  SKYEX_PROF_PHASE(::skyex::prof::Phase::kExtraction);
+  // The macro above compiled to ((void)0): no scope object exists and
+  // the thread's tag is untouched.
+  EXPECT_EQ(prof::CurrentPhase(), prof::Phase::kUntagged);
+}
+
+TEST(ProfDisabledTest, HeapZoneMacroIsNoOp) {
+  SKYEX_HEAP_ZONE(::skyex::prof::Phase::kTraining);
+  EXPECT_EQ(prof::CurrentHeapZone(), prof::Phase::kUntagged);
+}
+
+TEST(ProfDisabledTest, ApiStaysLinkedAndInert) {
+  // The API must keep linking in disabled builds: exporters produce
+  // valid (empty-ish) artifacts instead of failing to compile.
+  prof::HeapZoneStats stats = prof::HeapStatsFor(prof::Phase::kServe);
+  (void)stats;
+
+  std::ostringstream heap_json;
+  prof::WriteHeapProfileJson(heap_json);
+  EXPECT_NE(heap_json.str().find("\"zones\""), std::string::npos);
+
+  prof::Profile empty;
+  EXPECT_TRUE(prof::CollapseProfile(empty).empty());
+  std::ostringstream profile_json;
+  prof::WriteProfileJson(profile_json, empty);
+  EXPECT_NE(profile_json.str().find("\"stacks\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skyex

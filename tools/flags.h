@@ -24,6 +24,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/thread_pool.h"
+#include "prof/prof.h"
 
 namespace skyex::tools {
 
@@ -76,12 +77,18 @@ inline bool ValidSize(const std::string& text) {
 // Observability and runtime flags shared by every command. `--threads`
 // sizes the process-wide thread pool (0 or unset = hardware
 // concurrency); `--threads=1` runs every parallel section inline.
+// `--cpu-profile=out.folded` samples the whole run with the in-process
+// profiler (prof/prof.h) and writes a flamegraph.pl-compatible
+// collapsed-stack file on exit; `--profile-hz` overrides the sampling
+// rate (default 97).
 inline constexpr FlagSpec kObsFlags[] = {
     {"trace-out", FlagType::kString},
     {"metrics-out", FlagType::kString},
     {"log-level", FlagType::kString},
     {"obs-summary", FlagType::kBool},
     {"threads", FlagType::kSize},
+    {"cpu-profile", FlagType::kString},
+    {"profile-hz", FlagType::kSize},
 };
 
 /// Parses `--key=value` arguments against the allowed specs. Returns
@@ -175,6 +182,18 @@ inline bool ObsSetup(const Flags& flags) {
   if (flags.Has("trace-out")) {
     skyex::obs::TraceCollector::Global().SetEnabled(true);
   }
+  if (flags.Has("cpu-profile")) {
+    auto& profiler = skyex::prof::CpuProfiler::Global();
+    profiler.RegisterCurrentThread();
+    const int hz = static_cast<int>(flags.GetSize(
+        "profile-hz", skyex::prof::CpuProfiler::kDefaultHz));
+    std::string error;
+    if (!profiler.Start(hz, &error) && !error.empty()) {
+      std::fprintf(stderr, "error: --cpu-profile: %s\n", error.c_str());
+      return false;
+    }
+    profiler.DiscardPending();
+  }
   return true;
 }
 
@@ -201,6 +220,15 @@ inline int ObsFinish(const Flags& flags) {
   if (!metrics_out.empty()) {
     write_file(metrics_out, [](std::ofstream& file) {
       skyex::obs::MetricsRegistry::Global().WriteJson(file);
+    });
+  }
+  const std::string cpu_profile = flags.Get("cpu-profile");
+  if (!cpu_profile.empty()) {
+    auto& profiler = skyex::prof::CpuProfiler::Global();
+    const skyex::prof::Profile profile = profiler.Drain();
+    profiler.Stop();
+    write_file(cpu_profile, [&profile](std::ofstream& file) {
+      file << skyex::prof::CollapseProfile(profile);
     });
   }
   if (flags.Has("obs-summary")) {

@@ -1,0 +1,186 @@
+# Profiler smoke, run as a ctest:
+#   train a small model -> boot skyex_serve with --profile-hz=97 ->
+#   drive it with skyex_loadgen while scraping
+#   GET /debug/pprof/profile?seconds=2 -> the collapsed-stack body must
+#   be non-empty, parse line-by-line as `frames count`, and contain
+#   extraction-phase stacks -> /debug/pprof/heap must report zones ->
+#   the server must still answer /healthz afterwards.
+#
+# Invoked as:
+#   cmake -DSKYEX_CLI=<path> -DSKYEX_SERVE=<path> -DSKYEX_LOADGEN=<path>
+#         -DWORK_DIR=<dir> -P prof_smoke.cmake
+
+foreach(var SKYEX_CLI SKYEX_SERVE SKYEX_LOADGEN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "prof_smoke: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(entities_csv "${WORK_DIR}/entities.csv")
+set(model_txt "${WORK_DIR}/model.txt")
+set(port_file "${WORK_DIR}/port.txt")
+set(pid_file "${WORK_DIR}/pid.txt")
+set(serve_log "${WORK_DIR}/serve.log")
+set(profile_txt "${WORK_DIR}/profile.folded")
+set(heap_json "${WORK_DIR}/heap.json")
+
+function(prof_smoke_fail message)
+  if(EXISTS "${pid_file}")
+    file(READ "${pid_file}" pid)
+    string(STRIP "${pid}" pid)
+    execute_process(COMMAND bash -c "kill -9 ${pid} 2>/dev/null || true")
+  endif()
+  message(FATAL_ERROR "prof_smoke: ${message}")
+endfunction()
+
+execute_process(
+  COMMAND "${SKYEX_CLI}" generate --dataset=northdk --entities=400
+          --seed=29 --out=${entities_csv}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  prof_smoke_fail("generate failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${SKYEX_CLI}" train --in=${entities_csv} --train-fraction=0.1
+          --seed=3 --model-out=${model_txt} --log-level=warn
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  prof_smoke_fail("train failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND bash -c "'${SKYEX_SERVE}' --model='${model_txt}' \
+--dataset='${entities_csv}' --port=0 --port-file='${port_file}' \
+--workers=4 --queue-depth=64 --profile-hz=97 --log-level=info \
+>'${serve_log}' 2>&1 & echo $! > '${pid_file}'"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  prof_smoke_fail("could not launch skyex_serve (${rc})")
+endif()
+file(READ "${pid_file}" server_pid)
+string(STRIP "${server_pid}" server_pid)
+
+set(port "")
+foreach(attempt RANGE 150)
+  if(EXISTS "${port_file}")
+    file(READ "${port_file}" port)
+    string(STRIP "${port}" port)
+    if(NOT port STREQUAL "")
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND bash -c "kill -0 ${server_pid} 2>/dev/null"
+                  RESULT_VARIABLE alive)
+  if(NOT alive EQUAL 0)
+    prof_smoke_fail("server exited during startup; see ${serve_log}")
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.2)
+endforeach()
+if(port STREQUAL "")
+  prof_smoke_fail("server never wrote ${port_file}")
+endif()
+message(STATUS "prof_smoke: server up on port ${port} (pid ${server_pid})")
+
+# Load in the background so the 2-second profile window sees real work
+# on the serve/extraction paths, then scrape the profile mid-flight.
+# One connection fewer than the server has workers: each worker owns a
+# connection, so a saturating closed-loop load would starve the scrape
+# connection until the load ends and the window would cover an idle
+# server.
+execute_process(
+  COMMAND bash -c "'${SKYEX_LOADGEN}' --port=${port} --requests=600 \
+--connections=3 --entities=100 --seed=5 >'${WORK_DIR}/loadgen.log' 2>&1 & \
+echo $!"
+  OUTPUT_VARIABLE loadgen_pid
+  RESULT_VARIABLE rc)
+string(STRIP "${loadgen_pid}" loadgen_pid)
+if(NOT rc EQUAL 0)
+  prof_smoke_fail("could not launch loadgen (${rc})")
+endif()
+
+file(DOWNLOAD "http://127.0.0.1:${port}/debug/pprof/profile?seconds=2"
+     "${profile_txt}" TIMEOUT 30 STATUS download_status)
+list(GET download_status 0 download_rc)
+if(NOT download_rc EQUAL 0)
+  prof_smoke_fail("profile scrape failed: ${download_status}")
+endif()
+
+file(DOWNLOAD "http://127.0.0.1:${port}/debug/pprof/heap"
+     "${heap_json}" TIMEOUT 30 STATUS download_status)
+list(GET download_status 0 download_rc)
+if(NOT download_rc EQUAL 0)
+  prof_smoke_fail("heap scrape failed: ${download_status}")
+endif()
+
+execute_process(COMMAND bash -c "wait ${loadgen_pid} 2>/dev/null || true")
+
+# The collapsed profile must be non-empty and every line must parse as
+# `frame;frame;...;frame <count>`. Validated with grep: demangled frames
+# contain spaces and ';', which CMake list handling would mangle.
+file(READ "${profile_txt}" profile)
+string(STRIP "${profile}" profile_stripped)
+if(profile_stripped STREQUAL "")
+  prof_smoke_fail("collapsed profile is empty")
+endif()
+execute_process(
+  COMMAND bash -c "grep -cE ' [0-9]+$' '${profile_txt}'"
+  OUTPUT_VARIABLE line_count OUTPUT_STRIP_TRAILING_WHITESPACE)
+execute_process(
+  COMMAND bash -c "grep -vE ' [0-9]+$' '${profile_txt}' | head -1"
+  OUTPUT_VARIABLE bad_line OUTPUT_STRIP_TRAILING_WHITESPACE)
+if(NOT bad_line STREQUAL "")
+  prof_smoke_fail("malformed collapsed-stack line: ${bad_line}")
+endif()
+if(line_count EQUAL 0)
+  prof_smoke_fail("no stacks in collapsed profile")
+endif()
+# Under linking load the extraction phase must show up in the profile.
+if(NOT profile MATCHES "extraction;")
+  prof_smoke_fail("no extraction-phase stacks in profile: ${profile_txt}")
+endif()
+message(STATUS "prof_smoke: ${line_count} collapsed stacks, extraction present")
+
+file(READ "${heap_json}" heap)
+if(NOT heap MATCHES "\"zones\"")
+  prof_smoke_fail("heap profile missing zones: ${heap_json}")
+endif()
+if(NOT heap MATCHES "\"extraction\"")
+  prof_smoke_fail("heap profile missing extraction zone: ${heap_json}")
+endif()
+
+# The server must still be serving after the profile window.
+file(DOWNLOAD "http://127.0.0.1:${port}/healthz"
+     "${WORK_DIR}/healthz.json" TIMEOUT 10 STATUS download_status)
+list(GET download_status 0 download_rc)
+if(NOT download_rc EQUAL 0)
+  prof_smoke_fail("server unhealthy after profiling: ${download_status}")
+endif()
+
+execute_process(COMMAND bash -c "kill -TERM ${server_pid}"
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  prof_smoke_fail("could not signal the server (${rc})")
+endif()
+set(exited FALSE)
+foreach(attempt RANGE 100)
+  execute_process(COMMAND bash -c "kill -0 ${server_pid} 2>/dev/null"
+                  RESULT_VARIABLE alive)
+  if(NOT alive EQUAL 0)
+    set(exited TRUE)
+    break()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.2)
+endforeach()
+if(NOT exited)
+  prof_smoke_fail("server did not exit within 20s of SIGTERM")
+endif()
+
+file(READ "${serve_log}" log)
+if(NOT log MATCHES "shutdown complete")
+  prof_smoke_fail("no clean shutdown in ${serve_log}")
+endif()
+
+message(STATUS "prof_smoke: OK")

@@ -11,6 +11,7 @@
 //   --metrics-out=FILE   write the metrics registry as JSON
 //   --log-level=LEVEL    debug|info|warn|error (default info)
 //   --obs-summary        print span/metric summary tables to stderr
+//   --cpu-profile=FILE   collapsed-stack CPU profile of the run
 // and the shared runtime flag
 //   --threads=N          size of the shared thread pool (0 = all cores)
 //
@@ -72,7 +73,10 @@ int Usage() {
       "                       about://tracing)\n"
       "  --metrics-out=FILE   metrics registry dump as JSON\n"
       "  --log-level=LEVEL    debug|info|warn|error (default info)\n"
-      "  --obs-summary        span/metric summary tables on stderr\n\n"
+      "  --obs-summary        span/metric summary tables on stderr\n"
+      "  --cpu-profile=FILE   sample the run, write collapsed stacks\n"
+      "                       (flamegraph.pl format; --profile-hz=N\n"
+      "                       overrides the 97 Hz default)\n\n"
       "runtime (all commands):\n"
       "  --threads=N          shared thread pool size (default: all\n"
       "                       cores; 1 = fully serial execution)\n");

@@ -71,6 +71,8 @@ int Usage() {
       "  --timeout-ms=N    per-request socket timeout (default 10000)\n"
       "  --smoke           validation pass instead of load\n\n"
       "runtime: --threads=N   shared thread pool size\n"
+      "profiling: --cpu-profile=FILE --profile-hz=N   collapsed-stack\n"
+      "           CPU profile of the client side of the run\n"
       "observability: --trace-out --metrics-out --log-level "
       "--obs-summary\n");
   return 2;

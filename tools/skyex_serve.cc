@@ -29,6 +29,7 @@
 #include "flags.h"
 #include "obs/flight.h"
 #include "obs/log.h"
+#include "prof/prof.h"
 #include "serve/server.h"
 #include "serve/service.h"
 
@@ -66,6 +67,9 @@ int Usage() {
       "                         from $SKYEX_FAULT_SPEC; see src/fault/)\n\n"
       "runtime: --threads=N   shared thread pool size (default: all\n"
       "                       cores; the linker scores batches on it)\n"
+      "profiling: --profile-hz=N  sampling profiler rate (default 97;\n"
+      "                       0 = off; serves /debug/pprof/profile and\n"
+      "                       /debug/pprof/heap)\n"
       "observability: --trace-out --metrics-out --log-level "
       "--obs-summary\n"
       "signals: SIGTERM/SIGINT drain and exit; SIGUSR2 dumps the\n"
@@ -178,6 +182,10 @@ int main(int argc, char** argv) {
       static_cast<int>(flags->GetSize("deadline-ms", 0));
   options.watchdog_ms =
       static_cast<int>(flags->GetSize("watchdog-ms", 0));
+  // Always-on sampling by default in the serving binary; unit tests
+  // and embedders leave ServerOptions.profile_hz at 0.
+  options.profile_hz = static_cast<int>(flags->GetSize(
+      "profile-hz", skyex::prof::CpuProfiler::kDefaultHz));
   options.degraded_fallback = !flags->Has("no-degraded");
   options.breaker.window = flags->GetSize("breaker-window", 64);
   options.breaker.failure_threshold =
