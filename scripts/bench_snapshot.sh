@@ -32,6 +32,14 @@
 #
 #   scripts/bench_snapshot.sh --prof [build-dir] [reps]
 #
+# Sharded-serving snapshot: boots skyex_serve twice — --shards=1, then
+# --shards=4 — drives each with a region-skewed skyex_loadgen run for
+# [reps] timed runs, and writes BENCH_shard.json with per-leg median
+# req/s and p50/p95/p99 latency plus the 4-shard/1-shard throughput
+# ratio (noise-clamped like the profiler overhead):
+#
+#   scripts/bench_snapshot.sh --shard [build-dir] [reps]
+#
 # Overhead fractions are clamped at the measured noise floor (the
 # cross-repetition spread): a delta indistinguishable from run-to-run
 # noise is reported as 0, with the raw value kept alongside.
@@ -238,6 +246,141 @@ print(f"  throughput: off={off_med:.1f} on={on_med:.1f} req/s  "
 for phase, row in attribution.items():
     print(f"  {phase:<12} {row['samples']:>7} samples "
           f"({100 * row['fraction']:.1f}%)")
+EOF
+  exit 0
+fi
+
+if [ "${1:-}" = "--shard" ]; then
+  BUILD_DIR="${2:-build}"
+  REPS="${3:-3}"
+  if [ "$REPS" -lt 3 ]; then REPS=3; fi
+  OUT="BENCH_shard.json"
+  TMP_DIR="$(mktemp -d)"
+  SERVER_PID=""
+  cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP_DIR"
+  }
+  trap cleanup EXIT
+
+  cmake --build "$BUILD_DIR" -j --target skyex_cli skyex_serve_bin \
+    skyex_loadgen
+
+  "$BUILD_DIR/tools/skyex" generate --dataset=northdk --entities=400 \
+    --seed=29 --out="$TMP_DIR/entities.csv"
+  "$BUILD_DIR/tools/skyex" train --in="$TMP_DIR/entities.csv" \
+    --train-fraction=0.1 --seed=3 --model-out="$TMP_DIR/model.txt" \
+    --log-level=warn
+
+  boot_server() {  # args: shard count
+    local port_file="$TMP_DIR/port.txt"
+    rm -f "$port_file"
+    "$BUILD_DIR/tools/skyex_serve" --model="$TMP_DIR/model.txt" \
+      --dataset="$TMP_DIR/entities.csv" --port=0 \
+      --port-file="$port_file" --workers=4 --queue-depth=64 \
+      --shards="$1" --log-level=warn >"$TMP_DIR/serve.log" 2>&1 &
+    SERVER_PID=$!
+    PORT=""
+    for _ in $(seq 150); do
+      if [ -s "$port_file" ]; then PORT="$(cat "$port_file")"; break; fi
+      kill -0 "$SERVER_PID" 2>/dev/null || {
+        echo "server died during startup:" >&2
+        cat "$TMP_DIR/serve.log" >&2
+        exit 1
+      }
+      sleep 0.2
+    done
+    [ -n "$PORT" ] || { echo "server never bound a port" >&2; exit 1; }
+  }
+
+  stop_server() {
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+  }
+
+  # Region-skewed load: the scatter path is only interesting when some
+  # shards see much more traffic than others.
+  run_loadgen() {  # args: output file
+    "$BUILD_DIR/tools/skyex_loadgen" --port="$PORT" --requests=600 \
+      --connections=4 --entities=100 --seed=41 \
+      --hotspot=0.6 --hotspot-share=0.15 | tee "$1"
+  }
+
+  for leg in 1 4; do
+    boot_server "$leg"
+    echo "=== loadgen (--shards=$leg, port $PORT) ==="
+    run_loadgen "$TMP_DIR/warmup_s${leg}.txt" >/dev/null  # warmup
+    for rep in $(seq "$REPS"); do
+      run_loadgen "$TMP_DIR/loadgen_s${leg}_${rep}.txt"
+    done
+    stop_server
+  done
+
+  python3 - "$TMP_DIR" "$REPS" "$OUT" <<'EOF'
+import json, os, re, statistics, sys
+
+tmp_dir, reps, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+
+def runs(leg):
+    """[(req_per_sec, p50, p95, p99)] across repetitions."""
+    rows = []
+    for rep in range(1, reps + 1):
+        with open(os.path.join(tmp_dir, f"loadgen_s{leg}_{rep}.txt")) as f:
+            text = f.read()
+        rate = re.search(r"\(([\d.]+) req/s\)", text)
+        lat = re.search(r"p50=([\d.]+) p95=([\d.]+) p99=([\d.]+)", text)
+        if not rate or not lat:
+            raise SystemExit(f"no req/s or latency in loadgen_s{leg}_{rep}.txt")
+        rows.append((float(rate.group(1)),
+                     float(lat.group(1)), float(lat.group(2)),
+                     float(lat.group(3))))
+    return rows
+
+def leg_summary(leg):
+    rows = runs(leg)
+    rates = [r[0] for r in rows]
+    return rates, {
+        "req_per_sec": rates,
+        "median_req_per_sec": statistics.median(rates),
+        "median_p50_us": statistics.median(r[1] for r in rows),
+        "median_p95_us": statistics.median(r[2] for r in rows),
+        "median_p99_us": statistics.median(r[3] for r in rows),
+    }
+
+one_rates, one = leg_summary(1)
+four_rates, four = leg_summary(4)
+one_med, four_med = one["median_req_per_sec"], four["median_req_per_sec"]
+raw = (four_med - one_med) / one_med if one_med else 0.0
+def spread(rates, med):
+    return (max(rates) - min(rates)) / med if med else 0.0
+noise = max(spread(one_rates, one_med), spread(four_rates, four_med))
+clamped = raw if abs(raw) > noise else 0.0
+
+snapshot = {
+    **json.loads(os.environ["HOST_META"]),
+    "repetitions": reps,
+    "loadgen": {"requests": 600, "connections": 4,
+                "hotspot": 0.6, "hotspot_share": 0.15},
+    "shards_1": one,
+    "shards_4": four,
+    # > 0 means the 4-shard server out-throughputs single-shard; on a
+    # small host the scatter fan-out usually costs a little instead.
+    "shard_throughput_delta_fraction_raw": round(raw, 4),
+    "shard_throughput_delta_fraction": round(clamped, 4),
+    "noise_floor_fraction": round(noise, 4),
+}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+print(f"  throughput: shards=1 {one_med:.1f} req/s, "
+      f"shards=4 {four_med:.1f} req/s  "
+      f"delta={100 * clamped:+.2f}% (raw {100 * raw:+.2f}%, "
+      f"noise floor {100 * noise:.2f}%)")
+print(f"  latency p99: shards=1 {one['median_p99_us']:.0f}us, "
+      f"shards=4 {four['median_p99_us']:.0f}us")
 EOF
   exit 0
 fi

@@ -61,10 +61,14 @@ IncrementalLinker::IncrementalLinker(data::Dataset dataset,
   calibrated_ = true;
 }
 
-bool IncrementalLinker::Accept(const double* row) const {
-  if (!calibrated_) return false;
+bool IncrementalLinker::Accept(const double* row, double* score) const {
+  if (!calibrated_) {
+    if (score != nullptr) *score = 0.0;
+    return false;
+  }
   std::vector<double> key(compiled_.KeySize());
   compiled_.Key(row, key.data());
+  if (score != nullptr) *score = key.empty() ? 0.0 : key[0];
   // The prioritized first group decides; later groups break ties.
   for (size_t g = 0; g < key.size(); ++g) {
     if (key[g] > threshold_key_[g]) return true;
@@ -73,8 +77,8 @@ bool IncrementalLinker::Accept(const double* row) const {
   return true;
 }
 
-std::vector<size_t> IncrementalLinker::AddRecord(
-    const data::SpatialEntity& record, AddRecordStats* stats) {
+std::vector<ScoredMatch> IncrementalLinker::MatchRecord(
+    const data::SpatialEntity& record, AddRecordStats* stats) const {
   SKYEX_SPAN("core/incremental_add");
   // Candidate set: spatial neighbors when coordinates exist, otherwise
   // everything (bounded).
@@ -118,7 +122,7 @@ std::vector<size_t> IncrementalLinker::AddRecord(
     }
   }
 
-  std::vector<size_t> links;
+  std::vector<ScoredMatch> links;
   {
     SKYEX_SPAN("core/incremental_score");
     SKYEX_PROF_PHASE(::skyex::prof::Phase::kExtraction);
@@ -130,29 +134,43 @@ std::vector<size_t> IncrementalLinker::AddRecord(
     if (candidates.size() < kParallelScanMinItems) {
       for_options.max_parallelism = 1;
     }
-    links = par::ParallelReduceOrdered<std::vector<size_t>>(
+    links = par::ParallelReduceOrdered<std::vector<ScoredMatch>>(
         0, candidates.size(), for_options,
         [&](size_t begin, size_t end) {
-          std::vector<size_t> local;
+          std::vector<ScoredMatch> local;
           std::vector<double> row(extractor_.feature_count());
           for (size_t k = begin; k < end; ++k) {
             const size_t i = candidates[k];
             extractor_.ExtractRow(record, dataset_[i], row.data());
-            if (Accept(row.data())) local.push_back(i);
+            double score = 0.0;
+            if (Accept(row.data(), &score)) local.push_back({i, score});
           }
           return local;
         },
-        [](std::vector<size_t> acc, std::vector<size_t> next) {
+        [](std::vector<ScoredMatch> acc, std::vector<ScoredMatch> next) {
           acc.insert(acc.end(), next.begin(), next.end());
           return acc;
         },
-        std::vector<size_t>());
+        std::vector<ScoredMatch>());
     if (stats != nullptr) {
       stats->score_us = obs::TraceNowUs() - phase_start;
     }
   }
+  return links;
+}
+
+void IncrementalLinker::Append(const data::SpatialEntity& record) {
   dataset_.entities.push_back(record);
   SKYEX_COUNTER_INC("core/incremental_records");
+}
+
+std::vector<size_t> IncrementalLinker::AddRecord(
+    const data::SpatialEntity& record, AddRecordStats* stats) {
+  const std::vector<ScoredMatch> matches = MatchRecord(record, stats);
+  Append(record);
+  std::vector<size_t> links;
+  links.reserve(matches.size());
+  for (const ScoredMatch& m : matches) links.push_back(m.index);
   return links;
 }
 

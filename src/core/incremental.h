@@ -40,6 +40,14 @@ struct AddRecordStats {
   double score_us = 0.0;
 };
 
+/// One accepted link, with the score the shard router ranks by: the
+/// pair's prioritized group sum (the first component of the compiled
+/// preference key — larger is a stronger match).
+struct ScoredMatch {
+  size_t index = 0;   // into dataset()
+  double score = 0.0;
+};
+
 /// Thread-safety contract: IncrementalLinker is NOT thread-safe.
 /// AddRecord mutates the dataset (it appends the new record), so
 /// concurrent callers must serialize every AddRecord call — and any
@@ -63,14 +71,29 @@ class IncrementalLinker {
                     Options options = {});
 
   /// Adds the record, returns indices of existing records it links to.
-  /// `stats` (optional) receives the call's phase timings.
+  /// `stats` (optional) receives the call's phase timings. Equivalent to
+  /// MatchRecord (indices in ascending order, scores dropped) followed
+  /// by Append.
   std::vector<size_t> AddRecord(const data::SpatialEntity& record,
                                 AddRecordStats* stats = nullptr);
+
+  /// Read-only half of AddRecord: finds and scores the records `record`
+  /// links to, without mutating the dataset. Results come out in
+  /// ascending index order. The shard router matches on every
+  /// intersecting shard but persists on the owner only, so the two
+  /// halves are separately callable.
+  std::vector<ScoredMatch> MatchRecord(const data::SpatialEntity& record,
+                                       AddRecordStats* stats = nullptr) const;
+
+  /// Write half of AddRecord: appends `record` to the dataset.
+  void Append(const data::SpatialEntity& record);
 
   const data::Dataset& dataset() const { return dataset_; }
 
  private:
-  bool Accept(const double* row) const;
+  /// True when the row clears the calibrated boundary; `score` (when
+  /// non-null) receives the row's prioritized group sum regardless.
+  bool Accept(const double* row, double* score = nullptr) const;
 
   data::Dataset dataset_;
   features::LgmXExtractor extractor_;

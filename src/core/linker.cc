@@ -67,16 +67,24 @@ std::vector<std::vector<size_t>> ConnectedComponents(
 
 data::SpatialEntity MergeRecords(const data::Dataset& dataset,
                                  const std::vector<size_t>& records) {
+  std::vector<const data::SpatialEntity*> entities;
+  entities.reserve(records.size());
+  for (size_t r : records) entities.push_back(&dataset[r]);
+  return MergeRecords(entities);
+}
+
+data::SpatialEntity MergeRecords(
+    const std::vector<const data::SpatialEntity*>& records) {
   data::SpatialEntity merged;
   if (records.empty()) return merged;
-  merged = dataset[records[0]];
+  merged = *records[0];
 
   double lat_sum = 0.0;
   double lon_sum = 0.0;
   size_t coord_count = 0;
   std::unordered_set<std::string> categories;
-  for (size_t r : records) {
-    const data::SpatialEntity& e = dataset[r];
+  for (const data::SpatialEntity* rp : records) {
+    const data::SpatialEntity& e = *rp;
     // Longest name is usually the most descriptive one.
     if (e.name.size() > merged.name.size()) merged.name = e.name;
     if (e.address_name.size() > merged.address_name.size()) {

@@ -32,6 +32,14 @@ std::vector<std::vector<size_t>> ConnectedComponents(
 data::SpatialEntity MergeRecords(const data::Dataset& dataset,
                                  const std::vector<size_t>& records);
 
+/// Same merge over entity snapshots that need not live in one dataset —
+/// the shard router gathers linked records from several shards and merges
+/// their copies. Order matters exactly as in the index form: the first
+/// entity seeds id/source and first-non-empty fields. Null pointers are
+/// not allowed.
+data::SpatialEntity MergeRecords(
+    const std::vector<const data::SpatialEntity*>& records);
+
 /// End-to-end linking: labels all pairs with a trained SkyEx-T model and
 /// returns the linked entities (clusters of ≥1 record with their merged
 /// representation).

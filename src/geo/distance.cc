@@ -42,4 +42,25 @@ double MetersToLonDegrees(double meters, double at_lat) {
   return meters / (kEarthRadiusMeters * kDegToRad * scale);
 }
 
+bool CircleIntersectsBox(const GeoPoint& center, double radius_m,
+                         const BoundingBox& box) {
+  if (!center.valid) return false;
+  if (radius_m < 0.0) radius_m = 0.0;
+  // Inflate the box by the radius in degrees. Latitude converts
+  // uniformly. Longitude uses the largest |lat| the comparison can see
+  // (the center's or either box edge's): EquirectangularMeters scales
+  // dlon by cos(mean_lat), and |mean| <= max(|center.lat|, |q.lat|) for
+  // any q in the box, so cos(mean) >= cos(at) and the true degree reach
+  // of the radius never exceeds MetersToLonDegrees(radius, at).
+  const double dlat = MetersToLatDegrees(radius_m);
+  const double at = std::max(
+      {std::fabs(center.lat), std::fabs(box.min_lat), std::fabs(box.max_lat)});
+  const double dlon = MetersToLonDegrees(radius_m, std::min(at, 89.9));
+  constexpr double kSlackDeg = 1e-9;  // absorbs the degree conversions' FP
+  return center.lat >= box.min_lat - dlat - kSlackDeg &&
+         center.lat <= box.max_lat + dlat + kSlackDeg &&
+         center.lon >= box.min_lon - dlon - kSlackDeg &&
+         center.lon <= box.max_lon + dlon + kSlackDeg;
+}
+
 }  // namespace skyex::geo

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "geo/distance.h"
+
 namespace skyex::geo {
 
 Quadtree::Quadtree(const std::vector<GeoPoint>& points, const Options& options)
@@ -88,6 +90,60 @@ void Quadtree::QueryNode(const Node* node, const BoundingBox& box,
   for (const auto& child : node->children) {
     QueryNode(child.get(), box, out);
   }
+}
+
+size_t Quadtree::CountLeaves(const Node* node) {
+  if (node == nullptr) return 0;
+  if (node->IsLeaf()) return 1;
+  size_t count = 0;
+  for (const auto& child : node->children) count += CountLeaves(child.get());
+  return count;
+}
+
+int Quadtree::RouteLeafOrdinal(const GeoPoint& p) const {
+  if (!p.valid) return -1;
+  const Node* node = root_.get();
+  size_t ordinal = 0;
+  while (!node->IsLeaf()) {
+    const double mid_lat = node->box.CenterLat();
+    const double mid_lon = node->box.CenterLon();
+    // Same routing rule as Insert: >= goes to the upper/right child.
+    const int quad = (p.lat >= mid_lat ? 2 : 0) + (p.lon >= mid_lon ? 1 : 0);
+    for (int q = 0; q < quad; ++q) {
+      ordinal += CountLeaves(node->children[q].get());
+    }
+    node = node->children[quad].get();
+  }
+  return static_cast<int>(ordinal);
+}
+
+void Quadtree::CollectIntersecting(const Node* node, const GeoPoint& center,
+                                   double radius_m, size_t* ordinal,
+                                   std::vector<size_t>* out) const {
+  if (node->IsLeaf()) {
+    if (CircleIntersectsBox(center, radius_m, node->box)) {
+      out->push_back(*ordinal);
+    }
+    ++*ordinal;
+    return;
+  }
+  if (!CircleIntersectsBox(center, radius_m, node->box)) {
+    // Children tile this box, so none of them can intersect either.
+    *ordinal += CountLeaves(node);
+    return;
+  }
+  for (const auto& child : node->children) {
+    CollectIntersecting(child.get(), center, radius_m, ordinal, out);
+  }
+}
+
+std::vector<size_t> Quadtree::LeafOrdinalsIntersecting(
+    const GeoPoint& center, double radius_m) const {
+  std::vector<size_t> out;
+  if (!center.valid) return out;
+  size_t ordinal = 0;
+  CollectIntersecting(root_.get(), center, radius_m, &ordinal, &out);
+  return out;
 }
 
 size_t Quadtree::num_leaves() const {

@@ -37,6 +37,21 @@ class Quadtree {
   size_t num_points() const { return num_points_; }
   size_t num_leaves() const;
 
+  /// Ordinal — in ForEachLeaf (DFS) order — of the leaf the insert
+  /// routing would place `p` in. Edge cases follow Insert exactly: a
+  /// point on a split boundary routes to the >=-side child, and points
+  /// outside the root box route to a border leaf. -1 for an invalid
+  /// point. The shard map (src/shard/) derives cell ownership here, so
+  /// a record and the queries near it agree on the owning cell.
+  int RouteLeafOrdinal(const GeoPoint& p) const;
+
+  /// Ordinals (ascending) of every leaf whose cell could hold a point
+  /// within `radius_m` of `center` — conservative, via
+  /// geo::CircleIntersectsBox, so a leaf NOT listed provably holds no
+  /// such point. Empty for an invalid center.
+  std::vector<size_t> LeafOrdinalsIntersecting(const GeoPoint& center,
+                                               double radius_m) const;
+
   /// Nodes touched by Query() calls since construction (root included,
   /// pruned subtrees excluded). Plain counter: concurrent Query() calls
   /// undercount, which is acceptable for telemetry.
@@ -55,6 +70,10 @@ class Quadtree {
   void Insert(Node* node, size_t index);
   void QueryNode(const Node* node, const BoundingBox& box,
                  std::vector<size_t>* out) const;
+  static size_t CountLeaves(const Node* node);
+  void CollectIntersecting(const Node* node, const GeoPoint& center,
+                           double radius_m, size_t* ordinal,
+                           std::vector<size_t>* out) const;
 
   template <typename Fn>
   void VisitLeaves(const Node* node, Fn&& fn) const {

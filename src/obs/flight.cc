@@ -67,6 +67,17 @@ void WriteTimelineJson(std::ostream& out, const RequestTimeline& t) {
   AppendUs(out, t.extract_us);
   out << ",\"rank_us\":";
   AppendUs(out, t.rank_us);
+  if (t.shards_touched > 0) {
+    // Scatter-gather requests only, so unsharded dumps keep their shape.
+    out << ",\"scatter_us\":";
+    AppendUs(out, t.scatter_us);
+    out << ",\"shard_link_us\":";
+    AppendUs(out, t.shard_link_us);
+    out << ",\"gather_us\":";
+    AppendUs(out, t.gather_us);
+    out << ",\"shards_touched\":" << t.shards_touched
+        << ",\"shards_failed\":" << t.shards_failed;
+  }
   out << ",\"serialize_us\":";
   AppendUs(out, t.serialize_us);
   out << ",\"total_us\":";

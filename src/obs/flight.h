@@ -47,6 +47,13 @@ struct RequestTimeline {
   double batch_wait_us = 0.0;
   double extract_us = 0.0;
   double rank_us = 0.0;
+  // Sharded serving only (all 0 on the unsharded path): the
+  // scatter-gather split of the link phase, plus the request's fan-out.
+  double scatter_us = 0.0;
+  double shard_link_us = 0.0;
+  double gather_us = 0.0;
+  std::uint32_t shards_touched = 0;
+  std::uint32_t shards_failed = 0;
   double serialize_us = 0.0;
   double total_us = 0.0;
 

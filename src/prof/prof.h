@@ -63,8 +63,9 @@ enum class Phase : uint8_t {
   kSkyline,     // skyline peel / layering
   kRanking,     // scoring + acceptance / top-k
   kTraining,    // model fitting
+  kShard,       // shard-node link work (scatter-gather serving)
 };
-inline constexpr size_t kPhaseCount = 7;
+inline constexpr size_t kPhaseCount = 8;
 
 /// Stable lowercase name ("untagged", "serve", ...).
 const char* PhaseName(Phase phase);

@@ -61,20 +61,33 @@ Server::Server(LinkService* service, ServerOptions options)
       link_queue_(options.queue_depth),
       breaker_(options.breaker) {}
 
+Server::Server(ShardBackend* backend, ServerOptions options)
+    : service_(nullptr),
+      backend_(backend),
+      options_(options),
+      conn_queue_(options.conn_backlog),
+      link_queue_(options.queue_depth),
+      breaker_(options.breaker) {}
+
 Server::~Server() { Stop(); }
 
 bool Server::Start(std::string* error) {
   listen_fd_ = ListenTcp(options_.port, options_.listen_backlog, error);
   if (!listen_fd_.valid()) return false;
   port_ = LocalPort(listen_fd_.get());
-  last_record_count_.store(service_->record_count(),
+  last_record_count_.store(backend_ != nullptr ? backend_->record_count()
+                                               : service_->record_count(),
                            std::memory_order_relaxed);
   linker_heartbeat_ms_.store(NowMs(), std::memory_order_relaxed);
   started_.store(true);
   listener_ = std::thread(&Server::ListenerLoop, this);
-  linker_ = std::thread(&Server::LinkerLoop, this);
-  if (options_.watchdog_ms > 0) {
-    watchdog_ = std::thread(&Server::WatchdogLoop, this);
+  if (backend_ == nullptr) {
+    // Router mode has neither the global linker thread nor the server
+    // watchdog: micro-batching and wedge detection live per shard.
+    linker_ = std::thread(&Server::LinkerLoop, this);
+    if (options_.watchdog_ms > 0) {
+      watchdog_ = std::thread(&Server::WatchdogLoop, this);
+    }
   }
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
@@ -114,7 +127,7 @@ void Server::Stop() {
   // 3. Every admitted link job now has its producer gone; drain the
   //    queue so no promise is left unfulfilled, then stop the linker.
   link_queue_.Close();
-  linker_.join();
+  if (linker_.joinable()) linker_.join();
   if (watchdog_.joinable()) watchdog_.join();
   SKYEX_LOG_INFO("serve/stop", "shutdown complete",
                  {"requests", requests_.load()},
@@ -122,7 +135,9 @@ void Server::Stop() {
                  {"rejected_429", rejected_.load()},
                  {"deadline_expired", deadline_expired_.load()},
                  {"degraded", degraded_.load()},
-                 {"breaker_opens", breaker_.opens()});
+                 {"breaker_opens", backend_ != nullptr
+                                       ? backend_->breaker_opens()
+                                       : breaker_.opens()});
 }
 
 Server::Stats Server::stats() const {
@@ -137,7 +152,8 @@ Server::Stats Server::stats() const {
   s.deadline_expired = deadline_expired_.load();
   s.degraded = degraded_.load();
   s.breaker_rejected = breaker_rejected_.load();
-  s.breaker_opens = breaker_.opens();
+  s.breaker_opens =
+      backend_ != nullptr ? backend_->breaker_opens() : breaker_.opens();
   s.watchdog_trips = watchdog_trips_.load();
   return s;
 }
@@ -272,18 +288,27 @@ HttpResponse Server::Dispatch(const HttpRequest& request,
     if (request.method != "GET") return ErrorResponse(405, "use GET");
     // A wedged linker likely holds the service mutex, so /healthz must
     // not call record_count() then — it reports the cached count.
-    const bool wedged = wedged_.load(std::memory_order_relaxed);
+    // Router mode counts records from per-shard atomics (mutex-free)
+    // and is wedged only when EVERY shard is.
+    const bool wedged = this->wedged();
     json::Writer writer;
     writer.BeginObject();
     writer.Key("status").String(
         wedged ? "wedged"
                : draining_.load(std::memory_order_relaxed) ? "draining"
                                                            : "ok");
-    writer.Key("records").Uint(
-        wedged ? last_record_count_.load(std::memory_order_relaxed)
-               : service_->record_count());
-    writer.Key("queue_depth").Uint(link_queue_.size());
-    writer.Key("breaker").String(breaker_.StateName(NowMs()));
+    if (backend_ != nullptr) {
+      writer.Key("records").Uint(backend_->record_count());
+      writer.Key("queue_depth").Uint(link_queue_.size());
+      writer.Key("breaker").String("sharded");
+      writer.Key("shards").Uint(backend_->num_shards());
+    } else {
+      writer.Key("records").Uint(
+          wedged ? last_record_count_.load(std::memory_order_relaxed)
+                 : service_->record_count());
+      writer.Key("queue_depth").Uint(link_queue_.size());
+      writer.Key("breaker").String(breaker_.StateName(NowMs()));
+    }
     writer.EndObject();
     HttpResponse response;
     if (wedged) response.status = 503;
@@ -295,9 +320,11 @@ HttpResponse Server::Dispatch(const HttpRequest& request,
     std::string format;
     QueryParam(request.query, "format", &format);
     // Refresh the pull-style gauges once per scrape: process vitals
-    // (RSS, fds, uptime) and per-zone heap attribution.
+    // (RSS, fds, uptime), per-zone heap attribution, and (router mode)
+    // the per-shard shard/<id>/... gauges.
     obs::PublishProcessGauges();
     prof::PublishHeapGauges();
+    if (backend_ != nullptr) backend_->PublishGauges();
     std::ostringstream out;
     HttpResponse response;
     if (format == "prometheus") {
@@ -337,7 +364,8 @@ HttpResponse Server::Dispatch(const HttpRequest& request,
     if (request.method != "GET") return ErrorResponse(405, "use GET");
     HttpResponse response;
     response.content_type = "text/plain";
-    response.body = service_->model_text();
+    response.body = backend_ != nullptr ? backend_->model_text()
+                                        : service_->model_text();
     return response;
   }
   return ErrorResponse(404, "no such endpoint");
@@ -530,6 +558,14 @@ HttpResponse Server::HandleLink(const HttpRequest& request, bool batch,
     return ShedResponse("out of memory (injected)");
   }
 
+  // Router mode: no global link queue or server breaker — admission,
+  // batching, breakers and degradation all happen per shard behind the
+  // backend. An unhealthy shard degrades results rather than shedding
+  // the whole request, so the wedged pre-check is skipped too.
+  if (backend_ != nullptr) {
+    return HandleLinkSharded(std::move(job.entities), batch, timeline);
+  }
+
   // A wedged linker cannot serve the full path; don't enqueue work that
   // would only expire. The watchdog clears the flag on recovery.
   if (wedged_.load(std::memory_order_relaxed)) {
@@ -624,6 +660,31 @@ HttpResponse Server::HandleLink(const HttpRequest& request, bool batch,
   timeline->extract_us = phases->extract_us;
   timeline->rank_us = phases->rank_us;
   timeline->batch_size = phases->batch_size;
+  return LinkResponse(results, batch, timeline);
+}
+
+HttpResponse Server::HandleLinkSharded(
+    std::vector<data::SpatialEntity> entities, bool batch,
+    obs::RequestTimeline* timeline) {
+  SKYEX_SPAN("serve/link_sharded");
+  ShardPhases phases;
+  std::vector<LinkResult> results =
+      backend_->Link(entities, options_.deadline_ms, &phases);
+  timeline->extract_us = phases.extract_us;
+  timeline->rank_us = phases.rank_us;
+  timeline->scatter_us = phases.scatter_us;
+  timeline->shard_link_us = phases.shard_link_us;
+  timeline->gather_us = phases.gather_us;
+  timeline->shards_touched = phases.shards_touched;
+  timeline->shards_failed = phases.shards_failed;
+  timeline->batch_size = static_cast<uint32_t>(entities.size());
+  bool degraded = false;
+  for (const LinkResult& result : results) degraded |= result.degraded;
+  if (degraded) {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    SKYEX_COUNTER_INC("serve/degraded_responses");
+    timeline->degraded = true;
+  }
   return LinkResponse(results, batch, timeline);
 }
 

@@ -85,6 +85,7 @@
 #include "serve/net.h"
 #include "serve/queue.h"
 #include "serve/service.h"
+#include "serve/shard_api.h"
 
 namespace skyex::serve {
 
@@ -116,6 +117,15 @@ class Server {
  public:
   /// `service` must outlive the server.
   Server(LinkService* service, ServerOptions options);
+
+  /// Sharded (router) mode: /v1/link* scatter-gathers through
+  /// `backend` instead of the single linker thread. The global link
+  /// queue, linker thread, server breaker, and server watchdog are not
+  /// used — admission control, micro-batching, breakers, and the
+  /// watchdog all live per shard behind the backend (src/shard/).
+  /// `backend` must outlive the server and be started by the caller.
+  Server(ShardBackend* backend, ServerOptions options);
+
   ~Server();
 
   /// Binds and spawns the listener, worker and linker threads. False +
@@ -144,8 +154,12 @@ class Server {
   };
   Stats stats() const;
 
-  /// True while the watchdog considers the linker wedged.
-  bool wedged() const { return wedged_.load(std::memory_order_relaxed); }
+  /// True while the watchdog considers the linker wedged (router mode:
+  /// while EVERY shard is wedged).
+  bool wedged() const {
+    return backend_ != nullptr ? backend_->wedged()
+                               : wedged_.load(std::memory_order_relaxed);
+  }
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -184,6 +198,12 @@ class Server {
                         obs::RequestTimeline* timeline);
   HttpResponse HandleLink(const HttpRequest& request, bool batch,
                           obs::RequestTimeline* timeline);
+  // Router-mode link path: runs the scatter-gather on the I/O worker
+  // (per-shard queues do the micro-batching) and fills the timeline's
+  // scatter/shard_link/gather phases.
+  HttpResponse HandleLinkSharded(std::vector<data::SpatialEntity> entities,
+                                 bool batch,
+                                 obs::RequestTimeline* timeline);
   HttpResponse HandleDebugTrace(const HttpRequest& request);
   HttpResponse HandleProfile(const HttpRequest& request);
   HttpResponse DegradedResponse(
@@ -200,7 +220,8 @@ class Server {
   // since the last call (deadline-fed opens and watchdog force-opens).
   void NoteBreakerOpens();
 
-  LinkService* service_;
+  LinkService* service_;            // unsharded mode (else nullptr)
+  ShardBackend* backend_ = nullptr; // router mode (else nullptr)
   ServerOptions options_;
   UniqueFd listen_fd_;
   uint16_t port_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <utility>
 
 #include "core/linker.h"
@@ -210,25 +211,36 @@ std::vector<LinkResult> LinkService::LinkMany(
     for (const data::SpatialEntity& entity : entities) {
       LinkResult result;
       core::AddRecordStats add_stats;
-      const std::vector<size_t> links = linker_.AddRecord(
+      std::vector<core::ScoredMatch> matches = linker_.MatchRecord(
           entity, stats != nullptr ? &add_stats : nullptr);
+      linker_.Append(entity);
       if (stats != nullptr) {
         stats->extract_us += add_stats.candidates_us;
         stats->rank_us += add_stats.score_us;
       }
       const data::Dataset& dataset = linker_.dataset();
       result.record_index = dataset.size() - 1;
-      result.links.reserve(links.size());
-      for (size_t record : links) {
+      // Rank exactly like the shard router's gather, so `--shards=1`
+      // serializes the same bytes as this path.
+      std::sort(matches.begin(), matches.end(),
+                [&dataset](const core::ScoredMatch& a,
+                           const core::ScoredMatch& b) {
+                  return LinkRankBefore(a.score, dataset[a.index].id, a.index,
+                                        b.score, dataset[b.index].id, b.index);
+                });
+      result.links.reserve(matches.size());
+      std::vector<const data::SpatialEntity*> cluster;
+      cluster.reserve(matches.size() + 1);
+      for (const core::ScoredMatch& m : matches) {
         result.links.push_back(LinkedRecord{
-            record, dataset[record].id, dataset[record].name,
-            std::string(data::SourceName(dataset[record].source))});
+            m.index, dataset[m.index].id, dataset[m.index].name,
+            std::string(data::SourceName(dataset[m.index].source))});
+        cluster.push_back(&dataset[m.index]);
       }
-      std::vector<size_t> cluster = links;
-      cluster.push_back(result.record_index);
-      result.merged = core::MergeRecords(dataset, cluster);
+      cluster.push_back(&dataset[result.record_index]);
+      result.merged = core::MergeRecords(cluster);
       SKYEX_COUNTER_INC("serve/link_requests");
-      SKYEX_COUNTER_ADD("serve/linked_records", links.size());
+      SKYEX_COUNTER_ADD("serve/linked_records", matches.size());
       results.push_back(std::move(result));
     }
   }
@@ -241,6 +253,29 @@ std::vector<LinkResult> LinkService::LinkMany(
     }
   }
   return results;
+}
+
+std::vector<ScoredLink> LinkService::MatchScored(
+    const data::SpatialEntity& entity, bool persist,
+    core::AddRecordStats* stats) {
+  SKYEX_SPAN("serve/match_scored");
+  std::vector<ScoredLink> links;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::vector<core::ScoredMatch> matches =
+        linker_.MatchRecord(entity, stats);
+    const data::Dataset& dataset = linker_.dataset();
+    links.reserve(matches.size());
+    for (const core::ScoredMatch& m : matches) {
+      links.push_back(ScoredLink{m.index, m.score, dataset[m.index]});
+    }
+    if (persist) linker_.Append(entity);
+  }
+  if (persist) {
+    std::lock_guard<std::mutex> lock(degraded_mutex_);
+    degraded_index_.push_back(MakeDegradedEntry(entity));
+  }
+  return links;
 }
 
 std::vector<LinkResult> LinkService::LinkDegraded(
@@ -281,14 +316,25 @@ size_t LinkService::record_count() const {
   return linker_.dataset().size();
 }
 
-std::unique_ptr<LinkService> BootstrapLinkService(
-    data::Dataset dataset, core::SkyExTModel model,
-    const core::IncrementalLinkerOptions& options, std::string* error) {
-  SKYEX_SPAN("serve/bootstrap");
+namespace {
+
+/// Global calibration shared by both bootstrap paths: validated model,
+/// full-corpus extractor, feature matrix over the blocked pairs, and
+/// the accepted (positively labeled) rows the acceptance threshold is
+/// calibrated from. Computed ONCE on the full dataset even when serving
+/// sharded, so every shard links with the same decision boundary.
+struct Calibration {
+  std::optional<features::LgmXExtractor> extractor;
+  ml::FeatureMatrix features;
+  std::vector<size_t> accepted;
+};
+
+bool Calibrate(const data::Dataset& dataset, const core::SkyExTModel& model,
+               Calibration* out, std::string* error) {
   if (model.preference == nullptr ||
       !skyline::Compile(*model.preference).has_value()) {
     if (error != nullptr) *error = "model preference is missing or invalid";
-    return nullptr;
+    return false;
   }
   // A corrupt or mismatched model may parse cleanly yet reference
   // feature indices beyond the LGM-X schema; serving it would read out
@@ -303,7 +349,7 @@ std::unique_ptr<LinkService> BootstrapLinkService(
                  std::to_string(feature) + " but the LGM-X schema has " +
                  std::to_string(schema_width) + " features";
       }
-      return nullptr;
+      return false;
     }
   }
   const bool has_coordinates =
@@ -311,31 +357,79 @@ std::unique_ptr<LinkService> BootstrapLinkService(
   std::vector<geo::CandidatePair> pairs =
       has_coordinates ? geo::QuadFlexBlock(dataset.Points())
                       : geo::CartesianBlock(dataset.size());
-  auto extractor = features::LgmXExtractor::FromCorpus(dataset);
-  const ml::FeatureMatrix features = extractor.Extract(dataset, pairs);
+  out->extractor = features::LgmXExtractor::FromCorpus(dataset);
+  out->features = out->extractor->Extract(dataset, pairs);
   const std::vector<size_t> all_rows = core::AllRows(pairs.size());
   const std::vector<uint8_t> predicted =
-      core::SkyExT::Label(features, all_rows, model);
-  std::vector<size_t> accepted;
+      core::SkyExT::Label(out->features, all_rows, model);
   for (size_t r = 0; r < predicted.size(); ++r) {
-    if (predicted[r]) accepted.push_back(r);
+    if (predicted[r]) out->accepted.push_back(r);
   }
-  if (accepted.empty()) {
+  if (out->accepted.empty()) {
     if (error != nullptr) {
       *error = "model accepts no pair of the dataset; cannot calibrate";
     }
-    return nullptr;
+    return false;
   }
   SKYEX_LOG_INFO("serve/bootstrap", "calibrated incremental linker",
                  {"records", dataset.size()}, {"pairs", pairs.size()},
-                 {"accepted_pairs", accepted.size()},
+                 {"accepted_pairs", out->accepted.size()},
                  {"blocker", has_coordinates ? "quadflex" : "cartesian"});
+  return true;
+}
+
+/// Deep copy — SkyExTModel owns its preference tree.
+core::SkyExTModel CloneModel(const core::SkyExTModel& model) {
+  core::SkyExTModel copy;
+  copy.preference = model.preference->Clone();
+  copy.cutoff_ratio = model.cutoff_ratio;
+  copy.group1 = model.group1;
+  copy.group2 = model.group2;
+  copy.train_f1 = model.train_f1;
+  return copy;
+}
+
+}  // namespace
+
+std::unique_ptr<LinkService> BootstrapLinkService(
+    data::Dataset dataset, core::SkyExTModel model,
+    const core::IncrementalLinkerOptions& options, std::string* error) {
+  SKYEX_SPAN("serve/bootstrap");
+  Calibration cal;
+  if (!Calibrate(dataset, model, &cal, error)) return nullptr;
   std::string model_text = core::SaveModel(model);
-  core::IncrementalLinker linker(std::move(dataset), std::move(extractor),
-                                 std::move(model), features, accepted,
-                                 options);
+  core::IncrementalLinker linker(std::move(dataset),
+                                 std::move(*cal.extractor), std::move(model),
+                                 cal.features, cal.accepted, options);
   return std::make_unique<LinkService>(std::move(linker),
                                        std::move(model_text));
+}
+
+std::vector<std::unique_ptr<LinkService>> BootstrapShardedLinkServices(
+    data::Dataset dataset, core::SkyExTModel model,
+    const core::IncrementalLinkerOptions& options,
+    const std::vector<std::vector<size_t>>& partitions,
+    std::string* model_text, std::string* error) {
+  SKYEX_SPAN("serve/bootstrap_sharded");
+  Calibration cal;
+  if (!Calibrate(dataset, model, &cal, error)) return {};
+  const std::string text = core::SaveModel(model);
+  if (model_text != nullptr) *model_text = text;
+  std::vector<std::unique_ptr<LinkService>> services;
+  services.reserve(partitions.size());
+  for (const std::vector<size_t>& partition : partitions) {
+    data::Dataset slice;
+    slice.entities.reserve(partition.size());
+    for (size_t i : partition) slice.entities.push_back(dataset[i]);
+    // Every shard gets the full-corpus extractor and the globally
+    // calibrated threshold; only the record partition differs.
+    core::IncrementalLinker linker(std::move(slice), *cal.extractor,
+                                   CloneModel(model), cal.features,
+                                   cal.accepted, options);
+    services.push_back(
+        std::make_unique<LinkService>(std::move(linker), text));
+  }
+  return services;
 }
 
 }  // namespace skyex::serve

@@ -45,6 +45,28 @@ struct LinkResult {
   bool degraded = false;       // answered by the fallback path
 };
 
+/// One scored candidate link as a shard reports it to the router: the
+/// record's position in the *local* shard dataset, the match score
+/// (prioritized group sum — see core::ScoredMatch), and a snapshot copy
+/// of the record so the router can merge without reaching back into the
+/// shard's dataset.
+struct ScoredLink {
+  size_t record = 0;
+  double score = 0.0;
+  data::SpatialEntity snapshot;
+};
+
+/// Deterministic link ranking shared by the unsharded path and the
+/// shard router's gather: strongest score first, ties broken by entity
+/// id, then by (global) record index. Keeping one comparator is what
+/// makes `--shards=1` responses byte-identical to the unsharded server.
+inline bool LinkRankBefore(double score_a, uint64_t id_a, size_t record_a,
+                           double score_b, uint64_t id_b, size_t record_b) {
+  if (score_a != score_b) return score_a > score_b;
+  if (id_a != id_b) return id_a < id_b;
+  return record_a < record_b;
+}
+
 /// Knobs of the degraded fallback matcher.
 struct DegradedOptions {
   double f_sim_threshold = 0.9;  // Jaro-Winkler on normalized names
@@ -90,6 +112,15 @@ class LinkService {
       const std::vector<data::SpatialEntity>& entities,
       LinkBatchStats* stats = nullptr);
 
+  /// Shard-side half of a scatter-gather link: scores `entity` against
+  /// this service's dataset and returns the accepted links (ascending
+  /// local index order, unranked — the router ranks after gathering).
+  /// When `persist` is true the entity is appended afterwards, exactly
+  /// like AddRecord; the owner shard persists, peers only match.
+  std::vector<ScoredLink> MatchScored(const data::SpatialEntity& entity,
+                                      bool persist,
+                                      core::AddRecordStats* stats = nullptr);
+
   /// Read-only fallback: matches each entity against the degraded
   /// index by name similarity + radius gate. Never touches the linker
   /// or its mutex, so it stays responsive while the linker is wedged.
@@ -134,6 +165,20 @@ class LinkService {
 std::unique_ptr<LinkService> BootstrapLinkService(
     data::Dataset dataset, core::SkyExTModel model,
     const core::IncrementalLinkerOptions& options, std::string* error);
+
+/// Sharded variant: runs the SAME global calibration once on the full
+/// dataset, then builds one LinkService per partition, each holding its
+/// partition's records plus the full-corpus extractor and the global
+/// acceptance threshold (so a pair links on a shard iff it would link
+/// unsharded). `partitions[s]` lists dataset indices owned by shard s —
+/// every index in exactly one partition, original order preserved.
+/// `model_text` (optional) receives the served model text. Empty vector
+/// + `error` on failure.
+std::vector<std::unique_ptr<LinkService>> BootstrapShardedLinkServices(
+    data::Dataset dataset, core::SkyExTModel model,
+    const core::IncrementalLinkerOptions& options,
+    const std::vector<std::vector<size_t>>& partitions,
+    std::string* model_text, std::string* error);
 
 }  // namespace skyex::serve
 

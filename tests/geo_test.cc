@@ -120,6 +120,132 @@ TEST(Quadtree, SkipsInvalidPoints) {
   EXPECT_EQ(tree.num_points(), 10u);
 }
 
+// ------------------------------------------------- Region queries (sharding)
+
+TEST(Quadtree, RouteLeafOrdinalMatchesLeafMembership) {
+  const std::vector<GeoPoint> points = RandomPoints(2000, 13);
+  Quadtree::Options options;
+  options.capacity = 32;
+  const Quadtree tree(points, options);
+  // Leaf ordinal of each point per ForEachLeaf (DFS) order — the
+  // ground truth RouteLeafOrdinal must reproduce by descent.
+  std::vector<int> leaf_of_point(points.size(), -1);
+  int ordinal = 0;
+  tree.ForEachLeaf([&](const std::vector<size_t>& indices,
+                       const BoundingBox&, size_t) {
+    for (size_t index : indices) leaf_of_point[index] = ordinal;
+    ++ordinal;
+  });
+  EXPECT_EQ(static_cast<size_t>(ordinal), tree.num_leaves());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(tree.RouteLeafOrdinal(points[i]), leaf_of_point[i])
+        << "point " << i << " routed to a leaf it is not stored in";
+  }
+}
+
+TEST(Quadtree, RouteLeafOrdinalEdgeCases) {
+  const std::vector<GeoPoint> points = RandomPoints(2000, 17);
+  Quadtree::Options options;
+  options.capacity = 32;
+  const Quadtree tree(points, options);
+  // Invalid point: no leaf.
+  EXPECT_EQ(tree.RouteLeafOrdinal(GeoPoint::Invalid()), -1);
+  // Points outside the root box still land in a border leaf.
+  const int far_leaf = tree.RouteLeafOrdinal(GeoPoint{10.0, -120.0, true});
+  ASSERT_GE(far_leaf, 0);
+  EXPECT_LT(static_cast<size_t>(far_leaf), tree.num_leaves());
+  // A point exactly on a leaf boundary routes deterministically: the
+  // midpoints of every leaf edge are valid, in-range ordinals.
+  tree.ForEachLeaf([&](const std::vector<size_t>&, const BoundingBox& box,
+                       size_t) {
+    for (const GeoPoint& edge :
+         {GeoPoint{box.min_lat, box.CenterLon(), true},
+          GeoPoint{box.max_lat, box.CenterLon(), true},
+          GeoPoint{box.CenterLat(), box.min_lon, true},
+          GeoPoint{box.CenterLat(), box.max_lon, true}}) {
+      const int leaf = tree.RouteLeafOrdinal(edge);
+      ASSERT_GE(leaf, 0);
+      ASSERT_LT(static_cast<size_t>(leaf), tree.num_leaves());
+      EXPECT_EQ(leaf, tree.RouteLeafOrdinal(edge));  // stable
+    }
+  });
+}
+
+// The pruning guarantee behind the shard scatter: every stored point
+// within the radius lives in a listed leaf, including points sitting
+// exactly on cell edges. A leaf NOT listed must provably hold no
+// candidate — asserted for every (query, point) pair by brute force.
+TEST(Quadtree, LeafOrdinalsIntersectingCoverAllInRadiusPoints) {
+  std::vector<GeoPoint> points = RandomPoints(1500, 21);
+  Quadtree::Options options;
+  options.capacity = 16;
+  {
+    // Plant edge-landing points: build a throwaway tree, then add
+    // points exactly on its leaf boundaries and rebuild.
+    const Quadtree probe(points, options);
+    std::vector<GeoPoint> edges;
+    probe.ForEachLeaf([&](const std::vector<size_t>&,
+                          const BoundingBox& box, size_t) {
+      edges.push_back(GeoPoint{box.min_lat, box.CenterLon(), true});
+      edges.push_back(GeoPoint{box.CenterLat(), box.max_lon, true});
+    });
+    points.insert(points.end(), edges.begin(), edges.end());
+  }
+  const Quadtree tree(points, options);
+
+  const double radius_m = 250.0;
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> lat(56.6, 57.6);
+  std::uniform_real_distribution<double> lon(8.4, 10.6);
+  for (int q = 0; q < 200; ++q) {
+    const GeoPoint query{lat(rng), lon(rng), true};
+    const std::vector<size_t> leaves =
+        tree.LeafOrdinalsIntersecting(query, radius_m);
+    EXPECT_TRUE(std::is_sorted(leaves.begin(), leaves.end()));
+    for (const GeoPoint& p : points) {
+      const double d = EquirectangularMeters(query, p);
+      if (d < 0 || d > radius_m) continue;
+      const int leaf = tree.RouteLeafOrdinal(p);
+      ASSERT_GE(leaf, 0);
+      EXPECT_TRUE(std::binary_search(leaves.begin(), leaves.end(),
+                                     static_cast<size_t>(leaf)))
+          << "in-radius point at " << d << "m lives in leaf " << leaf
+          << ", which the region query pruned";
+    }
+  }
+  EXPECT_TRUE(
+      tree.LeafOrdinalsIntersecting(GeoPoint::Invalid(), radius_m).empty());
+}
+
+TEST(Distance, CircleIntersectsBoxIsConservative) {
+  const BoundingBox box{57.0, 9.8, 57.1, 10.0};
+  // Center inside the box.
+  EXPECT_TRUE(CircleIntersectsBox(GeoPoint{57.05, 9.9, true}, 100.0, box));
+  // Center outside but within the radius of the near edge.
+  const GeoPoint near{57.1008, 9.9, true};  // ≈ 90 m north of max_lat
+  EXPECT_TRUE(CircleIntersectsBox(near, 100.0, box));
+  // Far away: several km beyond any slack.
+  EXPECT_FALSE(CircleIntersectsBox(GeoPoint{57.5, 9.9, true}, 100.0, box));
+  // Invalid center intersects nothing.
+  EXPECT_FALSE(CircleIntersectsBox(GeoPoint::Invalid(), 100.0, box));
+  // Property: whenever a box point is within the radius of the center,
+  // the test must say true (it may also say true slightly beyond).
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> lat(56.9, 57.2);
+  std::uniform_real_distribution<double> lon(9.7, 10.1);
+  for (int i = 0; i < 500; ++i) {
+    const GeoPoint center{lat(rng), lon(rng), true};
+    const GeoPoint clamped{
+        std::clamp(center.lat, box.min_lat, box.max_lat),
+        std::clamp(center.lon, box.min_lon, box.max_lon), true};
+    const double d = EquirectangularMeters(center, clamped);
+    if (d <= 150.0) {
+      EXPECT_TRUE(CircleIntersectsBox(center, 150.0, box))
+          << "closest box point is " << d << "m away";
+    }
+  }
+}
+
 // ----------------------------------------------------------------- QuadFlex
 
 TEST(QuadFlex, FindsClosePairs) {

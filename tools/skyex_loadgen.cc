@@ -24,6 +24,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <numeric>
 #include <optional>
 #include <string>
 #include <thread>
@@ -69,7 +70,17 @@ int Usage() {
       "  --max-retries=N   retries per request before giving up\n"
       "                    (default 8)\n"
       "  --timeout-ms=N    per-request socket timeout (default 10000)\n"
-      "  --smoke           validation pass instead of load\n\n"
+      "  --smoke           validation pass instead of load\n"
+      "  --hotspot=F       region-skewed traffic: fraction F of requests\n"
+      "                    sample from the geographic hotspot instead of\n"
+      "                    round-robin (default 0 = uniform; exercises\n"
+      "                    uneven shard load under --shards serving)\n"
+      "  --hotspot-share=S the hotspot is the first S fraction of the\n"
+      "                    pool ordered by (lat,lon) (default 0.1)\n"
+      "  --fail-on-error-rate=P  tolerate errors up to rate P: exit 1\n"
+      "                    only when (error responses + io errors +\n"
+      "                    retry-exhausted) / outcomes exceeds P, instead\n"
+      "                    of the default zero-error acceptance\n\n"
       "runtime: --threads=N   shared thread pool size\n"
       "profiling: --cpu-profile=FILE --profile-hz=N   collapsed-stack\n"
       "           CPU profile of the client side of the run\n"
@@ -92,6 +103,33 @@ std::string LinkBody(const std::vector<skyex::data::SpatialEntity>& pool,
     for (size_t i = 0; i < count; ++i) {
       skyex::data::SpatialEntity e = pool[(first + i) % pool.size()];
       e.id = id_base + first + i;
+      skyex::serve::WriteEntityJson(&writer, e);
+    }
+    writer.EndArray();
+  }
+  writer.EndObject();
+  return writer.Take();
+}
+
+/// LinkBody with an explicit pool index per entity (hotspot sampling);
+/// ids stay serial from `serial_base` so every request carries fresh
+/// ids regardless of which pool entities were drawn.
+std::string LinkBodyIndexed(
+    const std::vector<skyex::data::SpatialEntity>& pool,
+    const std::vector<size_t>& indices, size_t serial_base,
+    uint64_t id_base) {
+  skyex::serve::json::Writer writer;
+  writer.BeginObject();
+  if (indices.size() == 1) {
+    writer.Key("entity");
+    skyex::data::SpatialEntity e = pool[indices[0]];
+    e.id = id_base + serial_base;
+    skyex::serve::WriteEntityJson(&writer, e);
+  } else {
+    writer.Key("entities").BeginArray();
+    for (size_t i = 0; i < indices.size(); ++i) {
+      skyex::data::SpatialEntity e = pool[indices[i]];
+      e.id = id_base + serial_base + i;
       skyex::serve::WriteEntityJson(&writer, e);
     }
     writer.EndArray();
@@ -170,17 +208,32 @@ int RetryAfterSeconds(const HttpResponse& response) {
 void LoadLoop(const std::string& host, uint16_t port, int timeout_ms,
               const std::vector<skyex::data::SpatialEntity>* pool,
               size_t first_request, size_t num_requests, size_t batch_size,
-              int backoff_ms, size_t max_retries, LoadCounters* counters,
-              std::vector<SlowSample>* slowest) {
+              int backoff_ms, size_t max_retries, double hotspot,
+              const std::vector<size_t>* hotspot_indices,
+              LoadCounters* counters, std::vector<SlowSample>* slowest) {
   const std::string path =
       batch_size > 1 ? "/v1/link_batch" : "/v1/link";
   HttpClient client(host, port, timeout_ms);
   // Deterministic per-thread jitter stream: the threads' streams differ
   // (seeded by their request range) but a run replays exactly.
   uint64_t jitter_state = 0x10adbeef ^ (first_request + 1);
+  uint64_t pick_state = 0x4053 ^ (first_request * 2654435761ULL + 1);
+  std::vector<size_t> indices(batch_size);
   for (size_t r = 0; r < num_requests; ++r) {
-    const std::string body = LinkBody(
-        *pool, (first_request + r) * batch_size, batch_size, 1000000000);
+    const size_t serial_base = (first_request + r) * batch_size;
+    for (size_t i = 0; i < batch_size; ++i) {
+      indices[i] = (serial_base + i) % pool->size();
+      if (hotspot > 0.0 && !hotspot_indices->empty()) {
+        pick_state = skyex::par::SplitMix64(pick_state);
+        if ((pick_state >> 11) * 0x1.0p-53 < hotspot) {
+          pick_state = skyex::par::SplitMix64(pick_state);
+          indices[i] = (*hotspot_indices)[pick_state %
+                                          hotspot_indices->size()];
+        }
+      }
+    }
+    const std::string body =
+        LinkBodyIndexed(*pool, indices, serial_base, 1000000000);
     size_t attempt = 0;
     for (;;) {
       if (!client.ok()) {
@@ -369,7 +422,10 @@ int main(int argc, char** argv) {
        {"backoff-ms", FlagType::kSize},
        {"max-retries", FlagType::kSize},
        {"timeout-ms", FlagType::kSize},
-       {"smoke", FlagType::kBool}});
+       {"smoke", FlagType::kBool},
+       {"hotspot", FlagType::kDouble},
+       {"hotspot-share", FlagType::kDouble},
+       {"fail-on-error-rate", FlagType::kDouble}});
   if (!flags.has_value()) return Usage();
   if (!skyex::tools::ObsSetup(*flags)) return 2;
   if (!flags->Has("port")) {
@@ -417,6 +473,36 @@ int main(int argc, char** argv) {
       static_cast<int>(flags->GetSize("backoff-ms", 10));
   const size_t max_retries = flags->GetSize("max-retries", 8);
 
+  // Hotspot sampling: the "hotspot" is the geographically densest-named
+  // corner of the pool — its first `share` fraction ordered by
+  // (lat, lon). Under --shards serving this concentrates traffic on few
+  // shards, exercising uneven scatter load.
+  const double hotspot =
+      std::clamp(flags->GetDouble("hotspot", 0.0), 0.0, 1.0);
+  std::vector<size_t> hotspot_indices;
+  if (hotspot > 0.0) {
+    const double share =
+        std::clamp(flags->GetDouble("hotspot-share", 0.1), 0.0, 1.0);
+    std::vector<size_t> order(pool.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&pool](size_t a, size_t b) {
+      const auto& pa = pool[a].location;
+      const auto& pb = pool[b].location;
+      if (pa.lat != pb.lat) return pa.lat < pb.lat;
+      if (pa.lon != pb.lon) return pa.lon < pb.lon;
+      return a < b;
+    });
+    const size_t count = std::min(
+        order.size(),
+        std::max<size_t>(
+            1, static_cast<size_t>(share *
+                                   static_cast<double>(order.size()))));
+    hotspot_indices.assign(order.begin(), order.begin() + count);
+    std::fprintf(stderr,
+                 "loadgen: hotspot=%0.2f over %zu of %zu pool entities\n",
+                 hotspot, hotspot_indices.size(), pool.size());
+  }
+
   LoadCounters counters;
   const std::optional<double> pairs_before = FetchServerCounter(
       host, port, timeout_ms, "core/incremental_candidates");
@@ -430,7 +516,8 @@ int main(int argc, char** argv) {
         requests / connections + (c < requests % connections ? 1 : 0);
     threads.emplace_back(LoadLoop, host, port, timeout_ms, &pool, assigned,
                          share, batch_size, backoff_ms, max_retries,
-                         &counters, &per_thread_slowest[c]);
+                         hotspot, &hotspot_indices, &counters,
+                         &per_thread_slowest[c]);
     assigned += share;
   }
   for (std::thread& t : threads) t.join();
@@ -501,6 +588,22 @@ int main(int argc, char** argv) {
     }
   }
   const int obs_rc = skyex::tools::ObsFinish(*flags);
+  if (flags->Has("fail-on-error-rate")) {
+    // Chaos-tolerant acceptance: some injected faults surface as client
+    // errors by design; fail only past the allowed rate.
+    const double limit = flags->GetDouble("fail-on-error-rate", 0.0);
+    const uint64_t errors = counters.client_errors.load() +
+                            counters.io_errors.load() +
+                            counters.retry_exhausted.load();
+    const uint64_t outcomes = ok + errors;
+    const double rate =
+        outcomes > 0
+            ? static_cast<double>(errors) / static_cast<double>(outcomes)
+            : 1.0;
+    std::printf("error_rate: %.4f (limit %.4f)\n", rate, limit);
+    if (rate > limit || ok == 0) return 1;
+    return obs_rc;
+  }
   // Any non-2xx or transport failure fails the run (the smoke/demo
   // acceptance is zero errors; 429s are backpressure, not errors).
   if (counters.client_errors.load() > 0 || counters.io_errors.load() > 0 ||

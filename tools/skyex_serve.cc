@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -32,6 +33,7 @@
 #include "prof/prof.h"
 #include "serve/server.h"
 #include "serve/service.h"
+#include "shard/router.h"
 
 namespace {
 
@@ -53,7 +55,10 @@ int Usage() {
       "  --max-body-bytes=N     request body cap (default 1048576)\n"
       "  --radius-m=R           candidate radius meters (default 200)\n"
       "  --calibration-percentile=Q  acceptance boundary quantile\n"
-      "                         (default 0.1; higher = more precise)\n\n"
+      "                         (default 0.1; higher = more precise)\n"
+      "  --shards=N             geo-partitioned serving: N linkers\n"
+      "                         behind a scatter-gather router (default\n"
+      "                         0 = single linker; docs/serving.md)\n\n"
       "resilience (docs/robustness.md):\n"
       "  --deadline-ms=N        per-request link deadline (default 0 =\n"
       "                         off; expiry answers degraded or 503)\n"
@@ -108,6 +113,7 @@ int main(int argc, char** argv) {
        {"max-body-bytes", FlagType::kSize},
        {"radius-m", FlagType::kDouble},
        {"calibration-percentile", FlagType::kDouble},
+       {"shards", FlagType::kSize},
        {"deadline-ms", FlagType::kSize},
        {"watchdog-ms", FlagType::kSize},
        {"no-degraded", FlagType::kBool},
@@ -160,16 +166,6 @@ int main(int argc, char** argv) {
   linker_options.radius_m = flags->GetDouble("radius-m", 200.0);
   linker_options.calibration_percentile =
       flags->GetDouble("calibration-percentile", 0.1);
-  std::string error;
-  std::fprintf(stderr, "skyex_serve: calibrating on %zu records...\n",
-               dataset.size());
-  auto service = skyex::serve::BootstrapLinkService(
-      std::move(dataset), std::move(*model), linker_options, &error);
-  if (service == nullptr) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
-  }
-
   skyex::serve::ServerOptions options;
   options.port = static_cast<uint16_t>(flags->GetSize("port", 8080));
   options.workers = flags->GetSize("workers", 8);
@@ -194,20 +190,58 @@ int main(int argc, char** argv) {
       static_cast<int>(flags->GetSize("breaker-open-ms", 1000));
   options.breaker.max_retry_after_s =
       static_cast<int>(flags->GetSize("max-retry-after-s", 4));
-  skyex::serve::Server server(service.get(), options);
-  if (!server.Start(&error)) {
+
+  const size_t shards = flags->GetSize("shards", 0);
+  std::string error;
+  std::fprintf(stderr, "skyex_serve: calibrating on %zu records...\n",
+               dataset.size());
+  std::unique_ptr<skyex::serve::LinkService> service;
+  std::unique_ptr<skyex::shard::Router> router;
+  std::optional<skyex::serve::Server> server;
+  if (shards > 0) {
+    // Sharded mode: per-shard micro-batching replaces the global link
+    // queue, so the server-level queue/batch/breaker/watchdog knobs
+    // move down into each shard node.
+    skyex::shard::RouterOptions router_options;
+    router_options.node.queue_capacity = options.queue_depth;
+    router_options.node.batch_window_us = options.batch_window_us;
+    router_options.node.max_batch = options.max_batch;
+    router_options.node.breaker = options.breaker;
+    router_options.watchdog_ms = options.watchdog_ms;
+    router = skyex::shard::BootstrapRouter(std::move(dataset),
+                                           std::move(*model), linker_options,
+                                           shards, router_options, &error);
+    if (router == nullptr) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    router->Start();
+    server.emplace(router.get(), options);
+  } else {
+    service = skyex::serve::BootstrapLinkService(
+        std::move(dataset), std::move(*model), linker_options, &error);
+    if (service == nullptr) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    server.emplace(service.get(), options);
+  }
+  if (!server->Start(&error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
   std::fprintf(stderr,
                "skyex_serve: listening on port %u (records=%zu, "
-               "workers=%zu, queue-depth=%zu)\n",
-               server.port(), service->record_count(), options.workers,
-               options.queue_depth);
+               "workers=%zu, queue-depth=%zu, shards=%zu)\n",
+               server->port(),
+               router != nullptr ? router->record_count()
+                                 : service->record_count(),
+               options.workers, options.queue_depth,
+               router != nullptr ? router->num_shards() : size_t{0});
   const std::string port_file = flags->Get("port-file");
   if (!port_file.empty()) {
     std::ofstream out(port_file);
-    out << server.port() << "\n";
+    out << server->port() << "\n";
     if (!out.flush()) {
       std::fprintf(stderr, "error: cannot write %s\n", port_file.c_str());
       return 1;
@@ -234,8 +268,9 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr, "skyex_serve: draining...\n");
-  server.Stop();
-  const auto stats = server.stats();
+  server->Stop();
+  if (router != nullptr) router->Stop();
+  const auto stats = server->stats();
   std::fprintf(stderr,
                "skyex_serve: shutdown complete — %llu requests on %llu "
                "connections (%llu ok, %llu client errors, %llu rejected "
