@@ -40,6 +40,18 @@
 #
 #   scripts/bench_snapshot.sh --shard [build-dir] [reps]
 #
+# Two-stage-extraction snapshot: boots skyex_serve twice — a "before"
+# leg that disables every stage of the pipeline this snapshot measures
+# (--prefilter-threshold=0 --text-cache=0 --reference-kernels) and an
+# "after" leg on the serving defaults (threshold 0.1, 4096-entry text
+# LRU, dispatched SIMD kernels) — drives each with skyex_loadgen for
+# [reps] timed runs, and writes BENCH_extract.json with per-leg median
+# candidate pairs/sec, the speedup, the measured drop rate and cache
+# hit rate of the after leg, and the recall/drop-rate curve of the
+# sketch pre-filter from `skyex prefilter-eval`:
+#
+#   scripts/bench_snapshot.sh --extract [build-dir] [reps]
+#
 # Overhead fractions are clamped at the measured noise floor (the
 # cross-repetition spread): a delta indistinguishable from run-to-run
 # noise is reported as 0, with the raw value kept alongside.
@@ -246,6 +258,159 @@ print(f"  throughput: off={off_med:.1f} on={on_med:.1f} req/s  "
 for phase, row in attribution.items():
     print(f"  {phase:<12} {row['samples']:>7} samples "
           f"({100 * row['fraction']:.1f}%)")
+EOF
+  exit 0
+fi
+
+if [ "${1:-}" = "--extract" ]; then
+  BUILD_DIR="${2:-build}"
+  REPS="${3:-3}"
+  if [ "$REPS" -lt 3 ]; then REPS=3; fi
+  OUT="BENCH_extract.json"
+  TMP_DIR="$(mktemp -d)"
+  SERVER_PID=""
+  cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP_DIR"
+  }
+  trap cleanup EXIT
+
+  cmake --build "$BUILD_DIR" -j --target skyex_cli skyex_serve_bin \
+    skyex_loadgen
+
+  "$BUILD_DIR/tools/skyex" generate --dataset=northdk --entities=800 \
+    --seed=29 --out="$TMP_DIR/entities.csv"
+  "$BUILD_DIR/tools/skyex" train --in="$TMP_DIR/entities.csv" \
+    --train-fraction=0.1 --seed=3 --model-out="$TMP_DIR/model.txt" \
+    --log-level=warn
+
+  # Recall/drop-rate curve of the sketch pre-filter on the same data
+  # (batch path, exact accounting against the model's accepted pairs).
+  "$BUILD_DIR/tools/skyex" prefilter-eval --in="$TMP_DIR/entities.csv" \
+    --train-fraction=0.1 --seed=3 --out="$TMP_DIR/prefilter_eval.json"
+
+  boot_server() {  # args: extra server flags
+    local port_file="$TMP_DIR/port.txt"
+    rm -f "$port_file"
+    "$BUILD_DIR/tools/skyex_serve" --model="$TMP_DIR/model.txt" \
+      --dataset="$TMP_DIR/entities.csv" --port=0 \
+      --port-file="$port_file" --workers=4 --queue-depth=64 \
+      --log-level=warn "$@" >"$TMP_DIR/serve.log" 2>&1 &
+    SERVER_PID=$!
+    PORT=""
+    for _ in $(seq 150); do
+      if [ -s "$port_file" ]; then PORT="$(cat "$port_file")"; break; fi
+      kill -0 "$SERVER_PID" 2>/dev/null || {
+        echo "server died during startup:" >&2
+        cat "$TMP_DIR/serve.log" >&2
+        exit 1
+      }
+      sleep 0.2
+    done
+    [ -n "$PORT" ] || { echo "server never bound a port" >&2; exit 1; }
+  }
+
+  stop_server() {
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+  }
+
+  run_loadgen() {  # args: output file
+    "$BUILD_DIR/tools/skyex_loadgen" --port="$PORT" --requests=600 \
+      --connections=4 --entities=100 --seed=41 | tee "$1"
+  }
+
+  for leg in before after; do
+    if [ "$leg" = "before" ]; then
+      # Pre-PR configuration on the same binary: no sketch filter, no
+      # per-entity text cache, straight-line reference kernels.
+      boot_server --prefilter-threshold=0 --text-cache=0 \
+        --reference-kernels
+    else
+      boot_server  # serving defaults: threshold 0.1, LRU 4096, SIMD
+    fi
+    echo "=== loadgen (extraction $leg, port $PORT) ==="
+    run_loadgen "$TMP_DIR/warmup_${leg}.txt" >/dev/null  # warmup
+    for rep in $(seq "$REPS"); do
+      run_loadgen "$TMP_DIR/loadgen_${leg}_${rep}.txt"
+    done
+    stop_server
+  done
+
+  python3 - "$TMP_DIR" "$REPS" "$OUT" <<'EOF'
+import json, os, re, statistics, sys
+
+tmp_dir, reps, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+
+def leg_rows(leg):
+    """[(pairs_per_sec, req_per_sec, drop_pct, hit_pct)] per repetition."""
+    rows = []
+    for rep in range(1, reps + 1):
+        with open(os.path.join(tmp_dir, f"loadgen_{leg}_{rep}.txt")) as f:
+            text = f.read()
+        pairs = re.search(r"([\d.]+) candidate pairs/s scored", text)
+        reqs = re.search(r"\(([\d.]+) req/s\)", text)
+        drop = re.search(r"candidates dropped \(([\d.]+)%\)", text)
+        hits = re.search(r"text-cache hit rate ([\d.]+)%", text)
+        if not pairs or not reqs:
+            raise SystemExit(f"no throughput in loadgen_{leg}_{rep}.txt "
+                             "(is /metrics reachable?)")
+        rows.append((float(pairs.group(1)), float(reqs.group(1)),
+                     float(drop.group(1)) if drop else 0.0,
+                     float(hits.group(1)) if hits else 0.0))
+    return rows
+
+def summarize(leg):
+    rows = leg_rows(leg)
+    return rows, {
+        "pairs_per_sec": [r[0] for r in rows],
+        "median_pairs_per_sec": statistics.median(r[0] for r in rows),
+        "median_req_per_sec": statistics.median(r[1] for r in rows),
+        "median_prefilter_drop_pct": statistics.median(r[2] for r in rows),
+        "median_text_cache_hit_pct": statistics.median(r[3] for r in rows),
+    }
+
+before_rows, before = summarize("before")
+after_rows, after = summarize("after")
+speedup = (after["median_pairs_per_sec"] / before["median_pairs_per_sec"]
+           if before["median_pairs_per_sec"] else 0.0)
+
+with open(os.path.join(tmp_dir, "prefilter_eval.json")) as f:
+    curve = json.load(f)
+# The serving default threshold: recall/drop the deployed filter pays.
+at_default = next((row for row in curve["thresholds"]
+                   if abs(row["threshold"] - 0.1) < 1e-9), None)
+
+snapshot = {
+    **json.loads(os.environ["HOST_META"]),
+    "repetitions": reps,
+    "loadgen": {"requests": 600, "connections": 4, "entities": 100},
+    # Same binary, pipeline off: --prefilter-threshold=0 --text-cache=0
+    # --reference-kernels.
+    "before": before,
+    # Serving defaults: --prefilter-threshold=0.1 --text-cache=4096,
+    # runtime-dispatched SIMD kernels.
+    "after": after,
+    "pairs_per_sec_speedup": round(speedup, 2),
+    "prefilter_recall_at_default_threshold":
+        at_default["recall"] if at_default else None,
+    "prefilter_drop_rate_at_default_threshold":
+        at_default["drop_rate"] if at_default else None,
+    "prefilter_curve": curve["thresholds"],
+}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+print(f"  pairs/sec: before={before['median_pairs_per_sec']:.0f} "
+      f"after={after['median_pairs_per_sec']:.0f}  speedup x{speedup:.2f}")
+print(f"  after leg: {after['median_prefilter_drop_pct']:.1f}% candidates "
+      f"dropped, {after['median_text_cache_hit_pct']:.1f}% text-cache hits")
+if at_default:
+    print(f"  prefilter @0.1: drop_rate={at_default['drop_rate']:.4f} "
+          f"recall={at_default['recall']:.4f}")
 EOF
   exit 0
 fi

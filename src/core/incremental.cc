@@ -77,6 +77,43 @@ bool IncrementalLinker::Accept(const double* row, double* score) const {
   return true;
 }
 
+IncrementalLinker::TextEntry IncrementalLinker::ComputeTextEntry(
+    const data::SpatialEntity& e) {
+  TextEntry entry;
+  entry.text = features::LgmXExtractor::ComputeEntityText(e);
+  // EntityText already holds the normalized strings, so the sketches
+  // are built without re-normalizing.
+  entry.sketch.name = features::BuildTokenSketch(entry.text.name_norm);
+  entry.sketch.addr = features::BuildTokenSketch(entry.text.addr_norm);
+  return entry;
+}
+
+std::shared_ptr<const IncrementalLinker::TextEntry>
+IncrementalLinker::GetTextEntry(size_t index, size_t* hits,
+                                size_t* misses) const {
+  if (options_.text_cache_capacity == 0) {
+    ++*misses;
+    return std::make_shared<const TextEntry>(ComputeTextEntry(dataset_[index]));
+  }
+  const auto it = text_lru_index_.find(index);
+  if (it != text_lru_index_.end()) {
+    ++*hits;
+    // Refresh recency: move the hit to the front without reallocating.
+    text_lru_.splice(text_lru_.begin(), text_lru_, it->second);
+    return it->second->second;
+  }
+  ++*misses;
+  auto entry =
+      std::make_shared<const TextEntry>(ComputeTextEntry(dataset_[index]));
+  text_lru_.emplace_front(index, entry);
+  text_lru_index_[index] = text_lru_.begin();
+  if (text_lru_.size() > options_.text_cache_capacity) {
+    text_lru_index_.erase(text_lru_.back().first);
+    text_lru_.pop_back();
+  }
+  return entry;
+}
+
 std::vector<ScoredMatch> IncrementalLinker::MatchRecord(
     const data::SpatialEntity& record, AddRecordStats* stats) const {
   SKYEX_SPAN("core/incremental_add");
@@ -122,6 +159,50 @@ std::vector<ScoredMatch> IncrementalLinker::MatchRecord(
     }
   }
 
+  // Stage 1: per-candidate text state (through the LRU) and the sketch
+  // pre-filter. Both run serially on the calling thread — the cache is
+  // unsynchronized by contract — and the gathered shared_ptrs keep
+  // every entry alive through the parallel scoring below even if the
+  // LRU evicts it meanwhile. With threshold 0 nothing is dropped, so
+  // the match set is bit-identical to scoring every candidate.
+  const TextEntry record_entry = ComputeTextEntry(record);
+  std::vector<std::shared_ptr<const TextEntry>> entries;
+  {
+    SKYEX_SPAN("core/incremental_prefilter");
+    SKYEX_PROF_PHASE(::skyex::prof::Phase::kPrefilter);
+    const double phase_start = obs::TraceNowUs();
+    size_t lru_hits = 0;
+    size_t lru_misses = 0;
+    entries.reserve(candidates.size());
+    for (size_t i : candidates) {
+      entries.push_back(GetTextEntry(i, &lru_hits, &lru_misses));
+    }
+    size_t dropped = 0;
+    if (options_.prefilter_threshold > 0.0) {
+      size_t kept = 0;
+      for (size_t k = 0; k < candidates.size(); ++k) {
+        if (features::EstimatePair(record_entry.sketch, entries[k]->sketch) >=
+            options_.prefilter_threshold) {
+          candidates[kept] = candidates[k];
+          entries[kept] = std::move(entries[k]);
+          ++kept;
+        }
+      }
+      dropped = candidates.size() - kept;
+      candidates.resize(kept);
+      entries.resize(kept);
+    }
+    SKYEX_COUNTER_ADD("extract/prefilter_dropped", dropped);
+    SKYEX_COUNTER_ADD("extract/lru_hits", lru_hits);
+    SKYEX_COUNTER_ADD("extract/lru_misses", lru_misses);
+    if (stats != nullptr) {
+      stats->prefilter_dropped = dropped;
+      stats->lru_hits = lru_hits;
+      stats->lru_misses = lru_misses;
+      stats->prefilter_us = obs::TraceNowUs() - phase_start;
+    }
+  }
+
   std::vector<ScoredMatch> links;
   {
     SKYEX_SPAN("core/incremental_score");
@@ -141,7 +222,8 @@ std::vector<ScoredMatch> IncrementalLinker::MatchRecord(
           std::vector<double> row(extractor_.feature_count());
           for (size_t k = begin; k < end; ++k) {
             const size_t i = candidates[k];
-            extractor_.ExtractRow(record, dataset_[i], row.data());
+            extractor_.RowFromCache(record, record_entry.text, dataset_[i],
+                                    entries[k]->text, row.data());
             double score = 0.0;
             if (Accept(row.data(), &score)) local.push_back({i, score});
           }

@@ -2,12 +2,16 @@
 #define SKYEX_CORE_INCREMENTAL_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/skyex_t.h"
 #include "data/spatial_entity.h"
 #include "features/lgm_x.h"
+#include "features/sketch.h"
 
 namespace skyex::core {
 
@@ -28,16 +32,34 @@ struct IncrementalLinkerOptions {
   /// Without coordinates, compare against every record — refuse when
   /// the dataset exceeds this (0 = no limit).
   size_t max_cartesian = 200000;
+  /// Stage-1 sketch pre-filter: candidates whose sketch token-overlap
+  /// estimate (features::EstimatePair) falls below this are dropped
+  /// before feature extraction. 0 disables the filter entirely — the
+  /// match set is then bit-identical to scoring every candidate
+  /// (test-pinned). The serving binary defaults to 0.1; the library
+  /// default stays 0 so training/calibration behavior never changes.
+  double prefilter_threshold = 0.0;
+  /// Capacity of the per-linker LRU of per-entity normalized text +
+  /// sketches (the extractor's EntityText plus features::EntitySketch).
+  /// 0 computes per call without storing anything. Entries are keyed by
+  /// dataset index, which is stable because the dataset is append-only.
+  size_t text_cache_capacity = 4096;
 };
 
 /// Per-call phase timing of AddRecord, for callers that attribute
 /// latency (the serving layer's flight recorder). `candidates_us` is
-/// the spatial/cartesian candidate scan, `score_us` the LGM-X feature
-/// extraction + skyline-key acceptance over those candidates.
+/// the spatial/cartesian candidate scan, `prefilter_us` the text-state
+/// lookup + sketch pre-filter over those candidates, `score_us` the
+/// LGM-X feature extraction + skyline-key acceptance over the
+/// survivors. `candidates` counts candidates BEFORE the pre-filter.
 struct AddRecordStats {
   size_t candidates = 0;
   double candidates_us = 0.0;
+  double prefilter_us = 0.0;
   double score_us = 0.0;
+  size_t prefilter_dropped = 0;  // candidates removed by the sketch filter
+  size_t lru_hits = 0;           // text-cache hits across the candidates
+  size_t lru_misses = 0;         // text-cache misses (entries computed)
 };
 
 /// One accepted link, with the score the shard router ranks by: the
@@ -91,9 +113,28 @@ class IncrementalLinker {
   const data::Dataset& dataset() const { return dataset_; }
 
  private:
+  /// One cached per-entity text state: the extractor's normalized
+  /// strings plus the stage-1 sketch, computed together because every
+  /// consumer (pre-filter, then RowFromCache) needs both.
+  struct TextEntry {
+    features::LgmXExtractor::EntityText text;
+    features::EntitySketch sketch;
+  };
+
   /// True when the row clears the calibrated boundary; `score` (when
   /// non-null) receives the row's prioritized group sum regardless.
   bool Accept(const double* row, double* score = nullptr) const;
+
+  static TextEntry ComputeTextEntry(const data::SpatialEntity& e);
+
+  /// Get-or-compute of dataset_[index]'s text entry through the LRU
+  /// (capacity 0 computes without storing). Returned entries are
+  /// shared_ptrs so an eviction mid-call never invalidates a caller's
+  /// reference. NOT thread-safe — covered by the class's serialization
+  /// contract (MatchRecord touches the cache only from the calling
+  /// thread, before fanning scoring out to the pool).
+  std::shared_ptr<const TextEntry> GetTextEntry(size_t index, size_t* hits,
+                                                size_t* misses) const;
 
   data::Dataset dataset_;
   features::LgmXExtractor extractor_;
@@ -104,6 +145,18 @@ class IncrementalLinker {
   /// is linked when its key is lexicographically ≥ this threshold.
   std::vector<double> threshold_key_;
   bool calibrated_ = false;
+
+  /// LRU of per-entity text state, keyed by dataset index (stable:
+  /// Append only ever adds records). `mutable` because MatchRecord is
+  /// logically const yet warms the cache; safe under the class's
+  /// single-caller contract (see above — all access is serialized).
+  /// List order is recency (front = most recent).
+  mutable std::list<std::pair<size_t, std::shared_ptr<const TextEntry>>>
+      text_lru_;
+  mutable std::unordered_map<
+      size_t,
+      std::list<std::pair<size_t, std::shared_ptr<const TextEntry>>>::iterator>
+      text_lru_index_;
 };
 
 }  // namespace skyex::core

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 #include <utility>
 
 #include "features/feature_schema.h"
+#include "features/sketch.h"
 #include "geo/distance.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -18,12 +20,41 @@
 
 namespace skyex::features {
 
+namespace {
+
+// Stack-buffer capacity for group (i) raw scores; the registry is fixed at
+// 14 measures (feature_schema pins the count), so this has ample headroom.
+constexpr size_t kRawBufferCap = 32;
+
+size_t IndexOfMeasure(const std::vector<text::NamedSimilarity>& table,
+                      std::string_view name) {
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (table[i].name == name) return i;
+  }
+  throw std::logic_error("similarity registry is missing measure: " +
+                         std::string(name));
+}
+
+}  // namespace
+
 LgmXExtractor::LgmXExtractor(lgm::LgmSim name_sim, lgm::LgmSim addr_sim,
                              LgmXOptions options)
     : name_sim_(std::move(name_sim)),
       addr_sim_(std::move(addr_sim)),
       options_(options),
-      names_(LgmXFeatureNames()) {}
+      names_(LgmXFeatureNames()) {
+  const auto& basic = text::BasicSimilarities();
+  const auto& sortable = text::SortableSimilarities();
+  if (basic.size() > kRawBufferCap) {
+    throw std::logic_error("similarity registry outgrew the raw buffer");
+  }
+  sortable_to_basic_.reserve(sortable.size());
+  for (const text::NamedSimilarity& m : sortable) {
+    sortable_to_basic_.push_back(IndexOfMeasure(basic, m.name));
+  }
+  sorted_jw_basic_index_ = IndexOfMeasure(basic, "jaro_winkler_sorted");
+  jw_basic_index_ = IndexOfMeasure(basic, "jaro_winkler");
+}
 
 LgmXExtractor LgmXExtractor::FromCorpus(const data::Dataset& dataset,
                                         LgmXOptions options,
@@ -58,24 +89,29 @@ void LgmXExtractor::TextFeatures(const lgm::LgmSim& sim,
                                  double* out) const {
   size_t k = 0;
   // Group (i): basic similarities on the normalized strings. Raw scores
-  // are kept so group (ii) can reuse them.
+  // are kept on the stack so group (ii) can reuse them by registry
+  // position. The pre-sorted measure is Jaro-Winkler over the cached
+  // sorted strings — a_sorted IS SortTokens(a_norm), so this is the same
+  // value without re-tokenizing per pair.
   const auto& basic = text::BasicSimilarities();
-  std::vector<double> raw(basic.size());
+  const text::SimilarityFn jw = basic[jw_basic_index_].fn;
+  double raw[kRawBufferCap];
   for (size_t m = 0; m < basic.size(); ++m) {
-    raw[m] = basic[m].fn(a_norm, b_norm);
+    raw[m] = m == sorted_jw_basic_index_ ? jw(a_sorted, b_sorted)
+                                         : basic[m].fn(a_norm, b_norm);
     out[k++] = raw[m];
   }
   // Group (ii): the custom-sorting decision of LGM-Sim on top of each
-  // sortable measure — sort only when the raw score is unconvincing.
+  // sortable measure — sort only when the raw score is unconvincing. The
+  // raw score comes from the group-(i) buffer, not a recomputation.
   const double sort_threshold = sim.config().sort_threshold;
   const auto& sortable = text::SortableSimilarities();
-  for (const text::NamedSimilarity& m : sortable) {
-    // Index of m in the basic list (same registry order, minus the
-    // pre-sorted measure).
-    double raw_score = m.fn(a_norm, b_norm);
+  for (size_t s = 0; s < sortable.size(); ++s) {
+    const double raw_score = raw[sortable_to_basic_[s]];
     out[k++] = raw_score >= sort_threshold
                    ? raw_score
-                   : std::max(raw_score, m.fn(a_sorted, b_sorted));
+                   : std::max(raw_score,
+                              sortable[s].fn(a_sorted, b_sorted));
   }
   // Group (iii): LGM-Sim meta-similarity on top of each sortable measure.
   for (const text::NamedSimilarity& m : sortable) {
@@ -88,6 +124,16 @@ void LgmXExtractor::TextFeatures(const lgm::LgmSim& sim,
   out[k++] = scores.base;
   out[k++] = scores.mismatch;
   out[k++] = scores.frequent;
+}
+
+LgmXExtractor::EntityText LgmXExtractor::ComputeEntityText(
+    const data::SpatialEntity& e) {
+  EntityText t;
+  t.name_norm = text::Normalize(e.name);
+  t.name_sorted = text::SortTokens(t.name_norm);
+  t.addr_norm = text::Normalize(e.address_name);
+  t.addr_sorted = text::SortTokens(t.addr_norm);
+  return t;
 }
 
 void LgmXExtractor::RowFromCache(const data::SpatialEntity& a,
@@ -124,15 +170,7 @@ void LgmXExtractor::RowFromCache(const data::SpatialEntity& a,
 void LgmXExtractor::ExtractRow(const data::SpatialEntity& a,
                                const data::SpatialEntity& b,
                                double* out) const {
-  const auto text_of = [](const data::SpatialEntity& e) {
-    EntityText t;
-    t.name_norm = text::Normalize(e.name);
-    t.name_sorted = text::SortTokens(t.name_norm);
-    t.addr_norm = text::Normalize(e.address_name);
-    t.addr_sorted = text::SortTokens(t.addr_norm);
-    return t;
-  };
-  RowFromCache(a, text_of(a), b, text_of(b), out);
+  RowFromCache(a, ComputeEntityText(a), b, ComputeEntityText(b), out);
 }
 
 ml::FeatureMatrix LgmXExtractor::Extract(
@@ -145,10 +183,7 @@ ml::FeatureMatrix LgmXExtractor::Extract(
   // Cache normalized strings per entity once.
   std::vector<EntityText> cache(dataset.size());
   for (size_t i = 0; i < dataset.size(); ++i) {
-    cache[i].name_norm = text::Normalize(dataset[i].name);
-    cache[i].name_sorted = text::SortTokens(cache[i].name_norm);
-    cache[i].addr_norm = text::Normalize(dataset[i].address_name);
-    cache[i].addr_sorted = text::SortTokens(cache[i].addr_norm);
+    cache[i] = ComputeEntityText(dataset[i]);
   }
 
   // Chunks go through the shared pool (warm threads, no per-call spawn);
@@ -170,6 +205,45 @@ ml::FeatureMatrix LgmXExtractor::Extract(
       });
   SKYEX_COUNTER_ADD("features/rows_extracted", pairs.size());
   return matrix;
+}
+
+std::vector<geo::CandidatePair> LgmXExtractor::PrefilterPairs(
+    const data::Dataset& dataset,
+    const std::vector<geo::CandidatePair>& pairs, double threshold,
+    size_t* dropped) const {
+  if (dropped != nullptr) *dropped = 0;
+  if (threshold <= 0.0 || pairs.empty()) return pairs;
+  SKYEX_SPAN("features/prefilter_pairs");
+  SKYEX_PROF_PHASE(::skyex::prof::Phase::kPrefilter);
+
+  // Sketch every entity once (the sketch is an order of magnitude cheaper
+  // than one feature row, and amortizes over every pair the entity is in).
+  std::vector<EntitySketch> sketches(dataset.size());
+  par::ForOptions for_options;
+  for_options.grain = 512;
+  for_options.max_parallelism = options_.num_threads;
+  par::ParallelForChunked(
+      0, dataset.size(), for_options, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          sketches[i].name =
+              BuildTokenSketch(text::Normalize(dataset[i].name));
+          sketches[i].addr =
+              BuildTokenSketch(text::Normalize(dataset[i].address_name));
+        }
+      });
+
+  std::vector<geo::CandidatePair> kept;
+  kept.reserve(pairs.size());
+  for (const geo::CandidatePair& pair : pairs) {
+    if (EstimatePair(sketches[pair.first], sketches[pair.second]) >=
+        threshold) {
+      kept.push_back(pair);
+    }
+  }
+  const size_t n_dropped = pairs.size() - kept.size();
+  if (dropped != nullptr) *dropped = n_dropped;
+  SKYEX_COUNTER_ADD("extract/prefilter_dropped", n_dropped);
+  return kept;
 }
 
 }  // namespace skyex::features

@@ -32,6 +32,16 @@ struct LgmXOptions {
 /// side yields 0 for all of its features, as specified by the paper.
 class LgmXExtractor {
  public:
+  /// Per-entity normalized text state: the extractor's unit of reuse. The
+  /// serving path caches these (core/incremental.cc keeps an LRU) so repeat
+  /// entities skip normalization entirely.
+  struct EntityText {
+    std::string name_norm;
+    std::string name_sorted;
+    std::string addr_norm;
+    std::string addr_sorted;
+  };
+
   /// `name_sim` / `addr_sim` carry the frequent-term dictionaries and
   /// LGM-Sim parameters for the two textual attributes.
   LgmXExtractor(lgm::LgmSim name_sim, lgm::LgmSim addr_sim,
@@ -47,35 +57,52 @@ class LgmXExtractor {
   const std::vector<std::string>& feature_names() const { return names_; }
   size_t feature_count() const { return names_.size(); }
 
+  /// Normalizes one entity's textual attributes (name/address, plus their
+  /// token-sorted forms).
+  static EntityText ComputeEntityText(const data::SpatialEntity& e);
+
   /// Computes one feature row (out must hold feature_count() doubles).
   void ExtractRow(const data::SpatialEntity& a, const data::SpatialEntity& b,
                   double* out) const;
+
+  /// Same row, from pre-normalized text state (the serving hot path).
+  void RowFromCache(const data::SpatialEntity& a, const EntityText& ta,
+                    const data::SpatialEntity& b, const EntityText& tb,
+                    double* out) const;
 
   /// Bulk extraction over candidate pairs, fanned out on the shared
   /// par::ThreadPool. Normalized attribute strings are cached per entity.
   ml::FeatureMatrix Extract(const data::Dataset& dataset,
                             const std::vector<geo::CandidatePair>& pairs) const;
 
- private:
-  struct EntityText {
-    std::string name_norm;
-    std::string name_sorted;
-    std::string addr_norm;
-    std::string addr_sorted;
-  };
+  /// Stage-1 sketch pre-filter for the batch path: returns the pairs whose
+  /// sketch estimate (features::EstimatePair over per-entity bigram
+  /// sketches) reaches `threshold`, preserving order. `threshold <= 0`
+  /// returns the input unchanged — the bit-identity guarantee of
+  /// --prefilter-threshold=0. `dropped`, when non-null, receives the number
+  /// of discarded pairs. Adds to the `extract/prefilter_dropped` counter.
+  std::vector<geo::CandidatePair> PrefilterPairs(
+      const data::Dataset& dataset,
+      const std::vector<geo::CandidatePair>& pairs, double threshold,
+      size_t* dropped = nullptr) const;
 
+ private:
   // Computes the features of one textual attribute into out[0..42].
   void TextFeatures(const lgm::LgmSim& sim, const std::string& a_norm,
                     const std::string& a_sorted, const std::string& b_norm,
                     const std::string& b_sorted, double* out) const;
-  void RowFromCache(const data::SpatialEntity& a, const EntityText& ta,
-                    const data::SpatialEntity& b, const EntityText& tb,
-                    double* out) const;
 
   lgm::LgmSim name_sim_;
   lgm::LgmSim addr_sim_;
   LgmXOptions options_;
   std::vector<std::string> names_;
+  // Registry-position maps resolved once at construction: group (ii)
+  // reuses group (i) raw scores via sortable_to_basic_, and the pre-sorted
+  // measure ("jaro_winkler_sorted") is computed from the cached sorted
+  // strings via the plain Jaro-Winkler entry.
+  std::vector<size_t> sortable_to_basic_;
+  size_t sorted_jw_basic_index_;
+  size_t jw_basic_index_;
 };
 
 }  // namespace skyex::features

@@ -1,0 +1,135 @@
+#include "features/sketch.h"
+
+#include <algorithm>
+
+namespace skyex::features {
+
+namespace {
+
+// SplitMix64 finalizer over the packed bigram code. Fixed constants: sketch
+// contents must be stable across runs and hosts (they feed determinism
+// tests and the threshold-0 bit-identity pin).
+uint64_t HashCode(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Bottom-k keeper: registers 0..m-1 hold the current k smallest distinct
+// values, and a binary max-tree stored at m..2m-2 tracks their maximum
+// (tournament layout: node p >= m has children (p-m)*2 and (p-m)*2+1, the
+// parent of any index i is m + (i>>1), the root 2m-2 holds the global max).
+// A non-improving offer costs one comparison against the root; an improving
+// one replaces the argmax register and refreshes the log2(m) path above it.
+class BottomK {
+ public:
+  static constexpr size_t kM = kSketchRegisters;
+  static constexpr size_t kNodes = 2 * kM - 1;
+
+  BottomK() { data_.fill(TokenSketch::kEmptySlot); }
+
+  void Offer(uint64_t x) {
+    if (x >= data_[kNodes - 1]) return;  // not below the current max
+    for (size_t r = 0; r < kM; ++r) {
+      if (data_[r] == x) return;  // already kept (distinct-set semantics)
+    }
+    // Descend from the root to the register holding the max.
+    size_t idx = kNodes - 1;
+    while (idx >= kM) {
+      const size_t lhi = (idx - kM) << 1;
+      idx = (data_[lhi] >= data_[lhi + 1]) ? lhi : lhi + 1;
+    }
+    data_[idx] = x;
+    // Refresh maxima up the path; stop once a node is unchanged.
+    size_t i = idx;
+    while (true) {
+      i = kM + (i >> 1);
+      if (i >= kNodes) break;
+      const size_t lhi = (i - kM) << 1;
+      const uint64_t mx = std::max(data_[lhi], data_[lhi + 1]);
+      if (mx == data_[i]) break;
+      data_[i] = mx;
+    }
+  }
+
+  TokenSketch Finalize() const {
+    TokenSketch sketch;
+    for (size_t r = 0; r < kM; ++r) sketch.values[r] = data_[r];
+    std::sort(sketch.values.begin(), sketch.values.end());
+    uint32_t count = 0;
+    while (count < kM && sketch.values[count] != TokenSketch::kEmptySlot) {
+      ++count;
+    }
+    sketch.count = count;
+    return sketch;
+  }
+
+ private:
+  std::array<uint64_t, kNodes> data_;
+};
+
+}  // namespace
+
+TokenSketch BuildTokenSketch(std::string_view normalized) {
+  BottomK keeper;
+  if (normalized.size() == 1) {
+    // Mirror the bigram measures: a 1-character string is its own gram.
+    keeper.Offer(HashCode(static_cast<uint8_t>(normalized[0])));
+  } else {
+    for (size_t i = 0; i + 2 <= normalized.size(); ++i) {
+      const uint64_t code =
+          0x20000ULL |
+          (static_cast<uint64_t>(static_cast<uint8_t>(normalized[i])) << 8) |
+          static_cast<uint8_t>(normalized[i + 1]);
+      keeper.Offer(HashCode(code));
+    }
+  }
+  return keeper.Finalize();
+}
+
+double EstimateResemblance(const TokenSketch& a, const TokenSketch& b) {
+  if (a.count == 0 && b.count == 0) return 1.0;
+  if (a.count == 0 || b.count == 0) return 0.0;
+  // Standard bottom-k resemblance: walk the k smallest values of the union
+  // (both arrays are ascending) and count how many appear in both. When the
+  // union is smaller than k this degenerates to the exact Jaccard.
+  size_t i = 0;
+  size_t j = 0;
+  size_t taken = 0;
+  size_t inter = 0;
+  while (taken < kSketchRegisters && (i < a.count || j < b.count)) {
+    if (j >= b.count || (i < a.count && a.values[i] < b.values[j])) {
+      ++i;
+    } else if (i >= a.count || b.values[j] < a.values[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+    ++taken;
+  }
+  return static_cast<double>(inter) / static_cast<double>(taken);
+}
+
+double EstimatePair(const EntitySketch& a, const EntitySketch& b) {
+  // Recall-safe combination: the MAX over the attributes comparable on
+  // both sides, so a pair is only dropped when *every* shared attribute
+  // looks dissimilar. A corrupted name with a matching address (or vice
+  // versa) — common in true matches across sources — survives. With no
+  // comparable attribute the pair cannot be judged and is kept.
+  bool comparable = false;
+  double best = 0.0;
+  if (!a.name.empty() && !b.name.empty()) {
+    comparable = true;
+    best = EstimateResemblance(a.name, b.name);
+  }
+  if (!a.addr.empty() && !b.addr.empty()) {
+    comparable = true;
+    best = std::max(best, EstimateResemblance(a.addr, b.addr));
+  }
+  return comparable ? best : 1.0;
+}
+
+}  // namespace skyex::features

@@ -65,6 +65,11 @@ void WriteTimelineJson(std::ostream& out, const RequestTimeline& t) {
   AppendUs(out, t.batch_wait_us);
   out << ",\"extract_us\":";
   AppendUs(out, t.extract_us);
+  out << ",\"prefilter_us\":";
+  AppendUs(out, t.prefilter_us);
+  out << ",\"prefilter_dropped\":" << t.prefilter_dropped
+      << ",\"lru_hits\":" << t.lru_hits
+      << ",\"lru_misses\":" << t.lru_misses;
   out << ",\"rank_us\":";
   AppendUs(out, t.rank_us);
   if (t.shards_touched > 0) {

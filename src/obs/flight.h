@@ -46,6 +46,12 @@ struct RequestTimeline {
   double queue_wait_us = 0.0;
   double batch_wait_us = 0.0;
   double extract_us = 0.0;
+  // Stage-1 share of extract_us: text-cache lookup + sketch pre-filter,
+  // plus the batch's cache/filter counts (0 when the filter is off).
+  double prefilter_us = 0.0;
+  std::uint64_t prefilter_dropped = 0;
+  std::uint64_t lru_hits = 0;
+  std::uint64_t lru_misses = 0;
   double rank_us = 0.0;
   // Sharded serving only (all 0 on the unsharded path): the
   // scatter-gather split of the link phase, plus the request's fan-out.

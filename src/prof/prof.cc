@@ -33,7 +33,7 @@ namespace {
 
 const char* const kPhaseNames[kPhaseCount] = {
     "untagged", "serve", "blocking", "extraction",
-    "skyline",  "ranking", "training", "shard",
+    "skyline",  "ranking", "training", "shard", "prefilter",
 };
 
 // Handler-visible state. File-scope atomics (not class members) so the

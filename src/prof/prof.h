@@ -64,8 +64,9 @@ enum class Phase : uint8_t {
   kRanking,     // scoring + acceptance / top-k
   kTraining,    // model fitting
   kShard,       // shard-node link work (scatter-gather serving)
+  kPrefilter,   // sketch pre-filter ahead of extraction
 };
-inline constexpr size_t kPhaseCount = 8;
+inline constexpr size_t kPhaseCount = 9;
 
 /// Stable lowercase name ("untagged", "serve", ...).
 const char* PhaseName(Phase phase);

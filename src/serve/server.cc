@@ -644,8 +644,12 @@ HttpResponse Server::HandleLink(const HttpRequest& request, bool batch,
     timeline->queue_wait_us = phases->queue_wait_us;
     timeline->batch_wait_us = phases->batch_wait_us;
     timeline->extract_us = phases->extract_us;
+    timeline->prefilter_us = phases->prefilter_us;
     timeline->rank_us = phases->rank_us;
     timeline->batch_size = phases->batch_size;
+    timeline->prefilter_dropped = phases->prefilter_dropped;
+    timeline->lru_hits = phases->lru_hits;
+    timeline->lru_misses = phases->lru_misses;
     return LinkResponse(results, batch, timeline);
   }
 
@@ -658,8 +662,12 @@ HttpResponse Server::HandleLink(const HttpRequest& request, bool batch,
   timeline->queue_wait_us = phases->queue_wait_us;
   timeline->batch_wait_us = phases->batch_wait_us;
   timeline->extract_us = phases->extract_us;
+  timeline->prefilter_us = phases->prefilter_us;
   timeline->rank_us = phases->rank_us;
   timeline->batch_size = phases->batch_size;
+  timeline->prefilter_dropped = phases->prefilter_dropped;
+  timeline->lru_hits = phases->lru_hits;
+  timeline->lru_misses = phases->lru_misses;
   return LinkResponse(results, batch, timeline);
 }
 
@@ -777,8 +785,12 @@ void Server::LinkerLoop() {
       if (job.phases == nullptr) continue;
       job.phases->batch_wait_us = link_start_us - pop_us;
       job.phases->extract_us = batch_stats.extract_us;
+      job.phases->prefilter_us = batch_stats.prefilter_us;
       job.phases->rank_us = batch_stats.rank_us;
       job.phases->batch_size = static_cast<uint32_t>(entities.size());
+      job.phases->prefilter_dropped = batch_stats.prefilter_dropped;
+      job.phases->lru_hits = batch_stats.lru_hits;
+      job.phases->lru_misses = batch_stats.lru_misses;
     }
 
     for (size_t j = 0; j < jobs.size(); ++j) {

@@ -172,9 +172,13 @@ class Server {
   struct LinkPhases {
     double queue_wait_us = 0.0;  // enqueue -> batch popped
     double batch_wait_us = 0.0;  // batch popped -> linking starts
-    double extract_us = 0.0;     // candidate scans (batch-level)
+    double extract_us = 0.0;     // candidate scans + pre-filter (batch-level)
+    double prefilter_us = 0.0;   // stage-1 share of extract_us
     double rank_us = 0.0;        // scoring + acceptance (batch-level)
-    uint32_t batch_size = 0;     // entities linked in the batch
+    uint32_t batch_size = 0;         // entities linked in the batch
+    uint64_t prefilter_dropped = 0;  // candidates cut by the sketch filter
+    uint64_t lru_hits = 0;           // text-cache hits across the batch
+    uint64_t lru_misses = 0;         // text-cache misses across the batch
   };
 
   struct LinkJob {

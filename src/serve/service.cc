@@ -215,8 +215,12 @@ std::vector<LinkResult> LinkService::LinkMany(
           entity, stats != nullptr ? &add_stats : nullptr);
       linker_.Append(entity);
       if (stats != nullptr) {
-        stats->extract_us += add_stats.candidates_us;
+        stats->extract_us += add_stats.candidates_us + add_stats.prefilter_us;
+        stats->prefilter_us += add_stats.prefilter_us;
         stats->rank_us += add_stats.score_us;
+        stats->prefilter_dropped += add_stats.prefilter_dropped;
+        stats->lru_hits += add_stats.lru_hits;
+        stats->lru_misses += add_stats.lru_misses;
       }
       const data::Dataset& dataset = linker_.dataset();
       result.record_index = dataset.size() - 1;

@@ -90,11 +90,18 @@ void WriteLinkResultJson(json::Writer* writer, const LinkResult& result,
                          const std::string* request_id = nullptr);
 
 /// Batch-level phase timing of LinkMany, for the flight recorder:
-/// `extract_us` sums the candidate scans, `rank_us` the LGM-X scoring
-/// + skyline-key acceptance, across the whole batch.
+/// `extract_us` sums the candidate scans plus the stage-1 text-state
+/// lookup + sketch pre-filter, `rank_us` the LGM-X scoring +
+/// skyline-key acceptance, across the whole batch. `prefilter_us`
+/// breaks the stage-1 share out of `extract_us`; the counts aggregate
+/// the linker's per-record AddRecordStats.
 struct LinkBatchStats {
   double extract_us = 0.0;
+  double prefilter_us = 0.0;
   double rank_us = 0.0;
+  size_t prefilter_dropped = 0;
+  size_t lru_hits = 0;
+  size_t lru_misses = 0;
 };
 
 /// Serializes IncrementalLinker access behind one mutex — the write

@@ -103,7 +103,7 @@ void ShardNode::Process(ShardJob& job) {
   for (serve::ScoredLink& link : reply.links) {
     link.record = global_of_local_[link.record];
   }
-  reply.extract_us = stats.candidates_us;
+  reply.extract_us = stats.candidates_us + stats.prefilter_us;
   reply.rank_us = stats.score_us;
   reply.ok = true;
   SKYEX_COUNTER_INC("shard/jobs_done");

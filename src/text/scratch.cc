@@ -1,0 +1,30 @@
+#include "text/scratch.h"
+
+#include <cctype>
+
+namespace skyex::text {
+
+ScratchArena& ScratchArena::Get() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+void TokenizeViews(std::string_view input,
+                   std::vector<std::string_view>* out) {
+  out->clear();
+  size_t i = 0;
+  while (i < input.size()) {
+    while (i < input.size() &&
+           std::isspace(static_cast<unsigned char>(input[i]))) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < input.size() &&
+           !std::isspace(static_cast<unsigned char>(input[i]))) {
+      ++i;
+    }
+    if (i > start) out->push_back(input.substr(start, i - start));
+  }
+}
+
+}  // namespace skyex::text

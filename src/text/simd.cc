@@ -1,0 +1,149 @@
+#include "text/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SKYEX_TEXT_X86 1
+#include <immintrin.h>
+#else
+#define SKYEX_TEXT_X86 0
+#endif
+
+namespace skyex::text {
+
+namespace {
+
+size_t FindUnmatchedCharScalar(const char* text, const uint8_t* flags,
+                               size_t lo, size_t hi, char needle) {
+  for (size_t j = lo; j < hi; ++j) {
+    if (text[j] == needle && flags[j] == 0) return j;
+  }
+  return hi;
+}
+
+#if SKYEX_TEXT_X86
+
+size_t FindUnmatchedCharSse2(const char* text, const uint8_t* flags, size_t lo,
+                             size_t hi, char needle) {
+  size_t j = lo;
+  const __m128i vneedle = _mm_set1_epi8(needle);
+  const __m128i vzero = _mm_setzero_si128();
+  for (; j + 16 <= hi; j += 16) {
+    const __m128i t =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(text + j));
+    const __m128i f =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(flags + j));
+    const __m128i hit =
+        _mm_and_si128(_mm_cmpeq_epi8(t, vneedle), _mm_cmpeq_epi8(f, vzero));
+    const int mask = _mm_movemask_epi8(hit);
+    if (mask != 0) return j + static_cast<size_t>(__builtin_ctz(mask));
+  }
+  return FindUnmatchedCharScalar(text, flags, j, hi, needle);
+}
+
+__attribute__((target("avx2"))) size_t FindUnmatchedCharAvx2(
+    const char* text, const uint8_t* flags, size_t lo, size_t hi,
+    char needle) {
+  size_t j = lo;
+  const __m256i vneedle = _mm256_set1_epi8(needle);
+  const __m256i vzero = _mm256_setzero_si256();
+  for (; j + 32 <= hi; j += 32) {
+    const __m256i t =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(text + j));
+    const __m256i f =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(flags + j));
+    const __m256i hit = _mm256_and_si256(_mm256_cmpeq_epi8(t, vneedle),
+                                         _mm256_cmpeq_epi8(f, vzero));
+    const uint32_t mask =
+        static_cast<uint32_t>(_mm256_movemask_epi8(hit));
+    if (mask != 0) return j + static_cast<size_t>(__builtin_ctz(mask));
+  }
+  return FindUnmatchedCharSse2(text, flags, j, hi, needle);
+}
+
+#endif  // SKYEX_TEXT_X86
+
+SimdLevel HardwareLevel() {
+#if SKYEX_TEXT_X86
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel EnvCap() {
+  const char* env = std::getenv("SKYEX_SIMD");
+  if (env == nullptr || env[0] == '\0') return SimdLevel::kAvx2;
+  if (std::strcmp(env, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(env, "sse2") == 0) return SimdLevel::kSse2;
+  return SimdLevel::kAvx2;
+}
+
+SimdLevel Clamp(SimdLevel level) {
+  const int hw = static_cast<int>(DetectedSimdLevel());
+  const int want = static_cast<int>(level);
+  return static_cast<SimdLevel>(want < hw ? want : hw);
+}
+
+// -1 = not yet initialized; otherwise a SimdLevel value.
+std::atomic<int> g_active_level{-1};
+
+SimdLevel ActiveLevelSlow() {
+  const SimdLevel level = Clamp(EnvCap());
+  int expected = -1;
+  int desired = static_cast<int>(level);
+  if (g_active_level.compare_exchange_strong(expected, desired,
+                                             std::memory_order_relaxed)) {
+    return level;
+  }
+  return static_cast<SimdLevel>(expected);
+}
+
+}  // namespace
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel kLevel = HardwareLevel();
+  return kLevel;
+}
+
+SimdLevel ActiveSimdLevel() {
+  const int cached = g_active_level.load(std::memory_order_relaxed);
+  if (cached >= 0) return static_cast<SimdLevel>(cached);
+  return ActiveLevelSlow();
+}
+
+void SetSimdLevel(SimdLevel level) {
+  g_active_level.store(static_cast<int>(Clamp(level)),
+                       std::memory_order_relaxed);
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+size_t FindUnmatchedChar(const char* text, const uint8_t* flags, size_t lo,
+                         size_t hi, char needle) {
+#if SKYEX_TEXT_X86
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx2:
+      return FindUnmatchedCharAvx2(text, flags, lo, hi, needle);
+    case SimdLevel::kSse2:
+      return FindUnmatchedCharSse2(text, flags, lo, hi, needle);
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return FindUnmatchedCharScalar(text, flags, lo, hi, needle);
+}
+
+}  // namespace skyex::text

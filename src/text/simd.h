@@ -1,0 +1,51 @@
+#ifndef SKYEX_TEXT_SIMD_H_
+#define SKYEX_TEXT_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+// Runtime SIMD dispatch for the string-similarity kernels.
+//
+// The level is detected once from CPUID at first use, can be capped by the
+// SKYEX_SIMD environment variable ("scalar", "sse2", "avx2" — checked at
+// detection time), and can be overridden programmatically with SetSimdLevel
+// (used by the kernel-equivalence tests to exercise every code path on one
+// host). Requesting a level above what the CPU supports clamps down, so
+// SetSimdLevel(kAvx2) on an SSE2-only host silently runs the SSE2 path.
+//
+// Every vector routine here has a scalar twin with identical observable
+// behaviour; the property tests in tests/kernel_equiv_test.cc pin them
+// bit-identical against the frozen reference kernels at every level.
+
+namespace skyex::text {
+
+enum class SimdLevel : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+/// The level vector kernels currently dispatch to.
+SimdLevel ActiveSimdLevel();
+
+/// Highest level the CPU supports (ignores env/override caps).
+SimdLevel DetectedSimdLevel();
+
+/// Overrides the active level (clamped to DetectedSimdLevel()). Not
+/// thread-safe against concurrent kernel execution; intended for tests and
+/// startup configuration.
+void SetSimdLevel(SimdLevel level);
+
+/// Human-readable level name ("scalar" / "sse2" / "avx2").
+const char* SimdLevelName(SimdLevel level);
+
+/// Returns the smallest index j in [lo, hi) with text[j] == needle and
+/// flags[j] == 0, or `hi` when there is none. This is the inner scan of the
+/// Jaro match loop (first unmatched occurrence inside the match window).
+size_t FindUnmatchedChar(const char* text, const uint8_t* flags, size_t lo,
+                         size_t hi, char needle);
+
+}  // namespace skyex::text
+
+#endif  // SKYEX_TEXT_SIMD_H_

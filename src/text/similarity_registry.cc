@@ -1,7 +1,12 @@
 #include "text/similarity_registry.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
 #include "text/edit_distance.h"
 #include "text/jaro.h"
+#include "text/reference.h"
 #include "text/token_similarity.h"
 
 namespace skyex::text {
@@ -28,10 +33,56 @@ double SoftJaccardDefault(std::string_view a, std::string_view b) {
   return SoftJaccardSimilarity(a, b);
 }
 
-}  // namespace
+double RefJaroWinklerDefault(std::string_view a, std::string_view b) {
+  return reference::JaroWinklerSimilarity(a, b);
+}
 
-const std::vector<NamedSimilarity>& BasicSimilarities() {
-  static const auto& kMeasures = *new std::vector<NamedSimilarity>{
+double RefPermutedJaroWinklerDefault(std::string_view a, std::string_view b) {
+  return reference::PermutedJaroWinklerSimilarity(a, b);
+}
+
+double RefCosineBigrams(std::string_view a, std::string_view b) {
+  return reference::CosineNgramSimilarity(a, b, 2);
+}
+
+double RefJaccardBigrams(std::string_view a, std::string_view b) {
+  return reference::JaccardNgramSimilarity(a, b, 2);
+}
+
+double RefSoftJaccardDefault(std::string_view a, std::string_view b) {
+  return reference::SoftJaccardSimilarity(a, b);
+}
+
+// -1 = not yet initialized (consult SKYEX_TEXT_KERNELS on first read).
+std::atomic<int> g_kernel_impl{-1};
+
+KernelImpl ActiveKernelImplSlow() {
+  const char* env = std::getenv("SKYEX_TEXT_KERNELS");
+  const KernelImpl impl =
+      (env != nullptr && std::strcmp(env, "reference") == 0)
+          ? KernelImpl::kReference
+          : KernelImpl::kOptimized;
+  int expected = -1;
+  if (g_kernel_impl.compare_exchange_strong(expected, static_cast<int>(impl),
+                                            std::memory_order_relaxed)) {
+    return impl;
+  }
+  return static_cast<KernelImpl>(expected);
+}
+
+std::vector<NamedSimilarity> FilterSortable(
+    const std::vector<NamedSimilarity>& basic) {
+  std::vector<NamedSimilarity> out;
+  for (const NamedSimilarity& m : basic) {
+    if (m.name != "jaro_winkler_sorted") out.push_back(m);
+  }
+  return out;
+}
+
+const std::vector<NamedSimilarity>& BasicTable(KernelImpl impl) {
+  // Both tables carry the same names in the same order — the LGM-X feature
+  // schema depends only on names/positions, never on which impl is active.
+  static const auto& kOptimized = *new std::vector<NamedSimilarity>{
       {"levenshtein", LevenshteinSimilarity},
       {"damerau_levenshtein", DamerauLevenshteinSimilarity},
       {"jaro", JaroSimilarity},
@@ -47,18 +98,48 @@ const std::vector<NamedSimilarity>& BasicSimilarities() {
       {"soft_jaccard", SoftJaccardDefault},
       {"davies", DaviesDeSallesSimilarity},
   };
-  return kMeasures;
+  static const auto& kReference = *new std::vector<NamedSimilarity>{
+      {"levenshtein", reference::LevenshteinSimilarity},
+      {"damerau_levenshtein", reference::DamerauLevenshteinSimilarity},
+      {"jaro", reference::JaroSimilarity},
+      {"jaro_winkler", RefJaroWinklerDefault},
+      {"jaro_winkler_reversed", reference::ReversedJaroWinklerSimilarity},
+      {"jaro_winkler_sorted", reference::SortedJaroWinklerSimilarity},
+      {"jaro_winkler_permuted", RefPermutedJaroWinklerDefault},
+      {"cosine_bigrams", RefCosineBigrams},
+      {"jaccard_bigrams", RefJaccardBigrams},
+      {"dice_bigrams", reference::DiceBigramSimilarity},
+      {"skipgram", reference::SkipgramSimilarity},
+      {"monge_elkan", reference::MongeElkanSimilarity},
+      {"soft_jaccard", RefSoftJaccardDefault},
+      {"davies", reference::DaviesDeSallesSimilarity},
+  };
+  return impl == KernelImpl::kReference ? kReference : kOptimized;
+}
+
+}  // namespace
+
+void SetKernelImpl(KernelImpl impl) {
+  g_kernel_impl.store(static_cast<int>(impl), std::memory_order_relaxed);
+}
+
+KernelImpl ActiveKernelImpl() {
+  const int cached = g_kernel_impl.load(std::memory_order_relaxed);
+  if (cached >= 0) return static_cast<KernelImpl>(cached);
+  return ActiveKernelImplSlow();
+}
+
+const std::vector<NamedSimilarity>& BasicSimilarities() {
+  return BasicTable(ActiveKernelImpl());
 }
 
 const std::vector<NamedSimilarity>& SortableSimilarities() {
-  static const auto& kMeasures = *new std::vector<NamedSimilarity>([] {
-    std::vector<NamedSimilarity> out;
-    for (const NamedSimilarity& m : BasicSimilarities()) {
-      if (m.name != "jaro_winkler_sorted") out.push_back(m);
-    }
-    return out;
-  }());
-  return kMeasures;
+  static const auto& kOptimized = *new std::vector<NamedSimilarity>(
+      FilterSortable(BasicTable(KernelImpl::kOptimized)));
+  static const auto& kReference = *new std::vector<NamedSimilarity>(
+      FilterSortable(BasicTable(KernelImpl::kReference)));
+  return ActiveKernelImpl() == KernelImpl::kReference ? kReference
+                                                      : kOptimized;
 }
 
 SimilarityFn FindSimilarity(std::string_view name) {

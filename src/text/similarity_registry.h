@@ -28,6 +28,23 @@ const std::vector<NamedSimilarity>& SortableSimilarities();
 /// Looks up a basic measure by name; returns nullptr when unknown.
 SimilarityFn FindSimilarity(std::string_view name);
 
+/// Which kernel implementations the registry hands out. kOptimized is the
+/// default (branch-light / scratch-arena / SIMD-dispatched); kReference is
+/// the frozen pre-optimization scalar set (text/reference.h), used by the
+/// equivalence tests and as the honest "before" leg of bench_snapshot.sh
+/// --extract. The two produce bit-identical scores; only speed differs.
+enum class KernelImpl : int {
+  kOptimized = 0,
+  kReference = 1,
+};
+
+/// Switches the registry between implementations. Intended for startup /
+/// tests; not synchronized against concurrent extraction. Also settable via
+/// the SKYEX_TEXT_KERNELS environment variable ("reference") before first
+/// use.
+void SetKernelImpl(KernelImpl impl);
+KernelImpl ActiveKernelImpl();
+
 }  // namespace skyex::text
 
 #endif  // SKYEX_TEXT_SIMILARITY_REGISTRY_H_

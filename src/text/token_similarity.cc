@@ -1,43 +1,190 @@
 #include "text/token_similarity.h"
 
 #include <algorithm>
-#include <string>
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "text/jaro.h"
 #include "text/ngram.h"
-#include "text/tokenize.h"
+#include "text/scratch.h"
 
 namespace skyex::text {
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// Packed n-gram codes.
+//
+// The bigram measures (cosine / jaccard / dice / skipgram) only ever compare
+// gram multisets for equality and multiplicity, and their scores are ratios
+// of integer counts (every intermediate double is an exact integer < 2^53),
+// so replacing the reference's std::map<std::string,int> with sorted integer
+// codes is bit-identical. 2-character grams get a disjoint code namespace
+// (bit 17) from the single-character whole-string gram a short input yields,
+// so no collision is possible for any byte values.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kTwoCharGram = 1u << 17;
+
+inline uint32_t PackGram2(char c0, char c1) {
+  return kTwoCharGram |
+         (static_cast<uint32_t>(static_cast<uint8_t>(c0)) << 8) |
+         static_cast<uint32_t>(static_cast<uint8_t>(c1));
+}
+
+// Character bigrams, same multiset as CharNgrams(input, 2).
+void PackBigrams(std::string_view input, std::vector<uint32_t>* out) {
+  out->clear();
+  if (input.empty()) return;
+  if (input.size() < 2) {
+    out->push_back(static_cast<uint8_t>(input[0]));
+    return;
+  }
+  out->reserve(input.size() - 1);
+  for (size_t i = 0; i + 2 <= input.size(); ++i) {
+    out->push_back(PackGram2(input[i], input[i + 1]));
+  }
+  std::sort(out->begin(), out->end());
+}
+
+// Skip-grams with skips 0..max_skip, same multiset as SkipGrams(). The
+// whole-string fallback for 1-character inputs packs as a single-char code.
+void PackSkipGrams(std::string_view input, size_t max_skip,
+                   std::vector<uint32_t>* out) {
+  out->clear();
+  for (size_t i = 0; i < input.size(); ++i) {
+    for (size_t skip = 0; skip <= max_skip; ++skip) {
+      const size_t j = i + 1 + skip;
+      if (j >= input.size()) break;
+      out->push_back(PackGram2(input[i], input[j]));
+    }
+  }
+  if (out->empty() && !input.empty()) {
+    out->push_back(static_cast<uint8_t>(input[0]));
+  }
+  std::sort(out->begin(), out->end());
+}
+
+// Multiset intersection size of two sorted code arrays.
+size_t SortedIntersection(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  return inter;
+}
+
+double SortedJaccard(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t inter = SortedIntersection(a, b);
+  const size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double SquaredRunNorm(const std::vector<uint32_t>& a) {
+  double norm = 0.0;
+  size_t i = 0;
+  while (i < a.size()) {
+    size_t run = 1;
+    while (i + run < a.size() && a[i + run] == a[i]) ++run;
+    norm += static_cast<double>(run) * static_cast<double>(run);
+    i += run;
+  }
+  return norm;
+}
+
+}  // namespace
+
 double CosineNgramSimilarity(std::string_view a, std::string_view b,
                              size_t n) {
-  return MultisetCosine(CharNgrams(a, n), CharNgrams(b, n));
+  if (n != 2) {
+    // Only the bigram case is on the hot path; other n keep the simple form.
+    return MultisetCosine(CharNgrams(a, n), CharNgrams(b, n));
+  }
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  ScratchArena& s = ScratchArena::Get();
+  PackBigrams(a, &s.grams_a);
+  PackBigrams(b, &s.grams_b);
+  const double norm_a = SquaredRunNorm(s.grams_a);
+  const double norm_b = SquaredRunNorm(s.grams_b);
+  double dot = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < s.grams_a.size() && j < s.grams_b.size()) {
+    if (s.grams_a[i] < s.grams_b[j]) {
+      ++i;
+    } else if (s.grams_b[j] < s.grams_a[i]) {
+      ++j;
+    } else {
+      const uint32_t code = s.grams_a[i];
+      size_t ra = 0;
+      while (i + ra < s.grams_a.size() && s.grams_a[i + ra] == code) ++ra;
+      size_t rb = 0;
+      while (j + rb < s.grams_b.size() && s.grams_b[j + rb] == code) ++rb;
+      dot += static_cast<double>(ra) * static_cast<double>(rb);
+      i += ra;
+      j += rb;
+    }
+  }
+  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
+  // Rounding can push identical vectors epsilon above 1.
+  return std::min(1.0, dot / (std::sqrt(norm_a) * std::sqrt(norm_b)));
 }
 
 double JaccardNgramSimilarity(std::string_view a, std::string_view b,
                               size_t n) {
-  return MultisetJaccard(CharNgrams(a, n), CharNgrams(b, n));
+  if (n != 2) {
+    return MultisetJaccard(CharNgrams(a, n), CharNgrams(b, n));
+  }
+  ScratchArena& s = ScratchArena::Get();
+  PackBigrams(a, &s.grams_a);
+  PackBigrams(b, &s.grams_b);
+  return SortedJaccard(s.grams_a, s.grams_b);
 }
 
 double DiceBigramSimilarity(std::string_view a, std::string_view b) {
-  return MultisetDice(CharNgrams(a, 2), CharNgrams(b, 2));
+  ScratchArena& s = ScratchArena::Get();
+  PackBigrams(a, &s.grams_a);
+  PackBigrams(b, &s.grams_b);
+  if (s.grams_a.empty() && s.grams_b.empty()) return 1.0;
+  if (s.grams_a.empty() || s.grams_b.empty()) return 0.0;
+  const size_t inter = SortedIntersection(s.grams_a, s.grams_b);
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(s.grams_a.size() + s.grams_b.size());
 }
 
 double SkipgramSimilarity(std::string_view a, std::string_view b) {
-  return MultisetJaccard(SkipGrams(a, 2), SkipGrams(b, 2));
+  ScratchArena& s = ScratchArena::Get();
+  PackSkipGrams(a, 2, &s.grams_a);
+  PackSkipGrams(b, 2, &s.grams_b);
+  return SortedJaccard(s.grams_a, s.grams_b);
 }
 
 namespace {
 
-double MongeElkanDirected(const std::vector<std::string>& from,
-                          const std::vector<std::string>& to) {
+double MongeElkanDirected(const std::vector<std::string_view>& from,
+                          const std::vector<std::string_view>& to) {
   if (from.empty()) return to.empty() ? 1.0 : 0.0;
   if (to.empty()) return 0.0;
   double total = 0.0;
-  for (const std::string& t1 : from) {
+  for (const std::string_view t1 : from) {
     double best = 0.0;
-    for (const std::string& t2 : to) {
+    for (const std::string_view t2 : to) {
       best = std::max(best, JaroWinklerSimilarity(t1, t2));
     }
     total += best;
@@ -48,43 +195,47 @@ double MongeElkanDirected(const std::vector<std::string>& from,
 }  // namespace
 
 double MongeElkanSimilarity(std::string_view a, std::string_view b) {
-  const std::vector<std::string> ta = Tokenize(a);
-  const std::vector<std::string> tb = Tokenize(b);
-  return 0.5 * (MongeElkanDirected(ta, tb) + MongeElkanDirected(tb, ta));
+  ScratchArena& s = ScratchArena::Get();
+  TokenizeViews(a, &s.tok_a);
+  TokenizeViews(b, &s.tok_b);
+  return 0.5 * (MongeElkanDirected(s.tok_a, s.tok_b) +
+                MongeElkanDirected(s.tok_b, s.tok_a));
 }
 
 double SoftJaccardSimilarity(std::string_view a, std::string_view b,
                              double threshold) {
-  const std::vector<std::string> ta = Tokenize(a);
-  const std::vector<std::string> tb = Tokenize(b);
+  ScratchArena& s = ScratchArena::Get();
+  TokenizeViews(a, &s.tok_a);
+  TokenizeViews(b, &s.tok_b);
+  const std::vector<std::string_view>& ta = s.tok_a;
+  const std::vector<std::string_view>& tb = s.tok_b;
   if (ta.empty() && tb.empty()) return 1.0;
   if (ta.empty() || tb.empty()) return 0.0;
 
-  // Greedy best-first matching of token pairs above the threshold.
-  struct Candidate {
-    double sim;
-    size_t i;
-    size_t j;
-  };
-  std::vector<Candidate> candidates;
+  // Greedy best-first matching of token pairs above the threshold. The
+  // candidate order, comparator, and accumulation order match the reference
+  // exactly, so the greedy alignment (and its float sums) are identical.
+  s.align_candidates.clear();
   for (size_t i = 0; i < ta.size(); ++i) {
     for (size_t j = 0; j < tb.size(); ++j) {
       const double sim = JaroWinklerSimilarity(ta[i], tb[j]);
-      if (sim >= threshold) candidates.push_back({sim, i, j});
+      if (sim >= threshold) {
+        s.align_candidates.push_back(
+            {sim, static_cast<uint32_t>(i), static_cast<uint32_t>(j)});
+      }
     }
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& x, const Candidate& y) {
-              return x.sim > y.sim;
-            });
-  std::vector<bool> used_a(ta.size(), false);
-  std::vector<bool> used_b(tb.size(), false);
+  std::sort(s.align_candidates.begin(), s.align_candidates.end(),
+            [](const ScratchArena::PairCandidate& x,
+               const ScratchArena::PairCandidate& y) { return x.sim > y.sim; });
+  s.align_used_a.assign(ta.size(), 0);
+  s.align_used_b.assign(tb.size(), 0);
   double matched_weight = 0.0;
   size_t matched = 0;
-  for (const Candidate& c : candidates) {
-    if (used_a[c.i] || used_b[c.j]) continue;
-    used_a[c.i] = true;
-    used_b[c.j] = true;
+  for (const ScratchArena::PairCandidate& c : s.align_candidates) {
+    if (s.align_used_a[c.i] != 0 || s.align_used_b[c.j] != 0) continue;
+    s.align_used_a[c.i] = 1;
+    s.align_used_b[c.j] = 1;
     matched_weight += c.sim;
     ++matched;
   }
@@ -97,7 +248,7 @@ namespace {
 
 // Token similarity with abbreviation handling: a single-letter token
 // matches the initial of a longer token perfectly.
-double DaviesTokenSim(const std::string& t1, const std::string& t2) {
+double DaviesTokenSim(std::string_view t1, std::string_view t2) {
   if (t1.size() == 1 && !t2.empty() && t1[0] == t2[0]) return 1.0;
   if (t2.size() == 1 && !t1.empty() && t2[0] == t1[0]) return 1.0;
   return JaroWinklerSimilarity(t1, t2);
@@ -106,48 +257,51 @@ double DaviesTokenSim(const std::string& t1, const std::string& t2) {
 }  // namespace
 
 double DaviesDeSallesSimilarity(std::string_view a, std::string_view b) {
-  const std::vector<std::string> ta = Tokenize(a);
-  const std::vector<std::string> tb = Tokenize(b);
+  ScratchArena& s = ScratchArena::Get();
+  TokenizeViews(a, &s.tok_a);
+  TokenizeViews(b, &s.tok_b);
+  const std::vector<std::string_view>& ta = s.tok_a;
+  const std::vector<std::string_view>& tb = s.tok_b;
   if (ta.empty() && tb.empty()) return 1.0;
   if (ta.empty() || tb.empty()) return 0.0;
 
-  struct Candidate {
-    double sim;
-    size_t i;
-    size_t j;
-  };
-  std::vector<Candidate> candidates;
-  candidates.reserve(ta.size() * tb.size());
+  s.align_candidates.clear();
+  s.align_candidates.reserve(ta.size() * tb.size());
   for (size_t i = 0; i < ta.size(); ++i) {
     for (size_t j = 0; j < tb.size(); ++j) {
-      candidates.push_back({DaviesTokenSim(ta[i], tb[j]), i, j});
+      s.align_candidates.push_back({DaviesTokenSim(ta[i], tb[j]),
+                                    static_cast<uint32_t>(i),
+                                    static_cast<uint32_t>(j)});
     }
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& x, const Candidate& y) {
-              return x.sim > y.sim;
-            });
+  std::sort(s.align_candidates.begin(), s.align_candidates.end(),
+            [](const ScratchArena::PairCandidate& x,
+               const ScratchArena::PairCandidate& y) { return x.sim > y.sim; });
 
   // Greedy alignment; unmatched tokens contribute similarity 0 with their
   // own length as weight.
-  std::vector<bool> used_a(ta.size(), false);
-  std::vector<bool> used_b(tb.size(), false);
+  s.align_used_a.assign(ta.size(), 0);
+  s.align_used_b.assign(tb.size(), 0);
   double weighted_sum = 0.0;
   double weight_total = 0.0;
-  for (const Candidate& c : candidates) {
-    if (used_a[c.i] || used_b[c.j]) continue;
-    used_a[c.i] = true;
-    used_b[c.j] = true;
+  for (const ScratchArena::PairCandidate& c : s.align_candidates) {
+    if (s.align_used_a[c.i] != 0 || s.align_used_b[c.j] != 0) continue;
+    s.align_used_a[c.i] = 1;
+    s.align_used_b[c.j] = 1;
     const double w =
         static_cast<double>(ta[c.i].size() + tb[c.j].size()) / 2.0;
     weighted_sum += c.sim * w;
     weight_total += w;
   }
   for (size_t i = 0; i < ta.size(); ++i) {
-    if (!used_a[i]) weight_total += static_cast<double>(ta[i].size());
+    if (s.align_used_a[i] == 0) {
+      weight_total += static_cast<double>(ta[i].size());
+    }
   }
   for (size_t j = 0; j < tb.size(); ++j) {
-    if (!used_b[j]) weight_total += static_cast<double>(tb[j].size());
+    if (s.align_used_b[j] == 0) {
+      weight_total += static_cast<double>(tb[j].size());
+    }
   }
   return weight_total == 0.0 ? 1.0 : weighted_sum / weight_total;
 }

@@ -263,8 +263,14 @@ TEST_F(ResilienceTest, ClockSkewEatsTheDeadlineBudget) {
   options.degraded_fallback = true;
   TestServer ts = StartServer(options);
   std::string error;
+  // The skew zeroes the wait budget, so the handler polls the future
+  // exactly once; a brief linker stall keeps the batch from winning
+  // that race (extraction is fast enough to finish inside the push →
+  // poll window otherwise).
   ASSERT_TRUE(fault::Registry::Global().ArmSpec(
-      "serve.clock_skew:after=1,ms=10000", &error))
+      "serve.clock_skew:after=1,ms=10000;"
+      "linker.stall:after=1,times=1,ms=600",
+      &error))
       << error;
 
   serve::HttpClient client("127.0.0.1", ts.port());

@@ -35,7 +35,9 @@
 #include "eval/metrics.h"
 #include "eval/sampling.h"
 #include "features/lgm_x.h"
+#include "features/sketch.h"
 #include "geo/quadflex.h"
+#include "text/normalize.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -67,7 +69,12 @@ int Usage() {
       "  apply     --in=FILE.csv --model=FILE.txt --out=matches.csv\n"
       "  link      --in=FILE.csv [--model=FILE.txt | --train-fraction=F]\n"
       "            --out=linked.csv\n"
-      "  eval      --in=FILE.csv --model=FILE.txt\n\n"
+      "  eval      --in=FILE.csv --model=FILE.txt\n"
+      "  prefilter-eval  --in=FILE.csv [--model=FILE.txt |\n"
+      "            --train-fraction=F] [--thresholds=T1,T2,...]\n"
+      "            [--out=FILE.json]   recall/drop-rate curve of the\n"
+      "            stage-1 sketch pre-filter against the model's\n"
+      "            accepted pairs (docs/performance.md)\n\n"
       "observability (all commands):\n"
       "  --trace-out=FILE     Chrome trace-event JSON (Perfetto,\n"
       "                       about://tracing)\n"
@@ -255,6 +262,116 @@ int CmdLink(const Flags& flags) {
   return 0;
 }
 
+// Sweeps the stage-1 sketch pre-filter over `thresholds` and reports,
+// per threshold, the candidate drop rate and the recall against the
+// pairs the model accepts: of the accepted pairs, how many survive the
+// filter. Pair estimates come from the same BuildTokenSketch /
+// EstimatePair calls LgmXExtractor::PrefilterPairs makes, so the curve
+// is exactly what --prefilter-threshold would do in production.
+int CmdPrefilterEval(const Flags& flags) {
+  const auto p = LoadPipeline(flags.Get("in", "entities.csv"));
+  if (!p.has_value()) return 1;
+  SkyExTModel model;
+  const std::string model_path = flags.Get("model");
+  if (!model_path.empty()) {
+    auto loaded = skyex::core::LoadModelFromFile(model_path);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "error: cannot load model\n");
+      return 1;
+    }
+    model = std::move(*loaded);
+  } else {
+    model = TrainOnFraction(*p, flags.GetDouble("train-fraction", 0.04),
+                            flags.GetSize("seed", 42));
+  }
+  const auto predicted = SkyExT::Label(
+      p->features, skyex::core::AllRows(p->pairs.size()), model);
+  size_t accepted = 0;
+  for (uint8_t v : predicted) accepted += v;
+
+  std::vector<double> thresholds;
+  {
+    const std::string spec =
+        flags.Get("thresholds", "0,0.05,0.1,0.15,0.2,0.3,0.4,0.5");
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      const std::string item = spec.substr(pos, comma - pos);
+      if (!item.empty()) thresholds.push_back(std::atof(item.c_str()));
+      pos = comma + 1;
+    }
+    if (thresholds.empty()) {
+      std::fprintf(stderr, "error: --thresholds has no values\n");
+      return 1;
+    }
+  }
+
+  // Per-pair overlap estimates, computed once: the sweep is then a scan.
+  std::vector<skyex::features::EntitySketch> sketches(p->dataset.size());
+  for (size_t i = 0; i < p->dataset.size(); ++i) {
+    sketches[i].name = skyex::features::BuildTokenSketch(
+        skyex::text::Normalize(p->dataset[i].name));
+    sketches[i].addr = skyex::features::BuildTokenSketch(
+        skyex::text::Normalize(p->dataset[i].address_name));
+  }
+  std::vector<double> estimates(p->pairs.size());
+  for (size_t k = 0; k < p->pairs.size(); ++k) {
+    estimates[k] = skyex::features::EstimatePair(
+        sketches[p->pairs[k].first], sketches[p->pairs[k].second]);
+  }
+
+  std::string json = "{\n  \"pairs\": " + std::to_string(p->pairs.size()) +
+                     ",\n  \"accepted\": " + std::to_string(accepted) +
+                     ",\n  \"thresholds\": [\n";
+  char buf[256];
+  for (size_t t = 0; t < thresholds.size(); ++t) {
+    size_t dropped = 0;
+    size_t accepted_dropped = 0;
+    if (thresholds[t] > 0.0) {
+      for (size_t k = 0; k < p->pairs.size(); ++k) {
+        if (estimates[k] < thresholds[t]) {
+          ++dropped;
+          accepted_dropped += predicted[k];
+        }
+      }
+    }
+    const double drop_rate =
+        p->pairs.empty() ? 0.0
+                         : static_cast<double>(dropped) /
+                               static_cast<double>(p->pairs.size());
+    const double recall =
+        accepted == 0 ? 1.0
+                      : static_cast<double>(accepted - accepted_dropped) /
+                            static_cast<double>(accepted);
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"threshold\": %g, \"dropped\": %zu, "
+                  "\"drop_rate\": %.6f, \"accepted_dropped\": %zu, "
+                  "\"recall\": %.6f}%s\n",
+                  thresholds[t], dropped, drop_rate, accepted_dropped,
+                  recall, t + 1 < thresholds.size() ? "," : "");
+    json += buf;
+    std::fprintf(stderr,
+                 "prefilter-eval: threshold=%.3f drop_rate=%.4f "
+                 "recall=%.4f\n",
+                 thresholds[t], drop_rate, recall);
+  }
+  json += "  ]\n}\n";
+  const std::string out = flags.Get("out");
+  if (out.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream file(out);
+    file << json;
+    if (!file.flush()) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("prefilter curve written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
 int CmdEval(const Flags& flags) {
   const auto p = LoadPipeline(flags.Get("in", "entities.csv"));
   if (!p.has_value()) return 1;
@@ -311,6 +428,15 @@ int main(int argc, char** argv) {
                        {{"in", FlagType::kString},
                         {"model", FlagType::kString}});
     run = CmdEval;
+  } else if (command == "prefilter-eval") {
+    flags = ParseFlags(argc, argv, 2,
+                       {{"in", FlagType::kString},
+                        {"model", FlagType::kString},
+                        {"train-fraction", FlagType::kDouble},
+                        {"seed", FlagType::kSize},
+                        {"thresholds", FlagType::kString},
+                        {"out", FlagType::kString}});
+    run = CmdPrefilterEval;
   } else {
     return Usage();
   }

@@ -138,11 +138,21 @@ std::string LinkBodyIndexed(
   return writer.Take();
 }
 
-/// Reads one counter from the server's /metrics endpoint. Used to
-/// delta server-side work (candidate pairs scored) across a run.
-std::optional<double> FetchServerCounter(const std::string& host,
-                                         uint16_t port, int timeout_ms,
-                                         const std::string& name) {
+/// Server-side work counters snapshotted from /metrics; deltaed across
+/// a run to report what the linker actually did. `pairs` counts
+/// candidates BEFORE the sketch pre-filter, so pairs/sec improvements
+/// from dropping candidates show up as throughput, not vanished work.
+struct ServerWork {
+  double pairs = 0.0;       // core/incremental_candidates
+  double dropped = 0.0;     // extract/prefilter_dropped
+  double lru_hits = 0.0;    // extract/lru_hits
+  double lru_misses = 0.0;  // extract/lru_misses
+};
+
+/// One /metrics round-trip for every counter of interest; counters the
+/// server has not registered read as 0.
+std::optional<ServerWork> FetchServerWork(const std::string& host,
+                                          uint16_t port, int timeout_ms) {
   HttpClient client(host, port, timeout_ms);
   if (!client.ok()) return std::nullopt;
   const auto response = client.Request("GET", "/metrics");
@@ -152,9 +162,16 @@ std::optional<double> FetchServerCounter(const std::string& host,
   if (!json.has_value()) return std::nullopt;
   const auto* counters = json->Find("counters");
   if (counters == nullptr) return std::nullopt;
-  const auto* counter = counters->Find(name);
-  if (counter == nullptr) return std::nullopt;
-  return counter->number_v;
+  const auto read = [counters](const char* name) {
+    const auto* counter = counters->Find(name);
+    return counter != nullptr ? counter->number_v : 0.0;
+  };
+  ServerWork work;
+  work.pairs = read("core/incremental_candidates");
+  work.dropped = read("extract/prefilter_dropped");
+  work.lru_hits = read("extract/lru_hits");
+  work.lru_misses = read("extract/lru_misses");
+  return work;
 }
 
 struct LoadCounters {
@@ -504,8 +521,8 @@ int main(int argc, char** argv) {
   }
 
   LoadCounters counters;
-  const std::optional<double> pairs_before = FetchServerCounter(
-      host, port, timeout_ms, "core/incremental_candidates");
+  const std::optional<ServerWork> work_before =
+      FetchServerWork(host, port, timeout_ms);
   std::vector<std::thread> threads;
   threads.reserve(connections);
   std::vector<std::vector<SlowSample>> per_thread_slowest(connections);
@@ -554,15 +571,27 @@ int main(int argc, char** argv) {
       seconds > 0
           ? static_cast<double>(ok * batch_size) / seconds
           : 0.0;
-  const std::optional<double> pairs_after = FetchServerCounter(
-      host, port, timeout_ms, "core/incremental_candidates");
-  if (pairs_before.has_value() && pairs_after.has_value() &&
-      *pairs_after >= *pairs_before && seconds > 0) {
-    const double pairs = *pairs_after - *pairs_before;
+  const std::optional<ServerWork> work_after =
+      FetchServerWork(host, port, timeout_ms);
+  if (work_before.has_value() && work_after.has_value() &&
+      work_after->pairs >= work_before->pairs && seconds > 0) {
+    const double pairs = work_after->pairs - work_before->pairs;
     std::printf(
         "throughput: %.1f entities/s linked, %.1f candidate pairs/s "
         "scored (%.0f pairs server-side)\n",
         entities_per_s, pairs / seconds, pairs);
+    // Stage-1 effectiveness across the run: how many candidates the
+    // sketch pre-filter cut before extraction, and how often the
+    // per-entity text cache spared a normalization.
+    const double dropped = work_after->dropped - work_before->dropped;
+    const double hits = work_after->lru_hits - work_before->lru_hits;
+    const double misses = work_after->lru_misses - work_before->lru_misses;
+    const double lookups = hits + misses;
+    std::printf(
+        "prefilter: %.0f of %.0f candidates dropped (%.1f%%); text-cache "
+        "hit rate %.1f%% (%.0f hits, %.0f misses)\n",
+        dropped, pairs, pairs > 0 ? 100.0 * dropped / pairs : 0.0,
+        lookups > 0 ? 100.0 * hits / lookups : 0.0, hits, misses);
   } else {
     std::printf("throughput: %.1f entities/s linked\n", entities_per_s);
   }

@@ -34,6 +34,7 @@
 #include "serve/server.h"
 #include "serve/service.h"
 #include "shard/router.h"
+#include "text/similarity_registry.h"
 
 namespace {
 
@@ -56,6 +57,17 @@ int Usage() {
       "  --radius-m=R           candidate radius meters (default 200)\n"
       "  --calibration-percentile=Q  acceptance boundary quantile\n"
       "                         (default 0.1; higher = more precise)\n"
+      "  --prefilter-threshold=T  stage-1 sketch pre-filter: drop\n"
+      "                         candidates whose estimated token overlap\n"
+      "                         is below T before feature extraction\n"
+      "                         (default 0.1; 0 = off, bit-identical to\n"
+      "                         scoring every candidate)\n"
+      "  --text-cache=N         per-linker LRU of normalized text +\n"
+      "                         sketches, in entries (default 4096;\n"
+      "                         0 = recompute per request)\n"
+      "  --reference-kernels    score with the frozen scalar reference\n"
+      "                         similarity kernels (bench baseline;\n"
+      "                         see docs/performance.md)\n"
       "  --shards=N             geo-partitioned serving: N linkers\n"
       "                         behind a scatter-gather router (default\n"
       "                         0 = single linker; docs/serving.md)\n\n"
@@ -113,6 +125,9 @@ int main(int argc, char** argv) {
        {"max-body-bytes", FlagType::kSize},
        {"radius-m", FlagType::kDouble},
        {"calibration-percentile", FlagType::kDouble},
+       {"prefilter-threshold", FlagType::kDouble},
+       {"text-cache", FlagType::kSize},
+       {"reference-kernels", FlagType::kBool},
        {"shards", FlagType::kSize},
        {"deadline-ms", FlagType::kSize},
        {"watchdog-ms", FlagType::kSize},
@@ -166,6 +181,16 @@ int main(int argc, char** argv) {
   linker_options.radius_m = flags->GetDouble("radius-m", 200.0);
   linker_options.calibration_percentile =
       flags->GetDouble("calibration-percentile", 0.1);
+  // Serving default: a permissive stage-1 cut (the library default is 0
+  // so offline training/calibration never filters).
+  linker_options.prefilter_threshold =
+      flags->GetDouble("prefilter-threshold", 0.1);
+  linker_options.text_cache_capacity = flags->GetSize("text-cache", 4096);
+  if (flags->Has("reference-kernels")) {
+    skyex::text::SetKernelImpl(skyex::text::KernelImpl::kReference);
+    std::fprintf(stderr,
+                 "skyex_serve: scoring with reference similarity kernels\n");
+  }
   skyex::serve::ServerOptions options;
   options.port = static_cast<uint16_t>(flags->GetSize("port", 8080));
   options.workers = flags->GetSize("workers", 8);
