@@ -25,10 +25,12 @@ cmake -B "$OBS_OFF_DIR" -S . -DSKYEX_OBS=OFF -DSKYEX_PROF=OFF
 cmake --build "$OBS_OFF_DIR" -j
 # The obs suites exercise the registry/collector API; flight + serve
 # (incl. the smoke) prove request ids and flight timelines survive the
-# stripped build; ProfDisabled pins the profiler macros as no-ops; the
-# rest proves the pipeline is unaffected by compiled-out macros.
+# stripped build; ProfDisabled pins the profiler macros as no-ops;
+# Quality* proves the linkage-quality hooks are compiled out (Enable
+# refuses) while the audit/profile library still links; the rest
+# proves the pipeline is unaffected by compiled-out macros.
 ctest --test-dir "$OBS_OFF_DIR" --output-on-failure -j "$(nproc)" \
-      -R "Obs|Flight|Skyline|ServeTest|ProfDisabled|serve_smoke|CliTest"
+      -R "Obs|Flight|Skyline|ServeTest|ProfDisabled|Quality|serve_smoke|CliTest"
 
 echo
 echo "=== stripped build (SKYEX_FAULTS=OFF) ==="

@@ -115,8 +115,10 @@ IncrementalLinker::GetTextEntry(size_t index, size_t* hits,
 }
 
 std::vector<ScoredMatch> IncrementalLinker::MatchRecord(
-    const data::SpatialEntity& record, AddRecordStats* stats) const {
+    const data::SpatialEntity& record, AddRecordStats* stats,
+    quality::MatchCapture* capture) const {
   SKYEX_SPAN("core/incremental_add");
+  if (capture != nullptr) capture->threshold_key = threshold_key_;
   // Candidate set: spatial neighbors when coordinates exist, otherwise
   // everything (bounded).
   std::vector<size_t> candidates;
@@ -167,6 +169,10 @@ std::vector<ScoredMatch> IncrementalLinker::MatchRecord(
   // the match set is bit-identical to scoring every candidate.
   const TextEntry record_entry = ComputeTextEntry(record);
   std::vector<std::shared_ptr<const TextEntry>> entries;
+  // Sketch estimates of the surviving candidates, kept only while
+  // capturing (the audit record logs the prefilter verdict with its
+  // estimate for scored candidates too).
+  std::vector<double> kept_estimates;
   {
     SKYEX_SPAN("core/incremental_prefilter");
     SKYEX_PROF_PHASE(::skyex::prof::Phase::kPrefilter);
@@ -178,13 +184,28 @@ std::vector<ScoredMatch> IncrementalLinker::MatchRecord(
       entries.push_back(GetTextEntry(i, &lru_hits, &lru_misses));
     }
     size_t dropped = 0;
-    if (options_.prefilter_threshold > 0.0) {
+    // With capture on, estimates are computed even when the filter is
+    // disabled (threshold 0) so every decision logs one; nothing is
+    // dropped in that case, so the match set is unchanged.
+    if (options_.prefilter_threshold > 0.0 || capture != nullptr) {
       size_t kept = 0;
       for (size_t k = 0; k < candidates.size(); ++k) {
-        if (features::EstimatePair(record_entry.sketch, entries[k]->sketch) >=
-            options_.prefilter_threshold) {
+        const double estimate =
+            features::EstimatePair(record_entry.sketch, entries[k]->sketch);
+        const bool pass = options_.prefilter_threshold <= 0.0 ||
+                          estimate >= options_.prefilter_threshold;
+        if (capture != nullptr && !pass) {
+          quality::CandidateDecision decision;
+          decision.candidate_id = dataset_[candidates[k]].id;
+          decision.candidate_index = static_cast<uint32_t>(candidates[k]);
+          decision.prefilter_pass = false;
+          decision.prefilter_estimate = estimate;
+          capture->decisions.push_back(std::move(decision));
+        }
+        if (pass) {
           candidates[kept] = candidates[k];
           entries[kept] = std::move(entries[k]);
+          if (capture != nullptr) kept_estimates.push_back(estimate);
           ++kept;
         }
       }
@@ -208,32 +229,58 @@ std::vector<ScoredMatch> IncrementalLinker::MatchRecord(
     SKYEX_SPAN("core/incremental_score");
     SKYEX_PROF_PHASE(::skyex::prof::Phase::kExtraction);
     const double phase_start = obs::TraceNowUs();
-    // Same ordered-concatenation scheme: links come out ascending.
-    par::ForOptions for_options;
-    for_options.grain = 64;
-    for_options.chunking = par::Chunking::kDynamic;
-    if (candidates.size() < kParallelScanMinItems) {
-      for_options.max_parallelism = 1;
+    if (capture != nullptr) {
+      // Capture path: serial, so decisions append in candidate order.
+      // Scores are computed per pair with no cross-pair state, so this
+      // produces the same matches and bit-identical scores as the
+      // parallel path below.
+      std::vector<double> row(extractor_.feature_count());
+      for (size_t k = 0; k < candidates.size(); ++k) {
+        const size_t i = candidates[k];
+        extractor_.RowFromCache(record, record_entry.text, dataset_[i],
+                                entries[k]->text, row.data());
+        double score = 0.0;
+        const bool accepted = Accept(row.data(), &score);
+        quality::CandidateDecision decision;
+        decision.candidate_id = dataset_[i].id;
+        decision.candidate_index = static_cast<uint32_t>(i);
+        decision.prefilter_pass = true;
+        decision.scored = true;
+        decision.accepted = accepted;
+        decision.prefilter_estimate = kept_estimates[k];
+        decision.score = score;
+        decision.features.assign(row.begin(), row.end());
+        capture->decisions.push_back(std::move(decision));
+        if (accepted) links.push_back({i, score});
+      }
+    } else {
+      // Same ordered-concatenation scheme: links come out ascending.
+      par::ForOptions for_options;
+      for_options.grain = 64;
+      for_options.chunking = par::Chunking::kDynamic;
+      if (candidates.size() < kParallelScanMinItems) {
+        for_options.max_parallelism = 1;
+      }
+      links = par::ParallelReduceOrdered<std::vector<ScoredMatch>>(
+          0, candidates.size(), for_options,
+          [&](size_t begin, size_t end) {
+            std::vector<ScoredMatch> local;
+            std::vector<double> row(extractor_.feature_count());
+            for (size_t k = begin; k < end; ++k) {
+              const size_t i = candidates[k];
+              extractor_.RowFromCache(record, record_entry.text, dataset_[i],
+                                      entries[k]->text, row.data());
+              double score = 0.0;
+              if (Accept(row.data(), &score)) local.push_back({i, score});
+            }
+            return local;
+          },
+          [](std::vector<ScoredMatch> acc, std::vector<ScoredMatch> next) {
+            acc.insert(acc.end(), next.begin(), next.end());
+            return acc;
+          },
+          std::vector<ScoredMatch>());
     }
-    links = par::ParallelReduceOrdered<std::vector<ScoredMatch>>(
-        0, candidates.size(), for_options,
-        [&](size_t begin, size_t end) {
-          std::vector<ScoredMatch> local;
-          std::vector<double> row(extractor_.feature_count());
-          for (size_t k = begin; k < end; ++k) {
-            const size_t i = candidates[k];
-            extractor_.RowFromCache(record, record_entry.text, dataset_[i],
-                                    entries[k]->text, row.data());
-            double score = 0.0;
-            if (Accept(row.data(), &score)) local.push_back({i, score});
-          }
-          return local;
-        },
-        [](std::vector<ScoredMatch> acc, std::vector<ScoredMatch> next) {
-          acc.insert(acc.end(), next.begin(), next.end());
-          return acc;
-        },
-        std::vector<ScoredMatch>());
     if (stats != nullptr) {
       stats->score_us = obs::TraceNowUs() - phase_start;
     }

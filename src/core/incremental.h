@@ -12,6 +12,7 @@
 #include "data/spatial_entity.h"
 #include "features/lgm_x.h"
 #include "features/sketch.h"
+#include "quality/audit_log.h"
 
 namespace skyex::core {
 
@@ -104,8 +105,18 @@ class IncrementalLinker {
   /// ascending index order. The shard router matches on every
   /// intersecting shard but persists on the owner only, so the two
   /// halves are separately callable.
-  std::vector<ScoredMatch> MatchRecord(const data::SpatialEntity& record,
-                                       AddRecordStats* stats = nullptr) const;
+  ///
+  /// `capture` (optional) receives the full decision trail for the
+  /// audit log: the calibrated threshold key plus one entry per
+  /// candidate (prefilter verdict, and for survivors the feature row,
+  /// score and accept/reject). Capturing scores the survivors serially
+  /// on the calling thread; the match set and every score are
+  /// bit-identical to the uncaptured path (scoring is per-pair
+  /// deterministic), which is what lets `skyex_audit replay` reproduce
+  /// serving decisions exactly.
+  std::vector<ScoredMatch> MatchRecord(
+      const data::SpatialEntity& record, AddRecordStats* stats = nullptr,
+      quality::MatchCapture* capture = nullptr) const;
 
   /// Write half of AddRecord: appends `record` to the dataset.
   void Append(const data::SpatialEntity& record);

@@ -163,4 +163,20 @@ std::vector<std::vector<double>> PairwiseNormalizedMi(
   return mi;
 }
 
+ValueRange FiniteRange(const std::vector<double>& values) {
+  ValueRange range;
+  for (double v : values) {
+    if (!std::isfinite(v)) continue;
+    if (!range.ok) {
+      range.min = v;
+      range.max = v;
+      range.ok = true;
+    } else {
+      range.min = std::min(range.min, v);
+      range.max = std::max(range.max, v);
+    }
+  }
+  return range;
+}
+
 }  // namespace skyex::ml

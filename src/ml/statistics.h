@@ -36,6 +36,16 @@ std::vector<std::vector<double>> PairwiseNormalizedMi(
     const FeatureMatrix& matrix, const std::vector<size_t>& rows,
     size_t bins = 0);
 
+/// Min/max over the finite entries of `values`; `ok` is false when no
+/// finite entry exists (NaN/Inf are skipped, never propagated). Used by
+/// the quality subsystem to size reference-profile histogram bounds.
+struct ValueRange {
+  double min = 0.0;
+  double max = 0.0;
+  bool ok = false;
+};
+ValueRange FiniteRange(const std::vector<double>& values);
+
 }  // namespace skyex::ml
 
 #endif  // SKYEX_ML_STATISTICS_H_

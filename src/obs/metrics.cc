@@ -285,46 +285,64 @@ std::string PromName(const std::string& name) {
 
 void MetricsRegistry::WritePrometheus(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
+  // Families are rendered to blocks and emitted sorted by Prometheus
+  // name across all three kinds, so the exposition is deterministic —
+  // byte-identical across scrapes and registration orders (the JSON
+  // form gets this for free from its std::map sections).
+  std::vector<std::pair<std::string, std::string>> families;
+  families.reserve(impl_->counters.size() + impl_->gauges.size() +
+                   impl_->histograms.size());
   for (const auto& [name, cell] : impl_->counters) {
     const std::string prom = PromName(name);
-    out << "# TYPE " << prom << " counter\n"
-        << prom << " " << cell->value.load(std::memory_order_relaxed) << "\n";
+    std::ostringstream block;
+    block << "# TYPE " << prom << " counter\n"
+          << prom << " " << cell->value.load(std::memory_order_relaxed)
+          << "\n";
+    families.emplace_back(prom, block.str());
   }
   for (const auto& [name, cell] : impl_->gauges) {
     const std::string prom = PromName(name);
-    out << "# TYPE " << prom << " gauge\n"
-        << prom << " "
-        << NumberToJson(BitsDouble(cell->bits.load(std::memory_order_relaxed)))
-        << "\n";
+    std::ostringstream block;
+    block << "# TYPE " << prom << " gauge\n"
+          << prom << " "
+          << NumberToJson(
+                 BitsDouble(cell->bits.load(std::memory_order_relaxed)))
+          << "\n";
+    families.emplace_back(prom, block.str());
   }
   for (const auto& [name, cell] : impl_->histograms) {
     const std::string prom = PromName(name);
-    out << "# TYPE " << prom << " histogram\n";
+    std::ostringstream block;
+    block << "# TYPE " << prom << " histogram\n";
     uint64_t running = 0;
     for (size_t b = 0; b < cell->buckets.size(); ++b) {
       running += cell->buckets[b].load(std::memory_order_relaxed);
-      out << prom << "_bucket{le=\""
-          << (b < cell->bounds.size() ? NumberToJson(cell->bounds[b])
-                                      : std::string("+Inf"))
-          << "\"} " << running;
+      block << prom << "_bucket{le=\""
+            << (b < cell->bounds.size() ? NumberToJson(cell->bounds[b])
+                                        : std::string("+Inf"))
+            << "\"} " << running;
       const uint64_t exemplar_id =
           b < cell->exemplar_ids.size()
               ? cell->exemplar_ids[b].load(std::memory_order_relaxed)
               : 0;
       if (exemplar_id != 0) {
-        out << " # {request_id=\"" << FormatRequestId(exemplar_id) << "\"} "
-            << NumberToJson(BitsDouble(cell->exemplar_value_bits[b].load(
-                   std::memory_order_relaxed)));
+        block << " # {request_id=\"" << FormatRequestId(exemplar_id) << "\"} "
+              << NumberToJson(BitsDouble(cell->exemplar_value_bits[b].load(
+                     std::memory_order_relaxed)));
       }
-      out << "\n";
+      block << "\n";
     }
-    out << prom << "_sum "
-        << NumberToJson(
-               BitsDouble(cell->sum_bits.load(std::memory_order_relaxed)))
-        << "\n"
-        << prom << "_count " << cell->count.load(std::memory_order_relaxed)
-        << "\n";
+    block << prom << "_sum "
+          << NumberToJson(
+                 BitsDouble(cell->sum_bits.load(std::memory_order_relaxed)))
+          << "\n"
+          << prom << "_count " << cell->count.load(std::memory_order_relaxed)
+          << "\n";
+    families.emplace_back(prom, block.str());
   }
+  std::sort(families.begin(), families.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [prom, block] : families) out << block;
 }
 
 std::string MetricsRegistry::SummaryTable() const {

@@ -1,0 +1,281 @@
+#include "quality/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "ml/statistics.h"
+#include "quality/audit_log.h"
+
+namespace skyex::quality {
+
+namespace {
+
+constexpr size_t kFeatureBins = 16;
+constexpr size_t kScoreBins = 32;
+constexpr size_t kEntityBins = 24;
+constexpr double kPsiEpsilon = 1e-6;
+
+/// Data-derived bounds, padded so near-boundary live values do not all
+/// pile into the edge bins; degenerate (constant) data gets a ±0.5 pad.
+void InitFromRange(ProfileHistogram* hist, ml::ValueRange range,
+                   size_t bins) {
+  if (!range.ok) {
+    hist->Init(0.0, 1.0, bins);
+    return;
+  }
+  double pad = (range.max - range.min) * 0.05;
+  if (pad <= 0.0) pad = 0.5;
+  hist->Init(range.min - pad, range.max + pad, bins);
+}
+
+bool ParseHistogramTail(std::istringstream* in, ProfileHistogram* hist) {
+  double lo = 0.0;
+  double hi = 0.0;
+  if (!(*in >> lo >> hi) || !(hi > lo)) return false;
+  std::vector<uint64_t> counts;
+  uint64_t c = 0;
+  while (*in >> c) counts.push_back(c);
+  if (counts.empty()) return false;
+  hist->Init(lo, hi, counts.size());
+  hist->counts = std::move(counts);
+  hist->total = 0;
+  for (uint64_t n : hist->counts) hist->total += n;
+  return true;
+}
+
+void WriteHistogramTail(std::ostringstream* out,
+                        const ProfileHistogram& hist) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g %.17g", hist.lo, hist.hi);
+  *out << buffer;
+  for (uint64_t c : hist.counts) *out << ' ' << c;
+  *out << '\n';
+}
+
+}  // namespace
+
+void ProfileHistogram::Init(double lo_bound, double hi_bound, size_t bins) {
+  lo = lo_bound;
+  hi = hi_bound;
+  counts.assign(bins == 0 ? 1 : bins, 0);
+  total = 0;
+}
+
+size_t ProfileHistogram::BinOf(double value) const {
+  if (value <= lo) return 0;
+  if (value >= hi) return counts.size() - 1;
+  const double unit = (value - lo) / (hi - lo);
+  const auto bin =
+      static_cast<size_t>(unit * static_cast<double>(counts.size()));
+  return std::min(bin, counts.size() - 1);
+}
+
+void ProfileHistogram::Add(double value) {
+  if (std::isnan(value)) return;
+  ++counts[BinOf(value)];
+  ++total;
+}
+
+ProfileHistogram ProfileHistogram::EmptyClone() const {
+  ProfileHistogram clone;
+  clone.Init(lo, hi, counts.size());
+  return clone;
+}
+
+double Psi(const ProfileHistogram& reference, const ProfileHistogram& window) {
+  if (reference.total == 0 || window.total == 0 ||
+      reference.counts.size() != window.counts.size()) {
+    return 0.0;
+  }
+  double psi = 0.0;
+  for (size_t i = 0; i < reference.counts.size(); ++i) {
+    const double p = std::max(
+        kPsiEpsilon, static_cast<double>(reference.counts[i]) /
+                         static_cast<double>(reference.total));
+    const double q =
+        std::max(kPsiEpsilon, static_cast<double>(window.counts[i]) /
+                                  static_cast<double>(window.total));
+    psi += (q - p) * std::log(q / p);
+  }
+  return psi;
+}
+
+double KsStatistic(const ProfileHistogram& reference,
+                   const ProfileHistogram& window) {
+  if (reference.total == 0 || window.total == 0 ||
+      reference.counts.size() != window.counts.size()) {
+    return 0.0;
+  }
+  double ks = 0.0;
+  double cdf_p = 0.0;
+  double cdf_q = 0.0;
+  for (size_t i = 0; i < reference.counts.size(); ++i) {
+    cdf_p += static_cast<double>(reference.counts[i]) /
+             static_cast<double>(reference.total);
+    cdf_q += static_cast<double>(window.counts[i]) /
+             static_cast<double>(window.total);
+    ks = std::max(ks, std::fabs(cdf_p - cdf_q));
+  }
+  return ks;
+}
+
+double EntityNameLength(const data::SpatialEntity& entity) {
+  return static_cast<double>(entity.name.size());
+}
+
+ReferenceProfile BuildReferenceProfile(const data::Dataset& dataset,
+                                       const ml::FeatureMatrix& matrix,
+                                       const std::vector<double>& scores,
+                                       uint64_t model_hash) {
+  ReferenceProfile profile;
+  profile.model_hash = model_hash;
+
+  profile.features.resize(matrix.cols);
+  for (ProfileHistogram& hist : profile.features) {
+    hist.Init(0.0, 1.0, kFeatureBins);
+  }
+  for (size_t r = 0; r < matrix.rows; ++r) {
+    const double* row = matrix.Row(r);
+    for (size_t c = 0; c < matrix.cols; ++c) {
+      profile.features[c].Add(row[c]);
+    }
+  }
+
+  InitFromRange(&profile.score, ml::FiniteRange(scores), kScoreBins);
+  for (double s : scores) profile.score.Add(s);
+
+  std::vector<double> lats;
+  std::vector<double> lons;
+  std::vector<double> name_lens;
+  lats.reserve(dataset.size());
+  lons.reserve(dataset.size());
+  name_lens.reserve(dataset.size());
+  for (const data::SpatialEntity& e : dataset.entities) {
+    if (e.location.valid) {
+      lats.push_back(e.location.lat);
+      lons.push_back(e.location.lon);
+    }
+    name_lens.push_back(EntityNameLength(e));
+  }
+  InitFromRange(&profile.entity_lat, ml::FiniteRange(lats), kEntityBins);
+  InitFromRange(&profile.entity_lon, ml::FiniteRange(lons), kEntityBins);
+  InitFromRange(&profile.entity_name_len, ml::FiniteRange(name_lens),
+                kEntityBins);
+  for (double v : lats) profile.entity_lat.Add(v);
+  for (double v : lons) profile.entity_lon.Add(v);
+  for (double v : name_lens) profile.entity_name_len.Add(v);
+  return profile;
+}
+
+std::string SaveProfile(const ReferenceProfile& profile) {
+  std::ostringstream out;
+  out << "skyex_profile_version: " << profile.version << '\n';
+  out << "model_hash: " << HashHex(profile.model_hash) << '\n';
+  for (size_t c = 0; c < profile.features.size(); ++c) {
+    out << "feature_hist: " << c << ' ';
+    WriteHistogramTail(&out, profile.features[c]);
+  }
+  out << "score_hist: ";
+  WriteHistogramTail(&out, profile.score);
+  out << "entity_lat_hist: ";
+  WriteHistogramTail(&out, profile.entity_lat);
+  out << "entity_lon_hist: ";
+  WriteHistogramTail(&out, profile.entity_lon);
+  out << "entity_name_len_hist: ";
+  WriteHistogramTail(&out, profile.entity_name_len);
+  return out.str();
+}
+
+std::optional<ReferenceProfile> LoadProfile(const std::string& text,
+                                            std::string* error) {
+  ReferenceProfile profile;
+  bool saw_version = false;
+  bool saw_score = false;
+  std::istringstream lines(text);
+  std::string line;
+  size_t line_no = 0;
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "profile line " + std::to_string(line_no) + ": " + why;
+    }
+    return std::nullopt;
+  };
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const size_t colon = line.find(": ");
+    if (colon == std::string::npos) return fail("expected 'key: value'");
+    const std::string key = line.substr(0, colon);
+    std::istringstream value(line.substr(colon + 2));
+    if (key == "skyex_profile_version") {
+      if (!(value >> profile.version) || profile.version != 1) {
+        return fail("unsupported version");
+      }
+      saw_version = true;
+    } else if (key == "model_hash") {
+      std::string hex;
+      if (!(value >> hex)) return fail("bad model_hash");
+      profile.model_hash = std::strtoull(hex.c_str(), nullptr, 16);
+    } else if (key == "feature_hist") {
+      size_t column = 0;
+      if (!(value >> column)) return fail("bad feature column");
+      if (column >= profile.features.size()) {
+        profile.features.resize(column + 1);
+      }
+      if (!ParseHistogramTail(&value, &profile.features[column])) {
+        return fail("bad feature histogram");
+      }
+    } else if (key == "score_hist") {
+      if (!ParseHistogramTail(&value, &profile.score)) {
+        return fail("bad score histogram");
+      }
+      saw_score = true;
+    } else if (key == "entity_lat_hist") {
+      if (!ParseHistogramTail(&value, &profile.entity_lat)) {
+        return fail("bad entity_lat histogram");
+      }
+    } else if (key == "entity_lon_hist") {
+      if (!ParseHistogramTail(&value, &profile.entity_lon)) {
+        return fail("bad entity_lon histogram");
+      }
+    } else if (key == "entity_name_len_hist") {
+      if (!ParseHistogramTail(&value, &profile.entity_name_len)) {
+        return fail("bad entity_name_len histogram");
+      }
+    } else {
+      // Unknown keys are skipped so the format can grow.
+      continue;
+    }
+  }
+  line_no = 0;
+  if (!saw_version) return fail("missing skyex_profile_version");
+  if (!saw_score) return fail("missing score_hist");
+  return profile;
+}
+
+bool SaveProfileToFile(const ReferenceProfile& profile,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  const std::string text = SaveProfile(profile);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<ReferenceProfile> LoadProfileFromFile(const std::string& path,
+                                                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open profile '" + path + "'";
+    return std::nullopt;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return LoadProfile(text, error);
+}
+
+}  // namespace skyex::quality

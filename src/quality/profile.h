@@ -1,0 +1,100 @@
+#ifndef SKYEX_QUALITY_PROFILE_H_
+#define SKYEX_QUALITY_PROFILE_H_
+
+// Reference profile for drift detection: the per-feature and score
+// distributions the model saw at training time, captured as fixed-bin
+// histograms, plus entity-level histograms (latitude, longitude, name
+// length) of the training corpus. `skyex train` persists one of these
+// alongside the model (<model>.profile); the serving layer compares
+// live sliding windows against it with PSI (population stability index)
+// per dimension and a KS statistic on the score distribution — see
+// src/quality/drift.h and docs/observability.md, "Linkage quality".
+//
+// The entity-level histograms exist because feature-level drift is
+// blind to traffic that stops producing candidate pairs at all: an
+// upstream feeding coordinates from the wrong region yields empty
+// candidate sets (no feature rows), which only the lat/lon histograms
+// can flag.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/spatial_entity.h"
+#include "ml/dataset_view.h"
+
+namespace skyex::quality {
+
+/// Equal-width histogram over [lo, hi); values below lo clamp to the
+/// first bin, values at/above hi to the last. NaN is ignored.
+struct ProfileHistogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<uint64_t> counts;
+  uint64_t total = 0;
+
+  void Init(double lo_bound, double hi_bound, size_t bins);
+  void Add(double value);
+  size_t BinOf(double value) const;
+  /// Same bounds and bin count, zero counts — the shape live windows
+  /// accumulate into so PSI/KS compare bin-for-bin.
+  ProfileHistogram EmptyClone() const;
+};
+
+/// Population stability index of `window` against `reference`:
+/// sum_i (q_i - p_i) * ln(q_i / p_i) over bin proportions, with the
+/// proportions floored at a small epsilon so empty bins contribute a
+/// large-but-finite surprise. 0 when either side has no mass.
+/// Conventional reading: < 0.1 stable, 0.1–0.25 drifting, > 0.25 major
+/// shift.
+double Psi(const ProfileHistogram& reference, const ProfileHistogram& window);
+
+/// Kolmogorov–Smirnov statistic (max CDF gap, in [0, 1]) of `window`
+/// against `reference` over the shared binning. 0 when either side has
+/// no mass.
+double KsStatistic(const ProfileHistogram& reference,
+                   const ProfileHistogram& window);
+
+struct ReferenceProfile {
+  uint32_t version = 1;
+  uint64_t model_hash = 0;
+  std::vector<ProfileHistogram> features;  // one per feature column
+  ProfileHistogram score;                  // prioritized group sums
+  ProfileHistogram entity_lat;
+  ProfileHistogram entity_lon;
+  ProfileHistogram entity_name_len;  // normalized-length proxy for text shape
+};
+
+/// Builds the train-time profile: feature histograms over every row of
+/// `matrix` (16 bins, [0, 1] — the LGM-X feature range), the score
+/// histogram over `scores` (32 bins, data-derived padded bounds), and
+/// entity histograms over `dataset` (data-derived bounds). `scores`
+/// must have one entry per matrix row.
+ReferenceProfile BuildReferenceProfile(const data::Dataset& dataset,
+                                       const ml::FeatureMatrix& matrix,
+                                       const std::vector<double>& scores,
+                                       uint64_t model_hash);
+
+/// Line-oriented text form (round-trips exactly; counts are integers):
+///
+///   skyex_profile_version: 1
+///   model_hash: 00af9c...
+///   feature_hist: <col> <lo> <hi> <c0> <c1> ...
+///   score_hist: <lo> <hi> <c0> ...
+///   entity_lat_hist: ... / entity_lon_hist: ... / entity_name_len_hist: ...
+std::string SaveProfile(const ReferenceProfile& profile);
+std::optional<ReferenceProfile> LoadProfile(const std::string& text,
+                                            std::string* error = nullptr);
+
+bool SaveProfileToFile(const ReferenceProfile& profile,
+                       const std::string& path);
+std::optional<ReferenceProfile> LoadProfileFromFile(
+    const std::string& path, std::string* error = nullptr);
+
+/// The entity-level name-length value observed for drift purposes.
+double EntityNameLength(const data::SpatialEntity& entity);
+
+}  // namespace skyex::quality
+
+#endif  // SKYEX_QUALITY_PROFILE_H_

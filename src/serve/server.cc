@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/build_info.h"
 #include "fault/fault.h"
 #include "obs/context.h"
 #include "obs/flight.h"
@@ -15,6 +16,7 @@
 #include "obs/trace.h"
 #include "prof/heap.h"
 #include "prof/prof.h"
+#include "quality/quality.h"
 
 namespace skyex::serve {
 
@@ -325,6 +327,9 @@ HttpResponse Server::Dispatch(const HttpRequest& request,
     obs::PublishProcessGauges();
     prof::PublishHeapGauges();
     if (backend_ != nullptr) backend_->PublishGauges();
+#if !defined(SKYEX_OBS_DISABLED)
+    quality::Runtime::Global().PublishMetrics();
+#endif
     std::ostringstream out;
     HttpResponse response;
     if (format == "prometheus") {
@@ -366,6 +371,20 @@ HttpResponse Server::Dispatch(const HttpRequest& request,
     response.content_type = "text/plain";
     response.body = backend_ != nullptr ? backend_->model_text()
                                         : service_->model_text();
+    return response;
+  }
+  if (request.path == "/buildz") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    HttpResponse response;
+    response.body = core::BuildInfoJson();
+    return response;
+  }
+  if (request.path == "/debug/quality") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    std::ostringstream out;
+    quality::Runtime::Global().WriteDebugJson(out);
+    HttpResponse response;
+    response.body = out.str();
     return response;
   }
   return ErrorResponse(404, "no such endpoint");

@@ -55,6 +55,11 @@
 //   GET  /debug/pprof/heap                    -> per-zone heap
 //        attribution JSON (prof/heap.h); "active":false when the
 //        allocation hooks are compiled out
+//   GET  /buildz                              -> build identification
+//        JSON (git sha, build type, compiled-in options, SIMD level)
+//   GET  /debug/quality                       -> linkage-quality state
+//        JSON (audit-log counters, drift statistics); "compiled":false
+//        under SKYEX_OBS=OFF
 //
 // Request-scoped tracing: every request gets a 64-bit request id —
 // adopted from an incoming X-Request-Id header (hex ids parse exactly,

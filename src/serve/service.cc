@@ -15,6 +15,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "quality/quality.h"
 #include "text/jaro.h"
 #include "text/normalize.h"
 
@@ -211,8 +212,24 @@ std::vector<LinkResult> LinkService::LinkMany(
     for (const data::SpatialEntity& entity : entities) {
       LinkResult result;
       core::AddRecordStats add_stats;
+#if !defined(SKYEX_OBS_DISABLED)
+      // Linkage-quality hooks (no-ops until skyex_serve enables the
+      // quality runtime): entity-level drift observation for every
+      // request, full decision capture for sampled ones.
+      quality::Runtime& quality_runtime = quality::Runtime::Global();
+      quality_runtime.ObserveEntity(entity);
+      quality::MatchCapture capture;
+      const bool capturing = quality_runtime.ShouldCapture();
+      std::vector<core::ScoredMatch> matches = linker_.MatchRecord(
+          entity, stats != nullptr ? &add_stats : nullptr,
+          capturing ? &capture : nullptr);
+      if (capturing) {
+        quality_runtime.RecordCapture(entity, shard_id_, std::move(capture));
+      }
+#else
       std::vector<core::ScoredMatch> matches = linker_.MatchRecord(
           entity, stats != nullptr ? &add_stats : nullptr);
+#endif
       linker_.Append(entity);
       if (stats != nullptr) {
         stats->extract_us += add_stats.candidates_us + add_stats.prefilter_us;
@@ -266,8 +283,22 @@ std::vector<ScoredLink> LinkService::MatchScored(
   std::vector<ScoredLink> links;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+#if !defined(SKYEX_OBS_DISABLED)
+    // Shard-path quality hooks. Entity drift is observed on the owner
+    // only (persist == true) so a scatter to k shards counts once.
+    quality::Runtime& quality_runtime = quality::Runtime::Global();
+    if (persist) quality_runtime.ObserveEntity(entity);
+    quality::MatchCapture capture;
+    const bool capturing = quality_runtime.ShouldCapture();
+    const std::vector<core::ScoredMatch> matches =
+        linker_.MatchRecord(entity, stats, capturing ? &capture : nullptr);
+    if (capturing) {
+      quality_runtime.RecordCapture(entity, shard_id_, std::move(capture));
+    }
+#else
     const std::vector<core::ScoredMatch> matches =
         linker_.MatchRecord(entity, stats);
+#endif
     const data::Dataset& dataset = linker_.dataset();
     links.reserve(matches.size());
     for (const core::ScoredMatch& m : matches) {
@@ -289,6 +320,15 @@ std::vector<LinkResult> LinkService::LinkDegraded(
   results.reserve(entities.size());
   std::lock_guard<std::mutex> lock(degraded_mutex_);
   for (const data::SpatialEntity& entity : entities) {
+#if !defined(SKYEX_OBS_DISABLED)
+    // Degraded answers audit as decision-less records: the entity was
+    // served but the model never scored it.
+    quality::Runtime& quality_runtime = quality::Runtime::Global();
+    quality_runtime.ObserveEntity(entity);
+    if (quality_runtime.ShouldCapture()) {
+      quality_runtime.RecordDegraded(entity, shard_id_);
+    }
+#endif
     LinkResult result;
     result.degraded = true;
     // Where the record *would* land; nothing is actually appended.
@@ -432,6 +472,8 @@ std::vector<std::unique_ptr<LinkService>> BootstrapShardedLinkServices(
                                    cal.accepted, options);
     services.push_back(
         std::make_unique<LinkService>(std::move(linker), text));
+    services.back()->set_shard_id(
+        static_cast<uint32_t>(services.size() - 1));
   }
   return services;
 }

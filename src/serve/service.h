@@ -140,6 +140,11 @@ class LinkService {
   /// SaveModel text of the served model (immutable after construction).
   const std::string& model_text() const { return model_text_; }
 
+  /// Shard identity stamped into audit records (0 unsharded). Set once
+  /// at bootstrap, before serving starts.
+  void set_shard_id(uint32_t shard_id) { shard_id_ = shard_id; }
+  uint32_t shard_id() const { return shard_id_; }
+
  private:
   struct DegradedEntry {
     uint64_t id = 0;
@@ -153,6 +158,7 @@ class LinkService {
   mutable std::mutex mutex_;
   core::IncrementalLinker linker_;
   const std::string model_text_;
+  uint32_t shard_id_ = 0;
 
   // Separate mutex: a wedged linker thread stalls inside mutex_, and
   // the degraded path must not queue behind it.

@@ -559,6 +559,34 @@ TEST_F(ObsTest, PrometheusExpositionIsWellFormed) {
       << text;
 }
 
+TEST_F(ObsTest, PrometheusOrderIsDeterministicAndSorted) {
+  // Register in deliberately non-alphabetical order, mixing kinds.
+  MetricsRegistry::Global().GetGauge("zz/late_gauge").Set(1.0);
+  MetricsRegistry::Global().GetCounter("mm/mid_counter").Add(2);
+  MetricsRegistry::Global().GetHistogram("aa/early_hist", {10.0}).Observe(1.0);
+  MetricsRegistry::Global().GetCounter("aa/early_counter").Add(1);
+
+  std::ostringstream first, second;
+  MetricsRegistry::Global().WritePrometheus(first);
+  MetricsRegistry::Global().WritePrometheus(second);
+  // Scrape-to-scrape the exposition is byte-identical...
+  EXPECT_EQ(first.str(), second.str());
+
+  // ...and family headers appear in sorted name order regardless of
+  // registration order or metric kind.
+  const std::string text = first.str();
+  std::vector<size_t> positions = {
+      text.find("# TYPE skyex_aa_early_counter counter"),
+      text.find("# TYPE skyex_aa_early_hist histogram"),
+      text.find("# TYPE skyex_mm_mid_counter counter"),
+      text.find("# TYPE skyex_zz_late_gauge gauge"),
+  };
+  for (size_t i = 0; i < positions.size(); ++i) {
+    ASSERT_NE(positions[i], std::string::npos) << i << ":\n" << text;
+    if (i > 0) EXPECT_LT(positions[i - 1], positions[i]) << text;
+  }
+}
+
 TEST_F(ObsTest, PrometheusExemplarTracksLatestObservation) {
   Histogram histogram = MetricsRegistry::Global().GetHistogram(
       "test/exemplar_hist", {10.0});

@@ -1,0 +1,109 @@
+// Compiled with -DSKYEX_OBS_DISABLED (see tests/CMakeLists.txt): the
+// quality observability surface must report itself compiled out in this
+// translation unit while the audit-log and profile LIBRARY code stays
+// linked and fully functional — offline tools (skyex_audit) must build
+// and read logs even in stripped builds. The runtime's own refusal to
+// Enable under a full SKYEX_OBS=OFF build is covered by quality_test's
+// compiled-out branch in the obs-off CI leg, where the whole library is
+// compiled with the flag.
+
+#ifndef SKYEX_OBS_DISABLED
+#error "this test must be compiled with SKYEX_OBS_DISABLED"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "quality/audit_log.h"
+#include "quality/profile.h"
+#include "quality/quality.h"
+
+namespace skyex::quality {
+namespace {
+
+TEST(QualityDisabledTest, ReportsCompiledOut) {
+  static_assert(!kQualityCompiledIn,
+                "SKYEX_OBS_DISABLED must flip kQualityCompiledIn");
+}
+
+TEST(QualityDisabledTest, AuditCodecStaysLinkedAndUsable) {
+  AuditLogHeader header;
+  header.feature_count = 2;
+  header.model_hash = 0x77ull;
+  AuditRecord record;
+  record.request_id = 5;
+  record.entity_id = 6;
+  record.capture.threshold_key = {0.5};
+  CandidateDecision decision;
+  decision.scored = true;
+  decision.accepted = true;
+  decision.score = 0.9;
+  decision.features = {0.1, 0.2};
+  record.capture.decisions.push_back(decision);
+
+  const std::string bytes =
+      EncodeAuditHeader(header) + EncodeAuditRecord(record);
+  AuditLogHeader decoded;
+  std::vector<AuditRecord> records;
+  AuditReadStats stats;
+  std::string error;
+  ASSERT_TRUE(DecodeAuditLog(bytes, &decoded, &records, &stats, &error))
+      << error;
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].request_id, 5u);
+  EXPECT_EQ(records[0].capture.decisions[0].features.size(), 2u);
+  EXPECT_EQ(stats.torn_tail_bytes, 0u);
+}
+
+TEST(QualityDisabledTest, WriterStaysLinkedAndUsable) {
+  const std::string path =
+      ::testing::TempDir() + "/skyex_quality_disabled_audit.bin";
+  AuditWriterOptions options;
+  options.path = path;
+  AuditLogHeader header;
+  header.feature_count = 1;
+
+  AuditWriter writer;
+  std::string error;
+  ASSERT_TRUE(writer.Open(options, header, &error)) << error;
+  ASSERT_TRUE(writer.ShouldSample());
+  AuditRecord record;
+  record.request_id = 1;
+  writer.Append(record);
+  writer.Close();
+
+  AuditLogHeader decoded;
+  std::vector<AuditRecord> records;
+  AuditReadStats stats;
+  ASSERT_TRUE(ReadAuditLog(path, &decoded, &records, &stats, &error)) << error;
+  EXPECT_EQ(records.size(), 1u);
+}
+
+TEST(QualityDisabledTest, ProfileCodecStaysLinkedAndUsable) {
+  ProfileHistogram hist;
+  hist.Init(0.0, 1.0, 4);
+  hist.Add(0.1);
+  hist.Add(0.9);
+  ReferenceProfile profile;
+  profile.model_hash = 0xabcull;
+  profile.features.push_back(hist);
+  profile.score = hist;
+  profile.entity_lat = hist;
+  profile.entity_lon = hist;
+  profile.entity_name_len = hist;
+
+  const std::string text = SaveProfile(profile);
+  std::string error;
+  const std::optional<ReferenceProfile> loaded = LoadProfile(text, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->model_hash, 0xabcull);
+  EXPECT_EQ(loaded->features.size(), 1u);
+  EXPECT_EQ(loaded->score.counts, profile.score.counts);
+  EXPECT_GT(Psi(profile.score, loaded->score), -1.0);  // callable
+}
+
+}  // namespace
+}  // namespace skyex::quality

@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "core/build_info.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -27,6 +28,20 @@
 #include "prof/prof.h"
 
 namespace skyex::tools {
+
+/// `--version` handling shared by every binary: when any argument is
+/// `--version` (checked before flag parsing so it works regardless of
+/// subcommand position), prints the one-line build identification and
+/// returns true — the caller exits 0.
+inline bool HandleVersion(int argc, char** argv, const char* tool) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--version") {
+      std::printf("%s\n", skyex::core::VersionLine(tool).c_str());
+      return true;
+    }
+  }
+  return false;
+}
 
 enum class FlagType { kString, kDouble, kSize, kBool };
 

@@ -274,6 +274,7 @@ bool CheckFlightRecorder(const std::string& host, uint16_t port,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (skyex::tools::HandleVersion(argc, argv, "skyex_chaos")) return 0;
   const auto flags = skyex::tools::ParseFlags(
       argc, argv, 1,
       {{"host", FlagType::kString},

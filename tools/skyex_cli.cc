@@ -37,6 +37,9 @@
 #include "features/lgm_x.h"
 #include "features/sketch.h"
 #include "geo/quadflex.h"
+#include "quality/audit_log.h"
+#include "quality/profile.h"
+#include "skyline/preference.h"
 #include "text/normalize.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -65,7 +68,9 @@ int Usage() {
       "  generate  --dataset=northdk|restaurants --entities=N --seed=N\n"
       "            --out=FILE.csv\n"
       "  train     --in=FILE.csv --train-fraction=F --seed=N\n"
-      "            --model-out=FILE.txt\n"
+      "            --model-out=FILE.txt [--profile-out=FILE |\n"
+      "            --no-profile]   (a drift reference profile is written\n"
+      "            to MODEL.profile by default; docs/observability.md)\n"
       "  apply     --in=FILE.csv --model=FILE.txt --out=matches.csv\n"
       "  link      --in=FILE.csv [--model=FILE.txt | --train-fraction=F]\n"
       "            --out=linked.csv\n"
@@ -179,6 +184,34 @@ int CmdTrain(const Flags& flags) {
     return 1;
   }
   std::printf("model written to %s\n", out.c_str());
+#if !defined(SKYEX_OBS_DISABLED)
+  // Reference profile for serve-time drift detection (skipped with
+  // --no-profile): the feature/score/entity distributions the model was
+  // trained against, bound to the model by its model_io text hash.
+  if (!flags.Has("no-profile")) {
+    const std::string profile_out = flags.Get("profile-out", out + ".profile");
+    const std::optional<skyex::skyline::CompiledPreference> compiled =
+        model.preference != nullptr ? skyex::skyline::Compile(*model.preference)
+                                    : std::nullopt;
+    if (compiled.has_value()) {
+      std::vector<double> scores(p->features.rows, 0.0);
+      std::vector<double> key(compiled->KeySize());
+      for (size_t r = 0; r < p->features.rows; ++r) {
+        compiled->Key(p->features.Row(r), key.data());
+        scores[r] = key.empty() ? 0.0 : key[0];
+      }
+      const skyex::quality::ReferenceProfile profile =
+          skyex::quality::BuildReferenceProfile(
+              p->dataset, p->features, scores,
+              skyex::quality::HashModelText(skyex::core::SaveModel(model)));
+      if (!skyex::quality::SaveProfileToFile(profile, profile_out)) {
+        std::fprintf(stderr, "error: cannot write %s\n", profile_out.c_str());
+        return 1;
+      }
+      std::printf("reference profile written to %s\n", profile_out.c_str());
+    }
+  }
+#endif
   return 0;
 }
 
@@ -390,6 +423,7 @@ int CmdEval(const Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (skyex::tools::HandleVersion(argc, argv, "skyex")) return 0;
   if (argc < 2) return Usage();
   const std::string command = argv[1];
 
@@ -407,7 +441,9 @@ int main(int argc, char** argv) {
                        {{"in", FlagType::kString},
                         {"train-fraction", FlagType::kDouble},
                         {"seed", FlagType::kSize},
-                        {"model-out", FlagType::kString}});
+                        {"model-out", FlagType::kString},
+                        {"profile-out", FlagType::kString},
+                        {"no-profile", FlagType::kBool}});
     run = CmdTrain;
   } else if (command == "apply") {
     flags = ParseFlags(argc, argv, 2,

@@ -80,7 +80,12 @@ int Usage() {
       "  --fail-on-error-rate=P  tolerate errors up to rate P: exit 1\n"
       "                    only when (error responses + io errors +\n"
       "                    retry-exhausted) / outcomes exceeds P, instead\n"
-      "                    of the default zero-error acceptance\n\n"
+      "                    of the default zero-error acceptance\n"
+      "  --drift-name=S    synthetic drift: append ' S' to every pool\n"
+      "                    entity name (exercises the server's drift\n"
+      "                    detector; docs/observability.md)\n"
+      "  --drift-lat=D     synthetic drift: shift every pool latitude by\n"
+      "                    D degrees (clamped to [-90, 90])\n\n"
       "runtime: --threads=N   shared thread pool size\n"
       "profiling: --cpu-profile=FILE --profile-hz=N   collapsed-stack\n"
       "           CPU profile of the client side of the run\n"
@@ -147,6 +152,16 @@ struct ServerWork {
   double dropped = 0.0;     // extract/prefilter_dropped
   double lru_hits = 0.0;    // extract/lru_hits
   double lru_misses = 0.0;  // extract/lru_misses
+  // quality/* gauges, present when the server runs with quality
+  // observability enabled (--audit-log / --quality-profile).
+  bool quality = false;
+  double audit_sampled = 0.0;
+  double audit_written = 0.0;
+  double audit_dropped = 0.0;
+  double psi_feature_max = 0.0;
+  double ks_score = 0.0;
+  double psi_lat = 0.0;
+  double drift_trips = 0.0;
 };
 
 /// One /metrics round-trip for every counter of interest; counters the
@@ -171,6 +186,23 @@ std::optional<ServerWork> FetchServerWork(const std::string& host,
   work.dropped = read("extract/prefilter_dropped");
   work.lru_hits = read("extract/lru_hits");
   work.lru_misses = read("extract/lru_misses");
+  const auto* gauges = json->Find("gauges");
+  if (gauges != nullptr &&
+      (gauges->Find("quality/audit_attempts") != nullptr ||
+       gauges->Find("quality/drift_trips") != nullptr)) {
+    const auto gauge = [gauges](const char* name) {
+      const auto* value = gauges->Find(name);
+      return value != nullptr ? value->number_v : 0.0;
+    };
+    work.quality = true;
+    work.audit_sampled = gauge("quality/audit_sampled");
+    work.audit_written = gauge("quality/audit_written");
+    work.audit_dropped = gauge("quality/audit_dropped");
+    work.psi_feature_max = gauge("quality/psi_feature_max");
+    work.ks_score = gauge("quality/ks_score");
+    work.psi_lat = gauge("quality/psi_lat");
+    work.drift_trips = gauge("quality/drift_trips");
+  }
   return work;
 }
 
@@ -426,6 +458,7 @@ int RunSmoke(const std::string& host, uint16_t port, int timeout_ms,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (skyex::tools::HandleVersion(argc, argv, "skyex_loadgen")) return 0;
   const auto flags = skyex::tools::ParseFlags(
       argc, argv, 1,
       {{"host", FlagType::kString},
@@ -442,7 +475,9 @@ int main(int argc, char** argv) {
        {"smoke", FlagType::kBool},
        {"hotspot", FlagType::kDouble},
        {"hotspot-share", FlagType::kDouble},
-       {"fail-on-error-rate", FlagType::kDouble}});
+       {"fail-on-error-rate", FlagType::kDouble},
+       {"drift-name", FlagType::kString},
+       {"drift-lat", FlagType::kDouble}});
   if (!flags.has_value()) return Usage();
   if (!skyex::tools::ObsSetup(*flags)) return 2;
   if (!flags->Has("port")) {
@@ -473,6 +508,24 @@ int main(int argc, char** argv) {
   if (pool.empty()) {
     std::fprintf(stderr, "error: entity pool is empty\n");
     return 1;
+  }
+
+  // Synthetic drift: distort the pool before any request is built, so a
+  // --drift-* run feeds the server traffic whose name / coordinate
+  // distribution departs from what its reference profile saw.
+  const std::string drift_name = flags->Get("drift-name");
+  const double drift_lat = flags->GetDouble("drift-lat", 0.0);
+  if (!drift_name.empty() || drift_lat != 0.0) {
+    for (auto& e : pool) {
+      if (!drift_name.empty()) e.name += " " + drift_name;
+      if (drift_lat != 0.0 && e.location.valid) {
+        e.location.lat =
+            std::clamp(e.location.lat + drift_lat, -90.0, 90.0);
+      }
+    }
+    std::fprintf(stderr,
+                 "loadgen: drifted pool (name-suffix='%s', lat-shift=%g)\n",
+                 drift_name.c_str(), drift_lat);
   }
 
   if (flags->Has("smoke")) {
@@ -594,6 +647,16 @@ int main(int argc, char** argv) {
         lookups > 0 ? 100.0 * hits / lookups : 0.0, hits, misses);
   } else {
     std::printf("throughput: %.1f entities/s linked\n", entities_per_s);
+  }
+  // End-of-run linkage-quality snapshot (only when the server exposes
+  // quality/* gauges): audit-log counters and the latest drift state.
+  if (work_after.has_value() && work_after->quality) {
+    std::printf(
+        "quality: audit sampled=%.0f written=%.0f dropped=%.0f; "
+        "psi_feature_max=%.3f ks_score=%.3f psi_lat=%.3f drift_trips=%.0f\n",
+        work_after->audit_sampled, work_after->audit_written,
+        work_after->audit_dropped, work_after->psi_feature_max,
+        work_after->ks_score, work_after->psi_lat, work_after->drift_trips);
   }
   // The tail, by request id: feed these ids to the server's
   // /debug/flight (phase breakdown) or find them as exemplars on

@@ -27,10 +27,12 @@
 #include "core/model_io.h"
 #include "data/csv.h"
 #include "fault/fault.h"
+#include "features/feature_schema.h"
 #include "flags.h"
 #include "obs/flight.h"
 #include "obs/log.h"
 #include "prof/prof.h"
+#include "quality/quality.h"
 #include "serve/server.h"
 #include "serve/service.h"
 #include "shard/router.h"
@@ -82,6 +84,26 @@ int Usage() {
       "  --max-retry-after-s=N  Retry-After jitter cap (default 4)\n"
       "  --fault-spec=SPEC      arm fault-injection points (also read\n"
       "                         from $SKYEX_FAULT_SPEC; see src/fault/)\n\n"
+      "linkage quality (docs/observability.md):\n"
+      "  --audit-log=FILE       append sampled link decisions to FILE\n"
+      "                         (self-describing binary; skyex_audit\n"
+      "                         dumps/replays it)\n"
+      "  --audit-sample=N       audit every Nth link attempt (default 1)\n"
+      "  --audit-queue=N        async writer queue capacity (default\n"
+      "                         1024; overflow drops + counts)\n"
+      "  --quality-profile=FILE reference profile for drift detection\n"
+      "                         (default: MODEL.profile when it exists;\n"
+      "                         written by `skyex train`)\n"
+      "  --no-quality           skip the MODEL.profile auto-default\n"
+      "  --drift-window=N       observed rows per drift evaluation\n"
+      "                         (default 512)\n"
+      "  --drift-row-sample=N   observe every Nth scored row (default 16;\n"
+      "                         decorrelates windows from per-request\n"
+      "                         candidate bursts)\n"
+      "  --entity-window=N      entities per entity-drift evaluation\n"
+      "                         (default 256)\n"
+      "  --psi-threshold=F      PSI trip level (default 0.25)\n"
+      "  --ks-threshold=F       score-KS trip level (default 0.25)\n\n"
       "runtime: --threads=N   shared thread pool size (default: all\n"
       "                       cores; the linker scores batches on it)\n"
       "profiling: --profile-hz=N  sampling profiler rate (default 97;\n"
@@ -112,6 +134,7 @@ void OnFlightDumpSignal(int) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (skyex::tools::HandleVersion(argc, argv, "skyex_serve")) return 0;
   const auto flags = skyex::tools::ParseFlags(
       argc, argv, 1,
       {{"model", FlagType::kString},
@@ -136,7 +159,17 @@ int main(int argc, char** argv) {
        {"breaker-threshold", FlagType::kDouble},
        {"breaker-open-ms", FlagType::kSize},
        {"max-retry-after-s", FlagType::kSize},
-       {"fault-spec", FlagType::kString}});
+       {"fault-spec", FlagType::kString},
+       {"audit-log", FlagType::kString},
+       {"audit-sample", FlagType::kSize},
+       {"audit-queue", FlagType::kSize},
+       {"quality-profile", FlagType::kString},
+       {"no-quality", FlagType::kBool},
+       {"drift-window", FlagType::kSize},
+       {"drift-row-sample", FlagType::kSize},
+       {"entity-window", FlagType::kSize},
+       {"psi-threshold", FlagType::kDouble},
+       {"ks-threshold", FlagType::kDouble}});
   if (!flags.has_value()) return Usage();
   if (!skyex::tools::ObsSetup(*flags)) return 2;
   {
@@ -216,6 +249,10 @@ int main(int argc, char** argv) {
   options.breaker.max_retry_after_s =
       static_cast<int>(flags->GetSize("max-retry-after-s", 4));
 
+  // Model text for the quality runtime: the same model_io text the
+  // trainer hashed when it wrote the reference profile.
+  const std::string model_text = skyex::core::SaveModel(*model);
+
   const size_t shards = flags->GetSize("shards", 0);
   std::string error;
   std::fprintf(stderr, "skyex_serve: calibrating on %zu records...\n",
@@ -251,6 +288,55 @@ int main(int argc, char** argv) {
     }
     server.emplace(service.get(), options);
   }
+  // Linkage-quality observability: explicit flags always win; otherwise
+  // a MODEL.profile written by `skyex train` is picked up automatically
+  // (suppressed by --no-quality, and never attempted when quality
+  // observability is compiled out).
+  {
+    skyex::quality::QualityOptions quality_options;
+    quality_options.audit.path = flags->Get("audit-log");
+    quality_options.audit.sample_every = flags->GetSize("audit-sample", 1);
+    quality_options.audit.queue_capacity =
+        flags->GetSize("audit-queue", 1024);
+    quality_options.profile_path = flags->Get("quality-profile");
+    quality_options.drift.window = flags->GetSize("drift-window", 512);
+    quality_options.drift.row_sample_every =
+        flags->GetSize("drift-row-sample", 16);
+    quality_options.drift.entity_window =
+        flags->GetSize("entity-window", 256);
+    quality_options.drift.psi_threshold =
+        flags->GetDouble("psi-threshold", 0.25);
+    quality_options.drift.ks_threshold =
+        flags->GetDouble("ks-threshold", 0.25);
+    if (quality_options.profile_path.empty() &&
+        skyex::quality::kQualityCompiledIn && !flags->Has("no-quality")) {
+      const std::string default_profile = model_path + ".profile";
+      if (std::ifstream(default_profile).good()) {
+        quality_options.profile_path = default_profile;
+      }
+    }
+    if (!quality_options.audit.path.empty() ||
+        !quality_options.profile_path.empty()) {
+      std::string quality_error;
+      if (!skyex::quality::Runtime::Global().Enable(
+              quality_options, model_text, skyex::features::LgmXFeatureCount(),
+              skyex::features::LgmXFeatureNames(), &quality_error)) {
+        std::fprintf(stderr, "error: quality: %s\n", quality_error.c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "skyex_serve: quality observability on (audit=%s, "
+                   "profile=%s, sample=1/%zu)\n",
+                   quality_options.audit.path.empty()
+                       ? "off"
+                       : quality_options.audit.path.c_str(),
+                   quality_options.profile_path.empty()
+                       ? "off"
+                       : quality_options.profile_path.c_str(),
+                   static_cast<size_t>(quality_options.audit.sample_every));
+    }
+  }
+
   if (!server->Start(&error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
@@ -314,5 +400,25 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.breaker_rejected),
                static_cast<unsigned long long>(stats.breaker_opens),
                static_cast<unsigned long long>(stats.watchdog_trips));
+  {
+    auto& quality_runtime = skyex::quality::Runtime::Global();
+    if (quality_runtime.enabled()) {
+      quality_runtime.Flush();  // queued records count as written below
+      const auto snapshot = quality_runtime.snapshot();
+      quality_runtime.Disable();
+      std::fprintf(
+          stderr,
+          "skyex_serve: quality — %llu audit attempts, %llu sampled, "
+          "%llu written, %llu dropped; drift evaluations=%llu trips=%llu\n",
+          static_cast<unsigned long long>(snapshot.attempts),
+          static_cast<unsigned long long>(snapshot.sampled),
+          static_cast<unsigned long long>(snapshot.written),
+          static_cast<unsigned long long>(snapshot.dropped),
+          static_cast<unsigned long long>(
+              snapshot.drift_stats.row_windows +
+              snapshot.drift_stats.entity_windows),
+          static_cast<unsigned long long>(snapshot.drift_stats.trips));
+    }
+  }
   return skyex::tools::ObsFinish(*flags);
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/build_info.h"
 #include "obs/json.h"
 
 namespace {
@@ -32,6 +33,11 @@ int main(int argc, char** argv) {
   std::vector<std::string> required;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    if (std::strcmp(arg, "--version") == 0) {
+      std::printf("%s\n",
+                  skyex::core::VersionLine("validate_trace").c_str());
+      return 0;
+    }
     if (std::strncmp(arg, "--require=", 10) == 0) {
       required.emplace_back(arg + 10);
     } else if (std::strncmp(arg, "--", 2) == 0 || !path.empty()) {
